@@ -1,0 +1,141 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, plus the ablation benches, and (with [micro]) runs
+   Bechamel micro-benchmarks of the core operations.
+
+   Usage:
+     dune exec bench/main.exe                 # all tables+figures, full scale
+     dune exec bench/main.exe -- --quick      # smoke-test sizes
+     dune exec bench/main.exe -- fig8 table2  # a subset
+     dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks *)
+
+open Experiments
+
+let scale = ref Rigs.Full
+
+let run_tech_trends () =
+  (* One measurement feeds both Table 2 and Figure 9. *)
+  let rows = Tech_trends.series ~scale:!scale () in
+  Vlog_util.Table.print (Tech_trends.table2_of rows);
+  print_newline ();
+  Vlog_util.Table.print (Tech_trends.fig9_of rows)
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Printf.printf "[%s: %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0)
+
+let experiments : (string * (unit -> unit)) list =
+  let table t = Vlog_util.Table.print t in
+  [
+    ("table1", fun () -> table (Table1.run ~scale:!scale ()));
+    ("fig1", fun () -> table (Fig1.run ~scale:!scale ()));
+    ("fig2", fun () -> table (Fig2.run ~scale:!scale ()));
+    ("fig6", fun () -> table (Fig6.run ~scale:!scale ()));
+    ("fig7", fun () -> table (Fig7.run ~scale:!scale ()));
+    ("fig8", fun () -> table (Fig8.run ~scale:!scale ()));
+    ("table2", run_tech_trends);
+    ("fig10", fun () -> table (Fig10.run ~scale:!scale ()));
+    ("fig11", fun () -> table (Fig11.run ~scale:!scale ()));
+    ("apps", fun () -> table (Apps.run ~scale:!scale ()));
+    ( "vlfs",
+      fun () ->
+        table (Vlfs_bench.sync_updates ~scale:!scale ());
+        print_newline ();
+        table (Vlfs_bench.buffered_small_files ~scale:!scale ());
+        print_newline ();
+        table (Vlfs_bench.recovery_cost ~scale:!scale ()) );
+    ("ablation-mode", fun () -> table (Ablations.eager_mode ~scale:!scale ()));
+    ("ablation-compact", fun () -> table (Ablations.compaction_policy ~scale:!scale ()));
+    ("ablation-blocksize", fun () -> table (Ablations.block_size ~scale:!scale ()));
+    ("ablation-mapbatch", fun () -> table (Ablations.map_batching ~scale:!scale ()));
+  ]
+
+(* ---- Bechamel micro-benchmarks of the core operations ---- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let make_vld_rig () =
+    Rigs.rig ~fs:(Workload.Setup.UFS { sync_data = true }) ~dev:Workload.Setup.VLD ()
+  in
+  let vld_rig = make_vld_rig () in
+  let reg_rig =
+    Rigs.rig ~fs:(Workload.Setup.UFS { sync_data = true }) ~dev:Workload.Setup.Regular ()
+  in
+  let payload = Bytes.make 4096 'b' in
+  let counter = ref 0 in
+  let n_blocks rig = rig.Workload.Setup.dev.Blockdev.Device.n_blocks in
+  let write_block rig () =
+    incr counter;
+    ignore (rig.Workload.Setup.dev.Blockdev.Device.write (!counter * 37 mod n_blocks rig) payload)
+  in
+  let node =
+    {
+      Vlog.Map_codec.seq = 1L;
+      piece = 0;
+      kind = Vlog.Map_codec.Node;
+      txn_id = 1L;
+      txn_commit = true;
+      ptrs = [ { Vlog.Map_codec.pba = 1; seq = 0L } ];
+      entries = Array.make 900 7;
+    }
+  in
+  let encoded = Vlog.Map_codec.encode_node ~block_bytes:4096 node in
+  let tests =
+    Test.make_grouped ~name:"vlogfs"
+      [
+        Test.make ~name:"vld-sync-write-4k" (Staged.stage (write_block vld_rig));
+        Test.make ~name:"regular-sync-write-4k" (Staged.stage (write_block reg_rig));
+        Test.make ~name:"map-node-encode"
+          (Staged.stage (fun () ->
+               ignore (Vlog.Map_codec.encode_node ~block_bytes:4096 node)));
+        Test.make ~name:"map-node-decode"
+          (Staged.stage (fun () -> ignore (Vlog.Map_codec.decode_node encoded)));
+        Test.make ~name:"analytic-cylinder-model"
+          (Staged.stage (fun () ->
+               ignore (Models.Cylinder_model.locate_ms Rigs.seagate ~p:0.2)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let results, _ = (Analyze.merge ols instances [ results ], raw) in
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  let () =
+    Bechamel_notty.Unit.add Instance.monotonic_clock
+      (Measure.unit Instance.monotonic_clock)
+  in
+  let img = Bechamel_notty.Multiple.image_of_ols_results ~rect:window ~predictor:Measure.run results in
+  Notty_unix.eol img |> Notty_unix.output_image
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  if quick then scale := Rigs.Quick;
+  let names = List.filter (fun a -> a <> "--quick") args in
+  let want_micro = List.mem "micro" names in
+  let names = List.filter (fun a -> a <> "micro") names in
+  let to_run =
+    match names with
+    | [] -> experiments
+    | names ->
+      List.filter_map
+        (fun n ->
+          match List.assoc_opt n experiments with
+          | Some f -> Some (n, f)
+          | None ->
+            Printf.eprintf "unknown experiment %s (known: %s)\n" n
+              (String.concat ", " (List.map fst experiments));
+            exit 2)
+        names
+  in
+  List.iter (fun (name, f) -> timed name f) to_run;
+  if want_micro || names = [] then micro ()

@@ -1,0 +1,157 @@
+(* vlsim: command-line front end to the virtual-log simulator.
+
+   vlsim experiments            — list the reproducible tables/figures
+   vlsim run fig8 [--quick]     — regenerate one (or more) of them
+   vlsim model track --disk st --free 20
+   vlsim model cylinder --disk hp --free 20
+   vlsim model compactor --disk st --threshold 25
+   vlsim latency --disk st --util 80 [--host sparc|ultra]
+                                — one-off random-update measurement *)
+
+open Cmdliner
+
+let disk_conv =
+  let parse = function
+    | "hp" | "hp97560" -> Ok Disk.Profile.hp97560
+    | "st" | "st19101" | "seagate" -> Ok Disk.Profile.st19101
+    | s -> Error (`Msg (Printf.sprintf "unknown disk %S (use hp or st)" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf p.Disk.Profile.name)
+
+let host_conv =
+  let parse = function
+    | "sparc" | "sparc10" -> Ok Host.sparc10
+    | "ultra" | "ultra170" -> Ok Host.ultra170
+    | "free" -> Ok Host.free
+    | s -> Error (`Msg (Printf.sprintf "unknown host %S (use sparc, ultra or free)" s))
+  in
+  Arg.conv (parse, fun ppf (h : Host.t) -> Format.pp_print_string ppf h.Host.name)
+
+let disk_arg =
+  Arg.(value & opt disk_conv Disk.Profile.st19101 & info [ "disk" ] ~doc:"hp or st")
+
+let host_arg =
+  Arg.(value & opt host_conv Host.sparc10 & info [ "host" ] ~doc:"sparc, ultra or free")
+
+let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"smoke-test sizes")
+
+(* --- experiments --- *)
+
+let experiment_names =
+  [
+    "table1"; "fig1"; "fig2"; "fig6"; "fig7"; "fig8"; "table2"; "fig9"; "fig10"; "vlfs"; "apps";
+    "fig11"; "ablation-mode"; "ablation-compact"; "ablation-blocksize";
+    "ablation-mapbatch";
+  ]
+
+let list_cmd =
+  let doc = "list the reproducible tables and figures" in
+  let run () = List.iter print_endline experiment_names in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ const ())
+
+let run_experiment ~scale name =
+  let open Experiments in
+  let p t = Vlog_util.Table.print t in
+  match name with
+  | "table1" -> p (Table1.run ~scale ())
+  | "fig1" -> p (Fig1.run ~scale ())
+  | "fig2" -> p (Fig2.run ~scale ())
+  | "fig6" -> p (Fig6.run ~scale ())
+  | "fig7" -> p (Fig7.run ~scale ())
+  | "fig8" -> p (Fig8.run ~scale ())
+  | "table2" | "fig9" ->
+    let rows = Tech_trends.series ~scale () in
+    p (Tech_trends.table2_of rows);
+    p (Tech_trends.fig9_of rows)
+  | "fig10" -> p (Fig10.run ~scale ())
+  | "fig11" -> p (Fig11.run ~scale ())
+  | "vlfs" ->
+    p (Vlfs_bench.sync_updates ~scale ());
+    p (Vlfs_bench.buffered_small_files ~scale ());
+    p (Vlfs_bench.recovery_cost ~scale ())
+  | "apps" -> p (Apps.run ~scale ())
+  | "ablation-mode" -> p (Ablations.eager_mode ~scale ())
+  | "ablation-compact" -> p (Ablations.compaction_policy ~scale ())
+  | "ablation-blocksize" -> p (Ablations.block_size ~scale ())
+  | "ablation-mapbatch" -> p (Ablations.map_batching ~scale ())
+  | other -> Printf.eprintf "unknown experiment %s\n" other
+
+let run_cmd =
+  let doc = "regenerate tables/figures from the paper" in
+  let names =
+    Arg.(value & pos_all string experiment_names & info [] ~docv:"EXPERIMENT")
+  in
+  let run quick names =
+    let scale = if quick then Experiments.Rigs.Quick else Experiments.Rigs.Full in
+    List.iter (run_experiment ~scale) names
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ quick_arg $ names)
+
+(* --- models --- *)
+
+let pct_arg name doc = Arg.(value & opt float 20. & info [ name ] ~doc)
+
+let model_cmd =
+  let doc = "evaluate the analytical models of Section 2" in
+  let which =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("track", `Track); ("cylinder", `Cylinder); ("compactor", `Compactor) ])) None
+      & info [] ~docv:"MODEL")
+  in
+  let run which profile free_pct threshold_pct =
+    match which with
+    | `Track ->
+      let p = free_pct /. 100. in
+      Printf.printf "single-track model (formula 1): %.4f ms (%.2f sectors)\n"
+        (Models.Track_model.locate_ms profile ~p)
+        (Models.Track_model.expected_skips_p
+           ~n:profile.Disk.Profile.geometry.Disk.Geometry.sectors_per_track ~p)
+    | `Cylinder ->
+      let p = free_pct /. 100. in
+      Printf.printf "single-cylinder model (formula 2): %.4f ms\n"
+        (Models.Cylinder_model.locate_ms profile ~p)
+    | `Compactor ->
+      let threshold = threshold_pct /. 100. in
+      Printf.printf "compactor model (formula 13): %.4f ms (optimal threshold %.0f%%)\n"
+        (Models.Compactor_model.latency_ms profile ~threshold)
+        (100. *. Models.Compactor_model.optimal_threshold profile)
+  in
+  Cmd.v (Cmd.info "model" ~doc)
+    Term.(
+      const run $ which $ disk_arg
+      $ pct_arg "free" "free-space percentage"
+      $ pct_arg "threshold" "track-switch threshold percentage")
+
+(* --- latency --- *)
+
+let latency_cmd =
+  let doc = "measure random synchronous 4 KB update latency on one rig" in
+  let util_arg = Arg.(value & opt float 80. & info [ "util" ] ~doc:"target utilization %") in
+  let vld_arg = Arg.(value & flag & info [ "vld" ] ~doc:"use the virtual log disk") in
+  let run profile host util_pct vld quick =
+    let dev = if vld then Workload.Setup.VLD else Workload.Setup.Regular in
+    let rig =
+      Workload.Setup.make ~profile ~host ~fs:(Workload.Setup.UFS { sync_data = true })
+        ~dev ()
+    in
+    let file_mb = Experiments.Rigs.file_mb_for_utilization rig (util_pct /. 100.) in
+    let updates = if quick then 100 else 600 in
+    let r =
+      Workload.Random_update.run ~updates ~compact_first:vld ~file_mb rig
+    in
+    Format.printf "%s on %s, %s host, %.0f%% utilization:@."
+      (if vld then "UFS/VLD" else "UFS/regular")
+      profile.Disk.Profile.name host.Host.name
+      (100. *. r.Workload.Random_update.utilization);
+    Format.printf "  %.3f ms per 4 KB synchronous update (%a)@."
+      r.Workload.Random_update.mean_latency_ms Vlog_util.Breakdown.pp
+      r.Workload.Random_update.breakdown
+  in
+  Cmd.v (Cmd.info "latency" ~doc)
+    Term.(const run $ disk_arg $ host_arg $ util_arg $ vld_arg $ quick_arg)
+
+let () =
+  let doc = "virtual-log based file systems for a programmable disk: simulator" in
+  let info = Cmd.info "vlsim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; model_cmd; latency_cmd ]))

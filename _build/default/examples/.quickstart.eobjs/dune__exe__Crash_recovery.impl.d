@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Breakdown Bytes Clock Disk Eager Format Freemap Map_codec Option Prng Virtual_log Vlog Vlog_util

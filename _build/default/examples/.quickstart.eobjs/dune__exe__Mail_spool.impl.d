@@ -1,0 +1,1 @@
+examples/mail_spool.ml: Bytes Char Experiments Format List Printf Prng Queue Vlog_util Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Blockdev Breakdown Bytes Char Clock Disk Format Prng Vlog Vlog_util

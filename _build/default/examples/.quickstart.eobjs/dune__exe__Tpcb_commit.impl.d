@@ -1,0 +1,1 @@
+examples/tpcb_commit.ml: Bytes Disk Format Host Prng Stats Vlog_util Workload

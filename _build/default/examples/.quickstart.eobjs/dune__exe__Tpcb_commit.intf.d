@@ -1,0 +1,1 @@
+examples/tpcb_commit.mli:

@@ -1,0 +1,1 @@
+examples/vlfs_demo.ml: Breakdown Bytes Clock Disk Format Host Printf Prng Vlfs Vlog Vlog_util

@@ -1,0 +1,1 @@
+examples/vlfs_demo.mli:

@@ -1,0 +1,97 @@
+(* Crash recovery demonstration: the virtual log's three recovery paths.
+
+   1. Clean power-down: the firmware records the log tail in the landing
+      zone; recovery traverses the map tree from it (a handful of reads).
+   2. Crash (no tail record): recovery falls back to scanning the disk
+      for cryptographically signed map nodes.
+   3. Crash that tears the commit node of a multi-block transaction: the
+      transaction is rolled back atomically — either all of its entries
+      are visible or none.
+
+   Run with:  dune exec examples/crash_recovery.exe *)
+
+open Vlog_util
+open Vlog
+
+let profile = Disk.Profile.st19101
+
+let fresh () =
+  let clock = Clock.create () in
+  let disk =
+    Disk.Disk_sim.create ~buffer_policy:Disk.Track_buffer.Whole_track ~profile ~clock ()
+  in
+  let vlog = Virtual_log.format ~disk (Virtual_log.default_config ~logical_blocks:2000) in
+  (disk, vlog)
+
+(* The VLD write path by hand: data first, then the map update. *)
+let write_block vlog disk logical tag =
+  let fm = Virtual_log.freemap vlog in
+  let pba = Option.get (Eager.choose (Virtual_log.eager vlog)) in
+  Freemap.occupy fm pba;
+  ignore
+    (Disk.Disk_sim.write disk ~lba:(Freemap.lba_of_block fm pba) (Bytes.make 4096 tag));
+  ignore (Virtual_log.update vlog [ (logical, Some pba) ]);
+  pba
+
+let report r =
+  Format.printf
+    "   used_tail=%b nodes_read=%d blocks_scanned=%d pruned=%d rolled_back=%d (%.2f ms)@."
+    r.Virtual_log.used_tail r.Virtual_log.nodes_read r.Virtual_log.blocks_scanned
+    r.Virtual_log.edges_pruned r.Virtual_log.uncommitted_skipped
+    (Breakdown.total r.Virtual_log.duration)
+
+let () =
+  (* --- 1. clean power-down --- *)
+  Format.printf "1. Clean power-down:@.";
+  let disk, vlog = fresh () in
+  for i = 0 to 49 do
+    ignore (write_block vlog disk i 'a')
+  done;
+  ignore (Virtual_log.power_down vlog);
+  (match Virtual_log.recover ~disk () with
+  | Ok (_, r) -> report r
+  | Error e -> Format.printf "   FAILED: %s@." e);
+
+  (* --- 2. crash without power-down --- *)
+  Format.printf "2. Crash (stale/cleared tail record -> full scan):@.";
+  let disk, vlog = fresh () in
+  for i = 0 to 49 do
+    ignore (write_block vlog disk i 'b')
+  done;
+  (* no power_down: the landing zone holds only the cleared record *)
+  (match Virtual_log.recover ~disk () with
+  | Ok (vlog2, r) ->
+    report r;
+    let ok = Virtual_log.lookup vlog2 49 <> None in
+    Format.printf "   all committed writes present: %b@." ok
+  | Error e -> Format.printf "   FAILED: %s@." e);
+
+  (* --- 3. torn commit node: atomic rollback --- *)
+  Format.printf "3. Torn multi-block transaction (atomicity):@.";
+  let disk, vlog = fresh () in
+  ignore (write_block vlog disk 5 'c');
+  (* A transaction touching two map pieces; logical 5 and 1500 live in
+     different pieces, so two map nodes are written, commit flag on the
+     second. *)
+  let fm = Virtual_log.freemap vlog in
+  let pba1 = Option.get (Eager.choose (Virtual_log.eager vlog)) in
+  Freemap.occupy fm pba1;
+  ignore (Disk.Disk_sim.write disk ~lba:(Freemap.lba_of_block fm pba1) (Bytes.make 4096 'X'));
+  let pba2 = Option.get (Eager.choose (Virtual_log.eager vlog)) in
+  Freemap.occupy fm pba2;
+  ignore (Disk.Disk_sim.write disk ~lba:(Freemap.lba_of_block fm pba2) (Bytes.make 4096 'Y'));
+  ignore (Virtual_log.update vlog [ (5, Some pba1); (1500, Some pba2) ]);
+  (* Tear the commit node (the last node written: the piece of logical
+     1500). *)
+  let piece = 1500 / Map_codec.max_entries ~block_bytes:4096 in
+  let loc = Option.get (Virtual_log.piece_location vlog piece) in
+  let prng = Prng.create ~seed:1L in
+  Disk.Sector_store.corrupt (Disk.Disk_sim.store disk) ~lba:(loc * 8) ~sectors:8 prng;
+  (match Virtual_log.recover ~disk () with
+  | Ok (vlog2, r) ->
+    report r;
+    Format.printf "   entry 5    -> %s (pre-transaction version retained)@."
+      (match Virtual_log.lookup vlog2 5 with Some _ -> "mapped" | None -> "unmapped");
+    Format.printf "   entry 1500 -> %s (torn transaction invisible)@."
+      (match Virtual_log.lookup vlog2 1500 with Some _ -> "mapped" | None -> "unmapped")
+  | Error e -> Format.printf "   FAILED: %s@." e)

@@ -1,0 +1,1 @@
+lib/blockdev/device.ml: Bytes Vlog_util

@@ -1,0 +1,1 @@
+lib/blockdev/device.mli: Bytes Vlog_util

@@ -1,0 +1,1 @@
+lib/blockdev/regular_disk.ml: Bytes Device Disk

@@ -1,0 +1,1 @@
+lib/blockdev/regular_disk.mli: Device Disk

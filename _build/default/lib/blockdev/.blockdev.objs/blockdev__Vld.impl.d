@@ -1,0 +1,1 @@
+lib/blockdev/vld.ml: Breakdown Bytes Clock Device Disk List Vlog Vlog_util

@@ -1,0 +1,1 @@
+lib/blockdev/vld.mli: Device Disk Vlog Vlog_util

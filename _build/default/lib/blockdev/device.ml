@@ -1,0 +1,17 @@
+type t = {
+  name : string;
+  block_bytes : int;
+  n_blocks : int;
+  read : int -> Bytes.t * Vlog_util.Breakdown.t;
+  read_run : int -> int -> Bytes.t * Vlog_util.Breakdown.t;
+  write : int -> Bytes.t -> Vlog_util.Breakdown.t;
+  write_run : int -> Bytes.t -> Vlog_util.Breakdown.t;
+  trim : int -> unit;
+  idle : float -> unit;
+  utilization : unit -> float;
+}
+
+let advance_idle ~clock t dt =
+  let until = Vlog_util.Clock.now clock +. dt in
+  t.idle dt;
+  Vlog_util.Clock.advance_to clock until

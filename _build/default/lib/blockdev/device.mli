@@ -1,0 +1,42 @@
+(** The logical-disk interface both file systems run on.
+
+    A device exposes fixed-size logical blocks.  The two implementations —
+    {!Regular_disk} (logical = physical, update in place) and {!Vld}
+    (eager writing behind an indirection map) — export the same record, so
+    an unmodified file system runs on either, exactly as the paper's
+    experimental platform arranges (Figure 5). *)
+
+type t = {
+  name : string;
+  block_bytes : int;
+  n_blocks : int;
+  read : int -> Bytes.t * Vlog_util.Breakdown.t;
+      (** [read block] returns the block's contents and the disk-time
+          breakdown.  Unwritten blocks read as zeroes. *)
+  read_run : int -> int -> Bytes.t * Vlog_util.Breakdown.t;
+      (** [read_run block count] reads [count] consecutive logical
+          blocks; the device exploits whatever physical contiguity it
+          has. *)
+  write : int -> Bytes.t -> Vlog_util.Breakdown.t;
+      (** Synchronous single-block write: when it returns, the block is
+          on the platter (and, for a VLD, its map update is committed). *)
+  write_run : int -> Bytes.t -> Vlog_util.Breakdown.t;
+      (** Multi-block synchronous write, atomic on a VLD (one
+          transaction). *)
+  trim : int -> unit;
+      (** Hint that a logical block's contents are dead.  Free on a VLD,
+          a no-op on a regular disk.  The VLD also detects deletions by
+          monitoring overwrites, so file systems that never trim still
+          work (Section 4.2); trim merely reclaims space sooner. *)
+  idle : float -> unit;
+      (** [idle dt] grants the device [dt] ms of idle time starting now:
+          a VLD runs its compactor, a regular disk does nothing.  The
+          simulated clock never ends past [now + dt] by more than one
+          in-flight operation. *)
+  utilization : unit -> float;
+      (** Physically occupied fraction of the device. *)
+}
+
+val advance_idle : clock:Vlog_util.Clock.t -> t -> float -> unit
+(** Grant [dt] ms of idle time and then advance the clock to the end of
+    the window regardless of how much of it the device used. *)

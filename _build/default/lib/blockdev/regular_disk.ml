@@ -1,0 +1,77 @@
+type t = {
+  disk : Disk.Disk_sim.t;
+  sectors_per_block : int;
+  block_bytes : int;
+  n_blocks : int;
+  ever_written : Bytes.t;
+  mutable written_count : int;
+}
+
+let create ?(sectors_per_block = 8) ~disk () =
+  let g = Disk.Disk_sim.geometry disk in
+  if g.Disk.Geometry.sectors_per_track mod sectors_per_block <> 0 then
+    invalid_arg "Regular_disk.create: block must divide the track";
+  let n_blocks = Disk.Geometry.total_sectors g / sectors_per_block in
+  {
+    disk;
+    sectors_per_block;
+    block_bytes = sectors_per_block * g.Disk.Geometry.sector_bytes;
+    n_blocks;
+    ever_written = Bytes.make n_blocks '\000';
+    written_count = 0;
+  }
+
+let disk t = t.disk
+let written_blocks t = t.written_count
+
+let check t block count =
+  if block < 0 || count <= 0 || block + count > t.n_blocks then
+    invalid_arg "Regular_disk: block range out of bounds"
+
+let read t block =
+  check t block 1;
+  Disk.Disk_sim.read t.disk ~lba:(block * t.sectors_per_block)
+    ~sectors:t.sectors_per_block
+
+let read_run t block count =
+  check t block count;
+  Disk.Disk_sim.read t.disk ~lba:(block * t.sectors_per_block)
+    ~sectors:(count * t.sectors_per_block)
+
+let note_written t block =
+  if Bytes.get t.ever_written block = '\000' then begin
+    Bytes.set t.ever_written block '\001';
+    t.written_count <- t.written_count + 1
+  end
+
+let write t block buf =
+  check t block 1;
+  if Bytes.length buf <> t.block_bytes then
+    invalid_arg "Regular_disk.write: buffer must be exactly one block";
+  note_written t block;
+  Disk.Disk_sim.write t.disk ~lba:(block * t.sectors_per_block) buf
+
+let write_run t block buf =
+  if Bytes.length buf = 0 || Bytes.length buf mod t.block_bytes <> 0 then
+    invalid_arg "Regular_disk.write_run: buffer must be whole blocks";
+  let count = Bytes.length buf / t.block_bytes in
+  check t block count;
+  for i = block to block + count - 1 do
+    note_written t i
+  done;
+  Disk.Disk_sim.write t.disk ~lba:(block * t.sectors_per_block) buf
+
+let device t =
+  {
+    Device.name = "regular";
+    block_bytes = t.block_bytes;
+    n_blocks = t.n_blocks;
+    read = read t;
+    read_run = read_run t;
+    write = write t;
+    write_run = write_run t;
+    trim = (fun block -> check t block 1);
+    idle = (fun _ -> ());
+    utilization =
+      (fun () -> float_of_int t.written_count /. float_of_int t.n_blocks);
+  }

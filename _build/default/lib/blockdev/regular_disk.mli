@@ -1,0 +1,16 @@
+(** Conventional update-in-place logical disk: logical block [i] lives at
+    physical block [i], forever.  The baseline every experiment compares
+    the VLD against. *)
+
+type t
+
+val create : ?sectors_per_block:int -> disk:Disk.Disk_sim.t -> unit -> t
+(** Default 8 sectors (4 KB blocks). *)
+
+val disk : t -> Disk.Disk_sim.t
+val device : t -> Device.t
+
+val written_blocks : t -> int
+(** Count of distinct logical blocks ever written — the occupancy the
+    device reports, since an update-in-place disk has no liveness
+    information of its own. *)

@@ -1,0 +1,177 @@
+open Vlog_util
+
+type t = {
+  disk : Disk.Disk_sim.t;
+  vlog : Vlog.Virtual_log.t;
+  compactor : Vlog.Compactor.t;
+  sectors_per_block : int;
+  block_bytes : int;
+}
+
+let of_vlog ~compaction_policy ~prng vlog =
+  let disk = Vlog.Virtual_log.disk vlog in
+  let cfg = Vlog.Virtual_log.config vlog in
+  let sectors_per_block = cfg.Vlog.Virtual_log.sectors_per_block in
+  {
+    disk;
+    vlog;
+    compactor = Vlog.Compactor.create ~policy:compaction_policy ~vlog ~prng ();
+    sectors_per_block;
+    block_bytes = Vlog.Virtual_log.block_bytes vlog;
+  }
+
+let create ?(eager_mode = Vlog.Eager.Sweep) ?(switch_free_fraction = 0.25)
+    ?(compaction_policy = Vlog.Compactor.Random_target) ?(sectors_per_block = 8) ~disk
+    ~logical_blocks ~prng () =
+  let cfg =
+    {
+      (Vlog.Virtual_log.default_config ~logical_blocks) with
+      Vlog.Virtual_log.sectors_per_block;
+      eager_mode;
+      switch_free_fraction;
+    }
+  in
+  of_vlog ~compaction_policy ~prng (Vlog.Virtual_log.format ~disk cfg)
+
+let recover ?(eager_mode = Vlog.Eager.Sweep) ?(switch_free_fraction = 0.25)
+    ?(compaction_policy = Vlog.Compactor.Random_target) ~disk ~prng () =
+  match Vlog.Virtual_log.recover ~eager_mode ~switch_free_fraction ~disk () with
+  | Error _ as e -> e
+  | Ok (vlog, report) -> Ok (of_vlog ~compaction_policy ~prng vlog, report)
+
+let disk t = t.disk
+let vlog t = t.vlog
+let compactor t = t.compactor
+let power_down t = Vlog.Virtual_log.power_down t.vlog
+
+let logical_blocks t = (Vlog.Virtual_log.config t.vlog).Vlog.Virtual_log.logical_blocks
+
+let check t block count =
+  if block < 0 || count <= 0 || block + count > logical_blocks t then
+    invalid_arg "Vld: logical block range out of bounds"
+
+let clock t = Disk.Disk_sim.clock t.disk
+
+let scsi_only t =
+  let o = (Disk.Disk_sim.profile t.disk).Disk.Profile.scsi_overhead_ms in
+  Clock.advance (clock t) o;
+  Breakdown.of_scsi o
+
+let read t block =
+  check t block 1;
+  match Vlog.Virtual_log.lookup t.vlog block with
+  | None ->
+    (* Unmapped: the map answers without touching the platters. *)
+    (Bytes.make t.block_bytes '\000', scsi_only t)
+  | Some pba ->
+    Disk.Disk_sim.read t.disk
+      ~lba:(Vlog.Freemap.lba_of_block (Vlog.Virtual_log.freemap t.vlog) pba)
+      ~sectors:t.sectors_per_block
+
+(* Group consecutive logical blocks whose physical locations are also
+   consecutive into single platter requests. *)
+let read_run t block count =
+  check t block count;
+  let out = Bytes.make (count * t.block_bytes) '\000' in
+  let bd = ref Breakdown.zero in
+  let first_op = ref true in
+  let issue ~off ~pba ~blocks =
+    let scsi = !first_op in
+    first_op := false;
+    let data, cost =
+      Disk.Disk_sim.read ~scsi t.disk
+        ~lba:(Vlog.Freemap.lba_of_block (Vlog.Virtual_log.freemap t.vlog) pba)
+        ~sectors:(blocks * t.sectors_per_block)
+    in
+    Bytes.blit data 0 out (off * t.block_bytes) (Bytes.length data);
+    bd := Breakdown.add !bd cost
+  in
+  let rec go i run_start run_pba run_len =
+    let flush () =
+      if run_len > 0 then issue ~off:run_start ~pba:run_pba ~blocks:run_len
+    in
+    if i >= count then flush ()
+    else
+      match Vlog.Virtual_log.lookup t.vlog (block + i) with
+      | None ->
+        flush ();
+        go (i + 1) (i + 1) 0 0
+      | Some pba ->
+        if run_len > 0 && pba = run_pba + run_len then go (i + 1) run_start run_pba (run_len + 1)
+        else begin
+          flush ();
+          go (i + 1) i pba 1
+        end
+  in
+  go 0 0 0 0;
+  if !first_op then bd := scsi_only t;
+  (out, !bd)
+
+let allocate ?(lead_time = 0.) t =
+  match Vlog.Eager.choose ~lead_time (Vlog.Virtual_log.eager t.vlog) with
+  | Some pba -> pba
+  | None -> failwith "Vld: out of physical space (allocation reserve exhausted)"
+
+let scsi_lead t = (Disk.Disk_sim.profile t.disk).Disk.Profile.scsi_overhead_ms
+
+let write t block buf =
+  check t block 1;
+  if Bytes.length buf <> t.block_bytes then
+    invalid_arg "Vld.write: buffer must be exactly one block";
+  let freemap = Vlog.Virtual_log.freemap t.vlog in
+  (* The head keeps moving while the SCSI command is processed; the
+     allocator must aim past that. *)
+  let pba = allocate ~lead_time:(scsi_lead t) t in
+  Vlog.Freemap.occupy freemap pba;
+  let bd = Disk.Disk_sim.write t.disk ~lba:(Vlog.Freemap.lba_of_block freemap pba) buf in
+  let map_bd = Vlog.Virtual_log.update t.vlog [ (block, Some pba) ] in
+  Breakdown.add bd map_bd
+
+let write_run t block buf =
+  if Bytes.length buf = 0 || Bytes.length buf mod t.block_bytes <> 0 then
+    invalid_arg "Vld.write_run: buffer must be whole blocks";
+  let count = Bytes.length buf / t.block_bytes in
+  check t block count;
+  let freemap = Vlog.Virtual_log.freemap t.vlog in
+  let bd = ref Breakdown.zero in
+  let entries = ref [] in
+  for i = 0 to count - 1 do
+    let pba = allocate ~lead_time:(if i = 0 then scsi_lead t else 0.) t in
+    Vlog.Freemap.occupy freemap pba;
+    let piece = Bytes.sub buf (i * t.block_bytes) t.block_bytes in
+    let cost =
+      Disk.Disk_sim.write ~scsi:(i = 0) t.disk
+        ~lba:(Vlog.Freemap.lba_of_block freemap pba)
+        piece
+    in
+    bd := Breakdown.add !bd cost;
+    entries := (block + i, Some pba) :: !entries
+  done;
+  (* One transaction: the whole run commits atomically. *)
+  let map_bd = Vlog.Virtual_log.update t.vlog (List.rev !entries) in
+  Breakdown.add !bd map_bd
+
+let trim t block =
+  check t block 1;
+  match Vlog.Virtual_log.lookup t.vlog block with
+  | None -> ()
+  | Some _ -> ignore (Vlog.Virtual_log.update t.vlog [ (block, None) ])
+
+let idle t dt =
+  if dt > 0. then
+    ignore (Vlog.Compactor.run t.compactor ~deadline:(Clock.now (clock t) +. dt))
+
+let device t =
+  {
+    Device.name = "vld";
+    block_bytes = t.block_bytes;
+    n_blocks = logical_blocks t;
+    read = read t;
+    read_run = read_run t;
+    write = write t;
+    write_run = write_run t;
+    trim = trim t;
+    idle = idle t;
+    utilization =
+      (fun () -> Vlog.Freemap.utilization (Vlog.Virtual_log.freemap t.vlog));
+  }

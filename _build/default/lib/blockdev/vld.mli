@@ -1,0 +1,44 @@
+(** The Virtual Log Disk: eager writing behind an unmodified logical-disk
+    interface (Sections 3.2 and 4.2).
+
+    Every synchronous logical write becomes a data-block write to an
+    eager-allocated location followed by one virtual-log map-node write —
+    both near the head, so the whole operation costs little more than the
+    transfer itself.  Deletions are detected by monitoring overwrites of
+    logical addresses (plus an explicit [trim] hint for file systems that
+    can give one); idle time drives the free-space compactor. *)
+
+type t
+
+val create :
+  ?eager_mode:Vlog.Eager.mode ->
+  ?switch_free_fraction:float ->
+  ?compaction_policy:Vlog.Compactor.target_policy ->
+  ?sectors_per_block:int ->
+  disk:Disk.Disk_sim.t ->
+  logical_blocks:int ->
+  prng:Vlog_util.Prng.t ->
+  unit ->
+  t
+(** Format a fresh VLD.  The disk should have been created with the
+    [Whole_track] buffer policy (Section 4.2's read-ahead fix); this is
+    the caller's choice so experiments can also measure the unfixed
+    behaviour. *)
+
+val recover :
+  ?eager_mode:Vlog.Eager.mode ->
+  ?switch_free_fraction:float ->
+  ?compaction_policy:Vlog.Compactor.target_policy ->
+  disk:Disk.Disk_sim.t ->
+  prng:Vlog_util.Prng.t ->
+  unit ->
+  (t * Vlog.Virtual_log.recovery_report, string) result
+(** Bring up a VLD from the platters after a crash or power-down. *)
+
+val device : t -> Device.t
+val disk : t -> Disk.Disk_sim.t
+val vlog : t -> Vlog.Virtual_log.t
+val compactor : t -> Vlog.Compactor.t
+
+val power_down : t -> Vlog_util.Breakdown.t
+(** Firmware park sequence: persist the log-tail record. *)

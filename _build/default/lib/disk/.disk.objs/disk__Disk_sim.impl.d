@@ -1,0 +1,1 @@
+lib/disk/disk_sim.ml: Breakdown Bytes Clock Float Geometry List Profile Sector_store Track_buffer Vlog_util

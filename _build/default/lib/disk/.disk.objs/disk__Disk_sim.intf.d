@@ -1,0 +1,1 @@
+lib/disk/disk_sim.mli: Bytes Geometry Profile Sector_store Track_buffer Vlog_util

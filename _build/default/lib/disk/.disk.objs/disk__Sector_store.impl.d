@@ -1,0 +1,1 @@
+lib/disk/sector_store.ml: Bytes Char Geometry Vlog_util

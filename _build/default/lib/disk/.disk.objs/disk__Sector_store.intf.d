@@ -1,0 +1,1 @@
+lib/disk/sector_store.mli: Bytes Geometry Vlog_util

@@ -1,0 +1,1 @@
+lib/disk/track_buffer.mli:

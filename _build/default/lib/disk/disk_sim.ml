@@ -1,0 +1,199 @@
+open Vlog_util
+
+type stats = {
+  reads : int;
+  writes : int;
+  sectors_read : int;
+  sectors_written : int;
+  buffer_hits : int;
+  busy_ms : float;
+}
+
+type t = {
+  profile : Profile.t;
+  clock : Clock.t;
+  store : Sector_store.t;
+  buffer : Track_buffer.t;
+  mutable cyl : int;
+  mutable head : int;
+  mutable st : stats;
+}
+
+let zero_stats =
+  { reads = 0; writes = 0; sectors_read = 0; sectors_written = 0; buffer_hits = 0; busy_ms = 0. }
+
+let create ?(buffer_policy = Track_buffer.Forward_discard) ?store ~profile ~clock () =
+  let store =
+    match store with
+    | None -> Sector_store.create profile.Profile.geometry
+    | Some s ->
+      if Sector_store.geometry s <> profile.Profile.geometry then
+        invalid_arg "Disk_sim.create: store geometry does not match profile";
+      s
+  in
+  {
+    profile;
+    clock;
+    store;
+    buffer = Track_buffer.create buffer_policy;
+    cyl = 0;
+    head = 0;
+    st = zero_stats;
+  }
+
+let profile t = t.profile
+let geometry t = t.profile.Profile.geometry
+let clock t = t.clock
+let store t = t.store
+let current_cylinder t = t.cyl
+let current_track t = t.head
+let stats t = t.st
+let reset_stats t = t.st <- zero_stats
+
+let sectors_per_track t = (geometry t).Geometry.sectors_per_track
+
+let move_cost t ~cyl ~track =
+  let p = t.profile in
+  let seek = if cyl <> t.cyl then Profile.seek_ms p (abs (cyl - t.cyl)) else 0. in
+  let switch = if track <> t.head then p.Profile.head_switch_ms else 0. in
+  if cyl <> t.cyl then Float.max seek switch else switch
+
+(* Rotational frame: sector s of global track T is under the head when the
+   platter phase (in sector units) equals (s + skew * T) mod n. *)
+let sector_position_at t ~track_index ~at =
+  let n = sectors_per_track t in
+  let sector_time = Profile.sector_ms t.profile in
+  let phase = Float.rem (at /. sector_time) (float_of_int n) in
+  let skewed = phase -. float_of_int (t.profile.Profile.track_skew * track_index mod n) in
+  let pos = Float.rem skewed (float_of_int n) in
+  if pos < 0. then pos +. float_of_int n else pos
+
+let rotational_delay_to t ~track_index ~sector ~at =
+  let n = float_of_int (sectors_per_track t) in
+  let sector_time = Profile.sector_ms t.profile in
+  let pos = sector_position_at t ~track_index ~at in
+  let dist = Float.rem (float_of_int sector -. pos) n in
+  let dist = if dist < 0. then dist +. n else dist in
+  dist *. sector_time
+
+(* Split [lba, lba+sectors) into per-track contiguous pieces. *)
+let track_pieces t ~lba ~sectors =
+  let g = geometry t in
+  let n = g.Geometry.sectors_per_track in
+  let rec go lba sectors acc =
+    if sectors = 0 then List.rev acc
+    else
+      let addr = Geometry.addr_of_lba g lba in
+      let in_track = n - addr.Geometry.sector in
+      let piece = min sectors in_track in
+      go (lba + piece) (sectors - piece) ((addr, piece) :: acc)
+  in
+  go lba sectors []
+
+(* Mechanically access one within-track piece at the current clock time:
+   position, rotate, transfer.  Advances the clock and moves the head.
+   Returns the breakdown (no SCSI). *)
+let access_piece t (addr, piece) =
+  let g = geometry t in
+  let locate_start = Clock.now t.clock in
+  let mv = move_cost t ~cyl:addr.Geometry.cyl ~track:addr.Geometry.track in
+  Clock.advance t.clock mv;
+  t.cyl <- addr.Geometry.cyl;
+  t.head <- addr.Geometry.track;
+  let track_index = Geometry.track_index g addr in
+  let rot =
+    rotational_delay_to t ~track_index ~sector:addr.Geometry.sector ~at:(Clock.now t.clock)
+  in
+  Clock.advance t.clock rot;
+  let locate = Clock.now t.clock -. locate_start in
+  let xfer = float_of_int piece *. Profile.sector_ms t.profile in
+  Clock.advance t.clock xfer;
+  Breakdown.add (Breakdown.of_locate locate) (Breakdown.of_transfer xfer)
+
+let estimate_access t ~lba ~sectors =
+  (* Simulate the pieces without committing: only the first piece's
+     position matters for the estimate; later pieces stream with skew.  We
+     estimate conservatively as first-piece positioning + total transfer +
+     head switches between pieces. *)
+  let g = geometry t in
+  match track_pieces t ~lba ~sectors with
+  | [] -> 0.
+  | (addr, _) :: rest_pieces as pieces ->
+    let mv = move_cost t ~cyl:addr.Geometry.cyl ~track:addr.Geometry.track in
+    let track_index = Geometry.track_index g addr in
+    let rot =
+      rotational_delay_to t ~track_index ~sector:addr.Geometry.sector
+        ~at:(Clock.now t.clock +. mv)
+    in
+    let xfer = float_of_int sectors *. Profile.sector_ms t.profile in
+    let switches =
+      float_of_int (List.length rest_pieces) *. t.profile.Profile.head_switch_ms
+    in
+    ignore pieces;
+    mv +. rot +. xfer +. switches
+
+let charge_scsi t scsi =
+  if scsi then begin
+    let o = t.profile.Profile.scsi_overhead_ms in
+    Clock.advance t.clock o;
+    Breakdown.of_scsi o
+  end
+  else Breakdown.zero
+
+let bump_busy t start =
+  let dt = Clock.now t.clock -. start in
+  t.st <- { t.st with busy_ms = t.st.busy_ms +. dt }
+
+let read ?(scsi = true) t ~lba ~sectors =
+  if sectors <= 0 then invalid_arg "Disk_sim.read: sectors must be positive";
+  let g = geometry t in
+  if not (Geometry.valid_lba g lba) || lba + sectors > Geometry.total_sectors g then
+    invalid_arg "Disk_sim.read: range out of bounds";
+  let start = Clock.now t.clock in
+  let bd = ref (charge_scsi t scsi) in
+  let pieces = track_pieces t ~lba ~sectors in
+  let serve (addr, piece) =
+    let track_index = Geometry.track_index g addr in
+    if Track_buffer.hit t.buffer ~track_index ~sector:addr.Geometry.sector ~sectors:piece
+    then begin
+      (* Buffer hit: only the transfer off the buffer is paid. *)
+      let xfer = float_of_int piece *. Profile.sector_ms t.profile in
+      Clock.advance t.clock xfer;
+      t.st <- { t.st with buffer_hits = t.st.buffer_hits + 1 };
+      bd := Breakdown.add !bd (Breakdown.of_transfer xfer)
+    end
+    else begin
+      bd := Breakdown.add !bd (access_piece t (addr, piece));
+      Track_buffer.note_read t.buffer ~track_index ~sector:addr.Geometry.sector
+        ~sectors_per_track:g.Geometry.sectors_per_track
+    end
+  in
+  List.iter serve pieces;
+  let data = Sector_store.read t.store ~lba ~sectors in
+  t.st <-
+    { t.st with reads = t.st.reads + 1; sectors_read = t.st.sectors_read + sectors };
+  bump_busy t start;
+  (data, !bd)
+
+let write ?(scsi = true) t ~lba buf =
+  let g = geometry t in
+  let sb = g.Geometry.sector_bytes in
+  if Bytes.length buf = 0 || Bytes.length buf mod sb <> 0 then
+    invalid_arg "Disk_sim.write: buffer must be a positive whole number of sectors";
+  let sectors = Bytes.length buf / sb in
+  if not (Geometry.valid_lba g lba) || lba + sectors > Geometry.total_sectors g then
+    invalid_arg "Disk_sim.write: range out of bounds";
+  let start = Clock.now t.clock in
+  let bd = ref (charge_scsi t scsi) in
+  let pieces = track_pieces t ~lba ~sectors in
+  let serve (addr, piece) =
+    let track_index = Geometry.track_index g addr in
+    Track_buffer.invalidate_track t.buffer ~track_index;
+    bd := Breakdown.add !bd (access_piece t (addr, piece))
+  in
+  List.iter serve pieces;
+  Sector_store.write t.store ~lba buf;
+  t.st <-
+    { t.st with writes = t.st.writes + 1; sectors_written = t.st.sectors_written + sectors };
+  bump_busy t start;
+  !bd

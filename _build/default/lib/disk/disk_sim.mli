@@ -1,0 +1,83 @@
+(** Mechanical disk simulator.
+
+    Models a single drive: SCSI command overhead, seek, head switch,
+    rotational position (a function of absolute simulated time — the
+    platter never stops spinning), per-sector media transfer, track skew,
+    and a track-buffer read-ahead cache.  All requests advance the shared
+    {!Vlog_util.Clock.t} and return a {!Vlog_util.Breakdown.t} of where the
+    time went.
+
+    Requests may span tracks and cylinders; the simulator splits them
+    internally and pays head switches / seeks between the pieces.  Thanks
+    to track skew, a sequential transfer that crosses a track boundary
+    keeps streaming instead of missing a revolution. *)
+
+type t
+
+val create :
+  ?buffer_policy:Track_buffer.policy ->
+  ?store:Sector_store.t ->
+  profile:Profile.t ->
+  clock:Vlog_util.Clock.t ->
+  unit ->
+  t
+(** A disk with zeroed platters, head parked at cylinder 0 track 0.
+    [buffer_policy] defaults to [Forward_discard] (the conventional
+    drive); a VLD creates its disk with [Whole_track].  [store] supplies
+    existing platter contents (e.g. a {!Sector_store.snapshot} taken at a
+    simulated power failure) instead of zeroed ones; its geometry must
+    match the profile's. *)
+
+val profile : t -> Profile.t
+val geometry : t -> Geometry.t
+val clock : t -> Vlog_util.Clock.t
+val store : t -> Sector_store.t
+
+val current_cylinder : t -> int
+val current_track : t -> int
+
+val read : ?scsi:bool -> t -> lba:int -> sectors:int -> Bytes.t * Vlog_util.Breakdown.t
+(** Service a read.  [scsi] (default true) controls whether the SCSI
+    command overhead is charged — a VLD's internal second access within
+    one host command does not pay it again.  A track-buffer hit costs
+    only SCSI + transfer. *)
+
+val write : ?scsi:bool -> t -> lba:int -> Bytes.t -> Vlog_util.Breakdown.t
+(** Service a write of a whole number of sectors starting at [lba]. *)
+
+(** {2 Timing probes}
+
+    Pure estimates used by the eager-writing allocator to compare
+    candidate locations.  None of these move the head or advance time. *)
+
+val move_cost : t -> cyl:int -> track:int -> float
+(** Mechanical cost of positioning the head over the given track from its
+    current position: seek for a cylinder change, head switch for a
+    surface change, the max of the two when both change. *)
+
+val sector_position_at : t -> track_index:int -> at:float -> float
+(** The (continuous) sector coordinate of the given track that is under
+    the head at absolute time [at], accounting for track skew.  In
+    [\[0, sectors_per_track)]. *)
+
+val rotational_delay_to : t -> track_index:int -> sector:int -> at:float -> float
+(** Milliseconds of rotation needed, starting at absolute time [at], for
+    the start of [sector] on the given track to reach the head. *)
+
+val estimate_access : t -> lba:int -> sectors:int -> float
+(** Mechanical time (positioning + rotation + transfer, no SCSI) that a
+    request would cost if issued now. *)
+
+(** {2 Statistics} *)
+
+type stats = {
+  reads : int;
+  writes : int;
+  sectors_read : int;
+  sectors_written : int;
+  buffer_hits : int;
+  busy_ms : float;  (** total simulated time spent servicing requests *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

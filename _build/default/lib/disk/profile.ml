@@ -1,0 +1,72 @@
+type t = {
+  name : string;
+  geometry : Geometry.t;
+  rpm : float;
+  head_switch_ms : float;
+  scsi_overhead_ms : float;
+  seek_min_ms : float;
+  seek_sqrt_coeff : float;
+  seek_linear_coeff : float;
+  track_skew : int;
+}
+
+let revolution_ms t = 60_000. /. t.rpm
+let sector_ms t = revolution_ms t /. float_of_int t.geometry.Geometry.sectors_per_track
+let half_rotation_ms t = revolution_ms t /. 2.
+
+let seek_ms t dist =
+  if dist < 0 then invalid_arg "Profile.seek_ms: negative distance";
+  if dist = 0 then 0.
+  else
+    let d = float_of_int (dist - 1) in
+    t.seek_min_ms +. (t.seek_sqrt_coeff *. sqrt d) +. (t.seek_linear_coeff *. d)
+
+(* Skew between consecutive tracks: just enough rotation for a head switch
+   to complete so that sequential transfer flows across track boundaries,
+   plus one sector of settle margin. *)
+let default_skew ~head_switch_ms ~rev_ms ~sectors =
+  let sector_time = rev_ms /. float_of_int sectors in
+  int_of_float (ceil (head_switch_ms /. sector_time)) + 1
+
+let make ~name ~geometry ~rpm ~head_switch_ms ~scsi_overhead_ms ~seek_min_ms
+    ~seek_sqrt_coeff ~seek_linear_coeff =
+  let rev_ms = 60_000. /. rpm in
+  let track_skew =
+    default_skew ~head_switch_ms ~rev_ms ~sectors:geometry.Geometry.sectors_per_track
+  in
+  {
+    name;
+    geometry;
+    rpm;
+    head_switch_ms;
+    scsi_overhead_ms;
+    seek_min_ms;
+    seek_sqrt_coeff;
+    seek_linear_coeff;
+    track_skew;
+  }
+
+let hp97560 =
+  make ~name:"HP97560"
+    ~geometry:
+      (Geometry.v ~sector_bytes:512 ~sectors_per_track:72 ~tracks_per_cylinder:19
+         ~cylinders:36)
+    ~rpm:4002. ~head_switch_ms:2.5 ~scsi_overhead_ms:2.3 ~seek_min_ms:3.6
+    ~seek_sqrt_coeff:0.4 ~seek_linear_coeff:0.008
+
+let st19101 =
+  make ~name:"ST19101"
+    ~geometry:
+      (Geometry.v ~sector_bytes:512 ~sectors_per_track:256 ~tracks_per_cylinder:16
+         ~cylinders:11)
+    ~rpm:10_000. ~head_switch_ms:0.5 ~scsi_overhead_ms:0.1 ~seek_min_ms:0.5
+    ~seek_sqrt_coeff:0.12 ~seek_linear_coeff:0.002
+
+let with_cylinders t cylinders =
+  { t with geometry = { t.geometry with Geometry.cylinders } }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: %d sec/trk, %d trk/cyl, %d cyl, %.0f RPM, head switch %.2f ms, min seek %.2f ms, SCSI %.2f ms"
+    t.name t.geometry.Geometry.sectors_per_track t.geometry.Geometry.tracks_per_cylinder
+    t.geometry.Geometry.cylinders t.rpm t.head_switch_ms t.seek_min_ms t.scsi_overhead_ms

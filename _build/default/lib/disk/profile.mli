@@ -1,0 +1,43 @@
+(** Disk profiles: the two drives of the paper's Table 1.
+
+    The mechanical parameters of the HP97560 come from the well-validated
+    Dartmouth / Ruemmler-Wilkes model; the Seagate ST19101 (Cheetah 9LP
+    class) is the coarser approximation the paper also uses.  As in the
+    paper's experimental platform, only a 24 MB slice of each drive is
+    simulated by default (36 cylinders of the HP, 11 of the Seagate) —
+    enough for the ramdisk-scale workloads while keeping runs fast. *)
+
+type t = {
+  name : string;
+  geometry : Geometry.t;
+  rpm : float;
+  head_switch_ms : float;  (** cost of switching surfaces within a cylinder *)
+  scsi_overhead_ms : float;
+  seek_min_ms : float;     (** single-cylinder seek *)
+  seek_sqrt_coeff : float; (** short-seek curve: min + coeff * sqrt(d-1) *)
+  seek_linear_coeff : float; (** long-seek linear term *)
+  track_skew : int;        (** sectors of skew between consecutive tracks *)
+}
+
+val revolution_ms : t -> float
+val sector_ms : t -> float
+(** Time for one sector to pass under the head. *)
+
+val half_rotation_ms : t -> float
+
+val seek_ms : t -> int -> float
+(** [seek_ms p dist] is the seek time across [dist] cylinders; 0 for
+    [dist = 0].  Monotone in [dist]. *)
+
+val hp97560 : t
+(** Table 1: 72 sectors/track, 19 tracks/cyl, 2.5 ms head switch, 3.6 ms
+    min seek, 4002 RPM, 2.3 ms SCSI overhead; 36 cylinders simulated. *)
+
+val st19101 : t
+(** Table 1: 256 sectors/track, 16 tracks/cyl, 0.5 ms head switch, 0.5 ms
+    min seek, 10000 RPM, 0.1 ms SCSI overhead; 11 cylinders simulated. *)
+
+val with_cylinders : t -> int -> t
+(** Same drive mechanics with a different number of simulated cylinders. *)
+
+val pp : Format.formatter -> t -> unit

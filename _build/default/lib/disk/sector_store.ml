@@ -1,0 +1,45 @@
+type t = { geometry : Geometry.t; data : Bytes.t; written : Bytes.t }
+
+let create geometry =
+  let sectors = Geometry.total_sectors geometry in
+  {
+    geometry;
+    data = Bytes.make (sectors * geometry.Geometry.sector_bytes) '\000';
+    written = Bytes.make sectors '\000';
+  }
+
+let geometry t = t.geometry
+
+let check_range t ~lba ~sectors =
+  let total = Geometry.total_sectors t.geometry in
+  if lba < 0 || sectors < 0 || lba + sectors > total then
+    invalid_arg "Sector_store: range out of bounds"
+
+let write t ~lba buf =
+  let sb = t.geometry.Geometry.sector_bytes in
+  if Bytes.length buf mod sb <> 0 then
+    invalid_arg "Sector_store.write: buffer is not a whole number of sectors";
+  let sectors = Bytes.length buf / sb in
+  check_range t ~lba ~sectors;
+  Bytes.blit buf 0 t.data (lba * sb) (Bytes.length buf);
+  Bytes.fill t.written lba sectors '\001'
+
+let read t ~lba ~sectors =
+  check_range t ~lba ~sectors;
+  let sb = t.geometry.Geometry.sector_bytes in
+  Bytes.sub t.data (lba * sb) (sectors * sb)
+
+let written t ~lba =
+  check_range t ~lba ~sectors:1;
+  Bytes.get t.written lba = '\001'
+
+let corrupt t ~lba ~sectors prng =
+  check_range t ~lba ~sectors;
+  let sb = t.geometry.Geometry.sector_bytes in
+  for i = lba * sb to ((lba + sectors) * sb) - 1 do
+    Bytes.set t.data i (Char.chr (Vlog_util.Prng.int prng 256))
+  done;
+  Bytes.fill t.written lba sectors '\001'
+
+let snapshot t =
+  { geometry = t.geometry; data = Bytes.copy t.data; written = Bytes.copy t.written }

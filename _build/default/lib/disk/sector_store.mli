@@ -1,0 +1,32 @@
+(** Byte-addressed backing store for the simulated platters (the analogue
+    of the paper's 24 MB kernel ramdisk).
+
+    The store holds the raw contents of every sector and tracks which
+    sectors have ever been written, which lets recovery code distinguish
+    "never written" from "holds stale bytes" the way a real scan would
+    (via checksums) without paying for one in every test. *)
+
+type t
+
+val create : Geometry.t -> t
+
+val geometry : t -> Geometry.t
+
+val write : t -> lba:int -> Bytes.t -> unit
+(** [write t ~lba buf] stores [buf] starting at sector [lba].  [buf] must
+    be a whole number of sectors and fit in the store. *)
+
+val read : t -> lba:int -> sectors:int -> Bytes.t
+(** Fresh buffer with the contents of [sectors] sectors from [lba].
+    Never-written sectors read as zeroes. *)
+
+val written : t -> lba:int -> bool
+(** Whether sector [lba] has ever been written. *)
+
+val corrupt : t -> lba:int -> sectors:int -> Vlog_util.Prng.t -> unit
+(** Overwrite the given range with random bytes — fault injection for
+    recovery tests (models a torn multi-sector write). *)
+
+val snapshot : t -> t
+(** Deep copy; used by crash tests to freeze the platter state at the
+    moment of a simulated power failure. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Blockdev Breakdown Bytes Clock Disk List Models Prng Rigs Stats Table Vlog Vlog_util Workload

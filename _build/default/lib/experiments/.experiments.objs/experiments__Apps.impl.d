@@ -1,0 +1,1 @@
+lib/experiments/apps.ml: List Rigs Table Vlog_util Workload

@@ -1,0 +1,1 @@
+lib/experiments/apps.mli: Rigs Vlog_util

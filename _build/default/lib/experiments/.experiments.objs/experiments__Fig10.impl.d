@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: List Printf Rigs Table Vlog_util Workload

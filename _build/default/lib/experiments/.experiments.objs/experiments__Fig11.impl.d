@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Fig10 List Rigs Workload

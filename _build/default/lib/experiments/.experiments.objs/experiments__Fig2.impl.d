@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Bytes Clock Disk List Models Prng Rigs Stats Table Vlog Vlog_util

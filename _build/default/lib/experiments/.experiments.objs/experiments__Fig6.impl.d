@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: List Rigs Table Vlog_util Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: List Rigs String Table Vlog_util Workload

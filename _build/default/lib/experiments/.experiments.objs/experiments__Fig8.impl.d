@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: List Rigs Table Vlog_util Workload

@@ -1,0 +1,1 @@
+lib/experiments/rigs.ml: Blockdev Disk Float Host Workload

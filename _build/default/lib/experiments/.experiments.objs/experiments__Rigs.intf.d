@@ -1,0 +1,1 @@
+lib/experiments/rigs.mli: Disk Host Workload

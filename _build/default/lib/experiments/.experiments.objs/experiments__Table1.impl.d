@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Disk Printf Rigs Table Vlog_util

@@ -1,0 +1,1 @@
+lib/experiments/tech_trends.ml: Breakdown Disk Host List Rigs Table Vlog_util Workload

@@ -1,0 +1,1 @@
+lib/experiments/tech_trends.mli: Disk Host Rigs Vlog_util Workload

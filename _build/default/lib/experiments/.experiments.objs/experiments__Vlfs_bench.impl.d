@@ -1,0 +1,1 @@
+lib/experiments/vlfs_bench.ml: Breakdown Bytes Clock Disk List Printf Rigs Table Vlfs Vlog Vlog_util Workload

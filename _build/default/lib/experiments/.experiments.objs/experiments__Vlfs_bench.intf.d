@@ -1,0 +1,1 @@
+lib/experiments/vlfs_bench.mli: Rigs Vlog_util

@@ -1,0 +1,61 @@
+open Vlog_util
+
+type point = { idle_s : float; latency_ms : float }
+type curve = { burst_kb : int; points : point list }
+
+let params_of_scale = function
+  | Rigs.Quick -> ([ 128; 1008 ], [ 0.; 1.; 3. ], 1.5)
+  | Rigs.Full ->
+    ([ 128; 256; 504; 1008; 2016; 4032 ], [ 0.; 0.25; 0.5; 1.; 2.; 3.; 5.; 7. ], 4.)
+
+(* Enough bursts that the NVRAM fills (and flushes) several times — the
+   steady state the paper measures. *)
+let bursts_for ~nvram_fills burst_kb =
+  let burst_blocks = burst_kb * 1024 / 4096 in
+  let need = int_of_float (nvram_fills *. float_of_int Rigs.nvram_blocks) in
+  max 8 (min 200 ((need + burst_blocks - 1) / burst_blocks))
+
+let series ?(scale = Rigs.Full) () =
+  let burst_sizes, idles_s, nvram_fills = params_of_scale scale in
+  List.map
+    (fun burst_kb ->
+      let points =
+        List.map
+          (fun idle_s ->
+            let rig =
+              Rigs.rig
+                ~fs:(Workload.Setup.LFS { buffer_blocks = Rigs.nvram_blocks })
+                ~dev:Workload.Setup.Regular ()
+            in
+            let file_mb = Rigs.file_mb_for_utilization rig 0.8 in
+            let r =
+              Workload.Burst.run
+                ~bursts:(bursts_for ~nvram_fills burst_kb)
+                ~file_mb ~burst_kb ~idle_ms:(idle_s *. 1000.) rig
+            in
+            { idle_s; latency_ms = r.Workload.Burst.latency_ms_per_block })
+          idles_s
+      in
+      { burst_kb; points })
+    burst_sizes
+
+let table_of ~title curves =
+  match curves with
+  | [] -> Table.create ~title ~columns:[ "Idle (s)" ]
+  | first :: _ ->
+    let t =
+      Table.create ~title
+        ~columns:
+          ("Idle (s)"
+          :: List.map (fun c -> Printf.sprintf "%dK" c.burst_kb) curves)
+    in
+    List.iteri
+      (fun i p ->
+        Table.add_row t
+          (Table.cell_f p.idle_s
+          :: List.map (fun c -> Table.cell_ms (List.nth c.points i).latency_ms) curves))
+      first.points;
+    t
+
+let run ?(scale = Rigs.Full) () =
+  table_of ~title:"Figure 10: LFS (with NVRAM) latency vs idle interval" (series ~scale ())

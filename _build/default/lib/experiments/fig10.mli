@@ -1,0 +1,12 @@
+(** Figure 10: LFS (with NVRAM) foreground latency per 4 KB block as a
+    function of the idle-interval length between bursts, one curve per
+    burst size, at 80 % disk utilization. *)
+
+type point = { idle_s : float; latency_ms : float }
+type curve = { burst_kb : int; points : point list }
+
+val series : ?scale:Rigs.scale -> unit -> curve list
+val table_of : title:string -> curve list -> Vlog_util.Table.t
+(** Shared idle-interval table renderer (Figure 11 reuses it). *)
+
+val run : ?scale:Rigs.scale -> unit -> Vlog_util.Table.t

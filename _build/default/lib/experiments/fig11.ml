@@ -1,0 +1,55 @@
+type point = { idle_s : float; latency_ms : float }
+type curve = { burst_kb : int; points : point list }
+
+let params_of_scale = function
+  | Rigs.Quick -> ([ 128; 1024 ], [ 0.; 0.2; 0.6 ], 1000)
+  | Rigs.Full ->
+    ( [ 128; 256; 512; 1024; 2048; 4096 ],
+      [ 0.; 0.05; 0.1; 0.2; 0.3; 0.45; 0.6 ],
+      4000 )
+
+(* Enough total updates that the compactor's pre-measurement head start
+   is consumed and the steady burst/idle rhythm dominates. *)
+let bursts_for ~total_blocks burst_kb =
+  let burst_blocks = burst_kb * 1024 / 4096 in
+  max 8 (min 150 ((total_blocks + burst_blocks - 1) / burst_blocks))
+
+let series ?(scale = Rigs.Full) () =
+  let burst_sizes, idles_s, total_blocks = params_of_scale scale in
+  List.map
+    (fun burst_kb ->
+      let points =
+        List.map
+          (fun idle_s ->
+            let rig =
+              Rigs.rig
+                ~fs:(Workload.Setup.UFS { sync_data = true })
+                ~dev:Workload.Setup.VLD ()
+            in
+            let file_mb = Rigs.file_mb_for_utilization rig 0.8 in
+            let r =
+              Workload.Burst.run
+                ~bursts:(bursts_for ~total_blocks burst_kb)
+                ~file_mb ~burst_kb ~idle_ms:(idle_s *. 1000.) rig
+            in
+            { idle_s; latency_ms = r.Workload.Burst.latency_ms_per_block })
+          idles_s
+      in
+      { burst_kb; points })
+    burst_sizes
+
+let run ?(scale = Rigs.Full) () =
+  let curves = series ~scale () in
+  let fig10_curves =
+    List.map
+      (fun c ->
+        {
+          Fig10.burst_kb = c.burst_kb;
+          points =
+            List.map
+              (fun p -> { Fig10.idle_s = p.idle_s; latency_ms = p.latency_ms })
+              c.points;
+        })
+      curves
+  in
+  Fig10.table_of ~title:"Figure 11: UFS on VLD latency vs idle interval" fig10_curves

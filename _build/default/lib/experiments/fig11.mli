@@ -1,0 +1,11 @@
+(** Figure 11: UFS-on-VLD foreground latency per 4 KB block as a
+    function of the idle-interval length between bursts (the compactor
+    works the gaps), one curve per burst size, at 80 % utilization.
+    Unlike LFS's segment-sized steps, this improves along a continuum of
+    much shorter idle intervals. *)
+
+type point = { idle_s : float; latency_ms : float }
+type curve = { burst_kb : int; points : point list }
+
+val series : ?scale:Rigs.scale -> unit -> curve list
+val run : ?scale:Rigs.scale -> unit -> Vlog_util.Table.t

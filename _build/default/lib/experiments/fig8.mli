@@ -1,0 +1,15 @@
+(** Figure 8: latency of random small synchronous updates as a function
+    of disk utilization.  Three systems: UFS on the regular disk, UFS on
+    the VLD, and LFS (regular disk) with its 6.1 MB buffer treated as
+    NVRAM.  One fresh rig per point, sized by the file being updated. *)
+
+type point = {
+  file_mb : float;
+  utilization : float;
+  latency_ms : float;
+}
+
+type series = { label : string; points : point list }
+
+val series : ?scale:Rigs.scale -> unit -> series list
+val run : ?scale:Rigs.scale -> unit -> Vlog_util.Table.t

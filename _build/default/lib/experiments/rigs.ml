@@ -1,0 +1,30 @@
+type scale = Quick | Full
+
+let nvram_blocks = 1561
+let seagate = Disk.Profile.st19101
+let hp = Disk.Profile.hp97560
+let default_host = Host.sparc10
+
+let rig ?(seed = 0x5EEDL) ?(profile = seagate) ?(host = default_host) ~fs ~dev () =
+  Workload.Setup.make ~seed ~profile ~host ~fs ~dev ()
+
+let the_four ?(seed = 0x5EEDL) () =
+  let ufs = Workload.Setup.UFS { sync_data = true } in
+  let lfs = Workload.Setup.LFS { buffer_blocks = nvram_blocks } in
+  [
+    ("UFS/regular", rig ~seed ~fs:ufs ~dev:Workload.Setup.Regular ());
+    ("UFS/VLD", rig ~seed ~fs:ufs ~dev:Workload.Setup.VLD ());
+    ("LFS/regular", rig ~seed ~fs:lfs ~dev:Workload.Setup.Regular ());
+    ("LFS/VLD", rig ~seed ~fs:lfs ~dev:Workload.Setup.VLD ());
+  ]
+
+let device_mb (t : Workload.Setup.t) =
+  float_of_int (t.Workload.Setup.dev.Blockdev.Device.n_blocks
+                * t.Workload.Setup.dev.Blockdev.Device.block_bytes)
+  /. 1048576.
+
+let file_mb_for_utilization t target =
+  if target <= 0. || target >= 1. then
+    invalid_arg "Rigs.file_mb_for_utilization: target must be in (0,1)";
+  (* Leave a little room for metadata (inode table, segment summaries). *)
+  Float.max 0.5 ((target -. 0.03) *. device_mb t)

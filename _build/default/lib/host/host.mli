@@ -1,0 +1,28 @@
+(** Host CPU cost model.
+
+    The paper's two hosts enter the evaluation only through the software
+    overhead they add to every file-system operation — the "other"
+    component of Figure 9.  We model that as a fixed per-operation cost
+    plus a per-block processing cost, calibrated so the latency
+    breakdowns behave like the paper's: on the SPARCstation-10 the
+    overhead dominates a VLD write; the UltraSPARC-170 roughly cuts it to
+    a third (50 MHz vs 167 MHz). *)
+
+type t = {
+  name : string;
+  syscall_ms : float;   (** fixed cost per file-system operation *)
+  per_block_ms : float; (** cost per 4 KB block moved through the kernel *)
+}
+
+val sparc10 : t
+(** 50 MHz SPARCstation-10, 64 MB, Solaris 2.6. *)
+
+val ultra170 : t
+(** 167 MHz UltraSPARC-170. *)
+
+val free : t
+(** Zero-cost host; used by unit tests that only exercise disk timing. *)
+
+val charge : t -> clock:Vlog_util.Clock.t -> blocks:int -> Vlog_util.Breakdown.t
+(** Advance the clock by the operation's host cost and return it as an
+    [other]-component breakdown. *)

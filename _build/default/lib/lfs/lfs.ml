@@ -1,0 +1,767 @@
+open Vlog_util
+
+type config = {
+  segment_blocks : int;
+  partial_segment_threshold : float;
+  buffer_blocks : int;
+  cache_blocks : int;
+  reserve_segments : int;
+  checkpoint_interval : int;
+  n_inodes : int;
+}
+
+let default_config =
+  {
+    segment_blocks = 128;
+    partial_segment_threshold = 0.75;
+    buffer_blocks = 1561; (* 6.1 MB of 4 KB blocks *)
+    cache_blocks = 1536;
+    reserve_segments = 2;
+    checkpoint_interval = 16;
+    n_inodes = 4096;
+  }
+
+type error =
+  [ `No_space | `No_inodes | `Not_found of string | `Exists of string | `Bad_offset ]
+
+let pp_error ppf = function
+  | `No_space -> Format.pp_print_string ppf "no space left on device"
+  | `No_inodes -> Format.pp_print_string ppf "out of inodes"
+  | `Not_found name -> Format.fprintf ppf "no such file: %s" name
+  | `Exists name -> Format.fprintf ppf "file exists: %s" name
+  | `Bad_offset -> Format.pp_print_string ppf "bad offset or length"
+
+type blkid =
+  | Data of int * int (* inum, file block index *)
+  | Inode_part of int * int (* inum, part index *)
+  | Imap_chunk of int
+  | Summary of int (* segment *)
+
+type lnode = {
+  inum : int;
+  mutable size : int;
+  mutable blocks : int array; (* device block per file block, -1 = hole *)
+}
+
+type cleaner_stats = { segments_cleaned : int; blocks_copied : int; forced_cleans : int }
+
+type t = {
+  dev : Blockdev.Device.t;
+  host : Host.t;
+  clock : Clock.t;
+  cfg : config;
+  block_bytes : int;
+  seg_start : int; (* device block where the segment area begins *)
+  n_segments : int;
+  owners : blkid option array; (* per device block *)
+  files : (string, lnode) Hashtbl.t;
+  by_inum : (int, lnode) Hashtbl.t;
+  file_dir_slot : (int, int * int) Hashtbl.t; (* inum -> (dir block idx, slot) *)
+  inode_used : Bytes.t;
+  mutable inode_rover : int;
+  imap : (int, int array) Hashtbl.t; (* inum -> inode part device blocks *)
+  imap_chunk_loc : int array;
+  imap_entries_per_chunk : int;
+  pending : (blkid, Bytes.t) Hashtbl.t;
+  mutable pending_order : blkid list; (* newest first *)
+  dirty_inodes : (int, unit) Hashtbl.t;
+  dirty_chunks : (int, unit) Hashtbl.t;
+  mutable open_seg : int; (* -1 = none *)
+  mutable open_items : (blkid * Bytes.t) list; (* newest first *)
+  mutable open_count : int;
+  open_map : (blkid, Bytes.t) Hashtbl.t; (* unwritten appended blocks, for reads *)
+  mutable seals : int;
+  mutable checkpoint_slot : int;
+  cache : Ufs.Buffer_cache.t;
+  mutable dir : (int * string option array) array; (* (dir-file block idx, slots) *)
+  dir_entries_per_block : int;
+  mutable cleaning : bool;
+  mutable stats : cleaner_stats;
+  mutable user_blocks : int; (* distinct file-block slots ever written and live *)
+  mutable last_clean_ms : float; (* adaptive idle-clean estimate *)
+}
+
+let dir_inum = 0
+
+let format ~dev ~host ~clock cfg =
+  let block_bytes = dev.Blockdev.Device.block_bytes in
+  let seg_start = 2 (* two alternating checkpoint blocks *) in
+  let n_segments = (dev.Blockdev.Device.n_blocks - seg_start) / cfg.segment_blocks in
+  if n_segments <= cfg.reserve_segments + 1 then invalid_arg "Lfs.format: device too small";
+  let t =
+    {
+      dev;
+      host;
+      clock;
+      cfg;
+      block_bytes;
+      seg_start;
+      n_segments;
+      owners = Array.make dev.Blockdev.Device.n_blocks None;
+      files = Hashtbl.create 256;
+      by_inum = Hashtbl.create 256;
+      file_dir_slot = Hashtbl.create 256;
+      inode_used = Bytes.make cfg.n_inodes '\000';
+      inode_rover = 1;
+      imap = Hashtbl.create 256;
+      imap_chunk_loc = Array.make ((cfg.n_inodes + (block_bytes / 4) - 1) / (block_bytes / 4)) (-1);
+      imap_entries_per_chunk = block_bytes / 4;
+      pending = Hashtbl.create 256;
+      pending_order = [];
+      dirty_inodes = Hashtbl.create 64;
+      dirty_chunks = Hashtbl.create 8;
+      open_seg = -1;
+      open_items = [];
+      open_count = 0;
+      open_map = Hashtbl.create 256;
+      seals = 0;
+      checkpoint_slot = 0;
+      cache = Ufs.Buffer_cache.create ~capacity:cfg.cache_blocks;
+      dir = [||];
+      dir_entries_per_block = block_bytes / 32;
+      cleaning = false;
+      stats = { segments_cleaned = 0; blocks_copied = 0; forced_cleans = 0 };
+      user_blocks = 0;
+      last_clean_ms = 0.;
+    }
+  in
+  (* The directory is file 0, present from format time. *)
+  Bytes.set t.inode_used dir_inum '\001';
+  let dirn = { inum = dir_inum; size = 0; blocks = [||] } in
+  Hashtbl.replace t.by_inum dir_inum dirn;
+  Hashtbl.replace t.dirty_inodes dir_inum ();
+  t
+
+let device t = t.dev
+let block_bytes t = t.block_bytes
+let exists t name = Hashtbl.mem t.files name
+let files t = Hashtbl.fold (fun name _ acc -> name :: acc) t.files [] |> List.sort compare
+let cleaner_stats t = t.stats
+let buffered_blocks t = Hashtbl.length t.pending
+
+let charge t ~blocks = Host.charge t.host ~clock:t.clock ~blocks
+
+let seg_base t seg = t.seg_start + (seg * t.cfg.segment_blocks)
+let seg_capacity t = t.cfg.segment_blocks - 1 (* summary takes one block *)
+
+(* ---- liveness ---- *)
+
+let lnode_block ln i = if i < Array.length ln.blocks then ln.blocks.(i) else -1
+
+let is_live t b =
+  match t.owners.(b) with
+  | None -> false
+  | Some (Data (inum, i)) -> (
+    match Hashtbl.find_opt t.by_inum inum with
+    | Some ln -> lnode_block ln i = b
+    | None -> false)
+  | Some (Inode_part (inum, p)) -> (
+    match Hashtbl.find_opt t.imap inum with
+    | Some parts -> p < Array.length parts && parts.(p) = b
+    | None -> false)
+  | Some (Imap_chunk c) -> t.imap_chunk_loc.(c) = b
+  | Some (Summary seg) -> t.open_seg = seg
+
+let seg_live_count t seg =
+  let base = seg_base t seg in
+  let n = ref 0 in
+  for b = base to base + t.cfg.segment_blocks - 1 do
+    if is_live t b then incr n
+  done;
+  !n
+
+let is_free_seg t seg = seg <> t.open_seg && seg_live_count t seg = 0
+
+let free_segments t =
+  let n = ref 0 in
+  for seg = 0 to t.n_segments - 1 do
+    if is_free_seg t seg then incr n
+  done;
+  !n
+
+let live_blocks t =
+  let n = ref 0 in
+  for seg = 0 to t.n_segments - 1 do
+    n := !n + seg_live_count t seg
+  done;
+  !n
+
+let utilization t =
+  float_of_int (live_blocks t) /. float_of_int (t.n_segments * t.cfg.segment_blocks)
+
+let user_capacity t = (t.n_segments - t.cfg.reserve_segments - 1) * seg_capacity t
+
+(* ---- serialization ---- *)
+
+let inode_header_bytes = 20
+
+let inode_parts_needed t ln =
+  let nblocks = Array.length ln.blocks in
+  let first_ptrs = (t.block_bytes - inode_header_bytes) / 4 in
+  if nblocks <= first_ptrs then 1
+  else 1 + ((nblocks - first_ptrs + (t.block_bytes / 4) - 1) / (t.block_bytes / 4))
+
+let encode_inode_part t ln part =
+  let buf = Bytes.make t.block_bytes '\000' in
+  let first_ptrs = (t.block_bytes - inode_header_bytes) / 4 in
+  let ptrs_per_part = t.block_bytes / 4 in
+  if part = 0 then begin
+    Bytes.set_int32_le buf 0 (Int32.of_int ln.inum);
+    Bytes.set_int64_le buf 4 (Int64.of_int ln.size);
+    Bytes.set_int32_le buf 12 (Int32.of_int (Array.length ln.blocks));
+    for i = 0 to min first_ptrs (Array.length ln.blocks) - 1 do
+      Bytes.set_int32_le buf (inode_header_bytes + (i * 4)) (Int32.of_int ln.blocks.(i))
+    done
+  end
+  else begin
+    let offset = first_ptrs + ((part - 1) * ptrs_per_part) in
+    for i = 0 to ptrs_per_part - 1 do
+      let idx = offset + i in
+      if idx < Array.length ln.blocks then
+        Bytes.set_int32_le buf (i * 4) (Int32.of_int ln.blocks.(idx))
+    done
+  end;
+  buf
+
+let encode_imap_chunk t c =
+  let buf = Bytes.make t.block_bytes '\000' in
+  let first = c * t.imap_entries_per_chunk in
+  for i = 0 to t.imap_entries_per_chunk - 1 do
+    let inum = first + i in
+    let v =
+      match Hashtbl.find_opt t.imap inum with
+      | Some parts when Array.length parts > 0 -> parts.(0)
+      | _ -> -1
+    in
+    Bytes.set_int32_le buf (i * 4) (Int32.of_int v)
+  done;
+  buf
+
+let encode_summary t items seg =
+  let buf = Bytes.make t.block_bytes '\000' in
+  Bytes.blit_string "LFSSUMM1" 0 buf 0 8;
+  Bytes.set_int32_le buf 8 (Int32.of_int seg);
+  Bytes.set_int32_le buf 12 (Int32.of_int (List.length items));
+  List.iteri
+    (fun i (blkid, _) ->
+      let off = 16 + (i * 12) in
+      if off + 12 <= t.block_bytes then begin
+        let tag, a, b =
+          match blkid with
+          | Data (inum, fb) -> (0, inum, fb)
+          | Inode_part (inum, p) -> (1, inum, p)
+          | Imap_chunk c -> (2, c, 0)
+          | Summary s -> (3, s, 0)
+        in
+        Bytes.set_int32_le buf off (Int32.of_int tag);
+        Bytes.set_int32_le buf (off + 4) (Int32.of_int a);
+        Bytes.set_int32_le buf (off + 8) (Int32.of_int b)
+      end)
+    items;
+  buf
+
+(* ---- segment writing ---- *)
+
+let rec ensure_open t =
+  if t.open_seg < 0 then begin
+    if (not t.cleaning) && free_segments t <= t.cfg.reserve_segments then
+      ignore (force_clean t);
+    (* Cleaning appends, so it may itself have opened a segment. *)
+    if t.open_seg < 0 then begin
+      let rec find seg =
+        if seg >= t.n_segments then None
+        else if is_free_seg t seg then Some seg
+        else find (seg + 1)
+      in
+      match find 0 with
+      | None -> failwith "Lfs: log is full (no free segment, cleaning cannot help)"
+      | Some seg ->
+        let base = seg_base t seg in
+        for b = base to base + t.cfg.segment_blocks - 1 do
+          t.owners.(b) <- None
+        done;
+        t.open_seg <- seg;
+        t.open_items <- [];
+        t.open_count <- 0;
+        Hashtbl.reset t.open_map;
+        t.owners.(base) <- Some (Summary seg)
+    end
+  end
+
+and write_open_segment t ~seal =
+  if t.open_seg < 0 then Breakdown.zero
+  else begin
+    let seg = t.open_seg in
+    let items = List.rev t.open_items in
+    let count = List.length items in
+    let buf = Bytes.make ((1 + count) * t.block_bytes) '\000' in
+    Bytes.blit (encode_summary t items seg) 0 buf 0 t.block_bytes;
+    List.iteri
+      (fun i (_, bytes) -> Bytes.blit bytes 0 buf ((1 + i) * t.block_bytes) t.block_bytes)
+      items;
+    let bd = t.dev.Blockdev.Device.write_run (seg_base t seg) buf in
+    if seal then begin
+      t.open_seg <- -1;
+      t.open_items <- [];
+      t.open_count <- 0;
+      Hashtbl.reset t.open_map;
+      t.seals <- t.seals + 1;
+      if t.cfg.checkpoint_interval > 0 && t.seals mod t.cfg.checkpoint_interval = 0 then begin
+        (* Alternating checkpoint blocks at the front of the device. *)
+        let cp = Bytes.make t.block_bytes '\000' in
+        Bytes.blit_string "LFSCKPT1" 0 cp 0 8;
+        Bytes.set_int64_le cp 8 (Int64.of_int t.seals);
+        Array.iteri
+          (fun c loc -> Bytes.set_int32_le cp (16 + (c * 4)) (Int32.of_int loc))
+          t.imap_chunk_loc;
+        let slot = t.checkpoint_slot in
+        t.checkpoint_slot <- 1 - slot;
+        Breakdown.add bd (t.dev.Blockdev.Device.write slot cp)
+      end
+      else bd
+    end
+    else bd
+  end
+
+(* Append one block to the open segment, assigning its device address and
+   updating the metadata that points at it.  Seals (and writes) segments
+   as they fill. *)
+and append t blkid bytes =
+  ensure_open t;
+  let bd =
+    if t.open_count >= seg_capacity t then write_open_segment t ~seal:true else Breakdown.zero
+  in
+  ensure_open t;
+  let addr = seg_base t t.open_seg + 1 + t.open_count in
+  t.open_items <- (blkid, bytes) :: t.open_items;
+  t.open_count <- t.open_count + 1;
+  Hashtbl.replace t.open_map blkid bytes;
+  t.owners.(addr) <- Some blkid;
+  (match blkid with
+  | Data (inum, i) -> (
+    match Hashtbl.find_opt t.by_inum inum with
+    | Some ln ->
+      set_lnode_block ln i addr;
+      Hashtbl.replace t.dirty_inodes inum ()
+    | None -> () (* deleted while buffered: the block is born dead *))
+  | Inode_part (inum, p) ->
+    let parts =
+      match Hashtbl.find_opt t.imap inum with
+      | Some parts when Array.length parts > p -> parts
+      | Some parts ->
+        let grown = Array.make (p + 1) (-1) in
+        Array.blit parts 0 grown 0 (Array.length parts);
+        grown
+      | None -> Array.make (p + 1) (-1)
+    in
+    parts.(p) <- addr;
+    Hashtbl.replace t.imap inum parts;
+    Hashtbl.replace t.dirty_chunks (inum / t.imap_entries_per_chunk) ()
+  | Imap_chunk c -> t.imap_chunk_loc.(c) <- addr
+  | Summary _ -> assert false);
+  bd
+
+and set_lnode_block ln i addr =
+  if i >= Array.length ln.blocks then begin
+    let grown = Array.make (max (i + 1) (2 * (Array.length ln.blocks + 1))) (-1) in
+    Array.blit ln.blocks 0 grown 0 (Array.length ln.blocks);
+    ln.blocks <- grown
+  end;
+  ln.blocks.(i) <- addr
+
+(* Greedy cleaner: read the least-utilized sealed segment, reappend its
+   live blocks. *)
+and clean_one_segment t =
+  let candidate = ref None in
+  for seg = 0 to t.n_segments - 1 do
+    if seg <> t.open_seg then begin
+      let live = seg_live_count t seg in
+      if live > 0 then
+        match !candidate with
+        | Some (_, best) when best <= live -> ()
+        | _ -> candidate := Some (seg, live)
+    end
+  done;
+  match !candidate with
+  | None -> None
+  | Some (seg, live) ->
+    let base = seg_base t seg in
+    let data, read_bd =
+      t.dev.Blockdev.Device.read_run base t.cfg.segment_blocks
+    in
+    let bd = ref read_bd in
+    let copied = ref 0 in
+    for b = base to base + t.cfg.segment_blocks - 1 do
+      if is_live t b then begin
+        match t.owners.(b) with
+        | Some (Summary _) | None -> ()
+        | Some blkid ->
+          let bytes = Bytes.sub data ((b - base) * t.block_bytes) t.block_bytes in
+          bd := Breakdown.add !bd (append t blkid bytes);
+          incr copied
+      end
+    done;
+    t.stats <-
+      {
+        t.stats with
+        segments_cleaned = t.stats.segments_cleaned + 1;
+        blocks_copied = t.stats.blocks_copied + !copied;
+      };
+    Some (live, !bd)
+
+and force_clean t =
+  t.cleaning <- true;
+  t.stats <- { t.stats with forced_cleans = t.stats.forced_cleans + 1 };
+  let bd = ref Breakdown.zero in
+  (* Keep cleaning least-utilized segments until comfortably above the
+     reserve.  Live copies accumulate in the open segment and only seal
+     when it is actually full (inside [append]) — sealing half-empty
+     segments after every clean would hand back the space just gained. *)
+  let target_free = t.cfg.reserve_segments + 2 in
+  let rec go guard =
+    if guard > 0 && free_segments t < target_free then
+      match clean_one_segment t with
+      | Some (_, cost) ->
+        bd := Breakdown.add !bd cost;
+        go (guard - 1)
+      | None -> ()
+  in
+  go t.n_segments;
+  t.cleaning <- false;
+  !bd
+
+(* ---- pending buffer ---- *)
+
+let pending_put t blkid bytes =
+  if not (Hashtbl.mem t.pending blkid) then t.pending_order <- blkid :: t.pending_order;
+  Hashtbl.replace t.pending blkid bytes
+
+let flush t =
+  let bd = ref Breakdown.zero in
+  (* Data first, oldest first. *)
+  let order = List.rev t.pending_order in
+  t.pending_order <- [];
+  List.iter
+    (fun blkid ->
+      match Hashtbl.find_opt t.pending blkid with
+      | Some bytes ->
+        Hashtbl.remove t.pending blkid;
+        bd := Breakdown.add !bd (append t blkid bytes)
+      | None -> ())
+    order;
+  Hashtbl.reset t.pending;
+  (* Then inode parts for everything dirtied... *)
+  let dirty = Hashtbl.fold (fun inum () acc -> inum :: acc) t.dirty_inodes [] in
+  Hashtbl.reset t.dirty_inodes;
+  List.iter
+    (fun inum ->
+      match Hashtbl.find_opt t.by_inum inum with
+      | None -> ()
+      | Some ln ->
+        for p = 0 to inode_parts_needed t ln - 1 do
+          bd := Breakdown.add !bd (append t (Inode_part (inum, p)) (encode_inode_part t ln p))
+        done)
+    (List.sort compare dirty);
+  (* ...then the inode-map chunks they dirtied. *)
+  let chunks = Hashtbl.fold (fun c () acc -> c :: acc) t.dirty_chunks [] in
+  Hashtbl.reset t.dirty_chunks;
+  List.iter
+    (fun c -> bd := Breakdown.add !bd (append t (Imap_chunk c) (encode_imap_chunk t c)))
+    (List.sort compare chunks);
+  (* Partial-segment threshold rule. *)
+  (if t.open_seg >= 0 && t.open_count > 0 then
+     let fill = float_of_int t.open_count /. float_of_int (seg_capacity t) in
+     let seal = fill >= t.cfg.partial_segment_threshold in
+     bd := Breakdown.add !bd (write_open_segment t ~seal));
+  !bd
+
+let maybe_autoflush t =
+  if Hashtbl.length t.pending >= t.cfg.buffer_blocks then flush t else Breakdown.zero
+
+(* ---- directory ---- *)
+
+let dirn t = Hashtbl.find t.by_inum dir_inum
+
+let encode_dir_block t slots =
+  let buf = Bytes.make t.block_bytes '\000' in
+  Array.iteri
+    (fun slot entry ->
+      match entry with
+      | None -> ()
+      | Some name ->
+        let off = slot * 32 in
+        let inum =
+          match Hashtbl.find_opt t.files name with Some ln -> ln.inum | None -> -1
+        in
+        Bytes.set buf off '\001';
+        Bytes.set_int32_le buf (off + 1) (Int32.of_int inum);
+        let n = min (String.length name) 26 in
+        Bytes.set buf (off + 5) (Char.chr n);
+        Bytes.blit_string name 0 buf (off + 6) n)
+    slots;
+  buf
+
+let write_dir_block t idx =
+  let fb, slots = t.dir.(idx) in
+  let d = dirn t in
+  d.size <- max d.size ((fb + 1) * t.block_bytes);
+  pending_put t (Data (dir_inum, fb)) (encode_dir_block t slots);
+  Hashtbl.replace t.dirty_inodes dir_inum ()
+
+let find_dir_slot t =
+  let found = ref None in
+  Array.iteri
+    (fun i (_, slots) ->
+      if !found = None then
+        Array.iteri (fun s e -> if !found = None && e = None then found := Some (i, s)) slots)
+    t.dir;
+  match !found with
+  | Some r -> r
+  | None ->
+    let fb = Array.length t.dir in
+    t.dir <- Array.append t.dir [| (fb, Array.make t.dir_entries_per_block None) |];
+    (Array.length t.dir - 1, 0)
+
+(* ---- public operations ---- *)
+
+let alloc_inum t =
+  let n = t.cfg.n_inodes in
+  let rec go tried i =
+    if tried >= n then None
+    else if Bytes.get t.inode_used i = '\000' then begin
+      Bytes.set t.inode_used i '\001';
+      t.inode_rover <- 1 + ((i + 1) mod (n - 1));
+      Some i
+    end
+    else go (tried + 1) (1 + ((i + 1) mod (n - 1)))
+  in
+  go 0 (max 1 t.inode_rover)
+
+let lookup t name =
+  match Hashtbl.find_opt t.files name with
+  | Some ln -> Ok ln
+  | None -> Error (`Not_found name)
+
+let file_size t name = Result.map (fun ln -> ln.size) (lookup t name)
+
+let create t name =
+  if Hashtbl.mem t.files name then Error (`Exists name)
+  else
+    match alloc_inum t with
+    | None -> Error `No_inodes
+    | Some inum ->
+      let ln = { inum; size = 0; blocks = [||] } in
+      Hashtbl.replace t.files name ln;
+      Hashtbl.replace t.by_inum inum ln;
+      Hashtbl.replace t.dirty_inodes inum ();
+      let didx, slot = find_dir_slot t in
+      let _, slots = t.dir.(didx) in
+      slots.(slot) <- Some name;
+      Hashtbl.replace t.file_dir_slot inum (didx, slot);
+      write_dir_block t didx;
+      let bd = charge t ~blocks:0 in
+      Ok (Breakdown.add bd (maybe_autoflush t))
+
+(* Content of file block [i], looking through the write path layers. *)
+let read_data_block t ln i =
+  let blkid = Data (ln.inum, i) in
+  match Hashtbl.find_opt t.pending blkid with
+  | Some bytes -> (bytes, Breakdown.zero)
+  | None -> (
+    match Hashtbl.find_opt t.open_map blkid with
+    | Some bytes -> (bytes, Breakdown.zero)
+    | None ->
+      let b = lnode_block ln i in
+      if b < 0 then (Bytes.make t.block_bytes '\000', Breakdown.zero)
+      else begin
+        match Ufs.Buffer_cache.find t.cache b with
+        | Some bytes -> (bytes, Breakdown.zero)
+        | None ->
+          let bytes, bd = t.dev.Blockdev.Device.read b in
+          (* Cache insertion; evicted blocks are clean (LFS data reaches
+             the device only through segment writes). *)
+          ignore (Ufs.Buffer_cache.insert t.cache b bytes ~dirty:false);
+          (bytes, bd)
+      end)
+
+let write t name ~off data =
+  match lookup t name with
+  | Error _ as e -> e
+  | Ok ln ->
+    let len = Bytes.length data in
+    if off < 0 || len = 0 then Error `Bad_offset
+    else begin
+      let first = off / t.block_bytes and last = (off + len - 1) / t.block_bytes in
+      let fresh_slots = ref 0 in
+      for i = first to last do
+        if lnode_block ln i < 0 && not (Hashtbl.mem t.pending (Data (ln.inum, i)))
+        then incr fresh_slots
+      done;
+      if t.user_blocks + !fresh_slots > user_capacity t then Error `No_space
+      else begin
+        let bd = ref (charge t ~blocks:(last - first + 1)) in
+        t.user_blocks <- t.user_blocks + !fresh_slots;
+        for i = first to last do
+          let block_off = i * t.block_bytes in
+          let lo = max off block_off and hi = min (off + len) (block_off + t.block_bytes) in
+          let full = lo = block_off && hi = block_off + t.block_bytes in
+          let contents, read_bd =
+            if full then (Bytes.make t.block_bytes '\000', Breakdown.zero)
+            else read_data_block t ln i
+          in
+          bd := Breakdown.add !bd read_bd;
+          let contents = Bytes.copy contents in
+          Bytes.blit data (lo - off) contents (lo - block_off) (hi - lo);
+          pending_put t (Data (ln.inum, i)) contents;
+          if lnode_block ln i < 0 then set_lnode_block ln i (-1)
+        done;
+        ln.size <- max ln.size (off + len);
+        Hashtbl.replace t.dirty_inodes ln.inum ();
+        bd := Breakdown.add !bd (maybe_autoflush t);
+        Ok !bd
+      end
+    end
+
+let read t name ~off ~len =
+  match lookup t name with
+  | Error _ as e -> e
+  | Ok ln ->
+    if off < 0 || len < 0 then Error `Bad_offset
+    else begin
+      let len = max 0 (min len (ln.size - off)) in
+      let bd = ref (charge t ~blocks:((len + t.block_bytes - 1) / t.block_bytes)) in
+      if len = 0 then Ok (Bytes.empty, !bd)
+      else begin
+        let first = off / t.block_bytes and last = (off + len - 1) / t.block_bytes in
+        let out = Bytes.make len '\000' in
+        for i = first to last do
+          let contents, cost = read_data_block t ln i in
+          bd := Breakdown.add !bd cost;
+          let block_off = i * t.block_bytes in
+          let lo = max off block_off and hi = min (off + len) (block_off + t.block_bytes) in
+          if hi > lo then Bytes.blit contents (lo - block_off) out (lo - off) (hi - lo)
+        done;
+        Ok (out, !bd)
+      end
+    end
+
+let delete t name =
+  match lookup t name with
+  | Error _ as e -> e
+  | Ok ln ->
+    (* Count the distinct block slots this file held, buffered or on disk. *)
+    let slots = ref 0 in
+    Array.iteri (fun i b -> if b >= 0 || Hashtbl.mem t.pending (Data (ln.inum, i)) then incr slots) ln.blocks;
+    Hashtbl.iter
+      (fun blkid _ ->
+        match blkid with
+        | Data (inum, i) when inum = ln.inum && i >= Array.length ln.blocks -> incr slots
+        | Data _ | Inode_part _ | Imap_chunk _ | Summary _ -> ())
+      t.pending;
+    t.user_blocks <- t.user_blocks - !slots;
+    Hashtbl.remove t.files name;
+    Hashtbl.remove t.by_inum ln.inum;
+    Hashtbl.remove t.imap ln.inum;
+    Hashtbl.remove t.dirty_inodes ln.inum;
+    Bytes.set t.inode_used ln.inum '\000';
+    Hashtbl.replace t.dirty_chunks (ln.inum / t.imap_entries_per_chunk) ();
+    (* Drop buffered blocks of the dead file. *)
+    let stale =
+      Hashtbl.fold
+        (fun blkid _ acc ->
+          match blkid with
+          | Data (inum, _) when inum = ln.inum -> blkid :: acc
+          | Data _ | Inode_part _ | Imap_chunk _ | Summary _ -> acc)
+        t.pending []
+    in
+    List.iter (Hashtbl.remove t.pending) stale;
+    (match Hashtbl.find_opt t.file_dir_slot ln.inum with
+    | Some (didx, slot) ->
+      let _, slots = t.dir.(didx) in
+      slots.(slot) <- None;
+      Hashtbl.remove t.file_dir_slot ln.inum;
+      write_dir_block t didx
+    | None -> ());
+    let bd = charge t ~blocks:0 in
+    Ok (Breakdown.add bd (maybe_autoflush t))
+
+let sync t =
+  let bd = charge t ~blocks:0 in
+  Breakdown.add bd (flush t)
+
+let fsync t name =
+  match lookup t name with Error _ as e -> e | Ok _ -> Ok (sync t)
+
+(* Worth cleaning only while fragmented segments exist and free space is
+   scarce enough that the next buffer flush could block on the cleaner. *)
+let idle_clean_target t =
+  t.cfg.reserve_segments + 2 + ((t.cfg.buffer_blocks + seg_capacity t - 1) / seg_capacity t)
+
+let has_fragmented_segment t =
+  let cap = seg_capacity t in
+  let rec go seg =
+    if seg >= t.n_segments then false
+    else if seg <> t.open_seg then
+      let live = seg_live_count t seg in
+      if live > 0 && live < (cap * 9 / 10) then true else go (seg + 1)
+    else go (seg + 1)
+  in
+  go 0
+
+let idle_clean ?target_free t ~deadline =
+  (* Rough per-segment estimate: read the segment, rewrite its live half,
+     both at media bandwidth plus positioning. *)
+  let target_free =
+    match target_free with Some v -> v | None -> idle_clean_target t
+  in
+  let cleaned = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if free_segments t >= target_free || not (has_fragmented_segment t) then
+      continue := false
+    else
+    let now = Clock.now t.clock in
+    let est =
+      (* Learned from the previous clean; before any clean, a transfer-
+         bandwidth guess (read + rewrite the whole segment). *)
+      if t.last_clean_ms > 0. then t.last_clean_ms
+      else 4. *. float_of_int t.cfg.segment_blocks *. 0.25
+    in
+    if now +. est > deadline then continue := false
+    else begin
+      t.cleaning <- true;
+      (match clean_one_segment t with
+      | Some _ ->
+        incr cleaned;
+        t.last_clean_ms <- Clock.now t.clock -. now
+      | None -> continue := false);
+      t.cleaning <- false
+    end
+  done;
+  (* Live copies gathered during idle get written now, while the disk is
+     still idle, rather than on the next burst's critical path. *)
+  if !cleaned > 0 && t.open_seg >= 0 && t.open_count > 0 then begin
+    let seal =
+      float_of_int t.open_count /. float_of_int (seg_capacity t)
+      >= t.cfg.partial_segment_threshold
+    in
+    ignore (write_open_segment t ~seal)
+  end;
+  !cleaned
+
+let idle_work t ~deadline =
+  let cleaned = idle_clean t ~deadline in
+  (* With time left over, flush buffered writes in the background so the
+     next burst finds an empty buffer (the paper's Figure 10 point D). *)
+  let pending = Hashtbl.length t.pending in
+  if pending > 0 then begin
+    let est =
+      if t.last_clean_ms > 0. then
+        t.last_clean_ms *. float_of_int pending /. float_of_int t.cfg.segment_blocks
+      else 0.5 *. float_of_int pending
+    in
+    if Clock.now t.clock +. est <= deadline then ignore (flush t)
+  end;
+  cleaned
+
+let drop_caches t = Ufs.Buffer_cache.drop_clean t.cache

@@ -1,0 +1,86 @@
+(** Log-structured file system (the paper's "LFS", after the MIT
+    Log-structured Logical Disk + MinixUFS stack it ports).
+
+    All writes accumulate in a memory buffer (the paper's 6.1 MB file
+    buffer, optionally regarded as NVRAM) and reach the disk in 512 KB
+    segments.  An explicit [fsync]/[sync] flushes the open segment using
+    the {e partial-segment threshold} rule: a segment filled beyond the
+    threshold is sealed as if full; below it, the current contents are
+    written but the memory copy is retained — so the next flush rewrites
+    them, which is exactly why frequent small synchronous writes hurt
+    LFS (Section 4.4).
+
+    The cleaner reclaims space at segment granularity, greedily choosing
+    the least-utilized segments.  It runs forcibly when free segments
+    fall to the reserve, and voluntarily during idle time via
+    {!idle_clean} — the modification the paper made to the stock LLD
+    cleaner. *)
+
+type t
+
+type config = {
+  segment_blocks : int;            (** 128 blocks = 512 KB *)
+  partial_segment_threshold : float; (** 0.75 in the paper's experiments *)
+  buffer_blocks : int;             (** write buffer (a.k.a. NVRAM), 6.1 MB *)
+  cache_blocks : int;              (** read cache capacity *)
+  reserve_segments : int;          (** segments the cleaner may write into *)
+  checkpoint_interval : int;       (** seals between checkpoint writes *)
+  n_inodes : int;
+}
+
+val default_config : config
+
+val format :
+  dev:Blockdev.Device.t -> host:Host.t -> clock:Vlog_util.Clock.t -> config -> t
+
+type error =
+  [ `No_space | `No_inodes | `Not_found of string | `Exists of string | `Bad_offset ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : t -> string -> (Vlog_util.Breakdown.t, error) result
+val write : t -> string -> off:int -> Bytes.t -> (Vlog_util.Breakdown.t, error) result
+val read :
+  t -> string -> off:int -> len:int -> (Bytes.t * Vlog_util.Breakdown.t, error) result
+val delete : t -> string -> (Vlog_util.Breakdown.t, error) result
+
+val fsync : t -> string -> (Vlog_util.Breakdown.t, error) result
+(** Flush buffered writes (the whole log buffer — LFS cannot flush one
+    file's blocks without writing a segment). *)
+
+val sync : t -> Vlog_util.Breakdown.t
+(** Flush the log buffer under the partial-segment threshold rule. *)
+
+val idle_clean : ?target_free:int -> t -> deadline:float -> int
+(** Clean segments until the estimated time for the next one would pass
+    the absolute simulated time [deadline], [target_free] free segments
+    exist (default: enough to absorb a full buffer flush), or no
+    fragmented segment remains; returns segments cleaned. *)
+
+val idle_work : t -> deadline:float -> int
+(** What LFS does with an idle interval: clean (as {!idle_clean}), then —
+    if the remaining time allows — flush the write buffer in the
+    background so the next burst finds it empty.  Returns segments
+    cleaned. *)
+
+val drop_caches : t -> unit
+
+val exists : t -> string -> bool
+val file_size : t -> string -> (int, error) result
+val files : t -> string list
+
+val free_segments : t -> int
+val live_blocks : t -> int
+val utilization : t -> float
+
+type cleaner_stats = {
+  segments_cleaned : int;
+  blocks_copied : int;
+  forced_cleans : int; (** cleans on the write path, not masked by idle time *)
+}
+
+val cleaner_stats : t -> cleaner_stats
+val buffered_blocks : t -> int
+
+val device : t -> Blockdev.Device.t
+val block_bytes : t -> int

@@ -1,0 +1,1 @@
+lib/models/compactor_model.ml: Disk Geometry Profile

@@ -1,0 +1,1 @@
+lib/models/cylinder_model.ml: Disk Float Geometry Profile

@@ -1,0 +1,1 @@
+lib/models/track_model.mli: Disk

@@ -1,0 +1,44 @@
+let check ~n ~m =
+  if m < 0 || m >= n then invalid_arg "Compactor_model: need 0 <= m < n"
+
+let average_latency_sum ~n ~m ~s ~r =
+  check ~n ~m;
+  let sum = ref 0. in
+  for i = m + 1 to n do
+    sum := !sum +. (float_of_int (n - i) /. (1. +. float_of_int i))
+  done;
+  (s +. (r *. !sum)) /. float_of_int (n - m)
+
+let epsilon ~n ~m =
+  check ~n ~m;
+  let fn = float_of_int n and fm = float_of_int m in
+  let p = 1. +. (fn /. 36.) in
+  ((fn -. fm -. 0.5) ** (p +. 2.))
+  /. ((8. -. (fn /. 96.)) *. (p +. 2.) *. (fn ** p))
+
+let average_latency_closed ~n ~m ~s ~r =
+  check ~n ~m;
+  let fn = float_of_int n and fm = float_of_int m in
+  let integral = ((fn +. 1.) *. log ((fn +. 2.) /. (fm +. 2.))) -. (fn -. fm) in
+  (s +. (r *. (integral +. epsilon ~n ~m))) /. (fn -. fm)
+
+let latency_ms profile ~threshold =
+  if threshold < 0. || threshold >= 1. then
+    invalid_arg "Compactor_model.latency_ms: need 0 <= threshold < 1";
+  let open Disk in
+  let n = profile.Profile.geometry.Geometry.sectors_per_track in
+  let m = int_of_float (threshold *. float_of_int n) in
+  let m = if m >= n then n - 1 else m in
+  average_latency_closed ~n ~m ~s:profile.Profile.head_switch_ms
+    ~r:(Profile.sector_ms profile)
+
+let optimal_threshold profile =
+  let open Disk in
+  let n = profile.Profile.geometry.Geometry.sectors_per_track in
+  let s = profile.Profile.head_switch_ms and r = Profile.sector_ms profile in
+  let best = ref (0, average_latency_closed ~n ~m:0 ~s ~r) in
+  for m = 1 to n - 1 do
+    let v = average_latency_closed ~n ~m ~s ~r in
+    if v < snd !best then best := (m, v)
+  done;
+  float_of_int (fst !best) /. float_of_int n

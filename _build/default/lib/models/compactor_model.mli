@@ -1,0 +1,32 @@
+(** Track-switch-threshold model (Section 2.3, Appendix A.2,
+    formulas (10)-(13)).
+
+    With a compactor producing empty tracks, the allocator fills an empty
+    track until [m] free sectors remain, then pays one track switch [s]
+    and continues in the next empty track.  The models give the average
+    latency per write as a function of the threshold. *)
+
+val average_latency_sum : n:int -> m:int -> s:float -> r:float -> float
+(** Formula (11): [(s + r * sum_{i=m+1}^{n} (n-i)/(1+i)) / (n-m)] —
+    the summation form, assuming free space stays randomly distributed.
+    [s] is the track-switch cost (ms), [r] the per-sector rotation time
+    (ms).  Requires [0 <= m < n]. *)
+
+val epsilon : n:int -> m:int -> float
+(** Formula (12): the empirical correction for the non-randomness of free
+    space under threshold filling, in sector units. *)
+
+val average_latency_closed : n:int -> m:int -> s:float -> r:float -> float
+(** Formula (13): [(s + r*((n+1) ln((n+2)/(m+2)) - (n-m) + epsilon)) / (n-m)]
+    — the closed form with the non-randomness correction. *)
+
+val latency_ms : Disk.Profile.t -> threshold:float -> float
+(** Formula (13) for a drive, with the threshold expressed as the
+    fraction of free sectors reserved per track before switching
+    (the x-axis of Figure 2); the track-switch cost is the profile's
+    head-switch time. *)
+
+val optimal_threshold : Disk.Profile.t -> float
+(** The threshold in (0,1) minimizing {!latency_ms}, found by scanning
+    all integer [m]; "the model aids the judicious selection of an
+    optimal threshold for a particular set of disk parameters". *)

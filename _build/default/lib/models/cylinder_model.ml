@@ -1,0 +1,49 @@
+(* E min(x,y) where x ~ geometric(p) starting at 0 and y = s + geometric(q)
+   with q = 1 - (1-p)^(t-1).  Split on whether min is reached before the
+   head-switch horizon: for x < s the current track always wins.  Beyond
+   the horizon both compete; we sum the joint distribution directly with a
+   tail cutoff. *)
+let expected_locate_sectors ~n ~tracks ~head_switch_sectors ~p =
+  if p <= 0. || p > 1. then
+    invalid_arg "Cylinder_model.expected_locate_sectors: need 0 < p <= 1";
+  if tracks < 1 then invalid_arg "Cylinder_model.expected_locate_sectors: tracks >= 1";
+  let q = 1. -. ((1. -. p) ** float_of_int (tracks - 1)) in
+  let s = head_switch_sectors in
+  if q <= 0. then (1. -. p) /. p (* single surface: plain geometric wait *)
+  else begin
+  (* Truncate each geometric when its tail mass is negligible; bound by a
+     generous multiple of the track length for near-zero p or q. *)
+  let bound rate =
+    if rate >= 1. then 1
+    else
+      let b = int_of_float (ceil (log 1e-12 /. log (1. -. rate))) in
+      min (max b 1) (max (20 * n) 10_000)
+  in
+  let bx = bound p and by = bound q in
+  let fx x = p *. ((1. -. p) ** float_of_int x) in
+  let fy y =
+    (* y = s + g, g ~ geometric(q) over {0,1,...} *)
+    let g = y -. s in
+    if g < 0. then 0. else q *. ((1. -. q) ** g)
+  in
+  let acc = ref 0. in
+  for x = 0 to bx do
+    let px = fx x in
+    if px > 0. then
+      for gy = 0 to by do
+        let y = s +. float_of_int gy in
+        let py = fy y in
+        if py > 0. then acc := !acc +. (Float.min (float_of_int x) y *. px *. py)
+      done
+  done;
+  !acc
+  end
+
+let locate_ms profile ~p =
+  let open Disk in
+  let g = profile.Profile.geometry in
+  let n = g.Geometry.sectors_per_track in
+  let sector_time = Profile.sector_ms profile in
+  let head_switch_sectors = profile.Profile.head_switch_ms /. sector_time in
+  expected_locate_sectors ~n ~tracks:g.Geometry.tracks_per_cylinder ~head_switch_sectors ~p
+  *. sector_time

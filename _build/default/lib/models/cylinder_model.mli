@@ -1,0 +1,23 @@
+(** Single-cylinder analytical model (Section 2.2, formulas (2)-(4)).
+
+    The head may take the closest free sector in the current track (delay
+    [x] sectors, geometric) or switch to another surface of the cylinder
+    (delay [y >= s] where [s] is the head-switch cost in sector units).
+    Expected latency is [E min(x,y)] under:
+
+    - [fx(p,x) = p (1-p)^x]
+    - [fy(p,y) = fx(1 - (1-p)^(t-1), y - s)]
+
+    The paper's Figure 1 shows this model is a good approximation for an
+    entire zone, because nearby cylinders are no better positioned
+    rotationally than the current one. *)
+
+val expected_locate_sectors :
+  n:int -> tracks:int -> head_switch_sectors:float -> p:float -> float
+(** Formula (2): expected delay (in sector units) to locate the nearest
+    free sector in the cylinder at free-space fraction [p].  Requires
+    [0 < p <= 1], [tracks >= 1]. *)
+
+val locate_ms : Disk.Profile.t -> p:float -> float
+(** Formula (2) in milliseconds for a drive: the head-switch cost is
+    converted to sector units from the profile. *)

@@ -1,0 +1,31 @@
+let expected_skips ~n ~k =
+  if k < 0 || k > n then invalid_arg "Track_model.expected_skips: need 0 <= k <= n";
+  float_of_int (n - k) /. (1. +. float_of_int k)
+
+let expected_skips_p ~n ~p =
+  if p < 0. || p > 1. then invalid_arg "Track_model.expected_skips_p: need 0 <= p <= 1";
+  let n = float_of_int n in
+  (1. -. p) *. n /. (1. +. (p *. n))
+
+let locate_ms profile ~p =
+  let n = profile.Disk.Profile.geometry.Disk.Geometry.sectors_per_track in
+  expected_skips_p ~n ~p *. Disk.Profile.sector_ms profile
+
+let multi_block_skips ~n ~p ~physical ~logical =
+  if physical <= 0 || logical <= 0 || physical > logical then
+    invalid_arg "Track_model.multi_block_skips: need 0 < physical <= logical";
+  let n = float_of_int n in
+  (1. -. p) *. n /. (float_of_int physical +. (p *. n)) *. float_of_int logical
+
+let exact_expected_skips ~n ~k =
+  if k < 0 || k > n then invalid_arg "Track_model.exact_expected_skips: need 0 <= k <= n";
+  if k = 0 then infinity
+  else begin
+    (* E(m,k) for m = k..n via the recurrence; E(k,k) = 0. *)
+    let e = ref 0. in
+    for m = k + 1 to n do
+      let fm = float_of_int m in
+      e := (fm -. float_of_int k) /. fm *. (1. +. !e)
+    done;
+    !e
+  end

@@ -1,0 +1,30 @@
+(** Single-track analytical model (Section 2.1 and Appendix A.1).
+
+    With [n] sectors per track, free-space fraction [p] and randomly
+    distributed free space, the expected number of occupied sectors the
+    head skips before reaching a free one is [(1-p)n / (1+pn)]
+    (formula (1)); equivalently [E(n,k) = (n-k)/(1+k)] for [k] free
+    sectors (formula (8)).  Formula (9) extends it to file-system logical
+    blocks of [big_b] sectors backed by physical blocks of [b] sectors. *)
+
+val expected_skips : n:int -> k:int -> float
+(** [E(n,k) = (n-k)/(1+k)]: expected occupied sectors skipped before the
+    first free one, for [k] free sectors out of [n].  Requires
+    [0 <= k <= n]. *)
+
+val expected_skips_p : n:int -> p:float -> float
+(** Formula (1): [(1-p)n / (1+pn)].  Requires [0 <= p <= 1]. *)
+
+val locate_ms : Disk.Profile.t -> p:float -> float
+(** Formula (1) converted to milliseconds for a given drive. *)
+
+val multi_block_skips : n:int -> p:float -> physical:int -> logical:int -> float
+(** Formula (9): [(1-p)n / (physical + pn) * logical] — expected sectors
+    skipped to place a logical block of [logical] sectors using physical
+    allocation units of [physical] sectors ([physical <= logical]).
+    Lowest when [physical = logical]. *)
+
+val exact_expected_skips : n:int -> k:int -> float
+(** Exact value of E(n,k) computed from the recurrence (7)
+    [E(n,k) = (n-k)/n * (1 + E(n-1,k))]; used by tests to validate that
+    the closed form (8) is the recurrence's unique solution. *)

@@ -1,0 +1,1 @@
+lib/ufs/ufs.ml: Array Blockdev Breakdown Buffer_cache Bytes Char Clock Format Fun Hashtbl Host Inode Int32 List Option Result String Vlog_util

@@ -1,0 +1,1 @@
+lib/ufs/ufs.mli: Blockdev Buffer_cache Bytes Format Host Inode Vlog_util

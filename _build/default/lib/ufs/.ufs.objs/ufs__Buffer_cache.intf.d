@@ -1,0 +1,1 @@
+lib/ufs/buffer_cache.mli: Bytes

@@ -1,0 +1,1 @@
+lib/ufs/inode.ml: Array Bytes Int32 Int64

@@ -1,0 +1,1 @@
+lib/ufs/inode.mli: Bytes

@@ -1,0 +1,81 @@
+type entry = { mutable bytes : Bytes.t; mutable dirty : bool; mutable tick : int }
+
+type t = {
+  capacity : int;
+  table : (int, entry) Hashtbl.t;
+  mutable clock : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Buffer_cache.create: capacity must be positive";
+  { capacity; table = Hashtbl.create (2 * capacity); clock = 0 }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.table
+
+let touch t e =
+  t.clock <- t.clock + 1;
+  e.tick <- t.clock
+
+let find t block =
+  match Hashtbl.find_opt t.table block with
+  | None -> None
+  | Some e ->
+    touch t e;
+    Some e.bytes
+
+let oldest t =
+  Hashtbl.fold
+    (fun block e acc ->
+      match acc with
+      | Some (_, tick) when tick <= e.tick -> acc
+      | _ -> Some (block, e.tick))
+    t.table None
+
+let evict_one t =
+  match oldest t with
+  | None -> None
+  | Some (block, _) ->
+    let e = Hashtbl.find t.table block in
+    Hashtbl.remove t.table block;
+    if e.dirty then Some (block, e.bytes) else None
+
+let insert t block bytes ~dirty =
+  (match Hashtbl.find_opt t.table block with
+  | Some e ->
+    e.bytes <- bytes;
+    e.dirty <- e.dirty || dirty;
+    touch t e
+  | None ->
+    t.clock <- t.clock + 1;
+    Hashtbl.add t.table block { bytes; dirty; tick = t.clock });
+  let rec shrink acc =
+    if Hashtbl.length t.table <= t.capacity then List.rev acc
+    else
+      match evict_one t with
+      | Some victim -> shrink (victim :: acc)
+      | None -> shrink acc
+  in
+  shrink []
+
+let mark_clean t block =
+  match Hashtbl.find_opt t.table block with
+  | Some e -> e.dirty <- false
+  | None -> ()
+
+let is_dirty t block =
+  match Hashtbl.find_opt t.table block with Some e -> e.dirty | None -> false
+
+let dirty_blocks t =
+  Hashtbl.fold (fun block e acc -> if e.dirty then (block, e.bytes) :: acc else acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let forget t block = Hashtbl.remove t.table block
+
+let drop_clean t =
+  let clean =
+    Hashtbl.fold (fun block e acc -> if e.dirty then acc else block :: acc) t.table []
+  in
+  List.iter (Hashtbl.remove t.table) clean
+
+let clear t = Hashtbl.reset t.table

@@ -1,0 +1,39 @@
+(** Write-back buffer cache shared by both file systems.
+
+    Blocks are keyed by device block number.  The cache is LRU-bounded;
+    eviction hands dirty victims back to the caller, which owns the
+    device and decides how to write them.  Keeping I/O out of the cache
+    keeps the replacement policy testable in isolation. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] in blocks; must be positive. *)
+
+val capacity : t -> int
+val size : t -> int
+
+val find : t -> int -> Bytes.t option
+(** Lookup; refreshes recency. *)
+
+val insert : t -> int -> Bytes.t -> dirty:bool -> (int * Bytes.t) list
+(** Insert or replace a block (replacing keeps the dirty bit sticky:
+    inserting clean over dirty leaves it dirty).  Returns evicted dirty
+    blocks, oldest first, which the caller must write out. *)
+
+val mark_clean : t -> int -> unit
+val is_dirty : t -> int -> bool
+
+val dirty_blocks : t -> (int * Bytes.t) list
+(** All dirty blocks in ascending block order — elevator order for the
+    flush, which is how UFS sorts its asynchronous writes. *)
+
+val forget : t -> int -> unit
+(** Drop a block without writing it (used when its file is deleted). *)
+
+val drop_clean : t -> unit
+(** Evict every clean block — the experiments' cache flush between
+    benchmark phases. *)
+
+val clear : t -> unit
+(** Drop everything, dirty included; only for tests. *)

@@ -1,0 +1,95 @@
+let direct_count = 12
+let bytes_per_inode = 128
+
+type t = {
+  inum : int;
+  mutable size : int;
+  mutable blocks : int array;
+  mutable frag : (int * int * int) option;
+  mutable ind1 : int;
+  mutable ind2 : int;
+  mutable ind2_children : int array;
+}
+
+let create ~inum =
+  {
+    inum;
+    size = 0;
+    blocks = [||];
+    frag = None;
+    ind1 = -1;
+    ind2 = -1;
+    ind2_children = [||];
+  }
+
+let file_blocks t = Array.length t.blocks
+
+let get_block t i =
+  if i < 0 then invalid_arg "Inode.get_block: negative index";
+  if i < Array.length t.blocks then t.blocks.(i) else -1
+
+let set_block t i v =
+  if i < 0 then invalid_arg "Inode.set_block: negative index";
+  if i >= Array.length t.blocks then begin
+    let grown = Array.make (max (i + 1) (2 * (Array.length t.blocks + 1))) (-1) in
+    Array.blit t.blocks 0 grown 0 (Array.length t.blocks);
+    t.blocks <- grown
+  end;
+  t.blocks.(i) <- v
+
+let metadata_chain ~ptrs_per_block i =
+  if i < direct_count then [ `Inode ]
+  else if i < direct_count + ptrs_per_block then [ `Inode; `Ind1 ]
+  else
+    let j = (i - direct_count - ptrs_per_block) / ptrs_per_block in
+    [ `Inode; `Ind2; `Ind2_child j ]
+
+let encode t =
+  let buf = Bytes.make bytes_per_inode '\000' in
+  Bytes.set buf 0 '\001';
+  Bytes.set_int64_le buf 1 (Int64.of_int t.size);
+  (match t.frag with
+  | None -> Bytes.set_int32_le buf 9 (-1l)
+  | Some (block, slot, n) ->
+    Bytes.set_int32_le buf 9 (Int32.of_int block);
+    Bytes.set_int32_le buf 13 (Int32.of_int slot);
+    Bytes.set_int32_le buf 17 (Int32.of_int n));
+  Bytes.set_int32_le buf 21 (Int32.of_int t.ind1);
+  Bytes.set_int32_le buf 25 (Int32.of_int t.ind2);
+  for d = 0 to direct_count - 1 do
+    let v = if d < Array.length t.blocks then t.blocks.(d) else -1 in
+    Bytes.set_int32_le buf (29 + (d * 4)) (Int32.of_int v)
+  done;
+  buf
+
+let decode ~inum buf =
+  if Bytes.length buf < bytes_per_inode then
+    invalid_arg "Inode.decode: buffer too short";
+  if Bytes.get buf 0 <> '\001' then None
+  else begin
+    let t = create ~inum in
+    t.size <- Int64.to_int (Bytes.get_int64_le buf 1);
+    let fb = Int32.to_int (Bytes.get_int32_le buf 9) in
+    if fb >= 0 then
+      t.frag <-
+        Some
+          ( fb,
+            Int32.to_int (Bytes.get_int32_le buf 13),
+            Int32.to_int (Bytes.get_int32_le buf 17) );
+    t.ind1 <- Int32.to_int (Bytes.get_int32_le buf 21);
+    t.ind2 <- Int32.to_int (Bytes.get_int32_le buf 25);
+    for d = direct_count - 1 downto 0 do
+      let v = Int32.to_int (Bytes.get_int32_le buf (29 + (d * 4))) in
+      if v >= 0 then set_block t d v
+    done;
+    Some t
+  end
+
+let encode_indirect ~ptrs_per_block blocks ~offset =
+  let buf = Bytes.make (ptrs_per_block * 4) '\000' in
+  for i = 0 to ptrs_per_block - 1 do
+    let idx = offset + i in
+    let v = if idx < Array.length blocks then blocks.(idx) else -1 in
+    Bytes.set_int32_le buf (i * 4) (Int32.of_int v)
+  done;
+  buf

@@ -1,0 +1,52 @@
+(** UFS inodes: in-memory form plus the 128-byte on-disk codec.
+
+    The in-memory inode carries the full block-pointer list for fast
+    access; the codec lays it out FFS-style — 12 direct pointers, one
+    single-indirect and one double-indirect pointer — which bounds the
+    metadata blocks a write must also update, and that set is exactly
+    what the file system charges I/O for. *)
+
+val direct_count : int
+(** 12 direct pointers. *)
+
+val bytes_per_inode : int
+(** 128: 32 inodes per 4 KB block. *)
+
+type t = {
+  inum : int;
+  mutable size : int;  (** bytes *)
+  mutable blocks : int array;  (** device block per file block; -1 = hole *)
+  mutable frag : (int * int * int) option;
+      (** small-file tail: (frag block, first slot, slot count) *)
+  mutable ind1 : int;  (** single-indirect block; -1 = none *)
+  mutable ind2 : int;  (** double-indirect block; -1 = none *)
+  mutable ind2_children : int array;  (** allocated children of ind2 *)
+}
+
+val create : inum:int -> t
+
+val file_blocks : t -> int
+(** Number of file-block slots currently tracked. *)
+
+val get_block : t -> int -> int
+(** Device block of file block [i]; -1 if unallocated. *)
+
+val set_block : t -> int -> int -> unit
+(** Grows the pointer array as needed. *)
+
+val metadata_chain : ptrs_per_block:int -> int -> [ `Inode | `Ind1 | `Ind2 | `Ind2_child of int ] list
+(** Which metadata objects hold the pointer to file block [i]: the inode
+    for direct blocks, plus the indirect blocks on the path.  The inode
+    itself is always included (it owns the size). *)
+
+val encode : t -> Bytes.t
+(** 128-byte on-disk form (truncates the pointer list to the direct
+    window; indirect contents live in their own blocks). *)
+
+val decode : inum:int -> Bytes.t -> t option
+(** Inverse of {!encode} for the direct window; [None] if the slot is
+    unused. *)
+
+val encode_indirect : ptrs_per_block:int -> int array -> offset:int -> Bytes.t
+(** On-disk form of an indirect block covering pointers
+    [\[offset, offset + ptrs_per_block)] of the given pointer array. *)

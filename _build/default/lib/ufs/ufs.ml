@@ -1,0 +1,737 @@
+module Inode = Inode
+module Buffer_cache = Buffer_cache
+open Vlog_util
+
+type config = {
+  sync_data : bool;
+  n_inodes : int;
+  cache_blocks : int;
+  readahead_blocks : int;
+}
+
+let default_config =
+  { sync_data = true; n_inodes = 4096; cache_blocks = 1536; readahead_blocks = 8 }
+
+type error =
+  [ `No_space | `No_inodes | `Not_found of string | `Exists of string | `Bad_offset ]
+
+let pp_error ppf = function
+  | `No_space -> Format.pp_print_string ppf "no space left on device"
+  | `No_inodes -> Format.pp_print_string ppf "out of inodes"
+  | `Not_found name -> Format.fprintf ppf "no such file: %s" name
+  | `Exists name -> Format.fprintf ppf "file exists: %s" name
+  | `Bad_offset -> Format.pp_print_string ppf "bad offset or length"
+
+type file = {
+  inode : Inode.t;
+  name : string;
+  mutable dir_slot : int * int; (* directory block index (in dir list), slot *)
+  mutable seq_off : int;
+  mutable seq_hits : int;
+}
+
+type dir_block = { dblock : int; slots : string option array }
+
+type t = {
+  dev : Blockdev.Device.t;
+  host : Host.t;
+  clock : Clock.t;
+  cfg : config;
+  block_bytes : int;
+  frag_bytes : int;
+  frags_per_block : int;
+  ptrs_per_block : int;
+  inode_table_start : int;
+  inode_table_blocks : int;
+  inodes_per_block : int;
+  data_start : int;
+  n_blocks : int;
+  bitmap : Bytes.t; (* device-block occupancy, reserved regions pre-marked *)
+  mutable allocated_data : int;
+  mutable rover : int;
+  files : (string, file) Hashtbl.t;
+  by_inum : (int, Inode.t) Hashtbl.t;
+  inode_used : Bytes.t;
+  mutable inode_rover : int;
+  mutable dir : dir_block array;
+  dir_entries_per_block : int;
+  cache : Buffer_cache.t;
+  frag_slots : (int, bool array) Hashtbl.t; (* frag block -> slot occupancy *)
+  frag_data : (int, Bytes.t) Hashtbl.t; (* authoritative frag block contents *)
+  mutable last_frag_block : int; (* preferred frag block for new tails *)
+}
+
+let max_frag_slots = 3 (* a 4-slot tail is just a full block *)
+
+let format ~dev ~host ~clock cfg =
+  let block_bytes = dev.Blockdev.Device.block_bytes in
+  let inodes_per_block = block_bytes / Inode.bytes_per_inode in
+  let inode_table_blocks = (cfg.n_inodes + inodes_per_block - 1) / inodes_per_block in
+  let n_blocks = dev.Blockdev.Device.n_blocks in
+  let data_start = 1 + inode_table_blocks in
+  if data_start >= n_blocks then invalid_arg "Ufs.format: device too small";
+  let bitmap = Bytes.make n_blocks '\000' in
+  Bytes.fill bitmap 0 data_start '\001';
+  {
+    dev;
+    host;
+    clock;
+    cfg;
+    block_bytes;
+    frag_bytes = block_bytes / 4;
+    frags_per_block = 4;
+    ptrs_per_block = block_bytes / 4;
+    inode_table_start = 1;
+    inode_table_blocks;
+    inodes_per_block;
+    data_start;
+    n_blocks;
+    bitmap;
+    allocated_data = 0;
+    rover = data_start;
+    files = Hashtbl.create 256;
+    by_inum = Hashtbl.create 256;
+    inode_used = Bytes.make cfg.n_inodes '\000';
+    inode_rover = 0;
+    dir = [||];
+    dir_entries_per_block = block_bytes / 32;
+    cache = Buffer_cache.create ~capacity:cfg.cache_blocks;
+    frag_slots = Hashtbl.create 64;
+    frag_data = Hashtbl.create 64;
+    last_frag_block = -1;
+  }
+
+let device t = t.dev
+let block_bytes t = t.block_bytes
+let exists t name = Hashtbl.mem t.files name
+let files t = Hashtbl.fold (fun name _ acc -> name :: acc) t.files [] |> List.sort compare
+
+let allocated_blocks t = t.data_start + t.allocated_data
+let utilization t = float_of_int (allocated_blocks t) /. float_of_int t.n_blocks
+
+let charge t ~blocks = Host.charge t.host ~clock:t.clock ~blocks
+
+(* ---- block allocation ---- *)
+
+let alloc_block t ~near =
+  let start = if near >= t.data_start && near < t.n_blocks then near else t.rover in
+  let try_at b = Bytes.get t.bitmap b = '\000' in
+  let rec scan b remaining =
+    if remaining = 0 then None
+    else if try_at b then Some b
+    else
+      let b' = if b + 1 >= t.n_blocks then t.data_start else b + 1 in
+      scan b' (remaining - 1)
+  in
+  match scan start (t.n_blocks - t.data_start) with
+  | None -> None
+  | Some b ->
+    Bytes.set t.bitmap b '\001';
+    t.allocated_data <- t.allocated_data + 1;
+    t.rover <- (if b + 1 >= t.n_blocks then t.data_start else b + 1);
+    Some b
+
+let free_block t b =
+  if Bytes.get t.bitmap b = '\000' then invalid_arg "Ufs.free_block: block already free";
+  Bytes.set t.bitmap b '\000';
+  t.allocated_data <- t.allocated_data - 1;
+  Buffer_cache.forget t.cache b
+
+(* ---- low-level I/O helpers (all flow through the buffer cache) ---- *)
+
+let flush_victims t victims =
+  List.fold_left
+    (fun bd (block, bytes) -> Breakdown.add bd (t.dev.Blockdev.Device.write block bytes))
+    Breakdown.zero victims
+
+let cache_insert t block bytes ~dirty =
+  let victims = Buffer_cache.insert t.cache block bytes ~dirty in
+  flush_victims t victims
+
+let write_block_sync t block bytes =
+  let bd = t.dev.Blockdev.Device.write block bytes in
+  let bd' = cache_insert t block bytes ~dirty:false in
+  Buffer_cache.mark_clean t.cache block;
+  Breakdown.add bd bd'
+
+let write_block_async t block bytes = cache_insert t block bytes ~dirty:true
+
+let read_block t block =
+  match Buffer_cache.find t.cache block with
+  | Some bytes -> (bytes, Breakdown.zero)
+  | None ->
+    let bytes, bd = t.dev.Blockdev.Device.read block in
+    let bd' = cache_insert t block bytes ~dirty:false in
+    (bytes, Breakdown.add bd bd')
+
+(* ---- metadata writes ---- *)
+
+let inode_block_of t inum = t.inode_table_start + (inum / t.inodes_per_block)
+
+let compose_inode_block t inum =
+  let first = inum / t.inodes_per_block * t.inodes_per_block in
+  let buf = Bytes.make t.block_bytes '\000' in
+  for slot = 0 to t.inodes_per_block - 1 do
+    let i = first + slot in
+    match Hashtbl.find_opt t.by_inum i with
+    | Some inode ->
+      Bytes.blit (Inode.encode inode) 0 buf (slot * Inode.bytes_per_inode)
+        Inode.bytes_per_inode
+    | None -> ()
+  done;
+  buf
+
+let write_inode t inode ~sync =
+  let block = inode_block_of t inode.Inode.inum in
+  let buf = compose_inode_block t inode.Inode.inum in
+  if sync then write_block_sync t block buf else write_block_async t block buf
+
+let ind1_window = Inode.direct_count
+
+let write_indirect t inode which ~sync =
+  let buf, block =
+    match which with
+    | `Ind1 ->
+      ( Inode.encode_indirect ~ptrs_per_block:t.ptrs_per_block inode.Inode.blocks
+          ~offset:ind1_window,
+        inode.Inode.ind1 )
+    | `Ind2 ->
+      (* The double-indirect block stores pointers to its children. *)
+      let children = inode.Inode.ind2_children in
+      let buf = Bytes.make t.block_bytes '\000' in
+      Array.iteri
+        (fun i c -> if i * 4 + 4 <= t.block_bytes then Bytes.set_int32_le buf (i * 4) (Int32.of_int c))
+        children;
+      (buf, inode.Inode.ind2)
+    | `Ind2_child j ->
+      let offset = ind1_window + t.ptrs_per_block + (j * t.ptrs_per_block) in
+      ( Inode.encode_indirect ~ptrs_per_block:t.ptrs_per_block inode.Inode.blocks ~offset,
+        inode.Inode.ind2_children.(j) )
+  in
+  assert (block >= 0);
+  if sync then write_block_sync t block buf else write_block_async t block buf
+
+(* Ensure the metadata path for file block [i] exists; returns
+   (allocated-something, error option, breakdown-free list of metadata to
+   rewrite). *)
+let ensure_metadata_path t inode i =
+  let missing = ref [] in
+  let failed = ref false in
+  let need_ind1 = i >= ind1_window in
+  let need_ind2 = i >= ind1_window + t.ptrs_per_block in
+  if need_ind1 && (not need_ind2) && inode.Inode.ind1 < 0 then begin
+    match alloc_block t ~near:t.rover with
+    | Some b ->
+      inode.Inode.ind1 <- b;
+      missing := `Ind1 :: !missing
+    | None -> failed := true
+  end;
+  if need_ind2 then begin
+    if inode.Inode.ind2 < 0 then begin
+      match alloc_block t ~near:t.rover with
+      | Some b ->
+        inode.Inode.ind2 <- b;
+        missing := `Ind2 :: !missing
+      | None -> failed := true
+    end;
+    let j = (i - ind1_window - t.ptrs_per_block) / t.ptrs_per_block in
+    if not !failed then begin
+      if Array.length inode.Inode.ind2_children <= j then begin
+        let grown = Array.make (j + 1) (-1) in
+        Array.blit inode.Inode.ind2_children 0 grown 0
+          (Array.length inode.Inode.ind2_children);
+        inode.Inode.ind2_children <- grown
+      end;
+      if inode.Inode.ind2_children.(j) < 0 then begin
+        match alloc_block t ~near:t.rover with
+        | Some b ->
+          inode.Inode.ind2_children.(j) <- b;
+          missing := `Ind2 :: `Ind2_child j :: !missing
+        | None -> failed := true
+      end
+    end
+  end;
+  if !failed then Error `No_space else Ok !missing
+
+(* ---- fragments ---- *)
+
+let frag_capacity t = max_frag_slots * t.frag_bytes
+
+let alloc_frags t ~slots =
+  (* Prefer the most recent partially-filled frag block with a contiguous
+     run; otherwise start a fresh one. *)
+  let find_run occupancy =
+    let n = Array.length occupancy in
+    let rec go i =
+      if i + slots > n then None
+      else if Array.for_all Fun.id (Array.init slots (fun k -> not occupancy.(i + k))) then
+        Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let in_existing =
+    if t.last_frag_block >= 0 then
+      match Hashtbl.find_opt t.frag_slots t.last_frag_block with
+      | Some occ -> (
+        match find_run occ with Some s -> Some (t.last_frag_block, s) | None -> None)
+      | None -> None
+    else None
+  in
+  match in_existing with
+  | Some (block, slot) ->
+    let occ = Hashtbl.find t.frag_slots block in
+    for k = 0 to slots - 1 do
+      occ.(slot + k) <- true
+    done;
+    Some (block, slot)
+  | None -> (
+    match alloc_block t ~near:t.rover with
+    | None -> None
+    | Some block ->
+      let occ = Array.make t.frags_per_block false in
+      for k = 0 to slots - 1 do
+        occ.(k) <- true
+      done;
+      Hashtbl.replace t.frag_slots block occ;
+      Hashtbl.replace t.frag_data block (Bytes.make t.block_bytes '\000');
+      t.last_frag_block <- block;
+      Some (block, 0))
+
+let free_frags t (block, slot, slots) =
+  match Hashtbl.find_opt t.frag_slots block with
+  | None -> ()
+  | Some occ ->
+    for k = 0 to slots - 1 do
+      occ.(slot + k) <- false
+    done;
+    if Array.for_all not occ then begin
+      Hashtbl.remove t.frag_slots block;
+      Hashtbl.remove t.frag_data block;
+      if t.last_frag_block = block then t.last_frag_block <- -1;
+      free_block t block
+    end
+
+let write_frag_block t block ~sync =
+  let buf = Bytes.copy (Hashtbl.find t.frag_data block) in
+  if sync then write_block_sync t block buf else write_block_async t block buf
+
+(* ---- directory ---- *)
+
+let encode_dir_block t db =
+  let buf = Bytes.make t.block_bytes '\000' in
+  Array.iteri
+    (fun slot entry ->
+      match entry with
+      | None -> ()
+      | Some name ->
+        let off = slot * 32 in
+        let file = Hashtbl.find t.files name in
+        Bytes.set buf off '\001';
+        Bytes.set_int32_le buf (off + 1) (Int32.of_int file.inode.Inode.inum);
+        let n = min (String.length name) 26 in
+        Bytes.set buf (off + 5) (Char.chr n);
+        Bytes.blit_string name 0 buf (off + 6) n)
+    db.slots;
+  buf
+
+let write_dir_block t idx ~sync =
+  let db = t.dir.(idx) in
+  let buf = encode_dir_block t db in
+  if sync then write_block_sync t db.dblock buf else write_block_async t db.dblock buf
+
+let find_dir_slot t =
+  let existing =
+    Array.to_list t.dir
+    |> List.mapi (fun i db -> (i, db))
+    |> List.find_opt (fun (_, db) -> Array.exists Option.is_none db.slots)
+  in
+  match existing with
+  | Some (i, db) ->
+    let slot = ref 0 in
+    while db.slots.(!slot) <> None do
+      incr slot
+    done;
+    Some (i, !slot)
+  | None -> (
+    match alloc_block t ~near:t.rover with
+    | None -> None
+    | Some b ->
+      let db = { dblock = b; slots = Array.make t.dir_entries_per_block None } in
+      t.dir <- Array.append t.dir [| db |];
+      Some (Array.length t.dir - 1, 0))
+
+(* ---- public operations ---- *)
+
+let alloc_inum t =
+  let n = t.cfg.n_inodes in
+  let rec go tried i =
+    if tried >= n then None
+    else if Bytes.get t.inode_used i = '\000' then begin
+      Bytes.set t.inode_used i '\001';
+      t.inode_rover <- (i + 1) mod n;
+      Some i
+    end
+    else go (tried + 1) ((i + 1) mod n)
+  in
+  go 0 t.inode_rover
+
+let create t name =
+  if Hashtbl.mem t.files name then Error (`Exists name)
+  else
+    match alloc_inum t with
+    | None -> Error `No_inodes
+    | Some inum -> (
+      match find_dir_slot t with
+      | None ->
+        Bytes.set t.inode_used inum '\000';
+        Error `No_space
+      | Some (didx, slot) ->
+        let inode = Inode.create ~inum in
+        let file = { inode; name; dir_slot = (didx, slot); seq_off = -1; seq_hits = 0 } in
+        Hashtbl.replace t.files name file;
+        Hashtbl.replace t.by_inum inum inode;
+        t.dir.(didx).slots.(slot) <- Some name;
+        (* Namespace changes hit the platter synchronously. *)
+        let bd = charge t ~blocks:0 in
+        let bd = Breakdown.add bd (write_inode t inode ~sync:true) in
+        let bd = Breakdown.add bd (write_dir_block t didx ~sync:true) in
+        Ok bd)
+
+let lookup t name =
+  match Hashtbl.find_opt t.files name with
+  | Some f -> Ok f
+  | None -> Error (`Not_found name)
+
+let file_size t name = Result.map (fun f -> f.inode.Inode.size) (lookup t name)
+
+(* Read current contents of file block [i] for a read-modify-write, from
+   cache or platter; zeros when unallocated. *)
+let file_block_contents t inode i =
+  let b = Inode.get_block inode i in
+  if b < 0 then (Bytes.make t.block_bytes '\000', Breakdown.zero) else read_block t b
+
+let promote_from_frags t file =
+  let inode = file.inode in
+  match inode.Inode.frag with
+  | None -> Ok Breakdown.zero
+  | Some (fblock, slot, slots) -> (
+    match alloc_block t ~near:t.rover with
+    | None -> Error `No_space
+    | Some b ->
+      let data = Bytes.make t.block_bytes '\000' in
+      let src = Hashtbl.find t.frag_data fblock in
+      Bytes.blit src (slot * t.frag_bytes) data 0 (slots * t.frag_bytes);
+      Inode.set_block inode 0 b;
+      inode.Inode.frag <- None;
+      free_frags t (fblock, slot, slots);
+      let bd =
+        if t.cfg.sync_data then write_block_sync t b data else write_block_async t b data
+      in
+      Ok bd)
+
+let rec write t name ~off data =
+  match lookup t name with
+  | Error _ as e -> e
+  | Ok file ->
+    let len = Bytes.length data in
+    if off < 0 || len = 0 then Error `Bad_offset
+    else begin
+      let inode = file.inode in
+      let new_size = max inode.Inode.size (off + len) in
+      let small = new_size <= frag_capacity t in
+      let currently_frag = inode.Inode.frag <> None || Inode.file_blocks inode = 0 in
+      if small && currently_frag && inode.Inode.size = 0 && off = 0 then
+        write_small t file data
+      else if (not small) && inode.Inode.frag <> None then begin
+        match promote_from_frags t file with
+        | Error _ as e -> e
+        | Ok bd -> (
+          match write t name ~off data with
+          | Ok bd' -> Ok (Breakdown.add bd bd')
+          | Error _ as e -> e)
+      end
+      else if small && inode.Inode.frag <> None then write_small_update t file ~off data
+      else write_blocks t file ~off data
+    end
+
+and write_small t file data =
+  (* First write of a small file: place it in fragments. *)
+  let inode = file.inode in
+  let len = Bytes.length data in
+  let slots = (len + t.frag_bytes - 1) / t.frag_bytes in
+  match alloc_frags t ~slots with
+  | None -> Error `No_space
+  | Some (block, slot) ->
+    let buf = Hashtbl.find t.frag_data block in
+    Bytes.blit data 0 buf (slot * t.frag_bytes) len;
+    inode.Inode.frag <- Some (block, slot, slots);
+    inode.Inode.size <- len;
+    let bd = charge t ~blocks:1 in
+    let bd = Breakdown.add bd (write_frag_block t block ~sync:t.cfg.sync_data) in
+    let bd = Breakdown.add bd (write_inode t inode ~sync:t.cfg.sync_data) in
+    Ok bd
+
+and write_small_update t file ~off data =
+  let inode = file.inode in
+  let len = Bytes.length data in
+  let new_size = max inode.Inode.size (off + len) in
+  let need = (new_size + t.frag_bytes - 1) / t.frag_bytes in
+  match inode.Inode.frag with
+  | None -> Error `Bad_offset
+  | Some (block, slot, slots) ->
+    let grow () =
+      if need <= slots then Ok (block, slot, slots)
+      else begin
+        (* Reallocate a bigger contiguous run and copy. *)
+        match alloc_frags t ~slots:need with
+        | None -> Error `No_space
+        | Some (nb, ns) ->
+          let src = Hashtbl.find t.frag_data block in
+          let dst = Hashtbl.find t.frag_data nb in
+          Bytes.blit src (slot * t.frag_bytes) dst (ns * t.frag_bytes)
+            (slots * t.frag_bytes);
+          free_frags t (block, slot, slots);
+          Ok (nb, ns, need)
+      end
+    in
+    (match grow () with
+    | Error _ as e -> e
+    | Ok (block, slot, slots) ->
+      let buf = Hashtbl.find t.frag_data block in
+      Bytes.blit data 0 buf ((slot * t.frag_bytes) + off) len;
+      inode.Inode.frag <- Some (block, slot, slots);
+      let meta_changed = new_size <> inode.Inode.size in
+      inode.Inode.size <- new_size;
+      let bd = charge t ~blocks:1 in
+      let bd = Breakdown.add bd (write_frag_block t block ~sync:t.cfg.sync_data) in
+      let bd =
+        if meta_changed then Breakdown.add bd (write_inode t inode ~sync:t.cfg.sync_data)
+        else bd
+      in
+      Ok bd)
+
+and write_blocks t file ~off data =
+  let inode = file.inode in
+  let len = Bytes.length data in
+  let first = off / t.block_bytes and last = (off + len - 1) / t.block_bytes in
+  let bd = ref (charge t ~blocks:(last - first + 1)) in
+  let dirty_meta = ref [] and meta_err = ref None in
+  let note_meta m = if not (List.mem m !dirty_meta) then dirty_meta := m :: !dirty_meta in
+  for i = first to last do
+    if !meta_err = None then begin
+      let block_off = i * t.block_bytes in
+      let lo = max off block_off and hi = min (off + len) (block_off + t.block_bytes) in
+      let full = lo = block_off && hi = block_off + t.block_bytes in
+      let contents, read_bd =
+        if full then (Bytes.make t.block_bytes '\000', Breakdown.zero)
+        else file_block_contents t inode i
+      in
+      bd := Breakdown.add !bd read_bd;
+      let contents = Bytes.copy contents in
+      Bytes.blit data (lo - off) contents (lo - block_off) (hi - lo);
+      (if Inode.get_block inode i < 0 then begin
+         match ensure_metadata_path t inode i with
+         | Error e -> meta_err := Some e
+         | Ok missing ->
+           List.iter note_meta missing;
+           let near =
+             if i > 0 && Inode.get_block inode (i - 1) >= 0 then
+               Inode.get_block inode (i - 1) + 1
+             else t.rover
+           in
+           (match alloc_block t ~near with
+           | None -> meta_err := Some `No_space
+           | Some b ->
+             Inode.set_block inode i b;
+             List.iter note_meta
+               (List.filter (fun m -> m <> `Inode) (Inode.metadata_chain ~ptrs_per_block:t.ptrs_per_block i));
+             note_meta `Inode)
+       end);
+      if !meta_err = None then begin
+        let b = Inode.get_block inode i in
+        let cost =
+          if t.cfg.sync_data then write_block_sync t b contents
+          else write_block_async t b contents
+        in
+        bd := Breakdown.add !bd cost
+      end
+    end
+  done;
+  match !meta_err with
+  | Some e -> Error e
+  | None ->
+    let new_size = max inode.Inode.size (off + len) in
+    if new_size <> inode.Inode.size then begin
+      inode.Inode.size <- new_size;
+      note_meta `Inode
+    end;
+    (* Allocation metadata follows the data-sync mount flag; namespace
+       metadata (create/delete) is always synchronous. *)
+    let sync = t.cfg.sync_data in
+    List.iter
+      (fun m ->
+        let cost =
+          match m with
+          | `Inode -> write_inode t inode ~sync
+          | (`Ind1 | `Ind2 | `Ind2_child _) as w -> write_indirect t inode w ~sync
+        in
+        bd := Breakdown.add !bd cost)
+      (List.rev !dirty_meta);
+    Ok !bd
+
+(* Group the device blocks backing file blocks [first..last] into
+   physically consecutive runs and read each run in one request. *)
+let read_file_blocks t inode ~first ~last ~insert_cache =
+  let bd = ref Breakdown.zero in
+  let chunks = ref [] in
+  let flush run =
+    match run with
+    | [] -> ()
+    | (b0, _) :: _ as run ->
+      let count = List.length run in
+      let data, cost = t.dev.Blockdev.Device.read_run b0 count in
+      bd := Breakdown.add !bd cost;
+      List.iteri
+        (fun k (b, i) ->
+          let piece = Bytes.sub data (k * t.block_bytes) t.block_bytes in
+          if insert_cache then bd := Breakdown.add !bd (cache_insert t b piece ~dirty:false);
+          chunks := (i, piece) :: !chunks)
+        run
+  in
+  let rec go i run =
+    if i > last then flush (List.rev run)
+    else begin
+      let b = Inode.get_block inode i in
+      if b < 0 then begin
+        flush (List.rev run);
+        chunks := (i, Bytes.make t.block_bytes '\000') :: !chunks;
+        go (i + 1) []
+      end
+      else
+        match Buffer_cache.find t.cache b with
+        | Some bytes ->
+          flush (List.rev run);
+          chunks := (i, bytes) :: !chunks;
+          go (i + 1) []
+        | None -> (
+          (* The accumulator is newest-first: continue the run only when
+             this block directly follows the previous one. *)
+          match run with
+          | (b_prev, _) :: _ when b <> b_prev + 1 ->
+            flush (List.rev run);
+            go (i + 1) [ (b, i) ]
+          | _ -> go (i + 1) ((b, i) :: run))
+    end
+  in
+  go first [];
+  (List.sort (fun (a, _) (b, _) -> compare a b) !chunks, !bd)
+
+let read t name ~off ~len =
+  match lookup t name with
+  | Error _ as e -> e
+  | Ok file ->
+    if off < 0 || len < 0 then Error `Bad_offset
+    else begin
+      let inode = file.inode in
+      let len = max 0 (min len (inode.Inode.size - off)) in
+      let bd = ref (charge t ~blocks:((len + t.block_bytes - 1) / t.block_bytes)) in
+      if len = 0 then Ok (Bytes.empty, !bd)
+      else
+        match inode.Inode.frag with
+        | Some (block, slot, _) ->
+          let contents, cost = read_block t block in
+          bd := Breakdown.add !bd cost;
+          Ok (Bytes.sub contents ((slot * t.frag_bytes) + off) len, !bd)
+        | None ->
+          let first = off / t.block_bytes and last = (off + len - 1) / t.block_bytes in
+          let chunks, cost = read_file_blocks t inode ~first ~last ~insert_cache:true in
+          bd := Breakdown.add !bd cost;
+          let out = Bytes.make len '\000' in
+          List.iter
+            (fun (i, piece) ->
+              let block_off = i * t.block_bytes in
+              let lo = max off block_off
+              and hi = min (off + len) (block_off + t.block_bytes) in
+              if hi > lo then Bytes.blit piece (lo - block_off) out (lo - off) (hi - lo))
+            chunks;
+          (* Sequential-read detection drives read-ahead. *)
+          if off = file.seq_off then file.seq_hits <- file.seq_hits + 1
+          else file.seq_hits <- 0;
+          file.seq_off <- off + len;
+          if file.seq_hits >= 1 && t.cfg.readahead_blocks > 0 then begin
+            let ra_first = last + 1 in
+            let ra_last =
+              min (ra_first + t.cfg.readahead_blocks - 1)
+                ((inode.Inode.size - 1) / t.block_bytes)
+            in
+            if ra_last >= ra_first then begin
+              let uncached =
+                List.exists
+                  (fun i ->
+                    let b = Inode.get_block inode i in
+                    b >= 0 && Buffer_cache.find t.cache b = None)
+                  (List.init (ra_last - ra_first + 1) (fun k -> ra_first + k))
+              in
+              if uncached then begin
+                let _, cost =
+                  read_file_blocks t inode ~first:ra_first ~last:ra_last ~insert_cache:true
+                in
+                bd := Breakdown.add !bd cost
+              end
+            end
+          end;
+          Ok (out, !bd)
+    end
+
+let all_file_blocks inode =
+  let acc = ref [] in
+  Array.iter (fun b -> if b >= 0 then acc := b :: !acc) inode.Inode.blocks;
+  if inode.Inode.ind1 >= 0 then acc := inode.Inode.ind1 :: !acc;
+  if inode.Inode.ind2 >= 0 then acc := inode.Inode.ind2 :: !acc;
+  Array.iter (fun b -> if b >= 0 then acc := b :: !acc) inode.Inode.ind2_children;
+  !acc
+
+let delete t name =
+  match lookup t name with
+  | Error _ as e -> e
+  | Ok file ->
+    let inode = file.inode in
+    (match inode.Inode.frag with
+    | Some f -> free_frags t f
+    | None -> List.iter (free_block t) (all_file_blocks inode));
+    Hashtbl.remove t.files name;
+    Hashtbl.remove t.by_inum inode.Inode.inum;
+    Bytes.set t.inode_used inode.Inode.inum '\000';
+    let didx, slot = file.dir_slot in
+    t.dir.(didx).slots.(slot) <- None;
+    let bd = charge t ~blocks:0 in
+    let bd = Breakdown.add bd (write_inode t inode ~sync:true) in
+    let bd = Breakdown.add bd (write_dir_block t didx ~sync:true) in
+    Ok bd
+
+let flush_blocks t blocks =
+  List.fold_left
+    (fun bd (block, bytes) ->
+      let cost = t.dev.Blockdev.Device.write block bytes in
+      Buffer_cache.mark_clean t.cache block;
+      Breakdown.add bd cost)
+    Breakdown.zero blocks
+
+let sync t = flush_blocks t (Buffer_cache.dirty_blocks t.cache)
+
+let fsync t name =
+  match lookup t name with
+  | Error _ as e -> e
+  | Ok file ->
+    let mine =
+      match file.inode.Inode.frag with
+      | Some (b, _, _) -> [ b ]
+      | None -> all_file_blocks file.inode
+    in
+    let dirty =
+      Buffer_cache.dirty_blocks t.cache |> List.filter (fun (b, _) -> List.mem b mine)
+    in
+    Ok (flush_blocks t dirty)
+
+let drop_caches t = Buffer_cache.drop_clean t.cache

@@ -1,0 +1,84 @@
+(** Update-in-place file system (the paper's "UFS").
+
+    An FFS-style layout on a logical disk: superblock, a fixed inode
+    table, and a data region with a first-fit-near-predecessor block
+    allocator (so sequentially written files end up contiguous and
+    updates go back to the same place — the update-in-place property the
+    paper's experiments stress).  Metadata writes are synchronous, as in
+    Solaris UFS; data writes are synchronous or write-back per the
+    [sync_data] mount flag.  Small files live in 1 KB fragments, four to
+    a block.  Sequential reads trigger file-level read-ahead after two
+    adjacent requests.
+
+    Because the device interface is the standard logical-disk record,
+    the same file system runs unmodified on a regular disk or on a VLD
+    (Figure 5). *)
+
+module Inode = Inode
+(** Re-exported: the inode representation and its 128-byte codec. *)
+
+module Buffer_cache = Buffer_cache
+(** Re-exported: the LRU write-back cache (LFS shares it). *)
+
+type t
+
+type config = {
+  sync_data : bool;       (** O_SYNC-style data writes *)
+  n_inodes : int;
+  cache_blocks : int;     (** buffer-cache capacity *)
+  readahead_blocks : int; (** blocks prefetched once a sequential pattern is seen *)
+}
+
+val default_config : config
+(** [sync_data = true], 4096 inodes, 6 MB cache, 8-block read-ahead. *)
+
+val format :
+  dev:Blockdev.Device.t -> host:Host.t -> clock:Vlog_util.Clock.t -> config -> t
+(** Lay out a fresh file system on the device. *)
+
+type error =
+  [ `No_space | `No_inodes | `Not_found of string | `Exists of string | `Bad_offset ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val create : t -> string -> (Vlog_util.Breakdown.t, error) result
+(** Create an empty file; writes the inode and the directory block
+    synchronously. *)
+
+val write :
+  t -> string -> off:int -> Bytes.t -> (Vlog_util.Breakdown.t, error) result
+(** Write bytes at an offset, extending the file as needed.  Synchronous
+    when the mount is [sync_data] (data reaches the platter before
+    return, newly-allocated metadata too); otherwise dirties the cache
+    and returns host cost only. *)
+
+val read : t -> string -> off:int -> len:int -> (Bytes.t * Vlog_util.Breakdown.t, error) result
+(** Short reads at end of file return the available prefix. *)
+
+val delete : t -> string -> (Vlog_util.Breakdown.t, error) result
+(** Frees blocks in the allocator, clears the inode and directory entry
+    synchronously.  The device is {e not} told (no trim) — an unmodified
+    UFS can't; a VLD underneath only learns when blocks are reused. *)
+
+val fsync : t -> string -> (Vlog_util.Breakdown.t, error) result
+(** Flush the file's dirty data blocks, sorted by address. *)
+
+val sync : t -> Vlog_util.Breakdown.t
+(** Flush all dirty blocks, elevator-sorted — the best case for what
+    disk-queue sorting of asynchronous writes can achieve (Section 5.2). *)
+
+val drop_caches : t -> unit
+(** Evict clean cached blocks (benchmark phase boundary). *)
+
+val exists : t -> string -> bool
+val file_size : t -> string -> (int, error) result
+val files : t -> string list
+
+val allocated_blocks : t -> int
+(** Data + metadata blocks in use, superblock and inode table included. *)
+
+val utilization : t -> float
+(** {!allocated_blocks} over the device size — what [df] reports. *)
+
+val device : t -> Blockdev.Device.t
+val block_bytes : t -> int

@@ -1,0 +1,1 @@
+lib/util/checksum.ml: Bytes Char Int64 Printf String

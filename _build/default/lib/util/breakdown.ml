@@ -1,0 +1,44 @@
+type t = { scsi : float; locate : float; transfer : float; other : float }
+
+let zero = { scsi = 0.; locate = 0.; transfer = 0.; other = 0. }
+let total t = t.scsi +. t.locate +. t.transfer +. t.other
+
+let add a b =
+  {
+    scsi = a.scsi +. b.scsi;
+    locate = a.locate +. b.locate;
+    transfer = a.transfer +. b.transfer;
+    other = a.other +. b.other;
+  }
+
+let scale k t =
+  { scsi = k *. t.scsi; locate = k *. t.locate; transfer = k *. t.transfer; other = k *. t.other }
+
+let of_scsi x = { zero with scsi = x }
+let of_locate x = { zero with locate = x }
+let of_transfer x = { zero with transfer = x }
+let of_other x = { zero with other = x }
+
+let fractions t =
+  let s = total t in
+  if s <= 0. then (0., 0., 0., 0.)
+  else (t.scsi /. s, t.locate /. s, t.transfer /. s, t.other /. s)
+
+let pp ppf t =
+  Format.fprintf ppf "scsi=%.3f locate=%.3f xfer=%.3f other=%.3f (total %.3f ms)"
+    t.scsi t.locate t.transfer t.other (total t)
+
+module Acc = struct
+  type breakdown = t
+  type nonrec t = { mutable sum : breakdown; mutable count : int }
+
+  let create () = { sum = zero; count = 0 }
+
+  let add t b =
+    t.sum <- add t.sum b;
+    t.count <- t.count + 1
+
+  let count t = t.count
+  let sum t = t.sum
+  let mean t = if t.count = 0 then zero else scale (1. /. float_of_int t.count) t.sum
+end

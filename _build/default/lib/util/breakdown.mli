@@ -1,0 +1,42 @@
+(** Latency breakdown in the four components of the paper's Figure 9.
+
+    Every disk request accounts its latency as SCSI command overhead,
+    mechanical positioning ("locate sectors": seek + rotation + head
+    switch), media transfer, and everything else (host file system and
+    simulator processing). *)
+
+type t = {
+  scsi : float;      (** SCSI command processing, ms *)
+  locate : float;    (** seek + rotational delay + head switches, ms *)
+  transfer : float;  (** media transfer time, ms *)
+  other : float;     (** host processing ("other" in Fig. 9), ms *)
+}
+
+val zero : t
+val total : t -> float
+val add : t -> t -> t
+val scale : float -> t -> t
+
+val of_scsi : float -> t
+val of_locate : float -> t
+val of_transfer : float -> t
+val of_other : float -> t
+
+val fractions : t -> float * float * float * float
+(** [(scsi, locate, transfer, other)] as fractions of the total; all zero
+    when the total is zero. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Mutable accumulator over many requests. *)
+module Acc : sig
+  type breakdown := t
+  type t
+
+  val create : unit -> t
+  val add : t -> breakdown -> unit
+  val count : t -> int
+  val sum : t -> breakdown
+  val mean : t -> breakdown
+  (** Per-request mean breakdown; {!zero} when empty. *)
+end

@@ -1,0 +1,37 @@
+type t = int64
+
+let empty = 0xCBF29CE484222325L
+let prime = 0x100000001B3L
+
+let add_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let add_bytes h buf =
+  let h = ref h in
+  for i = 0 to Bytes.length buf - 1 do
+    h := add_byte !h (Char.code (Bytes.unsafe_get buf i))
+  done;
+  !h
+
+let add_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := add_byte !h (Char.code c)) s;
+  !h
+
+let add_int h x =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := add_byte !h ((x lsr (shift * 8)) land 0xff)
+  done;
+  !h
+
+let add_int64 h x =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := add_byte !h (Int64.to_int (Int64.shift_right_logical x (shift * 8)))
+  done;
+  !h
+
+let bytes buf = add_bytes empty buf
+let string s = add_string empty s
+let to_hex t = Printf.sprintf "%016Lx" t

@@ -1,0 +1,25 @@
+(** 64-bit FNV-1a checksums.
+
+    Used by the virtual log to validate the landing-zone tail record and to
+    "cryptographically sign" map sectors so the full-scan recovery fallback
+    can recognize them.  FNV-1a is obviously not a cryptographic hash; it
+    stands in for one here exactly as the simulated disk stands in for
+    hardware — the recovery logic only needs a detector for corrupt or
+    foreign sectors. *)
+
+type t = int64
+
+val empty : t
+(** The FNV-1a offset basis. *)
+
+val add_bytes : t -> Bytes.t -> t
+val add_string : t -> string -> t
+val add_int : t -> int -> t
+val add_int64 : t -> int64 -> t
+
+val bytes : Bytes.t -> t
+(** One-shot digest of a byte buffer. *)
+
+val string : string -> t
+
+val to_hex : t -> string

@@ -1,0 +1,11 @@
+type t = { mutable now : float }
+
+let create () = { now = 0. }
+let now t = t.now
+
+let advance t dt =
+  if dt < 0. then invalid_arg "Clock.advance: negative duration";
+  t.now <- t.now +. dt
+
+let advance_to t when_ = if when_ > t.now then t.now <- when_
+let reset t = t.now <- 0.

@@ -1,0 +1,20 @@
+(** Simulated wall clock.
+
+    All components of the simulator share one clock and advance it as they
+    consume simulated time.  Time is a [float] count of milliseconds since
+    the start of the run — the unit the paper reports latencies in. *)
+
+type t
+
+val create : unit -> t
+(** A clock at time 0. *)
+
+val now : t -> float
+val advance : t -> float -> unit
+(** [advance t dt] moves time forward by [dt] ms. Requires [dt >= 0.]. *)
+
+val advance_to : t -> float -> unit
+(** [advance_to t when_] moves time forward to [when_] if it is in the
+    future; a [when_] in the past is a no-op (the event already fits). *)
+
+val reset : t -> unit

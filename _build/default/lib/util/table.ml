@@ -1,0 +1,53 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  let ncols = List.length t.columns in
+  let nrow = List.length row in
+  if nrow > ncols then invalid_arg "Table.add_row: more cells than columns";
+  let padded = row @ List.init (ncols - nrow) (fun _ -> "") in
+  t.rows <- t.rows @ [ padded ]
+
+let render t =
+  let all = t.columns :: t.rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter measure all;
+  let buf = Buffer.create 256 in
+  let pad i cell =
+    let w = widths.(i) in
+    let n = String.length cell in
+    cell ^ String.make (w - n) ' '
+  in
+  let render_row row =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad i cell))
+      row;
+    Buffer.add_string buf " |\n"
+  in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter (fun w -> Buffer.add_string buf (String.make (w + 2) '-'); Buffer.add_char buf '+') widths;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  rule ();
+  render_row t.columns;
+  rule ();
+  List.iter render_row t.rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_f ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_ms x = Printf.sprintf "%.3f ms" x
+let cell_x x = Printf.sprintf "%.1fx" x
+let cell_pct x = Printf.sprintf "%.1f%%" (100. *. x)

@@ -1,0 +1,27 @@
+(** Plain-text table rendering for experiment output.
+
+    Experiments print paper-style tables: a header row, aligned columns,
+    and an optional caption.  Cells are strings; helpers format the common
+    numeric cases. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer rows
+    raise [Invalid_argument]. *)
+
+val render : t -> string
+val print : t -> unit
+
+val cell_f : ?decimals:int -> float -> string
+(** Fixed-point float cell (default 2 decimals). *)
+
+val cell_ms : float -> string
+(** Milliseconds with 3 decimals and an [ms] suffix. *)
+
+val cell_x : float -> string
+(** Speedup factor, e.g. [5.1x]. *)
+
+val cell_pct : float -> string
+(** Fraction rendered as a percentage, e.g. [0.42] -> [42.0%]. *)

@@ -1,0 +1,1 @@
+lib/vlog/compactor.ml: Array Clock Disk Eager Freemap Fun List Prng Virtual_log Vlog_util

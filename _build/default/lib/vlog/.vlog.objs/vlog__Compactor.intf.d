@@ -1,0 +1,1 @@
+lib/vlog/compactor.mli: Virtual_log Vlog_util

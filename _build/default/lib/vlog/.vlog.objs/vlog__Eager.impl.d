@@ -1,0 +1,1 @@
+lib/vlog/eager.ml: Clock Disk Freemap Fun List Option Vlog_util

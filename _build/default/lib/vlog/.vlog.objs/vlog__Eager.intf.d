@@ -1,0 +1,1 @@
+lib/vlog/eager.mli: Disk Freemap

@@ -1,0 +1,1 @@
+lib/vlog/freemap.ml: Array Bytes Disk Prng Vlog_util

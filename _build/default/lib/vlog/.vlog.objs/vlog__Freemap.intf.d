@@ -1,0 +1,1 @@
+lib/vlog/freemap.mli: Disk Vlog_util

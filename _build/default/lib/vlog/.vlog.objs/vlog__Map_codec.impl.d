@@ -1,0 +1,1 @@
+lib/vlog/map_codec.ml: Array Bytes Checksum Int32 List Vlog_util

@@ -1,0 +1,1 @@
+lib/vlog/map_codec.mli: Bytes

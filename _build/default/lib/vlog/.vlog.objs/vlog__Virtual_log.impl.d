@@ -1,0 +1,1 @@
+lib/vlog/virtual_log.ml: Array Breakdown Bytes Disk Eager Freemap Hashtbl Int64 List Map_codec Option Printf String Vlog_util

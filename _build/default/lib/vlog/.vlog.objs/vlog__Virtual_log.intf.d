@@ -1,0 +1,1 @@
+lib/vlog/virtual_log.mli: Disk Eager Freemap Vlog_util

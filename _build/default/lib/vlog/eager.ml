@@ -1,0 +1,208 @@
+open Vlog_util
+
+type mode = Nearest | Sweep
+
+type t = {
+  disk : Disk.Disk_sim.t;
+  freemap : Freemap.t;
+  mode : mode;
+  switch_free_fraction : float;
+  mutable empty_tracks : int list;
+  mutable active_track : int option;
+  mutable exclusion : (int -> bool) option;
+  mutable soft_exclusion : (int -> bool) option;
+}
+
+let create ?(mode = Sweep) ?(switch_free_fraction = 0.25) ~disk ~freemap () =
+  if switch_free_fraction < 0. || switch_free_fraction >= 1. then
+    invalid_arg "Eager.create: switch_free_fraction must be in [0,1)";
+  {
+    disk;
+    freemap;
+    mode;
+    switch_free_fraction;
+    empty_tracks = [];
+    active_track = None;
+    exclusion = None;
+    soft_exclusion = None;
+  }
+
+let mode t = t.mode
+let freemap t = t.freemap
+
+let no_exclusion _ = false
+
+let surface t track = Freemap.track_in_cylinder t.freemap track
+let cylinder t track = Freemap.cylinder_of_track t.freemap track
+
+let track_move_cost t track =
+  Disk.Disk_sim.move_cost t.disk ~cyl:(cylinder t track) ~track:(surface t track)
+
+(* Cheapest (move + rotation) free block of one track; [None] if the track
+   has no free block.  [lead_time] models delay (e.g. SCSI processing)
+   before the mechanical access can start. *)
+let best_in_track t ~lead_time track =
+  if Freemap.free_in_track t.freemap track = 0 then None
+  else begin
+    let move = track_move_cost t track in
+    let arrival = Clock.now (Disk.Disk_sim.clock t.disk) +. lead_time +. move in
+    let consider best block =
+      let sector = Freemap.start_sector_of_block t.freemap block in
+      let rot =
+        Disk.Disk_sim.rotational_delay_to t.disk ~track_index:track ~sector ~at:arrival
+      in
+      let cost = move +. rot in
+      match best with
+      | Some (c, _) when c <= cost -> best
+      | _ -> Some (cost, block)
+    in
+    Freemap.fold_free_in_track t.freemap ~track ~init:None ~f:consider
+  end
+
+let locate_cost t block =
+  let track = Freemap.track_of_block t.freemap block in
+  let move = track_move_cost t track in
+  let arrival = Clock.now (Disk.Disk_sim.clock t.disk) +. move in
+  let sector = Freemap.start_sector_of_block t.freemap block in
+  move +. Disk.Disk_sim.rotational_delay_to t.disk ~track_index:track ~sector ~at:arrival
+
+(* Greedy nearest-free-block search over cylinders, per the mode's
+   ordering, skipping cylinders whose bare seek cost already exceeds the
+   best candidate. *)
+let greedy t ~exclude_tracks ~lead_time =
+  let g = Freemap.geometry t.freemap in
+  let cylinders = g.Disk.Geometry.cylinders in
+  let tpc = g.Disk.Geometry.tracks_per_cylinder in
+  let cur = Disk.Disk_sim.current_cylinder t.disk in
+  let profile = Disk.Disk_sim.profile t.disk in
+  let best = ref None in
+  let eval_cylinder c =
+    let lower_bound = Disk.Profile.seek_ms profile (abs (c - cur)) in
+    let skip = match !best with Some (cost, _) -> lower_bound >= cost | None -> false in
+    if not skip then
+      for s = 0 to tpc - 1 do
+        let track = (c * tpc) + s in
+        if not (exclude_tracks track) then
+          match best_in_track t ~lead_time track with
+          | None -> ()
+          | Some (cost, block) -> (
+            match !best with
+            | Some (c0, _) when c0 <= cost -> ()
+            | _ -> best := Some (cost, block))
+      done
+  in
+  let order =
+    match t.mode with
+    | Nearest ->
+      (* current cylinder, then +/-1, +/-2, ... *)
+      let rec go d acc =
+        if d >= cylinders then List.rev acc
+        else
+          let acc = if cur + d < cylinders then (cur + d) :: acc else acc in
+          let acc = if d > 0 && cur - d >= 0 then (cur - d) :: acc else acc in
+          go (d + 1) acc
+      in
+      go 0 []
+    | Sweep -> List.init cylinders (fun d -> (cur + d) mod cylinders)
+  in
+  List.iter eval_cylinder order;
+  Option.map snd !best
+
+let still_empty t track =
+  Freemap.free_in_track t.freemap track = Freemap.blocks_per_track t.freemap
+
+let free_fraction t track =
+  float_of_int (Freemap.free_in_track t.freemap track)
+  /. float_of_int (Freemap.blocks_per_track t.freemap)
+
+(* Pop the nearest usable empty track off the list. *)
+let next_empty_track t ~exclude_tracks =
+  let usable tr = still_empty t tr && not (exclude_tracks tr) in
+  let candidates = List.filter usable t.empty_tracks in
+  t.empty_tracks <- candidates;
+  match candidates with
+  | [] -> None
+  | candidates ->
+    let cost tr = track_move_cost t tr in
+    let nearest =
+      List.fold_left
+        (fun acc tr ->
+          match acc with Some best when cost best <= cost tr -> acc | _ -> Some tr)
+        None candidates
+    in
+    (match nearest with
+    | None -> None
+    | Some tr ->
+      t.empty_tracks <- List.filter (fun x -> x <> tr) t.empty_tracks;
+      Some tr)
+
+let rec from_active_track t ~exclude_tracks ~lead_time =
+  match t.active_track with
+  | Some tr
+    when (not (exclude_tracks tr))
+         && free_fraction t tr > t.switch_free_fraction
+         && Freemap.free_in_track t.freemap tr > 0 ->
+    Option.map snd (best_in_track t ~lead_time tr)
+  | Some _ ->
+    t.active_track <- None;
+    from_active_track t ~exclude_tracks ~lead_time
+  | None -> (
+    match next_empty_track t ~exclude_tracks with
+    | Some tr ->
+      t.active_track <- Some tr;
+      Option.map snd (best_in_track t ~lead_time tr)
+    | None -> None)
+
+let choose ?(exclude_tracks = no_exclusion) ?(greedy_only = false) ?(lead_time = 0.) t =
+  let hard =
+    match t.exclusion with
+    | None -> exclude_tracks
+    | Some masked -> fun tr -> masked tr || exclude_tracks tr
+  in
+  let attempt exclude_tracks =
+    if Freemap.free_total t.freemap = 0 then None
+    else
+      let filled =
+        if greedy_only then None else from_active_track t ~exclude_tracks ~lead_time
+      in
+      match filled with
+      | Some _ as r -> r
+      | None -> greedy t ~exclude_tracks ~lead_time
+  in
+  match t.soft_exclusion with
+  | None -> attempt hard
+  | Some soft -> (
+    (* Prefer honoring the soft mask; fall back to the hard mask alone
+       when nothing else is free. *)
+    match attempt (fun tr -> hard tr || soft tr) with
+    | Some _ as r -> r
+    | None -> attempt hard)
+
+let active_track t = t.active_track
+
+let with_exclusion t masked f =
+  let saved = t.exclusion in
+  let combined =
+    match saved with None -> masked | Some prev -> fun tr -> prev tr || masked tr
+  in
+  t.exclusion <- Some combined;
+  Fun.protect ~finally:(fun () -> t.exclusion <- saved) f
+
+let with_soft_exclusion t masked f =
+  let saved = t.soft_exclusion in
+  let combined =
+    match saved with None -> masked | Some prev -> fun tr -> prev tr || masked tr
+  in
+  t.soft_exclusion <- Some combined;
+  Fun.protect ~finally:(fun () -> t.soft_exclusion <- saved) f
+
+let note_empty_track t track =
+  if still_empty t track && not (List.mem track t.empty_tracks) then
+    t.empty_tracks <- t.empty_tracks @ [ track ]
+
+let rescan_empty_tracks t =
+  t.active_track <- None;
+  t.empty_tracks <- Freemap.empty_tracks t.freemap
+
+let empty_track_count t =
+  List.length (List.filter (still_empty t) t.empty_tracks)

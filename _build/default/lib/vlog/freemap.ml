@@ -1,0 +1,120 @@
+open Vlog_util
+
+type t = {
+  geometry : Disk.Geometry.t;
+  sectors_per_block : int;
+  blocks_per_track : int;
+  n_blocks : int;
+  n_tracks : int;
+  occupied : Bytes.t;
+  free_per_track : int array;
+  mutable free_total : int;
+}
+
+let create ~geometry ~sectors_per_block =
+  let spt = geometry.Disk.Geometry.sectors_per_track in
+  if sectors_per_block <= 0 || spt mod sectors_per_block <> 0 then
+    invalid_arg "Freemap.create: sectors_per_block must divide sectors_per_track";
+  let blocks_per_track = spt / sectors_per_block in
+  let n_tracks = Disk.Geometry.total_tracks geometry in
+  let n_blocks = blocks_per_track * n_tracks in
+  {
+    geometry;
+    sectors_per_block;
+    blocks_per_track;
+    n_blocks;
+    n_tracks;
+    occupied = Bytes.make n_blocks '\000';
+    free_per_track = Array.make n_tracks blocks_per_track;
+    free_total = n_blocks;
+  }
+
+let geometry t = t.geometry
+let sectors_per_block t = t.sectors_per_block
+let blocks_per_track t = t.blocks_per_track
+let n_blocks t = t.n_blocks
+let n_tracks t = t.n_tracks
+
+let check t b =
+  if b < 0 || b >= t.n_blocks then invalid_arg "Freemap: block index out of range"
+
+let lba_of_block t b =
+  check t b;
+  b * t.sectors_per_block
+
+let block_of_lba t lba =
+  let b = lba / t.sectors_per_block in
+  check t b;
+  b
+
+let track_of_block t b =
+  check t b;
+  b / t.blocks_per_track
+
+let start_sector_of_block t b =
+  check t b;
+  b mod t.blocks_per_track * t.sectors_per_block
+
+let cylinder_of_track t track = track / t.geometry.Disk.Geometry.tracks_per_cylinder
+let track_in_cylinder t track = track mod t.geometry.Disk.Geometry.tracks_per_cylinder
+
+let is_free t b =
+  check t b;
+  Bytes.get t.occupied b = '\000'
+
+let occupy t b =
+  check t b;
+  if Bytes.get t.occupied b <> '\000' then invalid_arg "Freemap.occupy: block already occupied";
+  Bytes.set t.occupied b '\001';
+  let tr = b / t.blocks_per_track in
+  t.free_per_track.(tr) <- t.free_per_track.(tr) - 1;
+  t.free_total <- t.free_total - 1
+
+let release t b =
+  check t b;
+  if Bytes.get t.occupied b = '\000' then invalid_arg "Freemap.release: block already free";
+  Bytes.set t.occupied b '\000';
+  let tr = b / t.blocks_per_track in
+  t.free_per_track.(tr) <- t.free_per_track.(tr) + 1;
+  t.free_total <- t.free_total + 1
+
+let free_total t = t.free_total
+let free_in_track t track = t.free_per_track.(track)
+let occupied_in_track t track = t.blocks_per_track - t.free_per_track.(track)
+let utilization t = 1. -. (float_of_int t.free_total /. float_of_int t.n_blocks)
+
+let fold_free_in_track t ~track ~init ~f =
+  let base = track * t.blocks_per_track in
+  let acc = ref init in
+  for i = base to base + t.blocks_per_track - 1 do
+    if Bytes.get t.occupied i = '\000' then acc := f !acc i
+  done;
+  !acc
+
+let empty_tracks t =
+  let rec go tr acc =
+    if tr < 0 then acc
+    else if t.free_per_track.(tr) = t.blocks_per_track then go (tr - 1) (tr :: acc)
+    else go (tr - 1) acc
+  in
+  go (t.n_tracks - 1) []
+
+let random_occupy t prng ~utilization:target =
+  if target < 0. || target > 1. then invalid_arg "Freemap.random_occupy: bad utilization";
+  let want_occupied = int_of_float (target *. float_of_int t.n_blocks) in
+  let have_occupied = t.n_blocks - t.free_total in
+  let need = want_occupied - have_occupied in
+  if need > 0 then begin
+    let free = Array.make t.free_total 0 in
+    let j = ref 0 in
+    for b = 0 to t.n_blocks - 1 do
+      if Bytes.get t.occupied b = '\000' then begin
+        free.(!j) <- b;
+        incr j
+      end
+    done;
+    Prng.shuffle prng free;
+    for i = 0 to min need (Array.length free) - 1 do
+      occupy t free.(i)
+    done
+  end

@@ -1,0 +1,55 @@
+(** Physical-block occupancy tracking for eager writing.
+
+    The disk is divided into fixed-size allocation units ("physical
+    blocks") of a whole number of sectors; blocks never straddle a track
+    boundary (enforced at creation).  The freemap knows, per track and
+    globally, which blocks are free — the eager allocator and the
+    compactor both work against it. *)
+
+type t
+
+val create : geometry:Disk.Geometry.t -> sectors_per_block:int -> t
+(** All blocks free.  Requires [sectors_per_track mod sectors_per_block = 0]. *)
+
+val geometry : t -> Disk.Geometry.t
+val sectors_per_block : t -> int
+val blocks_per_track : t -> int
+val n_blocks : t -> int
+val n_tracks : t -> int
+
+val lba_of_block : t -> int -> int
+(** First sector of a block. *)
+
+val block_of_lba : t -> int -> int
+val track_of_block : t -> int -> int
+val start_sector_of_block : t -> int -> int
+(** Sector offset of the block within its track. *)
+
+val cylinder_of_track : t -> int -> int
+val track_in_cylinder : t -> int -> int
+(** Surface index of a global track. *)
+
+val is_free : t -> int -> bool
+val occupy : t -> int -> unit
+(** Raises [Invalid_argument] if the block is already occupied — callers
+    must never double-allocate. *)
+
+val release : t -> int -> unit
+(** Raises [Invalid_argument] if the block is already free. *)
+
+val free_total : t -> int
+val free_in_track : t -> int -> int
+val occupied_in_track : t -> int -> int
+val utilization : t -> float
+(** Occupied fraction of all blocks. *)
+
+val fold_free_in_track : t -> track:int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** Fold [f] over the free block indices of a track. *)
+
+val empty_tracks : t -> int list
+(** Tracks with every block free, ascending. *)
+
+val random_occupy : t -> Vlog_util.Prng.t -> utilization:float -> unit
+(** Occupy a uniformly random subset of the currently free blocks so the
+    overall utilization reaches the target; used by the model-validation
+    experiments to create random free-space distributions. *)

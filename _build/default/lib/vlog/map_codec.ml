@@ -1,0 +1,140 @@
+open Vlog_util
+
+type ptr = { pba : int; seq : int64 }
+type kind = Node | Checkpoint
+
+type node = {
+  seq : int64;
+  piece : int;
+  kind : kind;
+  txn_id : int64;
+  txn_commit : bool;
+  ptrs : ptr list;
+  entries : int array;
+}
+
+let node_magic = "VLOGMAP\001"
+let tail_magic = "VLOGTAIL"
+let max_ptrs = 16
+let header_bytes = 36
+let ptr_bytes = 12
+let checksum_bytes = 8
+
+let max_entries ~block_bytes =
+  (block_bytes - header_bytes - (max_ptrs * ptr_bytes) - checksum_bytes) / 4
+
+let put_checksum buf =
+  let body = Bytes.sub buf 0 (Bytes.length buf - checksum_bytes) in
+  Bytes.set_int64_le buf (Bytes.length buf - checksum_bytes) (Checksum.bytes body)
+
+let checksum_ok buf =
+  let body = Bytes.sub buf 0 (Bytes.length buf - checksum_bytes) in
+  Bytes.get_int64_le buf (Bytes.length buf - checksum_bytes) = Checksum.bytes body
+
+let encode_node ~block_bytes n =
+  let n_ptrs = List.length n.ptrs in
+  let n_entries = Array.length n.entries in
+  let need = header_bytes + (n_ptrs * ptr_bytes) + (n_entries * 4) + checksum_bytes in
+  if n_ptrs > max_ptrs then invalid_arg "Map_codec.encode_node: too many pointers";
+  if need > block_bytes then invalid_arg "Map_codec.encode_node: node does not fit";
+  let buf = Bytes.make block_bytes '\000' in
+  Bytes.blit_string node_magic 0 buf 0 8;
+  Bytes.set_int64_le buf 8 n.seq;
+  Bytes.set_int32_le buf 16 (Int32.of_int n.piece);
+  Bytes.set buf 20 (match n.kind with Node -> '\000' | Checkpoint -> '\001');
+  Bytes.set buf 21 (if n.txn_commit then '\001' else '\000');
+  Bytes.set_uint16_le buf 22 n_ptrs;
+  Bytes.set_int64_le buf 24 n.txn_id;
+  Bytes.set_int32_le buf 32 (Int32.of_int n_entries);
+  List.iteri
+    (fun i p ->
+      let off = header_bytes + (i * ptr_bytes) in
+      Bytes.set_int32_le buf off (Int32.of_int p.pba);
+      Bytes.set_int64_le buf (off + 4) p.seq)
+    n.ptrs;
+  let entries_off = header_bytes + (n_ptrs * ptr_bytes) in
+  Array.iteri
+    (fun i e -> Bytes.set_int32_le buf (entries_off + (i * 4)) (Int32.of_int (e + 1)))
+    n.entries;
+  put_checksum buf;
+  buf
+
+let decode_node buf =
+  let len = Bytes.length buf in
+  if len < header_bytes + checksum_bytes then None
+  else if Bytes.sub_string buf 0 8 <> node_magic then None
+  else if not (checksum_ok buf) then None
+  else begin
+    let n_ptrs = Bytes.get_uint16_le buf 22 in
+    let n_entries = Int32.to_int (Bytes.get_int32_le buf 32) in
+    let need = header_bytes + (n_ptrs * ptr_bytes) + (n_entries * 4) + checksum_bytes in
+    if n_ptrs > max_ptrs || n_entries < 0 || need > len then None
+    else begin
+      let kind =
+        match Bytes.get buf 20 with '\001' -> Checkpoint | _ -> Node
+      in
+      let ptrs =
+        List.init n_ptrs (fun i ->
+            let off = header_bytes + (i * ptr_bytes) in
+            {
+              pba = Int32.to_int (Bytes.get_int32_le buf off);
+              seq = Bytes.get_int64_le buf (off + 4);
+            })
+      in
+      let entries_off = header_bytes + (n_ptrs * ptr_bytes) in
+      let entries =
+        Array.init n_entries (fun i ->
+            Int32.to_int (Bytes.get_int32_le buf (entries_off + (i * 4))) - 1)
+      in
+      Some
+        {
+          seq = Bytes.get_int64_le buf 8;
+          piece = Int32.to_int (Bytes.get_int32_le buf 16);
+          kind;
+          txn_id = Bytes.get_int64_le buf 24;
+          txn_commit = Bytes.get buf 21 = '\001';
+          ptrs;
+          entries;
+        }
+    end
+  end
+
+type tail = {
+  root_pba : int;
+  root_seq : int64;
+  n_pieces : int;
+  entries_per_piece : int;
+  logical_blocks : int;
+  sectors_per_block : int;
+}
+
+let encode_tail ~block_bytes t =
+  if block_bytes < 48 then invalid_arg "Map_codec.encode_tail: block too small";
+  let buf = Bytes.make block_bytes '\000' in
+  Bytes.blit_string tail_magic 0 buf 0 8;
+  Bytes.set_int32_le buf 8 (Int32.of_int t.root_pba);
+  Bytes.set_int64_le buf 12 t.root_seq;
+  Bytes.set_int32_le buf 20 (Int32.of_int t.n_pieces);
+  Bytes.set_int32_le buf 24 (Int32.of_int t.entries_per_piece);
+  Bytes.set_int32_le buf 28 (Int32.of_int t.logical_blocks);
+  Bytes.set_int32_le buf 32 (Int32.of_int t.sectors_per_block);
+  put_checksum buf;
+  buf
+
+let decode_tail buf =
+  let len = Bytes.length buf in
+  if len < 48 then None
+  else if Bytes.sub_string buf 0 8 <> tail_magic then None
+  else if not (checksum_ok buf) then None
+  else
+    Some
+      {
+        root_pba = Int32.to_int (Bytes.get_int32_le buf 8);
+        root_seq = Bytes.get_int64_le buf 12;
+        n_pieces = Int32.to_int (Bytes.get_int32_le buf 20);
+        entries_per_piece = Int32.to_int (Bytes.get_int32_le buf 24);
+        logical_blocks = Int32.to_int (Bytes.get_int32_le buf 28);
+        sectors_per_block = Int32.to_int (Bytes.get_int32_le buf 32);
+      }
+
+let cleared_tail ~block_bytes = Bytes.make block_bytes '\000'

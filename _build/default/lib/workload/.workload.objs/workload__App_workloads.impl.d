@@ -1,0 +1,1 @@
+lib/workload/app_workloads.ml: Bytes Hashtbl Printf Prng Queue Setup Stats Vlog_util

@@ -1,0 +1,1 @@
+lib/workload/large_file.ml: Bytes Prng Setup Vlog_util

@@ -1,0 +1,1 @@
+lib/workload/large_file.mli: Setup

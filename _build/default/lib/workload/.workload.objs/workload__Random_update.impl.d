@@ -1,0 +1,1 @@
+lib/workload/random_update.ml: Breakdown Bytes Clock Prng Setup Vlog_util

@@ -1,0 +1,1 @@
+lib/workload/random_update.mli: Setup Vlog_util

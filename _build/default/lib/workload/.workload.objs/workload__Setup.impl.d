@@ -1,0 +1,1 @@
+lib/workload/setup.ml: Blockdev Breakdown Bytes Clock Disk Format Lfs Printf Prng Ufs Vlfs Vlog Vlog_util

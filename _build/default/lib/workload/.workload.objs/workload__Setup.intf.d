@@ -1,0 +1,1 @@
+lib/workload/setup.mli: Blockdev Bytes Disk Host Vlog Vlog_util

@@ -1,0 +1,1 @@
+lib/workload/small_file.ml: Bytes Printf Setup

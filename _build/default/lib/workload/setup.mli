@@ -1,0 +1,58 @@
+(** Experiment rigs: the four file-system/disk combinations of Figure 5,
+    assembled behind one operations record so benchmark drivers are
+    agnostic to what they drive. *)
+
+type fs_choice =
+  | UFS of { sync_data : bool }
+  | LFS of { buffer_blocks : int }
+      (** [buffer_blocks] is the write buffer ("NVRAM") size in 4 KB
+          blocks; the paper uses 6.1 MB = 1561 blocks. *)
+  | VLFS of { sync_writes : bool }
+      (** the Section 3.3 file system, integrated with the drive; the
+          [dev] choice is ignored (VLFS {e is} the disk firmware) *)
+
+type dev_choice = Regular | VLD
+
+(** Uniform file-system interface.  Operations raise [Failure] on file
+    system errors — in a benchmark an error is a configuration bug. *)
+type ops = {
+  label : string;
+  create : string -> Vlog_util.Breakdown.t;
+  write : string -> off:int -> Bytes.t -> Vlog_util.Breakdown.t;
+  read : string -> off:int -> len:int -> Bytes.t * Vlog_util.Breakdown.t;
+  delete : string -> Vlog_util.Breakdown.t;
+  sync : unit -> Vlog_util.Breakdown.t;
+  drop_caches : unit -> unit;
+  idle : float -> unit;
+      (** Grant an idle window of the given length and advance the clock
+          to its end: LFS cleans and background-flushes, a VLD compacts. *)
+  utilization : unit -> float;  (** the [df] number *)
+}
+
+type t = {
+  clock : Vlog_util.Clock.t;
+  disk : Disk.Disk_sim.t;
+  dev : Blockdev.Device.t;
+  ops : ops;
+  vld : Blockdev.Vld.t option;
+  prng : Vlog_util.Prng.t;
+}
+
+val make :
+  ?seed:int64 ->
+  ?cylinders:int ->
+  ?vld_eager_mode:Vlog.Eager.mode ->
+  ?vld_compaction:Vlog.Compactor.target_policy ->
+  profile:Disk.Profile.t ->
+  host:Host.t ->
+  fs:fs_choice ->
+  dev:dev_choice ->
+  unit ->
+  t
+(** Build a fresh rig.  [cylinders] overrides the simulated slice size
+    (default: the profile's own — the paper's 24 MB); the [vld_*]
+    parameters select allocator / compactor policy variants for the
+    ablation benches. *)
+
+val elapsed : t -> (unit -> 'a) -> 'a * float
+(** Run a closure and report the simulated milliseconds it consumed. *)

@@ -1,0 +1,1 @@
+test/test_blockdev.ml: Alcotest Array Blockdev Bytes Char Clock Device Disk Gen Hashtbl List Printf Prng QCheck QCheck_alcotest Regular_disk Test Vld Vlog Vlog_util

@@ -1,0 +1,1 @@
+test/test_crash_sweep.ml: Alcotest Array Bytes Char Clock Disk Eager Format Freemap Hashtbl Host List Option Printf Prng Virtual_log Vlfs Vlog Vlog_util

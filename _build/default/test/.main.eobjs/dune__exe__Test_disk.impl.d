@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Breakdown Bytes Char Clock Disk Disk_sim Geometry List Printf Prng Profile QCheck QCheck_alcotest Sector_store Test Track_buffer Vlog_util

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Ablations Alcotest Apps Disk Experiments Fig1 Fig10 Fig11 Fig2 Fig6 Fig7 Fig8 Float List Models Printf Rigs String Table1 Tech_trends Vlfs_bench Vlog_util Workload

@@ -1,0 +1,1 @@
+test/test_lfs.ml: Alcotest Blockdev Bytes Char Clock Disk Format Gen Hashtbl Host Lfs List Printf Prng QCheck QCheck_alcotest Test Vlog_util

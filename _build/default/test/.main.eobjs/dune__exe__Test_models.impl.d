@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Compactor_model Cylinder_model Disk List Models Printf QCheck QCheck_alcotest Test Track_model

@@ -1,0 +1,1 @@
+test/test_ufs.ml: Alcotest Blockdev Breakdown Bytes Char Clock Disk Format Gen Hashtbl Host List Printf Prng QCheck QCheck_alcotest Test Ufs Vlog_util

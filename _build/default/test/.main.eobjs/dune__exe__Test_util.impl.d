@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Breakdown Bytes Checksum Clock Fun Gen List Prng QCheck QCheck_alcotest Stats String Table Test Vlog_util

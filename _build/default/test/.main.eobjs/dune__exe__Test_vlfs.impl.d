@@ -1,0 +1,1 @@
+test/test_vlfs.ml: Alcotest Bytes Char Clock Disk Format Gen Hashtbl Host List Printf Prng QCheck QCheck_alcotest Test Vlfs Vlog Vlog_util

@@ -1,0 +1,1 @@
+test/test_vlog_extra.ml: Alcotest Breakdown Bytes Char Clock Compactor Disk Eager Freemap List Option Printf Prng Result Virtual_log Vlog Vlog_util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Breakdown Bytes Clock Disk Host List Printf Vlog_util Workload

@@ -1,0 +1,211 @@
+open Vlog_util
+open Blockdev
+
+let profile = Disk.Profile.with_cylinders Disk.Profile.st19101 4
+
+let make_regular () =
+  let clock = Clock.create () in
+  let disk = Disk.Disk_sim.create ~profile ~clock () in
+  (Regular_disk.device (Regular_disk.create ~disk ()), clock)
+
+let make_vld ?(logical_blocks = 1500) () =
+  let clock = Clock.create () in
+  let disk =
+    Disk.Disk_sim.create ~buffer_policy:Disk.Track_buffer.Whole_track ~profile ~clock ()
+  in
+  let prng = Prng.create ~seed:21L in
+  let vld = Vld.create ~disk ~logical_blocks ~prng () in
+  (vld, Vld.device vld, clock)
+
+let block_of_tag dev tag = Bytes.make dev.Device.block_bytes tag
+
+let roundtrip dev =
+  let b = block_of_tag dev 'k' in
+  ignore (dev.Device.write 11 b);
+  let got, _ = dev.Device.read 11 in
+  Alcotest.(check bytes) "roundtrip" b got
+
+let test_regular_roundtrip () =
+  let dev, _ = make_regular () in
+  roundtrip dev
+
+let test_vld_roundtrip () =
+  let _, dev, _ = make_vld () in
+  roundtrip dev
+
+let test_unwritten_reads_zero () =
+  let _, dev, _ = make_vld () in
+  let got, _ = dev.Device.read 100 in
+  Alcotest.(check bytes) "zeros" (Bytes.make dev.Device.block_bytes '\000') got
+
+let test_run_roundtrip dev =
+  let n = 10 in
+  let buf =
+    Bytes.init (n * dev.Device.block_bytes) (fun i -> Char.chr (i / dev.Device.block_bytes + 48))
+  in
+  ignore (dev.Device.write_run 5 buf);
+  let got, _ = dev.Device.read_run 5 n in
+  Alcotest.(check bytes) "run roundtrip" buf got
+
+let test_regular_run () =
+  let dev, _ = make_regular () in
+  test_run_roundtrip dev
+
+let test_vld_run () =
+  let _, dev, _ = make_vld () in
+  test_run_roundtrip dev
+
+let test_vld_sync_write_faster_than_regular () =
+  (* The headline effect: random synchronous 4 KB updates are much faster
+     on the VLD than in place. *)
+  let reg_dev, reg_clock = make_regular () in
+  let _, vld_dev, vld_clock = make_vld ~logical_blocks:1800 () in
+  let prng = Prng.create ~seed:22L in
+  let b = Bytes.make 4096 'u' in
+  (* Prefill both with the same 600 logical blocks. *)
+  let targets = Array.init 600 (fun i -> i * 3) in
+  Array.iter (fun l -> ignore (reg_dev.Device.write l b)) targets;
+  Array.iter (fun l -> ignore (vld_dev.Device.write l b)) targets;
+  let t0r = Clock.now reg_clock and t0v = Clock.now vld_clock in
+  for _ = 1 to 300 do
+    let l = targets.(Prng.int prng 600) in
+    ignore (reg_dev.Device.write l b)
+  done;
+  let prng = Prng.create ~seed:22L in
+  for _ = 1 to 300 do
+    let l = targets.(Prng.int prng 600) in
+    ignore (vld_dev.Device.write l b)
+  done;
+  let reg_ms = Clock.now reg_clock -. t0r and vld_ms = Clock.now vld_clock -. t0v in
+  Alcotest.(check bool)
+    (Printf.sprintf "vld (%.1f ms) at least 2x faster than regular (%.1f ms)" vld_ms reg_ms)
+    true
+    (vld_ms *. 2. < reg_ms)
+
+let test_vld_trim_releases () =
+  let vld, dev, _ = make_vld () in
+  ignore (dev.Device.write 9 (block_of_tag dev 't'));
+  let fm = Vlog.Virtual_log.freemap (Vld.vlog vld) in
+  let used_before = Vlog.Freemap.n_blocks fm - Vlog.Freemap.free_total fm in
+  dev.Device.trim 9;
+  let used_after = Vlog.Freemap.n_blocks fm - Vlog.Freemap.free_total fm in
+  (* The data block is freed; the map write may consume nothing net. *)
+  Alcotest.(check bool) "space released" true (used_after <= used_before);
+  let got, _ = dev.Device.read 9 in
+  Alcotest.(check bytes) "reads zeros" (Bytes.make dev.Device.block_bytes '\000') got
+
+let test_vld_overwrite_detection () =
+  let vld, dev, _ = make_vld () in
+  let fm = Vlog.Virtual_log.freemap (Vld.vlog vld) in
+  ignore (dev.Device.write 3 (block_of_tag dev 'a'));
+  let used1 = Vlog.Freemap.n_blocks fm - Vlog.Freemap.free_total fm in
+  (* Overwriting the same logical address must not leak physical space. *)
+  for _ = 1 to 20 do
+    ignore (dev.Device.write 3 (block_of_tag dev 'b'))
+  done;
+  let used2 = Vlog.Freemap.n_blocks fm - Vlog.Freemap.free_total fm in
+  Alcotest.(check int) "no leak" used1 used2
+
+let test_vld_write_run_atomic_txn () =
+  let vld, dev, _ = make_vld () in
+  let before = (Vlog.Virtual_log.stats (Vld.vlog vld)).Vlog.Virtual_log.txns in
+  let buf = Bytes.make (8 * dev.Device.block_bytes) 'r' in
+  ignore (dev.Device.write_run 100 buf);
+  let after = (Vlog.Virtual_log.stats (Vld.vlog vld)).Vlog.Virtual_log.txns in
+  Alcotest.(check int) "one transaction" (before + 1) after
+
+let test_vld_power_down_recover_end_to_end () =
+  let clock = Clock.create () in
+  let disk =
+    Disk.Disk_sim.create ~buffer_policy:Disk.Track_buffer.Whole_track ~profile ~clock ()
+  in
+  let prng = Prng.create ~seed:23L in
+  let vld = Vld.create ~disk ~logical_blocks:500 ~prng () in
+  let dev = Vld.device vld in
+  let payload l = Bytes.init dev.Device.block_bytes (fun i -> Char.chr ((l + i) mod 256)) in
+  List.iter (fun l -> ignore (dev.Device.write l (payload l))) [ 0; 7; 200; 499 ];
+  ignore (Vld.power_down vld);
+  match Vld.recover ~disk ~prng () with
+  | Error e -> Alcotest.fail e
+  | Ok (vld2, report) ->
+    Alcotest.(check bool) "tail used" true report.Vlog.Virtual_log.used_tail;
+    let dev2 = Vld.device vld2 in
+    List.iter
+      (fun l ->
+        let got, _ = dev2.Device.read l in
+        Alcotest.(check bytes) "payload" (payload l) got)
+      [ 0; 7; 200; 499 ];
+    let got, _ = dev2.Device.read 42 in
+    Alcotest.(check bytes) "unwritten zero" (Bytes.make dev.Device.block_bytes '\000') got
+
+let test_vld_idle_compacts () =
+  let vld, dev, clock = make_vld ~logical_blocks:1800 () in
+  (* Fragment the disk. *)
+  for l = 0 to 1200 do
+    ignore (dev.Device.write l (block_of_tag dev 'f'))
+  done;
+  for l = 0 to 1200 do
+    if l mod 2 = 0 then dev.Device.trim l
+  done;
+  let before = (Vlog.Compactor.total (Vld.compactor vld)).Vlog.Compactor.blocks_moved in
+  Device.advance_idle ~clock dev 5000.;
+  let after = (Vlog.Compactor.total (Vld.compactor vld)).Vlog.Compactor.blocks_moved in
+  Alcotest.(check bool) "compacted during idle" true (after > before)
+
+let test_regular_idle_noop () =
+  let dev, clock = make_regular () in
+  Device.advance_idle ~clock dev 100.;
+  Alcotest.(check (float 1e-9)) "time advanced" 100. (Clock.now clock)
+
+let test_utilization_reporting () =
+  let _, dev, _ = make_vld ~logical_blocks:1000 () in
+  let u0 = dev.Device.utilization () in
+  for l = 0 to 499 do
+    ignore (dev.Device.write l (block_of_tag dev 'u'))
+  done;
+  let u1 = dev.Device.utilization () in
+  Alcotest.(check bool) "grew" true (u1 > u0 +. 0.2)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"vld random write/read matches model" ~count:20
+      (list_of_size Gen.(1 -- 60) (pair (int_range 0 199) (int_range 0 255)))
+      (fun ops ->
+        let _, dev, _ = make_vld ~logical_blocks:200 () in
+        let model = Hashtbl.create 32 in
+        List.iter
+          (fun (l, v) ->
+            let b = Bytes.make dev.Device.block_bytes (Char.chr v) in
+            ignore (dev.Device.write l b);
+            Hashtbl.replace model l v)
+          ops;
+        Hashtbl.fold
+          (fun l v ok ->
+            ok
+            &&
+            let got, _ = dev.Device.read l in
+            got = Bytes.make dev.Device.block_bytes (Char.chr v))
+          model true);
+  ]
+
+let suites =
+  [
+    ( "blockdev",
+      [
+        Alcotest.test_case "regular roundtrip" `Quick test_regular_roundtrip;
+        Alcotest.test_case "vld roundtrip" `Quick test_vld_roundtrip;
+        Alcotest.test_case "unwritten zero" `Quick test_unwritten_reads_zero;
+        Alcotest.test_case "regular run" `Quick test_regular_run;
+        Alcotest.test_case "vld run" `Quick test_vld_run;
+        Alcotest.test_case "vld faster on random sync" `Quick test_vld_sync_write_faster_than_regular;
+        Alcotest.test_case "trim releases" `Quick test_vld_trim_releases;
+        Alcotest.test_case "overwrite detection" `Quick test_vld_overwrite_detection;
+        Alcotest.test_case "write_run one txn" `Quick test_vld_write_run_atomic_txn;
+        Alcotest.test_case "power-down recover" `Quick test_vld_power_down_recover_end_to_end;
+        Alcotest.test_case "idle compacts" `Quick test_vld_idle_compacts;
+        Alcotest.test_case "regular idle noop" `Quick test_regular_idle_noop;
+        Alcotest.test_case "utilization" `Quick test_utilization_reporting;
+      ] );
+    ("blockdev:properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]

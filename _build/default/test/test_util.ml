@@ -1,0 +1,285 @@
+open Vlog_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---- Prng ---- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42L and b = Prng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_matters () =
+  let a = Prng.create ~seed:1L and b = Prng.create ~seed:2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_prng_split_independent () =
+  let parent = Prng.create ~seed:7L in
+  let child = Prng.split parent in
+  let c1 = Prng.next_int64 child in
+  (* Draw a lot from the parent; child continues its own stream. *)
+  let parent2 = Prng.create ~seed:7L in
+  let child2 = Prng.split parent2 in
+  Alcotest.(check int64) "child reproducible" c1 (Prng.next_int64 child2)
+
+let test_prng_int_range () =
+  let p = Prng.create ~seed:3L in
+  for _ = 1 to 10_000 do
+    let v = Prng.int p 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_rejects_bad_bound () =
+  let p = Prng.create ~seed:3L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int p 0))
+
+let test_prng_float_range () =
+  let p = Prng.create ~seed:4L in
+  for _ = 1 to 10_000 do
+    let v = Prng.float p 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_prng_uniformity () =
+  let p = Prng.create ~seed:9L in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Prng.int p 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = n / 10 in
+      Alcotest.(check bool) "roughly uniform" true (abs (c - expected) < expected / 5))
+    buckets
+
+let test_shuffle_permutes () =
+  let p = Prng.create ~seed:5L in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted
+
+let test_pick_member () =
+  let p = Prng.create ~seed:6L in
+  let a = [| 2; 4; 6; 8 |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (Array.mem (Prng.pick p a) a)
+  done
+
+(* ---- Stats ---- *)
+
+let test_mean () =
+  check_float "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  check_float "empty" 0. (Stats.mean [])
+
+let test_stddev () =
+  check_float "constant" 0. (Stats.stddev [ 5.; 5.; 5. ]);
+  check_float "spread" 1. (Stats.stddev [ 1.; 3.; 1.; 3. ])
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p50" 50. (Stats.percentile 0.5 xs);
+  check_float "p99" 99. (Stats.percentile 0.99 xs);
+  check_float "p100" 100. (Stats.percentile 1.0 xs)
+
+let test_percentile_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty list")
+    (fun () -> ignore (Stats.percentile 0.5 []))
+
+let test_summary () =
+  let s = Stats.summarize [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check int) "n" 4 s.Stats.n;
+  check_float "min" 1. s.Stats.min;
+  check_float "max" 4. s.Stats.max;
+  check_float "mean" 2.5 s.Stats.mean
+
+let test_acc_matches_list () =
+  let xs = List.init 1000 (fun i -> float_of_int (i * i) /. 7.) in
+  let acc = Stats.Acc.create () in
+  List.iter (Stats.Acc.add acc) xs;
+  Alcotest.(check (float 1e-6)) "mean" (Stats.mean xs) (Stats.Acc.mean acc);
+  Alcotest.(check (float 1e-6)) "stddev" (Stats.stddev xs) (Stats.Acc.stddev acc);
+  Alcotest.(check int) "n" 1000 (Stats.Acc.n acc)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~buckets:4 ~limit:4. in
+  List.iter (Stats.Histogram.add h) [ 0.5; 1.5; 1.7; 3.9; 7. ];
+  let counts = Stats.Histogram.bucket_counts h in
+  Alcotest.(check (array int)) "counts" [| 1; 2; 0; 1; 1 |] counts;
+  Alcotest.(check int) "total" 5 (Stats.Histogram.count h)
+
+(* ---- Checksum ---- *)
+
+let test_checksum_deterministic () =
+  Alcotest.(check int64) "same" (Checksum.string "hello") (Checksum.string "hello")
+
+let test_checksum_sensitive () =
+  Alcotest.(check bool) "differs" true (Checksum.string "hello" <> Checksum.string "hellp");
+  Alcotest.(check bool)
+    "order matters" true
+    (Checksum.string "ab" <> Checksum.string "ba")
+
+let test_checksum_incremental () =
+  let whole = Checksum.string "abcdef" in
+  let part = Checksum.add_string (Checksum.add_string Checksum.empty "abc") "def" in
+  Alcotest.(check int64) "incremental" whole part
+
+let test_checksum_int_encoding () =
+  Alcotest.(check bool) "int differs" true (Checksum.add_int Checksum.empty 1 <> Checksum.add_int Checksum.empty 256)
+
+(* ---- Breakdown ---- *)
+
+let test_breakdown_total () =
+  let b =
+    Breakdown.add
+      (Breakdown.add (Breakdown.of_scsi 1.) (Breakdown.of_locate 2.))
+      (Breakdown.add (Breakdown.of_transfer 3.) (Breakdown.of_other 4.))
+  in
+  check_float "total" 10. (Breakdown.total b);
+  let s, l, x, o = Breakdown.fractions b in
+  check_float "scsi frac" 0.1 s;
+  check_float "locate frac" 0.2 l;
+  check_float "xfer frac" 0.3 x;
+  check_float "other frac" 0.4 o
+
+let test_breakdown_zero_fractions () =
+  let s, l, x, o = Breakdown.fractions Breakdown.zero in
+  check_float "s" 0. s;
+  check_float "l" 0. l;
+  check_float "x" 0. x;
+  check_float "o" 0. o
+
+let test_breakdown_acc () =
+  let acc = Breakdown.Acc.create () in
+  Breakdown.Acc.add acc (Breakdown.of_scsi 2.);
+  Breakdown.Acc.add acc (Breakdown.of_scsi 4.);
+  check_float "mean scsi" 3. (Breakdown.Acc.mean acc).Breakdown.scsi;
+  Alcotest.(check int) "count" 2 (Breakdown.Acc.count acc)
+
+(* ---- Clock ---- *)
+
+let test_clock () =
+  let c = Clock.create () in
+  check_float "zero" 0. (Clock.now c);
+  Clock.advance c 1.5;
+  check_float "advanced" 1.5 (Clock.now c);
+  Clock.advance_to c 1.0;
+  check_float "no backwards" 1.5 (Clock.now c);
+  Clock.advance_to c 3.0;
+  check_float "forward" 3.0 (Clock.now c);
+  Clock.reset c;
+  check_float "reset" 0. (Clock.now c)
+
+let test_clock_rejects_negative () =
+  let c = Clock.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Clock.advance: negative duration")
+    (fun () -> Clock.advance c (-1.))
+
+(* ---- Table ---- *)
+
+let test_table_renders () =
+  let t = Table.create ~title:"T" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_row t [ "3" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && String.sub s 0 4 = "== T")
+
+let test_table_rejects_wide_row () =
+  let t = Table.create ~title:"T" ~columns:[ "a" ] in
+  Alcotest.check_raises "too wide" (Invalid_argument "Table.add_row: more cells than columns")
+    (fun () -> Table.add_row t [ "1"; "2" ])
+
+let test_table_cells () =
+  Alcotest.(check string) "f" "1.50" (Table.cell_f 1.5);
+  Alcotest.(check string) "ms" "1.500 ms" (Table.cell_ms 1.5);
+  Alcotest.(check string) "x" "2.5x" (Table.cell_x 2.5);
+  Alcotest.(check string) "pct" "42.0%" (Table.cell_pct 0.42)
+
+(* ---- property tests ---- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"percentile within min..max" ~count:200
+      (pair (list_of_size Gen.(1 -- 50) (float_range 0. 100.)) (float_range 0. 1.))
+      (fun (xs, p) ->
+        let v = Stats.percentile p xs in
+        v >= List.fold_left min infinity xs && v <= List.fold_left max neg_infinity xs);
+    Test.make ~name:"histogram conserves count" ~count:200
+      (list (float_range (-10.) 50.))
+      (fun xs ->
+        let h = Stats.Histogram.create ~buckets:8 ~limit:32. in
+        List.iter (Stats.Histogram.add h) xs;
+        Stats.Histogram.count h = List.length xs
+        && Array.fold_left ( + ) 0 (Stats.Histogram.bucket_counts h) = List.length xs);
+    Test.make ~name:"breakdown add is componentwise" ~count:200
+      (pair (quad (float_range 0. 9.) (float_range 0. 9.) (float_range 0. 9.) (float_range 0. 9.))
+         (quad (float_range 0. 9.) (float_range 0. 9.) (float_range 0. 9.) (float_range 0. 9.)))
+      (fun ((a1, a2, a3, a4), (b1, b2, b3, b4)) ->
+        let open Breakdown in
+        let a = { scsi = a1; locate = a2; transfer = a3; other = a4 } in
+        let b = { scsi = b1; locate = b2; transfer = b3; other = b4 } in
+        abs_float (total (add a b) -. (total a +. total b)) < 1e-9);
+    Test.make ~name:"checksum roundtrip stability on bytes" ~count:200 (string_of_size Gen.(0 -- 200))
+      (fun s -> Checksum.string s = Checksum.bytes (Bytes.of_string s));
+  ]
+
+let suites =
+  [
+    ( "util:prng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "seed matters" `Quick test_prng_seed_matters;
+        Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+        Alcotest.test_case "int range" `Quick test_prng_int_range;
+        Alcotest.test_case "int bad bound" `Quick test_prng_int_rejects_bad_bound;
+        Alcotest.test_case "float range" `Quick test_prng_float_range;
+        Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+        Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+        Alcotest.test_case "pick member" `Quick test_pick_member;
+      ] );
+    ( "util:stats",
+      [
+        Alcotest.test_case "mean" `Quick test_mean;
+        Alcotest.test_case "stddev" `Quick test_stddev;
+        Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "percentile empty" `Quick test_percentile_empty;
+        Alcotest.test_case "summary" `Quick test_summary;
+        Alcotest.test_case "acc matches list" `Quick test_acc_matches_list;
+        Alcotest.test_case "histogram" `Quick test_histogram;
+      ] );
+    ( "util:checksum",
+      [
+        Alcotest.test_case "deterministic" `Quick test_checksum_deterministic;
+        Alcotest.test_case "sensitive" `Quick test_checksum_sensitive;
+        Alcotest.test_case "incremental" `Quick test_checksum_incremental;
+        Alcotest.test_case "int encoding" `Quick test_checksum_int_encoding;
+      ] );
+    ( "util:breakdown",
+      [
+        Alcotest.test_case "total and fractions" `Quick test_breakdown_total;
+        Alcotest.test_case "zero fractions" `Quick test_breakdown_zero_fractions;
+        Alcotest.test_case "acc" `Quick test_breakdown_acc;
+      ] );
+    ( "util:clock",
+      [
+        Alcotest.test_case "advance" `Quick test_clock;
+        Alcotest.test_case "rejects negative" `Quick test_clock_rejects_negative;
+      ] );
+    ( "util:table",
+      [
+        Alcotest.test_case "renders" `Quick test_table_renders;
+        Alcotest.test_case "rejects wide row" `Quick test_table_rejects_wide_row;
+        Alcotest.test_case "cells" `Quick test_table_cells;
+      ] );
+    ("util:properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]
