@@ -6,7 +6,9 @@
    vlsim model cylinder --disk hp --free 20
    vlsim model compactor --disk st --threshold 25
    vlsim latency --disk st --util 80 [--host sparc|ultra]
-                                — one-off random-update measurement *)
+                                — one-off random-update measurement
+   vlsim faults [--fault-plan torn,rot] [--fault-seed 7101]
+                                — crash/fault injection sweep *)
 
 open Cmdliner
 
@@ -151,7 +153,70 @@ let latency_cmd =
   Cmd.v (Cmd.info "latency" ~doc)
     Term.(const run $ disk_arg $ host_arg $ util_arg $ vld_arg $ quick_arg)
 
+(* --- faults --- *)
+
+let faults_cmd =
+  let doc =
+    "sweep deterministic fault injections (torn writes, bit rot, transient \
+     reads, grown defects, power cuts) across operation boundaries and check \
+     the recovery invariants"
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt string "powercut,torn,defect,rot,transient:2"
+      & info [ "fault-plan" ] ~docv:"KINDS"
+          ~doc:
+            "comma-separated fault kinds to sweep: torn, rot, transient[:n], \
+             defect, powercut")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 7101
+      & info [ "fault-seed" ] ~docv:"SEED" ~doc:"master seed for the sweep")
+  in
+  let triggers_arg =
+    Arg.(
+      value & opt int 22
+      & info [ "triggers" ] ~doc:"operation boundaries swept per fault kind")
+  in
+  let run plan seed triggers quick =
+    let kinds, errors =
+      List.fold_right
+        (fun s (ks, es) ->
+          match Fault.Plan.kind_of_string (String.trim s) with
+          | Ok k -> (k :: ks, es)
+          | Error e -> (ks, e :: es))
+        (String.split_on_char ',' plan)
+        ([], [])
+    in
+    if errors <> [] then begin
+      List.iter (Printf.eprintf "vlsim: %s\n") errors;
+      exit 2
+    end;
+    let cfg =
+      {
+        Fault.Sweep.default with
+        Fault.Sweep.seed = Int64.of_int seed;
+        kinds;
+        triggers = (if quick then min triggers 6 else triggers);
+      }
+    in
+    let o = Fault.Sweep.run cfg in
+    Printf.printf
+      "%d scenarios (%d faults injected): %d power cuts, %d degraded recoveries\n"
+      o.Fault.Sweep.scenarios o.Fault.Sweep.injected o.Fault.Sweep.cut
+      o.Fault.Sweep.degraded;
+    if o.Fault.Sweep.failures = [] then print_endline "all invariants satisfied"
+    else begin
+      List.iter (Printf.printf "FAILED %s\n") o.Fault.Sweep.failures;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(const run $ plan_arg $ seed_arg $ triggers_arg $ quick_arg)
+
 let () =
   let doc = "virtual-log based file systems for a programmable disk: simulator" in
   let info = Cmd.info "vlsim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; model_cmd; latency_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; model_cmd; latency_cmd; faults_cmd ]))

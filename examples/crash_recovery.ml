@@ -7,6 +7,9 @@
    3. Crash that tears the commit node of a multi-block transaction: the
       transaction is rolled back atomically — either all of its entries
       are visible or none.
+   4. Bit rot on a mid-chain map node: the tail-led traversal hits an
+      unreadable node, skips it, and merges a signature scan instead of
+      aborting — entries fall back to their previous committed version.
 
    Run with:  dune exec examples/crash_recovery.exe *)
 
@@ -35,9 +38,11 @@ let write_block vlog disk logical tag =
 
 let report r =
   Format.printf
-    "   used_tail=%b nodes_read=%d blocks_scanned=%d pruned=%d rolled_back=%d (%.2f ms)@."
+    "   used_tail=%b nodes_read=%d blocks_scanned=%d pruned=%d rolled_back=%d \
+     corrupt=%d (%.2f ms)@."
     r.Virtual_log.used_tail r.Virtual_log.nodes_read r.Virtual_log.blocks_scanned
     r.Virtual_log.edges_pruned r.Virtual_log.uncommitted_skipped
+    r.Virtual_log.corrupt_nodes
     (Breakdown.total r.Virtual_log.duration)
 
 let () =
@@ -94,4 +99,34 @@ let () =
       (match Virtual_log.lookup vlog2 5 with Some _ -> "mapped" | None -> "unmapped");
     Format.printf "   entry 1500 -> %s (torn transaction invisible)@."
       (match Virtual_log.lookup vlog2 1500 with Some _ -> "mapped" | None -> "unmapped")
-  | Error e -> Format.printf "   FAILED: %s@." e)
+  | Error e -> Format.printf "   FAILED: %s@." e);
+
+  (* --- 4. silent decay of a mid-chain map node --- *)
+  Format.printf "4. Bit rot on a mid-chain map node (skip and scan):@.";
+  let disk, vlog = fresh () in
+  (* Two generations of every block, so each map piece has an older node
+     for recovery to fall back on when its newest node is unreadable. *)
+  for i = 0 to 49 do
+    ignore (write_block vlog disk i 'd')
+  done;
+  for i = 0 to 49 do
+    ignore (write_block vlog disk i 'e')
+  done;
+  ignore (Virtual_log.power_down vlog);
+  (* One sector of piece 0's newest node decays in storage: the media ECC
+     will reject the read, mid-traversal. *)
+  let loc = Option.get (Virtual_log.piece_location vlog 0) in
+  let prng = Prng.create ~seed:2L in
+  Disk.Sector_store.rot (Disk.Disk_sim.store disk) ~lba:(loc * 8) ~sectors:1 prng;
+  match Virtual_log.recover ~disk () with
+  | Ok (vlog2, r) ->
+    report r;
+    let mapped = ref 0 in
+    for i = 0 to 49 do
+      if Virtual_log.lookup vlog2 i <> None then incr mapped
+    done;
+    Format.printf
+      "   corrupt node skipped, scan merged; %d/50 entries recovered from the \
+       older generation@."
+      !mapped
+  | Error e -> Format.printf "   FAILED: %s@." e

@@ -1,3 +1,17 @@
+type io_error = {
+  op : [ `Read | `Write ];
+  block : int;
+  error_lba : int;
+  retries : int;
+}
+
+exception Io_error of io_error
+
+let pp_io_error ppf e =
+  Format.fprintf ppf "%s error at logical block %d (lba %d, %d retries)"
+    (match e.op with `Read -> "read" | `Write -> "write")
+    e.block e.error_lba e.retries
+
 type t = {
   name : string;
   block_bytes : int;
@@ -6,6 +20,8 @@ type t = {
   read_run : int -> int -> Bytes.t * Vlog_util.Breakdown.t;
   write : int -> Bytes.t -> Vlog_util.Breakdown.t;
   write_run : int -> Bytes.t -> Vlog_util.Breakdown.t;
+  read_r : int -> (Bytes.t * Vlog_util.Breakdown.t, io_error) result;
+  write_r : int -> Bytes.t -> (Vlog_util.Breakdown.t, io_error) result;
   trim : int -> unit;
   idle : float -> unit;
   utilization : unit -> float;

@@ -6,6 +6,25 @@
     an unmodified file system runs on either, exactly as the paper's
     experimental platform arranges (Figure 5). *)
 
+type io_error = {
+  op : [ `Read | `Write ];
+  block : int;   (** logical block of the failed request *)
+  error_lba : int;  (** absolute sector the drive reported *)
+  retries : int;  (** retry attempts made before giving up *)
+}
+(** An I/O failure that survived the device's own retry and remap
+    policy.  Both implementations retry transient errors a bounded
+    number of times and remap grown write defects (a spare-sector pool
+    on the regular disk, freemap retirement plus reallocation on the
+    VLD), so an [io_error] means the data is genuinely unavailable. *)
+
+exception Io_error of io_error
+(** Raised by the exception-style operations ([read], [write], …) when
+    the result-style ones ([read_r], [write_r]) would return [Error] —
+    unmodified file systems fail stop rather than consume corrupt data. *)
+
+val pp_io_error : Format.formatter -> io_error -> unit
+
 type t = {
   name : string;
   block_bytes : int;
@@ -23,6 +42,11 @@ type t = {
   write_run : int -> Bytes.t -> Vlog_util.Breakdown.t;
       (** Multi-block synchronous write, atomic on a VLD (one
           transaction). *)
+  read_r : int -> (Bytes.t * Vlog_util.Breakdown.t, io_error) result;
+      (** Like [read], but media faults that survive retry/remap are
+          reported as [Error] instead of raising {!Io_error}. *)
+  write_r : int -> Bytes.t -> (Vlog_util.Breakdown.t, io_error) result;
+      (** Like [write], result-typed. *)
   trim : int -> unit;
       (** Hint that a logical block's contents are dead.  Free on a VLD,
           a no-op on a regular disk.  The VLD also detects deletions by

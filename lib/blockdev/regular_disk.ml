@@ -3,40 +3,73 @@ type t = {
   sectors_per_block : int;
   block_bytes : int;
   n_blocks : int;
+  spare_count : int;
+  remap : (int, int) Hashtbl.t; (* logical block -> spare block (absolute) *)
+  mutable spares : int list; (* unused spare blocks, absolute indices *)
   ever_written : Bytes.t;
   mutable written_count : int;
 }
 
-let create ?(sectors_per_block = 8) ~disk () =
+let max_retries = 3
+
+let create ?(sectors_per_block = 8) ?spare_blocks ~disk () =
   let g = Disk.Disk_sim.geometry disk in
   if g.Disk.Geometry.sectors_per_track mod sectors_per_block <> 0 then
     invalid_arg "Regular_disk.create: block must divide the track";
-  let n_blocks = Disk.Geometry.total_sectors g / sectors_per_block in
+  let total_blocks = Disk.Geometry.total_sectors g / sectors_per_block in
+  (* Optional spare pool: blocks at the end of the disk, hidden from the
+     logical space — the remap targets drive firmware uses for grown
+     defects.  Zero by default so the logical capacity matches the
+     paper's experiments exactly; fault-tolerance tests reserve some. *)
+  let spare_count = match spare_blocks with Some n -> n | None -> 0 in
+  if spare_count < 0 || spare_count >= total_blocks then
+    invalid_arg "Regular_disk.create: bad spare pool size";
+  let n_blocks = total_blocks - spare_count in
   {
     disk;
     sectors_per_block;
     block_bytes = sectors_per_block * g.Disk.Geometry.sector_bytes;
     n_blocks;
+    spare_count;
+    remap = Hashtbl.create 8;
+    spares = List.init spare_count (fun i -> n_blocks + i);
     ever_written = Bytes.make n_blocks '\000';
     written_count = 0;
   }
 
 let disk t = t.disk
 let written_blocks t = t.written_count
+let remapped_blocks t = Hashtbl.length t.remap
+let spares_left t = List.length t.spares
 
 let check t block count =
   if block < 0 || count <= 0 || block + count > t.n_blocks then
     invalid_arg "Regular_disk: block range out of bounds"
 
-let read t block =
-  check t block 1;
-  Disk.Disk_sim.read t.disk ~lba:(block * t.sectors_per_block)
-    ~sectors:t.sectors_per_block
+let phys t block =
+  match Hashtbl.find_opt t.remap block with Some s -> s | None -> block
 
-let read_run t block count =
-  check t block count;
-  Disk.Disk_sim.read t.disk ~lba:(block * t.sectors_per_block)
-    ~sectors:(count * t.sectors_per_block)
+let err ~op ~block ~(e : Disk.Disk_sim.media_error) ~retries =
+  { Device.op; block; error_lba = e.Disk.Disk_sim.error_lba; retries }
+
+(* Bounded-retry read of one logical block at its current physical home. *)
+let read_result t block =
+  check t block 1;
+  let lba = phys t block * t.sectors_per_block in
+  let bd = ref Vlog_util.Breakdown.zero in
+  let rec go attempts =
+    let r, cost =
+      Disk.Disk_sim.read_checked ~scsi:(attempts = 0) t.disk ~lba
+        ~sectors:t.sectors_per_block
+    in
+    bd := Vlog_util.Breakdown.add !bd cost;
+    match r with
+    | Ok data -> Ok (data, !bd)
+    | Error e when e.Disk.Disk_sim.transient && attempts < max_retries ->
+      go (attempts + 1)
+    | Error e -> Error (err ~op:`Read ~block ~e ~retries:attempts)
+  in
+  go 0
 
 let note_written t block =
   if Bytes.get t.ever_written block = '\000' then begin
@@ -44,22 +77,106 @@ let note_written t block =
     t.written_count <- t.written_count + 1
   end
 
-let write t block buf =
+(* Write one logical block; a grown defect retires the current physical
+   home and remaps the logical block to a spare, exactly like drive
+   firmware.  The spare itself may be defective, so keep going while
+   spares remain. *)
+let write_result t block buf =
   check t block 1;
   if Bytes.length buf <> t.block_bytes then
     invalid_arg "Regular_disk.write: buffer must be exactly one block";
-  note_written t block;
-  Disk.Disk_sim.write t.disk ~lba:(block * t.sectors_per_block) buf
+  let bd = ref Vlog_util.Breakdown.zero in
+  let rec go attempts remaps =
+    let lba = phys t block * t.sectors_per_block in
+    let r, cost =
+      Disk.Disk_sim.write_checked ~scsi:(attempts = 0 && remaps = 0) t.disk ~lba buf
+    in
+    bd := Vlog_util.Breakdown.add !bd cost;
+    match r with
+    | Ok () ->
+      note_written t block;
+      Ok !bd
+    | Error e when e.Disk.Disk_sim.transient && attempts < max_retries ->
+      go (attempts + 1) remaps
+    | Error e -> (
+      match t.spares with
+      | [] -> Error (err ~op:`Write ~block ~e ~retries:attempts)
+      | spare :: rest ->
+        t.spares <- rest;
+        Hashtbl.replace t.remap block spare;
+        go 0 (remaps + 1))
+  in
+  go 0 0
+
+let lift_read = function
+  | Ok v -> v
+  | Error e -> raise (Device.Io_error e)
+
+let read t block = lift_read (read_result t block)
+
+let write t block buf =
+  match write_result t block buf with
+  | Ok bd -> bd
+  | Error e -> raise (Device.Io_error e)
+
+let run_remapped t block count =
+  let rec go i = i < count && (Hashtbl.mem t.remap (block + i) || go (i + 1)) in
+  go 0
+
+(* Multi-block requests stream as one disk command when nothing in the
+   range is remapped or faulty; otherwise fall back to per-block service
+   so one bad sector cannot take down the whole transfer. *)
+let read_run t block count =
+  check t block count;
+  let per_block () =
+    let out = Bytes.create (count * t.block_bytes) in
+    let bd = ref Vlog_util.Breakdown.zero in
+    for i = 0 to count - 1 do
+      let data, cost = lift_read (read_result t (block + i)) in
+      Bytes.blit data 0 out (i * t.block_bytes) t.block_bytes;
+      bd := Vlog_util.Breakdown.add !bd cost
+    done;
+    (out, !bd)
+  in
+  if run_remapped t block count then per_block ()
+  else
+    let r, bd =
+      Disk.Disk_sim.read_checked t.disk ~lba:(block * t.sectors_per_block)
+        ~sectors:(count * t.sectors_per_block)
+    in
+    match r with
+    | Ok data -> (data, bd)
+    | Error _ ->
+      let data, bd2 = per_block () in
+      (data, Vlog_util.Breakdown.add bd bd2)
 
 let write_run t block buf =
   if Bytes.length buf = 0 || Bytes.length buf mod t.block_bytes <> 0 then
     invalid_arg "Regular_disk.write_run: buffer must be whole blocks";
   let count = Bytes.length buf / t.block_bytes in
   check t block count;
-  for i = block to block + count - 1 do
-    note_written t i
-  done;
-  Disk.Disk_sim.write t.disk ~lba:(block * t.sectors_per_block) buf
+  let per_block from acc =
+    let bd = ref acc in
+    for i = from to count - 1 do
+      let piece = Bytes.sub buf (i * t.block_bytes) t.block_bytes in
+      match write_result t (block + i) piece with
+      | Ok cost -> bd := Vlog_util.Breakdown.add !bd cost
+      | Error e -> raise (Device.Io_error e)
+    done;
+    !bd
+  in
+  if run_remapped t block count then per_block 0 Vlog_util.Breakdown.zero
+  else
+    let r, bd =
+      Disk.Disk_sim.write_checked t.disk ~lba:(block * t.sectors_per_block) buf
+    in
+    match r with
+    | Ok () ->
+      for i = block to block + count - 1 do
+        note_written t i
+      done;
+      bd
+    | Error _ -> per_block 0 bd
 
 let device t =
   {
@@ -70,6 +187,8 @@ let device t =
     read_run = read_run t;
     write = write t;
     write_run = write_run t;
+    read_r = read_result t;
+    write_r = write_result t;
     trim = (fun block -> check t block 1);
     idle = (fun _ -> ());
     utilization =

@@ -4,8 +4,12 @@
 
 type t
 
-val create : ?sectors_per_block:int -> disk:Disk.Disk_sim.t -> unit -> t
-(** Default 8 sectors (4 KB blocks). *)
+val create :
+  ?sectors_per_block:int -> ?spare_blocks:int -> disk:Disk.Disk_sim.t -> unit -> t
+(** Default 8 sectors (4 KB blocks).  [spare_blocks] (default 0) reserves
+    that many blocks at the end of the disk as a spare pool, hidden from
+    the logical space: grown write defects are remapped onto it, the way
+    drive firmware handles bad sectors. *)
 
 val disk : t -> Disk.Disk_sim.t
 val device : t -> Device.t
@@ -14,3 +18,17 @@ val written_blocks : t -> int
 (** Count of distinct logical blocks ever written — the occupancy the
     device reports, since an update-in-place disk has no liveness
     information of its own. *)
+
+val read_result : t -> int -> (Bytes.t * Vlog_util.Breakdown.t, Device.io_error) result
+(** Defect-tolerant read: transient errors are retried (bounded), remapped
+    blocks are fetched from their spare.  [Error] means the data is gone. *)
+
+val write_result : t -> int -> Bytes.t -> (Vlog_util.Breakdown.t, Device.io_error) result
+(** Defect-tolerant write: transient errors are retried; a grown defect
+    retires the block's physical home and remaps it to a spare.  [Error]
+    means the spare pool is exhausted. *)
+
+val remapped_blocks : t -> int
+(** Entries in the grown-defect list. *)
+
+val spares_left : t -> int

@@ -57,16 +57,43 @@ let scsi_only t =
   Clock.advance (clock t) o;
   Breakdown.of_scsi o
 
-let read t block =
+let max_retries = 3
+let max_realloc = 8
+
+let read_result t block =
   check t block 1;
   match Vlog.Virtual_log.lookup t.vlog block with
   | None ->
     (* Unmapped: the map answers without touching the platters. *)
-    (Bytes.make t.block_bytes '\000', scsi_only t)
+    Ok (Bytes.make t.block_bytes '\000', scsi_only t)
   | Some pba ->
-    Disk.Disk_sim.read t.disk
-      ~lba:(Vlog.Freemap.lba_of_block (Vlog.Virtual_log.freemap t.vlog) pba)
-      ~sectors:t.sectors_per_block
+    let lba = Vlog.Freemap.lba_of_block (Vlog.Virtual_log.freemap t.vlog) pba in
+    let bd = ref Breakdown.zero in
+    let rec go attempts =
+      let r, cost =
+        Disk.Disk_sim.read_checked ~scsi:(attempts = 0) t.disk ~lba
+          ~sectors:t.sectors_per_block
+      in
+      bd := Breakdown.add !bd cost;
+      match r with
+      | Ok data -> Ok (data, !bd)
+      | Error e when e.Disk.Disk_sim.transient && attempts < max_retries ->
+        go (attempts + 1)
+      | Error e ->
+        Error
+          {
+            Device.op = `Read;
+            block;
+            error_lba = e.Disk.Disk_sim.error_lba;
+            retries = attempts;
+          }
+    in
+    go 0
+
+let read t block =
+  match read_result t block with
+  | Ok v -> v
+  | Error e -> raise (Device.Io_error e)
 
 (* Group consecutive logical blocks whose physical locations are also
    consecutive into single platter requests. *)
@@ -114,38 +141,74 @@ let allocate ?(lead_time = 0.) t =
 
 let scsi_lead t = (Disk.Disk_sim.profile t.disk).Disk.Profile.scsi_overhead_ms
 
-let write t block buf =
+(* Eager-allocate a home for one data block and write it.  A grown
+   defect retires the block in the freemap (the VLD's defect list) and
+   reallocates: with eager writing, the entire free space is the spare
+   pool.  [Error] only when the media refuses [max_realloc] fresh homes
+   in a row. *)
+let put_data t ~scsi ~lead_time buf =
+  let freemap = Vlog.Virtual_log.freemap t.vlog in
+  let bd = ref Breakdown.zero in
+  let rec go attempts =
+    let pba = allocate ~lead_time:(if attempts = 0 then lead_time else 0.) t in
+    Vlog.Freemap.occupy freemap pba;
+    let r, cost =
+      Disk.Disk_sim.write_checked ~scsi:(scsi && attempts = 0) t.disk
+        ~lba:(Vlog.Freemap.lba_of_block freemap pba)
+        buf
+    in
+    bd := Breakdown.add !bd cost;
+    match r with
+    | Ok () -> Ok (pba, !bd)
+    | Error e ->
+      Vlog.Freemap.mark_bad freemap pba;
+      if attempts >= max_realloc then Error (e, attempts, !bd) else go (attempts + 1)
+  in
+  go 0
+
+let write_result t block buf =
   check t block 1;
   if Bytes.length buf <> t.block_bytes then
     invalid_arg "Vld.write: buffer must be exactly one block";
-  let freemap = Vlog.Virtual_log.freemap t.vlog in
   (* The head keeps moving while the SCSI command is processed; the
      allocator must aim past that. *)
-  let pba = allocate ~lead_time:(scsi_lead t) t in
-  Vlog.Freemap.occupy freemap pba;
-  let bd = Disk.Disk_sim.write t.disk ~lba:(Vlog.Freemap.lba_of_block freemap pba) buf in
-  let map_bd = Vlog.Virtual_log.update t.vlog [ (block, Some pba) ] in
-  Breakdown.add bd map_bd
+  match put_data t ~scsi:true ~lead_time:(scsi_lead t) buf with
+  | Error (e, retries, _) ->
+    Error
+      { Device.op = `Write; block; error_lba = e.Disk.Disk_sim.error_lba; retries }
+  | Ok (pba, bd) ->
+    let map_bd = Vlog.Virtual_log.update t.vlog [ (block, Some pba) ] in
+    Ok (Breakdown.add bd map_bd)
+
+let write t block buf =
+  match write_result t block buf with
+  | Ok bd -> bd
+  | Error e -> raise (Device.Io_error e)
 
 let write_run t block buf =
   if Bytes.length buf = 0 || Bytes.length buf mod t.block_bytes <> 0 then
     invalid_arg "Vld.write_run: buffer must be whole blocks";
   let count = Bytes.length buf / t.block_bytes in
   check t block count;
-  let freemap = Vlog.Virtual_log.freemap t.vlog in
   let bd = ref Breakdown.zero in
   let entries = ref [] in
   for i = 0 to count - 1 do
-    let pba = allocate ~lead_time:(if i = 0 then scsi_lead t else 0.) t in
-    Vlog.Freemap.occupy freemap pba;
     let piece = Bytes.sub buf (i * t.block_bytes) t.block_bytes in
-    let cost =
-      Disk.Disk_sim.write ~scsi:(i = 0) t.disk
-        ~lba:(Vlog.Freemap.lba_of_block freemap pba)
-        piece
-    in
-    bd := Breakdown.add !bd cost;
-    entries := (block + i, Some pba) :: !entries
+    match
+      put_data t ~scsi:(i = 0) ~lead_time:(if i = 0 then scsi_lead t else 0.) piece
+    with
+    | Error (e, retries, _) ->
+      raise
+        (Device.Io_error
+           {
+             Device.op = `Write;
+             block = block + i;
+             error_lba = e.Disk.Disk_sim.error_lba;
+             retries;
+           })
+    | Ok (pba, cost) ->
+      bd := Breakdown.add !bd cost;
+      entries := (block + i, Some pba) :: !entries
   done;
   (* One transaction: the whole run commits atomically. *)
   let map_bd = Vlog.Virtual_log.update t.vlog (List.rev !entries) in
@@ -170,6 +233,8 @@ let device t =
     read_run = read_run t;
     write = write t;
     write_run = write_run t;
+    read_r = read_result t;
+    write_r = write_result t;
     trim = trim t;
     idle = idle t;
     utilization =

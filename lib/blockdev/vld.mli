@@ -41,4 +41,16 @@ val vlog : t -> Vlog.Virtual_log.t
 val compactor : t -> Vlog.Compactor.t
 
 val power_down : t -> Vlog_util.Breakdown.t
-(** Firmware park sequence: persist the log-tail record. *)
+(** Firmware park sequence: persist the log-tail record (best effort — a
+    defective landing zone degrades the next recovery to the scan path). *)
+
+val read_result : t -> int -> (Bytes.t * Vlog_util.Breakdown.t, Device.io_error) result
+(** Defect-tolerant read: transient errors retried (bounded); a permanent
+    defect or ECC failure on the data's only copy is an [Error] — never
+    silently-returned corrupt bytes. *)
+
+val write_result : t -> int -> Bytes.t -> (Vlog_util.Breakdown.t, Device.io_error) result
+(** Defect-tolerant write: a grown defect retires the eager-allocated
+    block in the freemap (the VLD's defect list) and reallocates — the
+    free space itself is the spare pool.  Map-node writes inside the
+    commit get the same treatment in {!Vlog.Virtual_log}. *)

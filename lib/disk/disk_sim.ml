@@ -9,6 +9,20 @@ type stats = {
   busy_ms : float;
 }
 
+type read_fault = Transient_read | Unreadable of int
+type write_fault = Torn_write of int | Unwritable of int
+
+type injector = {
+  on_read : lba:int -> sectors:int -> read_fault option;
+  on_write : lba:int -> sectors:int -> write_fault option;
+}
+
+exception Power_cut
+
+type media_error = { error_lba : int; transient : bool }
+
+exception Media_failure of media_error
+
 type t = {
   profile : Profile.t;
   clock : Clock.t;
@@ -16,6 +30,7 @@ type t = {
   buffer : Track_buffer.t;
   mutable cyl : int;
   mutable head : int;
+  mutable injector : injector option;
   mutable st : stats;
 }
 
@@ -38,8 +53,11 @@ let create ?(buffer_policy = Track_buffer.Forward_discard) ?store ~profile ~cloc
     buffer = Track_buffer.create buffer_policy;
     cyl = 0;
     head = 0;
+    injector = None;
     st = zero_stats;
   }
+
+let set_injector t injector = t.injector <- injector
 
 let profile t = t.profile
 let geometry t = t.profile.Profile.geometry
@@ -144,38 +162,70 @@ let bump_busy t start =
   let dt = Clock.now t.clock -. start in
   t.st <- { t.st with busy_ms = t.st.busy_ms +. dt }
 
-let read ?(scsi = true) t ~lba ~sectors =
+(* Mechanical work of touching a range without any buffer interaction:
+   what a faulted request costs — the head still seeks, rotates and
+   attempts the transfer before the drive can report anything. *)
+let mechanics t ~lba ~sectors bd =
+  List.iter
+    (fun piece -> bd := Breakdown.add !bd (access_piece t piece))
+    (track_pieces t ~lba ~sectors)
+
+let read_checked ?(scsi = true) t ~lba ~sectors =
   if sectors <= 0 then invalid_arg "Disk_sim.read: sectors must be positive";
   let g = geometry t in
   if not (Geometry.valid_lba g lba) || lba + sectors > Geometry.total_sectors g then
     invalid_arg "Disk_sim.read: range out of bounds";
   let start = Clock.now t.clock in
   let bd = ref (charge_scsi t scsi) in
-  let pieces = track_pieces t ~lba ~sectors in
-  let serve (addr, piece) =
-    let track_index = Geometry.track_index g addr in
-    if Track_buffer.hit t.buffer ~track_index ~sector:addr.Geometry.sector ~sectors:piece
-    then begin
-      (* Buffer hit: only the transfer off the buffer is paid. *)
-      let xfer = float_of_int piece *. Profile.sector_ms t.profile in
-      Clock.advance t.clock xfer;
-      t.st <- { t.st with buffer_hits = t.st.buffer_hits + 1 };
-      bd := Breakdown.add !bd (Breakdown.of_transfer xfer)
-    end
-    else begin
-      bd := Breakdown.add !bd (access_piece t (addr, piece));
-      Track_buffer.note_read t.buffer ~track_index ~sector:addr.Geometry.sector
-        ~sectors_per_track:g.Geometry.sectors_per_track
-    end
+  let fault =
+    match t.injector with None -> None | Some i -> i.on_read ~lba ~sectors
   in
-  List.iter serve pieces;
-  let data = Sector_store.read t.store ~lba ~sectors in
-  t.st <-
-    { t.st with reads = t.st.reads + 1; sectors_read = t.st.sectors_read + sectors };
-  bump_busy t start;
-  (data, !bd)
+  let finish outcome =
+    t.st <-
+      { t.st with reads = t.st.reads + 1; sectors_read = t.st.sectors_read + sectors };
+    bump_busy t start;
+    (outcome, !bd)
+  in
+  match fault with
+  | Some fault ->
+    (* The drive retries internally for a revolution before giving up. *)
+    mechanics t ~lba ~sectors bd;
+    Clock.advance t.clock (Profile.revolution_ms t.profile);
+    let err =
+      match fault with
+      | Transient_read -> { error_lba = lba; transient = true }
+      | Unreadable bad -> { error_lba = bad; transient = false }
+    in
+    finish (Error err)
+  | None ->
+    let pieces = track_pieces t ~lba ~sectors in
+    let serve (addr, piece) =
+      let track_index = Geometry.track_index g addr in
+      if Track_buffer.hit t.buffer ~track_index ~sector:addr.Geometry.sector ~sectors:piece
+      then begin
+        (* Buffer hit: only the transfer off the buffer is paid. *)
+        let xfer = float_of_int piece *. Profile.sector_ms t.profile in
+        Clock.advance t.clock xfer;
+        t.st <- { t.st with buffer_hits = t.st.buffer_hits + 1 };
+        bd := Breakdown.add !bd (Breakdown.of_transfer xfer)
+      end
+      else begin
+        bd := Breakdown.add !bd (access_piece t (addr, piece));
+        Track_buffer.note_read t.buffer ~track_index ~sector:addr.Geometry.sector
+          ~sectors_per_track:g.Geometry.sectors_per_track
+      end
+    in
+    List.iter serve pieces;
+    (match Sector_store.ecc_error t.store ~lba ~sectors with
+    | Some bad -> finish (Error { error_lba = bad; transient = false })
+    | None -> finish (Ok (Sector_store.read t.store ~lba ~sectors)))
 
-let write ?(scsi = true) t ~lba buf =
+let read ?scsi t ~lba ~sectors =
+  match read_checked ?scsi t ~lba ~sectors with
+  | Ok data, bd -> (data, bd)
+  | Error e, _ -> raise (Media_failure e)
+
+let write_checked ?(scsi = true) t ~lba buf =
   let g = geometry t in
   let sb = g.Geometry.sector_bytes in
   if Bytes.length buf = 0 || Bytes.length buf mod sb <> 0 then
@@ -185,15 +235,58 @@ let write ?(scsi = true) t ~lba buf =
     invalid_arg "Disk_sim.write: range out of bounds";
   let start = Clock.now t.clock in
   let bd = ref (charge_scsi t scsi) in
-  let pieces = track_pieces t ~lba ~sectors in
-  let serve (addr, piece) =
-    let track_index = Geometry.track_index g addr in
-    Track_buffer.invalidate_track t.buffer ~track_index;
-    bd := Breakdown.add !bd (access_piece t (addr, piece))
+  let fault =
+    match t.injector with None -> None | Some i -> i.on_write ~lba ~sectors
   in
-  List.iter serve pieces;
-  Sector_store.write t.store ~lba buf;
-  t.st <-
-    { t.st with writes = t.st.writes + 1; sectors_written = t.st.sectors_written + sectors };
-  bump_busy t start;
-  !bd
+  let invalidate_all () =
+    List.iter
+      (fun (addr, _) ->
+        Track_buffer.invalidate_track t.buffer ~track_index:(Geometry.track_index g addr))
+      (track_pieces t ~lba ~sectors)
+  in
+  let finish outcome =
+    t.st <-
+      {
+        t.st with
+        writes = t.st.writes + 1;
+        sectors_written = t.st.sectors_written + sectors;
+      };
+    bump_busy t start;
+    (outcome, !bd)
+  in
+  match fault with
+  | Some (Torn_write k) ->
+    (* Power dies mid-transfer: the first [k] sectors reach the platter
+       (each sector is atomic — written with its ECC or not at all), the
+       rest keep their stale contents. *)
+    let k = max 0 (min k sectors) in
+    invalidate_all ();
+    if k > 0 then begin
+      mechanics t ~lba ~sectors:k bd;
+      Sector_store.write t.store ~lba (Bytes.sub buf 0 (k * sb))
+    end;
+    ignore (finish (Ok ()));
+    raise Power_cut
+  | Some (Unwritable bad) ->
+    (* A grown defect surfaces during the write pass: sectors before the
+       bad one are on the platter, the command fails. *)
+    invalidate_all ();
+    let before = max 0 (min (bad - lba) sectors) in
+    mechanics t ~lba ~sectors bd;
+    if before > 0 then Sector_store.write t.store ~lba (Bytes.sub buf 0 (before * sb));
+    finish (Error { error_lba = bad; transient = false })
+  | None ->
+    let pieces = track_pieces t ~lba ~sectors in
+    let serve (addr, piece) =
+      let track_index = Geometry.track_index g addr in
+      Track_buffer.invalidate_track t.buffer ~track_index;
+      bd := Breakdown.add !bd (access_piece t (addr, piece))
+    in
+    List.iter serve pieces;
+    Sector_store.write t.store ~lba buf;
+    finish (Ok ())
+
+let write ?scsi t ~lba buf =
+  match write_checked ?scsi t ~lba buf with
+  | Ok (), bd -> bd
+  | Error e, _ -> raise (Media_failure e)

@@ -40,10 +40,65 @@ val read : ?scsi:bool -> t -> lba:int -> sectors:int -> Bytes.t * Vlog_util.Brea
 (** Service a read.  [scsi] (default true) controls whether the SCSI
     command overhead is charged — a VLD's internal second access within
     one host command does not pay it again.  A track-buffer hit costs
-    only SCSI + transfer. *)
+    only SCSI + transfer.  Raises {!Media_failure} if the read faults
+    (injected error or media ECC mismatch): a drive never silently
+    returns corrupt data. *)
 
 val write : ?scsi:bool -> t -> lba:int -> Bytes.t -> Vlog_util.Breakdown.t
-(** Service a write of a whole number of sectors starting at [lba]. *)
+(** Service a write of a whole number of sectors starting at [lba].
+    Raises {!Media_failure} on an injected write fault. *)
+
+(** {2 Fault injection}
+
+    A deterministic fault plan (see the [fault] library) can interpose on
+    every media access.  Nothing is installed by default; a disk without
+    an injector behaves exactly as before. *)
+
+type read_fault =
+  | Transient_read  (** the command fails; an immediate retry may succeed *)
+  | Unreadable of int  (** permanent defect at the given absolute lba *)
+
+type write_fault =
+  | Torn_write of int
+      (** power dies after this many sectors of the request are on the
+          platter; the operation raises {!Power_cut} *)
+  | Unwritable of int  (** grown defect at the given absolute lba *)
+
+type injector = {
+  on_read : lba:int -> sectors:int -> read_fault option;
+  on_write : lba:int -> sectors:int -> write_fault option;
+}
+(** Consulted once per host request (including internal [scsi:false]
+    accesses).  A hook may raise {!Power_cut} directly to cut power on an
+    operation boundary. *)
+
+exception Power_cut
+(** Simulated power loss mid-operation.  The caller owning the simulation
+    catches it, freezes the {!Sector_store} and brings up a fresh disk. *)
+
+type media_error = { error_lba : int; transient : bool }
+
+exception Media_failure of media_error
+(** Raised by the non-[_checked] paths when a fault fires, so unmodified
+    callers fail stop instead of consuming corrupt data. *)
+
+val set_injector : t -> injector option -> unit
+
+val read_checked :
+  ?scsi:bool -> t -> lba:int -> sectors:int ->
+  (Bytes.t, media_error) result * Vlog_util.Breakdown.t
+(** Like {!read}, but returns faults instead of raising: an injected
+    error, or an ECC mismatch on a rotted sector (the data is withheld).
+    Mechanical time is charged either way — a failed read still seeks,
+    rotates and retries for a revolution. *)
+
+val write_checked :
+  ?scsi:bool -> t -> lba:int -> Bytes.t ->
+  (unit, media_error) result * Vlog_util.Breakdown.t
+(** Like {!write}, but reports grown defects as [Error] so firmware-level
+    callers can remap and retry.  Sectors preceding the defect may have
+    been written.  [Torn_write] still raises {!Power_cut} — there is no
+    one to report to when the power is gone. *)
 
 (** {2 Timing probes}
 

@@ -1,4 +1,9 @@
-type t = { geometry : Geometry.t; data : Bytes.t; written : Bytes.t }
+type t = {
+  geometry : Geometry.t;
+  data : Bytes.t;
+  written : Bytes.t;
+  rotten : Bytes.t; (* sectors whose media ECC no longer matches the data *)
+}
 
 let create geometry =
   let sectors = Geometry.total_sectors geometry in
@@ -6,6 +11,7 @@ let create geometry =
     geometry;
     data = Bytes.make (sectors * geometry.Geometry.sector_bytes) '\000';
     written = Bytes.make sectors '\000';
+    rotten = Bytes.make sectors '\000';
   }
 
 let geometry t = t.geometry
@@ -22,7 +28,9 @@ let write t ~lba buf =
   let sectors = Bytes.length buf / sb in
   check_range t ~lba ~sectors;
   Bytes.blit buf 0 t.data (lba * sb) (Bytes.length buf);
-  Bytes.fill t.written lba sectors '\001'
+  Bytes.fill t.written lba sectors '\001';
+  (* A fresh write lays down data and ECC together. *)
+  Bytes.fill t.rotten lba sectors '\000'
 
 let read t ~lba ~sectors =
   check_range t ~lba ~sectors;
@@ -39,7 +47,34 @@ let corrupt t ~lba ~sectors prng =
   for i = lba * sb to ((lba + sectors) * sb) - 1 do
     Bytes.set t.data i (Char.chr (Vlog_util.Prng.int prng 256))
   done;
-  Bytes.fill t.written lba sectors '\001'
+  Bytes.fill t.written lba sectors '\001';
+  (* The head physically wrote the garbage, so its sector ECC is valid. *)
+  Bytes.fill t.rotten lba sectors '\000'
+
+let rot t ~lba ~sectors prng =
+  check_range t ~lba ~sectors;
+  let sb = t.geometry.Geometry.sector_bytes in
+  for s = lba to lba + sectors - 1 do
+    (* Flip one random bit per sector: enough to invalidate the ECC. *)
+    let byte = (s * sb) + Vlog_util.Prng.int prng sb in
+    let bit = Vlog_util.Prng.int prng 8 in
+    Bytes.set t.data byte (Char.chr (Char.code (Bytes.get t.data byte) lxor (1 lsl bit)));
+    Bytes.set t.rotten s '\001'
+  done
+
+let ecc_error t ~lba ~sectors =
+  check_range t ~lba ~sectors;
+  let rec go s =
+    if s >= lba + sectors then None
+    else if Bytes.get t.rotten s = '\001' then Some s
+    else go (s + 1)
+  in
+  go lba
 
 let snapshot t =
-  { geometry = t.geometry; data = Bytes.copy t.data; written = Bytes.copy t.written }
+  {
+    geometry = t.geometry;
+    data = Bytes.copy t.data;
+    written = Bytes.copy t.written;
+    rotten = Bytes.copy t.rotten;
+  }

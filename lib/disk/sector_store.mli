@@ -25,7 +25,18 @@ val written : t -> lba:int -> bool
 
 val corrupt : t -> lba:int -> sectors:int -> Vlog_util.Prng.t -> unit
 (** Overwrite the given range with random bytes — fault injection for
-    recovery tests (models a torn multi-sector write). *)
+    recovery tests (models a torn multi-sector write).  The garbage was
+    physically written by the head, so the per-sector media ECC is valid:
+    only content-level checks (magic, checksum) can reject it. *)
+
+val rot : t -> lba:int -> sectors:int -> Vlog_util.Prng.t -> unit
+(** Silent media decay: flip one random bit in each sector of the range
+    {e without} refreshing its ECC.  The drive detects the mismatch on the
+    next read of the sector ({!ecc_error}); until then nothing notices. *)
+
+val ecc_error : t -> lba:int -> sectors:int -> int option
+(** First sector in the range whose ECC no longer matches its data
+    (i.e. it has {!rot}ted since it was last written), if any. *)
 
 val snapshot : t -> t
 (** Deep copy; used by crash tests to freeze the platter state at the

@@ -1,0 +1,144 @@
+open Vlog_util
+
+type kind =
+  | Torn_write
+  | Bit_rot
+  | Transient_read of int
+  | Grown_defect
+  | Power_cut
+
+let kind_to_string = function
+  | Torn_write -> "torn"
+  | Bit_rot -> "rot"
+  | Transient_read n -> Printf.sprintf "transient:%d" n
+  | Grown_defect -> "defect"
+  | Power_cut -> "powercut"
+
+let kind_of_string s =
+  match String.split_on_char ':' s with
+  | [ "torn" ] -> Ok Torn_write
+  | [ "rot" ] -> Ok Bit_rot
+  | [ "transient" ] -> Ok (Transient_read 2)
+  | [ "transient"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Ok (Transient_read n)
+    | _ -> Error (Printf.sprintf "bad transient retry count in %S" s))
+  | [ "defect" ] -> Ok Grown_defect
+  | [ "powercut" ] -> Ok Power_cut
+  | _ ->
+    Error
+      (Printf.sprintf "unknown fault kind %S (torn|rot|transient[:n]|defect|powercut)"
+         s)
+
+type t = {
+  kind : kind;
+  trigger : int;
+  prng : Prng.t;
+  mutable disk : Disk.Disk_sim.t option;
+  mutable writes_seen : int;
+  mutable reads_seen : int;
+  mutable fired : bool;
+  mutable pending_rot : int option; (* absolute lba awaiting silent decay *)
+  mutable armed : bool; (* Transient_read: trigger reached *)
+  mutable transient_left : int; (* failures still owed once armed *)
+  defects : (int, unit) Hashtbl.t; (* grown-defect sectors, absolute lbas *)
+  mutable damaged : int list;
+}
+
+let create kind ~trigger ~seed =
+  {
+    kind;
+    trigger;
+    prng = Prng.create ~seed;
+    disk = None;
+    writes_seen = 0;
+    reads_seen = 0;
+    fired = false;
+    pending_rot = None;
+    armed = false;
+    transient_left = 0;
+    defects = Hashtbl.create 4;
+    damaged = [];
+  }
+
+let fired t = t.fired
+let kind t = t.kind
+let trigger t = t.trigger
+let damaged_lbas t = t.damaged
+
+(* Bit rot is scheduled when the victim write completes and applied just
+   before the next media access (or an explicit [flush]): the decay must
+   happen after the head has laid the sector down, and the injector only
+   sees the moments before each access. *)
+let flush t =
+  match (t.pending_rot, t.disk) with
+  | Some lba, Some disk ->
+    t.pending_rot <- None;
+    Disk.Sector_store.rot (Disk.Disk_sim.store disk) ~lba ~sectors:1 t.prng;
+    t.damaged <- lba :: t.damaged
+  | _ -> ()
+
+let defect_in t ~lba ~sectors =
+  let rec go i =
+    if i >= sectors then None
+    else if Hashtbl.mem t.defects (lba + i) then Some (lba + i)
+    else go (i + 1)
+  in
+  if Hashtbl.length t.defects = 0 then None else go 0
+
+let on_write t ~lba ~sectors =
+  flush t;
+  match defect_in t ~lba ~sectors with
+  | Some bad -> Some (Disk.Disk_sim.Unwritable bad)
+  | None ->
+    let n = t.writes_seen in
+    t.writes_seen <- n + 1;
+    if t.fired || n <> t.trigger then None
+    else begin
+      t.fired <- true;
+      match t.kind with
+      | Power_cut -> raise Disk.Disk_sim.Power_cut
+      | Torn_write ->
+        let k = Prng.int t.prng sectors in
+        t.damaged <- List.init (sectors - k) (fun i -> lba + k + i) @ t.damaged;
+        Some (Disk.Disk_sim.Torn_write k)
+      | Grown_defect ->
+        let bad = lba + Prng.int t.prng sectors in
+        Hashtbl.replace t.defects bad ();
+        t.damaged <- bad :: t.damaged;
+        Some (Disk.Disk_sim.Unwritable bad)
+      | Bit_rot ->
+        t.pending_rot <- Some (lba + Prng.int t.prng sectors);
+        None
+      | Transient_read _ -> None
+    end
+
+let on_read t ~lba ~sectors =
+  flush t;
+  match defect_in t ~lba ~sectors with
+  | Some bad -> Some (Disk.Disk_sim.Unreadable bad)
+  | None -> (
+    let n = t.reads_seen in
+    t.reads_seen <- n + 1;
+    match t.kind with
+    | Transient_read fails ->
+      if (not t.armed) && (not t.fired) && n = t.trigger then begin
+        t.armed <- true;
+        t.fired <- true;
+        t.transient_left <- fails
+      end;
+      if t.armed && t.transient_left > 0 then begin
+        t.transient_left <- t.transient_left - 1;
+        Some Disk.Disk_sim.Transient_read
+      end
+      else None
+    | _ -> None)
+
+let install t disk =
+  t.disk <- Some disk;
+  Disk.Disk_sim.set_injector disk
+    (Some
+       {
+         Disk.Disk_sim.on_read = (fun ~lba ~sectors -> on_read t ~lba ~sectors);
+         on_write = (fun ~lba ~sectors -> on_write t ~lba ~sectors);
+       })

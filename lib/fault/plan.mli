@@ -1,0 +1,66 @@
+(** Deterministic fault plans.
+
+    A plan turns one seeded decision — "the [trigger]-th media access of
+    this kind goes wrong" — into a {!Disk.Disk_sim.injector} installed on
+    a simulated drive.  Everything downstream (which sector tears, which
+    bit rots) flows from the plan's own {!Vlog_util.Prng.t}, so a
+    scenario is reproducible from [(kind, trigger, seed)] alone.  Plans
+    are how the sweep harness ({!Sweep}) and the [vlsim faults] command
+    damage a drive on purpose. *)
+
+type kind =
+  | Torn_write
+      (** power dies partway through the [trigger]-th write: a prefix of
+          its sectors (chosen at a sector boundary) reaches the platter,
+          the rest keep their stale contents, and {!Disk.Disk_sim.Power_cut}
+          is raised *)
+  | Bit_rot
+      (** one sector of the [trigger]-th write silently decays after the
+          write completes: a bit flips without an ECC refresh, so the
+          damage surfaces only on the next read of that sector *)
+  | Transient_read of int
+      (** the [trigger]-th read fails, as do the next [n - 1] attempts;
+          retry [n] succeeds.  Models recoverable positioning/ECC errors
+          that bounded retry must absorb *)
+  | Grown_defect
+      (** the [trigger]-th write hits a permanently bad sector: the write
+          fails there (a prefix may persist) and every later access to
+          that sector fails too, until the block is retired and the data
+          rehomed *)
+  | Power_cut
+      (** power dies on the boundary just before the [trigger]-th write —
+          the clean-cut case: no media damage, only lost volatile state *)
+
+val kind_to_string : kind -> string
+
+val kind_of_string : string -> (kind, string) result
+(** Inverse of {!kind_to_string}: accepts
+    [torn | rot | transient[:n] | defect | powercut]. *)
+
+type t
+
+val create : kind -> trigger:int -> seed:int64 -> t
+
+val install : t -> Disk.Disk_sim.t -> unit
+(** Interpose the plan on every media access of [disk].  Install after
+    formatting: the trigger counts only accesses made once the plan is in
+    place. *)
+
+val flush : t -> unit
+(** Apply any scheduled-but-unapplied damage (pending bit rot) to the
+    platters now.  Rot is normally applied lazily at the next media
+    access; call this before freezing a snapshot so the decay is in it. *)
+
+val fired : t -> bool
+(** Whether the planned fault has been injected yet. *)
+
+val kind : t -> kind
+val trigger : t -> int
+
+val damaged_lbas : t -> int list
+(** Absolute sectors whose contents this plan damaged or withheld: the
+    unpersisted suffix of a torn write, a rotted sector, a grown-defect
+    sector.  Sweep invariants use this as the {e allowance}: a logical
+    block may legitimately read as an error (or regress) only if its
+    physical home overlaps this list — any other divergence is a bug.
+    Entries are not retracted if later writes repair the sector. *)

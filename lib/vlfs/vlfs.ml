@@ -18,7 +18,12 @@ let default_config =
   }
 
 type error =
-  [ `No_space | `No_inodes | `Not_found of string | `Exists of string | `Bad_offset ]
+  [ `No_space
+  | `No_inodes
+  | `Not_found of string
+  | `Exists of string
+  | `Bad_offset
+  | `Io of int ]
 
 let pp_error ppf = function
   | `No_space -> Format.pp_print_string ppf "no space left on device"
@@ -26,6 +31,11 @@ let pp_error ppf = function
   | `Not_found name -> Format.fprintf ppf "no such file: %s" name
   | `Exists name -> Format.fprintf ppf "file exists: %s" name
   | `Bad_offset -> Format.pp_print_string ppf "bad offset or length"
+  | `Io pba -> Format.fprintf ppf "I/O error reading physical block %d" pba
+
+(* Local escape hatch so block loops can abort on a media error without
+   threading results through every iteration. *)
+exception Io_abort of int
 
 (* Each inode occupies up to [max_parts] physical blocks: part 0 carries
    the header and the first pointers, later parts are pure pointer
@@ -373,6 +383,8 @@ let create t name =
       | Ok fbd -> Ok (Breakdown.add bd fbd)
       | Error (e, _) -> Error e)
 
+let max_read_retries = 3
+
 let read_data_block t vn fb =
   match Hashtbl.find_opt t.pending (vn.inum, fb) with
   | Some bytes -> (bytes, Breakdown.zero)
@@ -383,18 +395,32 @@ let read_data_block t vn fb =
       match Ufs.Buffer_cache.find t.cache pba with
       | Some bytes -> (bytes, Breakdown.zero)
       | None ->
-        let bytes, bd =
-          Disk.Disk_sim.read t.disk ~lba:(Vlog.Freemap.lba_of_block (fm t) pba)
-            ~sectors:t.spb
+        (* Defect-tolerant fetch: retry transient errors a bounded number
+           of times; a permanent error or ECC failure aborts the file
+           operation with [`Io] rather than handing out corrupt bytes. *)
+        let bd = ref Breakdown.zero in
+        let rec go attempts =
+          let r, cost =
+            Disk.Disk_sim.read_checked ~scsi:(attempts = 0) t.disk
+              ~lba:(Vlog.Freemap.lba_of_block (fm t) pba)
+              ~sectors:t.spb
+          in
+          bd := Breakdown.add !bd cost;
+          match r with
+          | Ok bytes ->
+            ignore (Ufs.Buffer_cache.insert t.cache pba bytes ~dirty:false);
+            (bytes, !bd)
+          | Error e when e.Disk.Disk_sim.transient && attempts < max_read_retries ->
+            go (attempts + 1)
+          | Error _ -> raise (Io_abort pba)
         in
-        ignore (Ufs.Buffer_cache.insert t.cache pba bytes ~dirty:false);
-        (bytes, bd)
+        go 0
     end
 
 let free_headroom t =
   Vlog.Freemap.free_total (fm t) - reserve_blocks - Vlog.Virtual_log.n_pieces t.vlog
 
-let write t name ~off data =
+let write_unchecked t name ~off data =
   match lookup t name with
   | Error _ as e -> e
   | Ok vn ->
@@ -435,7 +461,10 @@ let write t name ~off data =
       end
     end
 
-let read t name ~off ~len =
+let write t name ~off data =
+  try write_unchecked t name ~off data with Io_abort pba -> Error (`Io pba)
+
+let read_unchecked t name ~off ~len =
   match lookup t name with
   | Error _ as e -> e
   | Ok vn ->
@@ -457,6 +486,9 @@ let read t name ~off ~len =
         Ok (out, !bd)
       end
     end
+
+let read t name ~off ~len =
+  try read_unchecked t name ~off ~len with Io_abort pba -> Error (`Io pba)
 
 let delete t name =
   match lookup t name with

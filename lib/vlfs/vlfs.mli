@@ -45,7 +45,16 @@ val format :
     logical-disk layer in between). *)
 
 type error =
-  [ `No_space | `No_inodes | `Not_found of string | `Exists of string | `Bad_offset ]
+  [ `No_space
+  | `No_inodes
+  | `Not_found of string
+  | `Exists of string
+  | `Bad_offset
+  | `Io of int
+    (** a media fault that survived bounded retry; the payload is the
+        physical block whose data is unavailable.  The operation had no
+        effect beyond the time spent — VLFS never returns corrupt bytes. *)
+  ]
 
 val pp_error : Format.formatter -> error -> unit
 

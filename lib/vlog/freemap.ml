@@ -7,8 +7,10 @@ type t = {
   n_blocks : int;
   n_tracks : int;
   occupied : Bytes.t;
+  bad : Bytes.t;
   free_per_track : int array;
   mutable free_total : int;
+  mutable n_bad : int;
 }
 
 let create ~geometry ~sectors_per_block =
@@ -25,8 +27,10 @@ let create ~geometry ~sectors_per_block =
     n_blocks;
     n_tracks;
     occupied = Bytes.make n_blocks '\000';
+    bad = Bytes.make n_blocks '\000';
     free_per_track = Array.make n_tracks blocks_per_track;
     free_total = n_blocks;
+    n_bad = 0;
   }
 
 let geometry t = t.geometry
@@ -73,10 +77,32 @@ let occupy t b =
 let release t b =
   check t b;
   if Bytes.get t.occupied b = '\000' then invalid_arg "Freemap.release: block already free";
+  if Bytes.get t.bad b <> '\000' then invalid_arg "Freemap.release: block is a grown defect";
   Bytes.set t.occupied b '\000';
   let tr = b / t.blocks_per_track in
   t.free_per_track.(tr) <- t.free_per_track.(tr) + 1;
   t.free_total <- t.free_total + 1
+
+let is_bad t b =
+  check t b;
+  Bytes.get t.bad b <> '\000'
+
+let mark_bad t b =
+  check t b;
+  if Bytes.get t.bad b = '\000' then begin
+    Bytes.set t.bad b '\001';
+    t.n_bad <- t.n_bad + 1;
+    (* A defective block is permanently occupied: the allocator can never
+       hand it out again and [release] refuses to free it. *)
+    if Bytes.get t.occupied b = '\000' then begin
+      Bytes.set t.occupied b '\001';
+      let tr = b / t.blocks_per_track in
+      t.free_per_track.(tr) <- t.free_per_track.(tr) - 1;
+      t.free_total <- t.free_total - 1
+    end
+  end
+
+let n_bad t = t.n_bad
 
 let free_total t = t.free_total
 let free_in_track t track = t.free_per_track.(track)

@@ -35,7 +35,18 @@ val occupy : t -> int -> unit
     must never double-allocate. *)
 
 val release : t -> int -> unit
-(** Raises [Invalid_argument] if the block is already free. *)
+(** Raises [Invalid_argument] if the block is already free or is a grown
+    defect ({!mark_bad}). *)
+
+val mark_bad : t -> int -> unit
+(** Record a grown media defect: the block becomes permanently occupied —
+    never allocated, never released.  Idempotent.  This is the VLD's
+    defect list: because every write is eager-allocated, retiring a block
+    here and allocating another {e is} the remap a conventional drive
+    does with a spare-sector pool. *)
+
+val is_bad : t -> int -> bool
+val n_bad : t -> int
 
 val free_total : t -> int
 val free_in_track : t -> int -> int

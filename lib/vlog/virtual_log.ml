@@ -110,11 +110,6 @@ let checkpoint_ptrs t exclude_piece =
    disk — recycling it earlier could let a later write of the same
    transaction destroy the pre-image the crash recovery needs. *)
 let write_node t piece ~txn_id ~commit =
-  let pba =
-    match Eager.choose t.eager with
-    | Some pba -> pba
-    | None -> failwith "Virtual_log.write_node: disk full (reserve exhausted)"
-  in
   t.seq <- Int64.add t.seq 1L;
   let inherited =
     let prev_root =
@@ -150,8 +145,29 @@ let write_node t piece ~txn_id ~commit =
     }
   in
   let buf = Map_codec.encode_node ~block_bytes:t.block_bytes node in
-  Freemap.occupy t.freemap pba;
-  let bd = Disk.Disk_sim.write ~scsi:false t.disk ~lba:(Freemap.lba_of_block t.freemap pba) buf in
+  (* Grown defects surface here as write errors: retire the block in the
+     freemap (the VLD's defect list) and eager-allocate another — the
+     same node lands elsewhere, exactly like firmware remapping to a
+     spare sector, except the spare pool is the whole free space. *)
+  let rec put attempts acc =
+    let pba =
+      match Eager.choose t.eager with
+      | Some pba -> pba
+      | None -> failwith "Virtual_log.write_node: disk full (reserve exhausted)"
+    in
+    Freemap.occupy t.freemap pba;
+    match
+      Disk.Disk_sim.write_checked ~scsi:false t.disk
+        ~lba:(Freemap.lba_of_block t.freemap pba) buf
+    with
+    | Ok (), cost -> (pba, Breakdown.add acc cost)
+    | Error _, cost ->
+      Freemap.mark_bad t.freemap pba;
+      if attempts >= 8 then
+        failwith "Virtual_log.write_node: persistent write failures (media worn out)"
+      else put (attempts + 1) (Breakdown.add acc cost)
+  in
+  let pba, bd = put 0 Breakdown.zero in
   let superseded = if piece.loc >= 0 then Some piece.loc else None in
   piece.loc <- pba;
   piece.node_seq <- t.seq;
@@ -221,7 +237,14 @@ let tail_record t =
 
 let power_down t =
   let buf = Map_codec.encode_tail ~block_bytes:t.block_bytes (tail_record t) in
-  Disk.Disk_sim.write ~scsi:false t.disk ~lba:(Freemap.lba_of_block t.freemap t.landing_pba) buf
+  (* Best effort: if the landing zone has grown a defect the record is
+     simply absent or torn, and the next recovery takes the scan path —
+     the same outcome as a crash, which recovery must survive anyway. *)
+  match
+    Disk.Disk_sim.write_checked ~scsi:false t.disk
+      ~lba:(Freemap.lba_of_block t.freemap t.landing_pba) buf
+  with
+  | (Ok () | Error _), bd -> bd
 
 (* The map itself (plus slack for in-flight node rewrites) must fit; the
    logical space may exceed the physical block count — a sparse logical
@@ -290,6 +313,7 @@ type recovery_report = {
   blocks_scanned : int;
   edges_pruned : int;
   uncommitted_skipped : int;
+  corrupt_nodes : int;
   duration : Breakdown.t;
 }
 
@@ -357,15 +381,35 @@ let rebuild ~disk ~eager_mode ~switch_free_fraction ~logical_blocks ~sectors_per
   Eager.rescan_empty_tracks eager;
   t
 
+(* Checked read with bounded retry: transient errors are retried a few
+   times (drives do this in firmware); permanent errors and ECC
+   mismatches surface as [Error]. *)
+let max_read_retries = 3
+
+let read_retry ~disk ~lba ~sectors =
+  let bd = ref Breakdown.zero in
+  let rec go attempts =
+    let r, cost = Disk.Disk_sim.read_checked ~scsi:false disk ~lba ~sectors in
+    bd := Breakdown.add !bd cost;
+    match r with
+    | Ok data -> Ok data
+    | Error e when e.Disk.Disk_sim.transient && attempts < max_read_retries ->
+      go (attempts + 1)
+    | Error e -> Error e
+  in
+  let r = go 0 in
+  (r, !bd)
+
 let read_block ~disk ~sectors_per_block pba =
-  let lba = pba * sectors_per_block in
-  Disk.Disk_sim.read ~scsi:false disk ~lba ~sectors:sectors_per_block
+  read_retry ~disk ~lba:(pba * sectors_per_block) ~sectors:sectors_per_block
 
 (* Traverse the tree from the tail, frontier ordered by age (newest
-   first), pruning recycled targets, skipping uncommitted transactions. *)
+   first), pruning recycled targets, skipping corrupt or unreadable nodes,
+   skipping uncommitted transactions. *)
 let traverse ~disk ~sectors_per_block ~n_pieces ~root =
   let bd = ref Breakdown.zero in
   let nodes_read = ref 0 and pruned = ref 0 and uncommitted = ref 0 in
+  let corrupt = ref 0 in
   (* The log is written strictly sequentially with the commit node last in
      each transaction, and the frontier pops in descending sequence order,
      so once any commit node has been seen every older node belongs to a
@@ -395,32 +439,42 @@ let traverse ~disk ~sectors_per_block ~n_pieces ~root =
         frontier := rest;
         if not (Hashtbl.mem visited p.Map_codec.pba) then begin
           Hashtbl.add visited p.Map_codec.pba ();
-          let buf, cost = read_block ~disk ~sectors_per_block p.Map_codec.pba in
+          let r, cost = read_block ~disk ~sectors_per_block p.Map_codec.pba in
           bd := Breakdown.add !bd cost;
           incr nodes_read;
-          match Map_codec.decode_node buf with
-          | Some node when node.Map_codec.seq = p.Map_codec.seq ->
-            if node.Map_codec.txn_commit then seen_commit := true;
-            let valid = node.Map_codec.txn_commit || !seen_commit in
-            if valid then begin
-              if not (Hashtbl.mem found node.Map_codec.piece) then
-                Hashtbl.add found node.Map_codec.piece (p.Map_codec.pba, node)
-            end
-            else incr uncommitted;
-            List.iter push node.Map_codec.ptrs
-          | Some _ | None ->
-            (* Recycled or torn target: the pointer is stale; the live
-               contents are reachable elsewhere. *)
-            incr pruned
+          match r with
+          | Error _ ->
+            (* Unreadable mid-chain node: the nodes behind it may only be
+               reachable through other takeover pointers — or not at all,
+               in which case the caller falls back to the signature scan. *)
+            incr corrupt
+          | Ok buf -> (
+            match Map_codec.decode_node buf with
+            | Some node when node.Map_codec.seq = p.Map_codec.seq ->
+              if node.Map_codec.txn_commit then seen_commit := true;
+              let valid = node.Map_codec.txn_commit || !seen_commit in
+              if valid then begin
+                if not (Hashtbl.mem found node.Map_codec.piece) then
+                  Hashtbl.add found node.Map_codec.piece (p.Map_codec.pba, node)
+              end
+              else incr uncommitted;
+              List.iter push node.Map_codec.ptrs
+            | Some _ | None ->
+              (* Recycled, stale or torn target: the pointer no longer
+                 leads to the node it was written for; the live contents
+                 are reachable elsewhere. *)
+              incr pruned)
         end;
         loop ()
   in
   loop ();
   let recovered = Hashtbl.fold (fun _ v acc -> v :: acc) found [] in
-  (recovered, !bd, !nodes_read, !pruned, !uncommitted)
+  (recovered, !bd, !nodes_read, !pruned, !uncommitted, !corrupt)
 
 (* Scan every block for signed map nodes; keep the newest committed node
-   of each piece.  Reads the platters track by track for honest timing. *)
+   of each piece.  Reads the platters track by track for honest timing;
+   a track that fails to read wholesale is re-read block by block so one
+   bad sector cannot hide the rest of the track's nodes. *)
 let scan ~disk ~sectors_per_block =
   let g = Disk.Disk_sim.geometry disk in
   let spt = g.Disk.Geometry.sectors_per_track in
@@ -430,20 +484,35 @@ let scan ~disk ~sectors_per_block =
   let bd = ref Breakdown.zero in
   let nodes : (int, int * Map_codec.node) Hashtbl.t = Hashtbl.create 16 in
   let all_nodes = ref [] in
-  let scanned = ref 0 in
+  let scanned = ref 0 and unreadable = ref 0 in
+  let consider pba block =
+    incr scanned;
+    match Map_codec.decode_node block with
+    | Some node -> all_nodes := (pba, node) :: !all_nodes
+    | None -> ()
+  in
   for track = 0 to n_tracks - 1 do
     let lba = track * spt in
-    let buf, cost = Disk.Disk_sim.read ~scsi:false disk ~lba ~sectors:spt in
+    let r, cost = read_retry ~disk ~lba ~sectors:spt in
     bd := Breakdown.add !bd cost;
-    for b = 0 to blocks_per_track - 1 do
-      incr scanned;
-      let block = Bytes.sub buf (b * block_bytes) block_bytes in
-      match Map_codec.decode_node block with
-      | Some node ->
+    match r with
+    | Ok buf ->
+      for b = 0 to blocks_per_track - 1 do
+        consider
+          ((track * blocks_per_track) + b)
+          (Bytes.sub buf (b * block_bytes) block_bytes)
+      done
+    | Error _ ->
+      for b = 0 to blocks_per_track - 1 do
         let pba = (track * blocks_per_track) + b in
-        all_nodes := (pba, node) :: !all_nodes
-      | None -> ()
-    done
+        let r, cost = read_block ~disk ~sectors_per_block pba in
+        bd := Breakdown.add !bd cost;
+        match r with
+        | Ok block -> consider pba block
+        | Error _ ->
+          incr scanned;
+          incr unreadable
+      done
   done;
   (* Anything at or below the newest commit node's sequence number is
      committed; only newer non-commit nodes are a rolled-back tail. *)
@@ -464,7 +533,7 @@ let scan ~disk ~sectors_per_block =
         | _ -> Hashtbl.replace nodes n.Map_codec.piece (pba, n))
     !all_nodes;
   let recovered = Hashtbl.fold (fun _ v acc -> v :: acc) nodes [] in
-  (recovered, !bd, !scanned, !uncommitted)
+  (recovered, !bd, !scanned, !uncommitted, !unreadable)
 
 let recover ?(eager_mode = Eager.Sweep) ?(switch_free_fraction = 0.25) ~disk () =
   (* Probe the landing zone with the smallest sensible block (one sector
@@ -472,77 +541,116 @@ let recover ?(eager_mode = Eager.Sweep) ?(switch_free_fraction = 0.25) ~disk () 
      layout, then re-read nothing: config comes from the record). *)
   let g = Disk.Disk_sim.geometry disk in
   let probe_sectors = min 8 g.Disk.Geometry.sectors_per_track in
-  let buf, bd0 = Disk.Disk_sim.read ~scsi:false disk ~lba:0 ~sectors:probe_sectors in
-  match Map_codec.decode_tail buf with
-  | Some tail when tail.Map_codec.root_pba >= 0 ->
-    let sectors_per_block = tail.Map_codec.sectors_per_block in
-    let root =
-      { Map_codec.pba = tail.Map_codec.root_pba; seq = tail.Map_codec.root_seq }
+  let tail_r, bd0 = read_retry ~disk ~lba:0 ~sectors:probe_sectors in
+  (* Clear the record so a later crash cannot trust it; best effort — a
+     defective landing zone just means the next recovery scans. *)
+  let clear_tail block_bytes =
+    let cleared = Map_codec.cleared_tail ~block_bytes in
+    match Disk.Disk_sim.write_checked ~scsi:false disk ~lba:0 cleared with
+    | (Ok () | Error _), bd -> bd
+  in
+  (* The signature-scan path, optionally merging nodes already recovered
+     by a partial tree traversal (newest node per piece wins). *)
+  let scan_recover ~sectors_per_block ~prior ~used_tail ~nodes_read ~pruned
+      ~uncommitted ~corrupt ~logical_blocks_hint ~n_pieces_hint ~bd_acc =
+    let scanned_nodes, bd1, scanned, unc, unreadable = scan ~disk ~sectors_per_block in
+    let merged = Hashtbl.create 16 in
+    let add (pba, (n : Map_codec.node)) =
+      match Hashtbl.find_opt merged n.Map_codec.piece with
+      | Some (_, (old : Map_codec.node)) when old.Map_codec.seq >= n.Map_codec.seq -> ()
+      | _ -> Hashtbl.replace merged n.Map_codec.piece (pba, n)
     in
-    let recovered, bd1, nodes_read, pruned, uncommitted =
-      traverse ~disk ~sectors_per_block ~n_pieces:tail.Map_codec.n_pieces ~root
-    in
-    if List.length recovered < tail.Map_codec.n_pieces then
-      Error "virtual log recovery: tree traversal did not reach every map piece"
+    List.iter add scanned_nodes;
+    List.iter add prior;
+    let recovered = Hashtbl.fold (fun _ v acc -> v :: acc) merged [] in
+    if recovered = [] then Error "virtual log recovery: no valid map nodes found on disk"
     else begin
-      let t =
-        rebuild ~disk ~eager_mode ~switch_free_fraction
-          ~logical_blocks:tail.Map_codec.logical_blocks ~sectors_per_block ~recovered
-      in
-      (* Clear the record so a later crash cannot trust it. *)
-      let cleared = Map_codec.cleared_tail ~block_bytes:t.block_bytes in
-      let bd2 = Disk.Disk_sim.write ~scsi:false disk ~lba:0 cleared in
-      Ok
-        ( t,
-          {
-            used_tail = true;
-            nodes_read;
-            blocks_scanned = 0;
-            edges_pruned = pruned;
-            uncommitted_skipped = uncommitted;
-            duration = Breakdown.add (Breakdown.add bd0 bd1) bd2;
-          } )
-    end
-  | Some _ | None -> (
-    (* No trustworthy tail: scan for signed map nodes.  The node format
-       is self-describing enough to infer the configuration. *)
-    let try_scan sectors_per_block =
-      let recovered, bd1, scanned, uncommitted = scan ~disk ~sectors_per_block in
-      if recovered = [] then None else Some (recovered, bd1, scanned, uncommitted)
-    in
-    match try_scan 8 with
-    | None -> Error "virtual log recovery: no valid map nodes found on disk"
-    | Some (recovered, bd1, scanned, uncommitted) ->
-      let sectors_per_block = 8 in
       let n_pieces =
-        1 + List.fold_left (fun m (_, n) -> max m n.Map_codec.piece) 0 recovered
+        match n_pieces_hint with
+        | Some n -> n
+        | None -> 1 + List.fold_left (fun m (_, n) -> max m n.Map_codec.piece) 0 recovered
       in
       if List.length recovered < n_pieces then
         Error "virtual log recovery: scan found an incomplete set of map pieces"
       else begin
         let logical_blocks =
-          List.fold_left
-            (fun acc (_, (n : Map_codec.node)) ->
-              acc + Array.length n.Map_codec.entries)
-            0 recovered
+          match logical_blocks_hint with
+          | Some n -> n
+          | None ->
+            List.fold_left
+              (fun acc (_, (n : Map_codec.node)) ->
+                acc + Array.length n.Map_codec.entries)
+              0 recovered
         in
         let t =
           rebuild ~disk ~eager_mode ~switch_free_fraction ~logical_blocks
             ~sectors_per_block ~recovered
         in
-        let cleared = Map_codec.cleared_tail ~block_bytes:t.block_bytes in
-        let bd2 = Disk.Disk_sim.write ~scsi:false disk ~lba:0 cleared in
+        let bd2 = clear_tail t.block_bytes in
         Ok
           ( t,
             {
-              used_tail = false;
-              nodes_read = 0;
+              used_tail;
+              nodes_read;
               blocks_scanned = scanned;
-              edges_pruned = 0;
-              uncommitted_skipped = uncommitted;
-              duration = Breakdown.add (Breakdown.add bd0 bd1) bd2;
+              edges_pruned = pruned;
+              uncommitted_skipped = uncommitted + unc;
+              corrupt_nodes = corrupt + unreadable;
+              duration = Breakdown.add (Breakdown.add bd_acc bd1) bd2;
             } )
-      end)
+      end
+    end
+  in
+  let fresh_scan bd_acc =
+    scan_recover ~sectors_per_block:8 ~prior:[] ~used_tail:false ~nodes_read:0
+      ~pruned:0 ~uncommitted:0 ~corrupt:0 ~logical_blocks_hint:None
+      ~n_pieces_hint:None ~bd_acc
+  in
+  match tail_r with
+  | Error _ ->
+    (* Landing zone unreadable: same as a missing record. *)
+    fresh_scan bd0
+  | Ok buf -> (
+    match Map_codec.decode_tail buf with
+    | Some tail when tail.Map_codec.root_pba >= 0 ->
+      let sectors_per_block = tail.Map_codec.sectors_per_block in
+      let root =
+        { Map_codec.pba = tail.Map_codec.root_pba; seq = tail.Map_codec.root_seq }
+      in
+      let recovered, bd1, nodes_read, pruned, uncommitted, corrupt =
+        traverse ~disk ~sectors_per_block ~n_pieces:tail.Map_codec.n_pieces ~root
+      in
+      let bd_acc = Breakdown.add bd0 bd1 in
+      if List.length recovered >= tail.Map_codec.n_pieces then begin
+        let t =
+          rebuild ~disk ~eager_mode ~switch_free_fraction
+            ~logical_blocks:tail.Map_codec.logical_blocks ~sectors_per_block ~recovered
+        in
+        let bd2 = clear_tail t.block_bytes in
+        Ok
+          ( t,
+            {
+              used_tail = true;
+              nodes_read;
+              blocks_scanned = 0;
+              edges_pruned = pruned;
+              uncommitted_skipped = uncommitted;
+              corrupt_nodes = corrupt;
+              duration = Breakdown.add bd_acc bd2;
+            } )
+      end
+      else
+        (* Corrupt or unreadable nodes cut the chain mid-way: do not
+           abort — fall back to the signature scan and merge whatever the
+           traversal did reach. *)
+        scan_recover ~sectors_per_block ~prior:recovered ~used_tail:true ~nodes_read
+          ~pruned ~uncommitted ~corrupt
+          ~logical_blocks_hint:(Some tail.Map_codec.logical_blocks)
+          ~n_pieces_hint:(Some tail.Map_codec.n_pieces) ~bd_acc
+    | Some _ | None ->
+      (* No trustworthy tail: scan for signed map nodes.  The node format
+         is self-describing enough to infer the configuration. *)
+      fresh_scan bd0)
 
 let check_invariants t =
   let errors = ref [] in

@@ -82,6 +82,12 @@ type recovery_report = {
   blocks_scanned : int;  (** blocks examined by the scan fallback *)
   edges_pruned : int;    (** stale pointers detected and skipped *)
   uncommitted_skipped : int; (** nodes of rolled-back transactions *)
+  corrupt_nodes : int;
+      (** unreadable or ECC-failed blocks skipped: mid-chain nodes the
+          traversal could not read, plus blocks the scan had to skip.
+          When the tree traversal cannot reach every piece because of
+          these, recovery falls back to the signature scan and merges
+          ([used_tail] stays true and [blocks_scanned] is non-zero). *)
   duration : Vlog_util.Breakdown.t;
 }
 
@@ -93,7 +99,11 @@ val recover :
   (t * recovery_report, string) result
 (** Rebuild the virtual log from the platters alone (after a crash or a
     clean power-down).  Clears the tail record after using it, as the
-    paper prescribes, so a later crash cannot trust a stale record. *)
+    paper prescribes, so a later crash cannot trust a stale record.
+    Defect-tolerant: transient read errors are retried, an unreadable or
+    corrupt landing zone falls back to the signature scan, and corrupt
+    map nodes mid-chain are skipped (scan fallback merge) rather than
+    aborting recovery. *)
 
 type stats = { node_writes : int; checkpoint_writes : int; txns : int }
 

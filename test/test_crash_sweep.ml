@@ -6,7 +6,12 @@
    This is the strongest durability evidence in the suite: recovery is
    exercised at dozens of distinct on-disk states per run, through both
    paths (the snapshots never contain a tail record, so this sweeps the
-   scan path; a second sweep powers down first to cover the tail path). *)
+   scan path; a second sweep powers down first to cover the tail path).
+
+   The generalization of this sweep to injected media faults — torn
+   writes, bit rot, transient read errors, grown defects, power cuts at
+   every operation boundary — lives in [Fault.Sweep] and runs from
+   test_fault.ml. *)
 
 open Vlog_util
 open Vlog
