@@ -8,7 +8,9 @@
    vlsim latency --disk st --util 80 [--host sparc|ultra]
                                 — one-off random-update measurement
    vlsim faults [--fault-plan torn,rot] [--fault-seed 7101]
-                                — crash/fault injection sweep *)
+                                — crash/fault injection sweep
+   vlsim trace small-file --fs ufs --dev vld --out trace.jsonl --metrics
+                                — run a workload with tracing on *)
 
 open Cmdliner
 
@@ -216,7 +218,97 @@ let faults_cmd =
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(const run $ plan_arg $ seed_arg $ triggers_arg $ quick_arg)
 
+(* --- trace --- *)
+
+let trace_cmd =
+  let doc =
+    "run a workload with tracing enabled: export the span/counter/histogram \
+     stream as JSON Lines and/or print a metrics summary or flamegraph"
+  in
+  let workload_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("small-file", `Small); ("random-update", `Random); ("seq-read", `Seq) ]))
+          None
+      & info [] ~docv:"WORKLOAD" ~doc:"small-file, random-update or seq-read")
+  in
+  let fs_arg =
+    Arg.(
+      value
+      & opt (enum [ ("ufs", `Ufs); ("lfs", `Lfs); ("vlfs", `Vlfs) ]) `Ufs
+      & info [ "fs" ] ~doc:"ufs, lfs or vlfs")
+  in
+  let dev_arg =
+    Arg.(
+      value
+      & opt (enum [ ("regular", Workload.Setup.Regular); ("vld", Workload.Setup.VLD) ])
+          Workload.Setup.VLD
+      & info [ "dev" ] ~doc:"regular or vld (ignored for vlfs)")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"write the trace as JSON Lines to $(docv)")
+  in
+  let metrics_arg =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"print the metrics summary table")
+  in
+  let flame_arg =
+    Arg.(value & flag & info [ "flamegraph" ] ~doc:"print a text flamegraph")
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "ops" ] ~doc:"workload size (files to create / updates to apply)")
+  in
+  let run workload fs dev profile host out metrics flame ops =
+    let fs_choice =
+      match fs with
+      | `Ufs -> Workload.Setup.UFS { sync_data = true }
+      | `Lfs -> Workload.Setup.LFS { buffer_blocks = 1561 }
+      | `Vlfs -> Workload.Setup.VLFS { sync_writes = true }
+    in
+    let rig = Workload.Setup.make ~trace:true ~profile ~host ~fs:fs_choice ~dev () in
+    (match workload with
+    | `Small -> ignore (Workload.Small_file.run ~files:ops rig)
+    | `Random ->
+      ignore (Workload.Random_update.run ~updates:ops ~warmup:0 ~file_mb:2. rig)
+    | `Seq ->
+      (* Write one [ops]-block file through the buffer, sync it out, drop
+         caches, and stream it back: a read-path trace with a cold cache. *)
+      let o = rig.Workload.Setup.ops in
+      let bs = rig.Workload.Setup.dev.Blockdev.Device.block_bytes in
+      ignore (o.Workload.Setup.create "seq");
+      ignore (o.Workload.Setup.write "seq" ~off:0 (Bytes.make (ops * bs) 's'));
+      ignore (o.Workload.Setup.sync ());
+      o.Workload.Setup.drop_caches ();
+      ignore (o.Workload.Setup.read "seq" ~off:0 ~len:(ops * bs)));
+    let sink = Workload.Setup.trace rig in
+    (match out with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Trace.to_jsonl sink);
+      close_out oc;
+      Printf.printf "wrote %s (%d spans, %d counters)\n" file
+        (List.length (Trace.spans sink))
+        (List.length (Trace.counters sink))
+    | None -> ());
+    if metrics || (out = None && not flame) then
+      Format.printf "%a@." Trace.pp_summary sink;
+    if flame then Format.printf "%a@." Trace.pp_flamegraph sink
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ workload_arg $ fs_arg $ dev_arg $ disk_arg $ host_arg $ out_arg
+      $ metrics_arg $ flame_arg $ ops_arg)
+
 let () =
   let doc = "virtual-log based file systems for a programmable disk: simulator" in
   let info = Cmd.info "vlsim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; model_cmd; latency_cmd; faults_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; model_cmd; latency_cmd; faults_cmd; trace_cmd ]))

@@ -25,12 +25,12 @@ let () =
      update are on the platter.  Note the latency: no half-rotation wait. *)
   let payload i = Bytes.make dev.Blockdev.Device.block_bytes (Char.chr (65 + i)) in
   for i = 0 to 9 do
-    let bd = dev.Blockdev.Device.write (i * 100) (payload i) in
+    let bd = Blockdev.Device.write dev (i * 100) (payload i) in
     Format.printf "write block %4d: %a@." (i * 100) Breakdown.pp bd
   done;
 
   (* 4. Read back. *)
-  let data, bd = dev.Blockdev.Device.read 300 in
+  let data, bd = Blockdev.Device.read dev 300 in
   Format.printf "read  block  300: first byte %c, %a@." (Bytes.get data 0) Breakdown.pp bd;
 
   (* 5. Power down: the firmware parks the head and records the log tail
@@ -48,5 +48,5 @@ let () =
       report.Vlog.Virtual_log.blocks_scanned Breakdown.pp
       report.Vlog.Virtual_log.duration;
     let dev2 = Blockdev.Vld.device vld2 in
-    let data, _ = dev2.Blockdev.Device.read 300 in
+    let data, _ = Blockdev.Device.read dev2 300 in
     Format.printf "block 300 after recovery: first byte %c@." (Bytes.get data 0)

@@ -16,16 +16,30 @@ type t = {
   name : string;
   block_bytes : int;
   n_blocks : int;
-  read : int -> Bytes.t * Vlog_util.Breakdown.t;
-  read_run : int -> int -> Bytes.t * Vlog_util.Breakdown.t;
-  write : int -> Bytes.t -> Vlog_util.Breakdown.t;
-  write_run : int -> Bytes.t -> Vlog_util.Breakdown.t;
-  read_r : int -> (Bytes.t * Vlog_util.Breakdown.t, io_error) result;
-  write_r : int -> Bytes.t -> (Vlog_util.Breakdown.t, io_error) result;
+  trace : Trace.sink;
+  read : int -> (Bytes.t * Vlog_util.Io.completion, io_error) result;
+  read_run : int -> int -> (Bytes.t * Vlog_util.Io.completion, io_error) result;
+  write : int -> Bytes.t -> (Vlog_util.Io.completion, io_error) result;
+  write_run : int -> Bytes.t -> (Vlog_util.Io.completion, io_error) result;
   trim : int -> unit;
   idle : float -> unit;
   utilization : unit -> float;
 }
+
+let exn = function Ok v -> v | Error e -> raise (Io_error e)
+
+(* The raising breakdown-typed variants, derived once for all devices:
+   unmodified file systems fail stop rather than consume corrupt data. *)
+let read t block =
+  let data, c = exn (t.read block) in
+  (data, Vlog_util.Io.bd c)
+
+let read_run t block count =
+  let data, c = exn (t.read_run block count) in
+  (data, Vlog_util.Io.bd c)
+
+let write t block buf = Vlog_util.Io.bd (exn (t.write block buf))
+let write_run t block buf = Vlog_util.Io.bd (exn (t.write_run block buf))
 
 let advance_idle ~clock t dt =
   let until = Vlog_util.Clock.now clock +. dt in

@@ -4,7 +4,14 @@
     {!Regular_disk} (logical = physical, update in place) and {!Vld}
     (eager writing behind an indirection map) — export the same record, so
     an unmodified file system runs on either, exactly as the paper's
-    experimental platform arranges (Figure 5). *)
+    experimental platform arranges (Figure 5).
+
+    Every operation is result-typed and resolves to a
+    {!Vlog_util.Io.completion} — the unified return of the I/O path:
+    latency breakdown, covering trace span, and op-specific counter
+    deltas.  Exception-style wrappers are derived once from {!exn};
+    nothing in the device implementations duplicates
+    retry-then-raise boilerplate. *)
 
 type io_error = {
   op : [ `Read | `Write ];
@@ -19,9 +26,9 @@ type io_error = {
     VLD), so an [io_error] means the data is genuinely unavailable. *)
 
 exception Io_error of io_error
-(** Raised by the exception-style operations ([read], [write], …) when
-    the result-style ones ([read_r], [write_r]) would return [Error] —
-    unmodified file systems fail stop rather than consume corrupt data. *)
+(** Raised by {!exn} (and the derived raising wrappers) when a
+    result-typed operation returns [Error] — unmodified file systems
+    fail stop rather than consume corrupt data. *)
 
 val pp_io_error : Format.formatter -> io_error -> unit
 
@@ -29,24 +36,24 @@ type t = {
   name : string;
   block_bytes : int;
   n_blocks : int;
-  read : int -> Bytes.t * Vlog_util.Breakdown.t;
-      (** [read block] returns the block's contents and the disk-time
-          breakdown.  Unwritten blocks read as zeroes. *)
-  read_run : int -> int -> Bytes.t * Vlog_util.Breakdown.t;
+  trace : Trace.sink;
+      (** the sink every layer below this device reports to; file
+          systems pick it up from here so one sink observes the whole
+          stack *)
+  read : int -> (Bytes.t * Vlog_util.Io.completion, io_error) result;
+      (** [read block] returns the block's contents and the completion.
+          Unwritten blocks read as zeroes. *)
+  read_run : int -> int -> (Bytes.t * Vlog_util.Io.completion, io_error) result;
       (** [read_run block count] reads [count] consecutive logical
           blocks; the device exploits whatever physical contiguity it
           has. *)
-  write : int -> Bytes.t -> Vlog_util.Breakdown.t;
-      (** Synchronous single-block write: when it returns, the block is
-          on the platter (and, for a VLD, its map update is committed). *)
-  write_run : int -> Bytes.t -> Vlog_util.Breakdown.t;
+  write : int -> Bytes.t -> (Vlog_util.Io.completion, io_error) result;
+      (** Synchronous single-block write: when it returns [Ok], the
+          block is on the platter (and, for a VLD, its map update is
+          committed). *)
+  write_run : int -> Bytes.t -> (Vlog_util.Io.completion, io_error) result;
       (** Multi-block synchronous write, atomic on a VLD (one
           transaction). *)
-  read_r : int -> (Bytes.t * Vlog_util.Breakdown.t, io_error) result;
-      (** Like [read], but media faults that survive retry/remap are
-          reported as [Error] instead of raising {!Io_error}. *)
-  write_r : int -> Bytes.t -> (Vlog_util.Breakdown.t, io_error) result;
-      (** Like [write], result-typed. *)
   trim : int -> unit;
       (** Hint that a logical block's contents are dead.  Free on a VLD,
           a no-op on a regular disk.  The VLD also detects deletions by
@@ -60,6 +67,17 @@ type t = {
   utilization : unit -> float;
       (** Physically occupied fraction of the device. *)
 }
+
+val exn : ('a, io_error) result -> 'a
+(** [exn r] is [v] when [r = Ok v]; raises {!Io_error} otherwise.  The
+    single point all exception-style access is derived from. *)
+
+val read : t -> int -> Bytes.t * Vlog_util.Breakdown.t
+val read_run : t -> int -> int -> Bytes.t * Vlog_util.Breakdown.t
+val write : t -> int -> Bytes.t -> Vlog_util.Breakdown.t
+val write_run : t -> int -> Bytes.t -> Vlog_util.Breakdown.t
+(** Raising breakdown-typed convenience wrappers over the record's
+    result-typed fields, via {!exn}. *)
 
 val advance_idle : clock:Vlog_util.Clock.t -> t -> float -> unit
 (** Grant [dt] ms of idle time and then advance the clock to the end of

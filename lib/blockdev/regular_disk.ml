@@ -1,3 +1,5 @@
+open Vlog_util
+
 type t = {
   disk : Disk.Disk_sim.t;
   sectors_per_block : int;
@@ -42,6 +44,16 @@ let written_blocks t = t.written_count
 let remapped_blocks t = Hashtbl.length t.remap
 let spares_left t = List.length t.spares
 
+let sink t = Disk.Disk_sim.trace t.disk
+
+let dev_span t name block count =
+  let tr = sink t in
+  if Trace.enabled tr then
+    Trace.enter tr
+      ~attrs:[ ("block", string_of_int block); ("count", string_of_int count) ]
+      name
+  else Io.no_span
+
 let check t block count =
   if block < 0 || count <= 0 || block + count > t.n_blocks then
     invalid_arg "Regular_disk: block range out of bounds"
@@ -52,22 +64,30 @@ let phys t block =
 let err ~op ~block ~(e : Disk.Disk_sim.media_error) ~retries =
   { Device.op; block; error_lba = e.Disk.Disk_sim.error_lba; retries }
 
+let retry_counters attempts = if attempts > 0 then [ ("retries", attempts) ] else []
+
 (* Bounded-retry read of one logical block at its current physical home. *)
 let read_result t block =
   check t block 1;
+  let sp = dev_span t "dev.read" block 1 in
   let lba = phys t block * t.sectors_per_block in
-  let bd = ref Vlog_util.Breakdown.zero in
+  let bd = ref Breakdown.zero in
   let rec go attempts =
     let r, cost =
       Disk.Disk_sim.read_checked ~scsi:(attempts = 0) t.disk ~lba
         ~sectors:t.sectors_per_block
     in
-    bd := Vlog_util.Breakdown.add !bd cost;
+    bd := Breakdown.add !bd cost;
     match r with
-    | Ok data -> Ok (data, !bd)
+    | Ok data ->
+      if attempts > 0 then Trace.incr (sink t) ~by:attempts "dev.read_retries";
+      Trace.exit (sink t) ~bd:!bd sp;
+      Ok (data, Io.make ~span:sp ~counters:(retry_counters attempts) !bd)
     | Error e when e.Disk.Disk_sim.transient && attempts < max_retries ->
       go (attempts + 1)
-    | Error e -> Error (err ~op:`Read ~block ~e ~retries:attempts)
+    | Error e ->
+      Trace.exit (sink t) ~bd:!bd sp;
+      Error (err ~op:`Read ~block ~e ~retries:attempts)
   in
   go 0
 
@@ -85,22 +105,31 @@ let write_result t block buf =
   check t block 1;
   if Bytes.length buf <> t.block_bytes then
     invalid_arg "Regular_disk.write: buffer must be exactly one block";
-  let bd = ref Vlog_util.Breakdown.zero in
+  let sp = dev_span t "dev.write" block 1 in
+  let bd = ref Breakdown.zero in
   let rec go attempts remaps =
     let lba = phys t block * t.sectors_per_block in
     let r, cost =
       Disk.Disk_sim.write_checked ~scsi:(attempts = 0 && remaps = 0) t.disk ~lba buf
     in
-    bd := Vlog_util.Breakdown.add !bd cost;
+    bd := Breakdown.add !bd cost;
     match r with
     | Ok () ->
       note_written t block;
-      Ok !bd
+      if attempts > 0 then Trace.incr (sink t) ~by:attempts "dev.write_retries";
+      if remaps > 0 then Trace.incr (sink t) ~by:remaps "dev.remaps";
+      Trace.exit (sink t) ~bd:!bd sp;
+      let counters =
+        retry_counters attempts @ if remaps > 0 then [ ("remaps", remaps) ] else []
+      in
+      Ok (Io.make ~span:sp ~counters !bd)
     | Error e when e.Disk.Disk_sim.transient && attempts < max_retries ->
       go (attempts + 1) remaps
     | Error e -> (
       match t.spares with
-      | [] -> Error (err ~op:`Write ~block ~e ~retries:attempts)
+      | [] ->
+        Trace.exit (sink t) ~bd:!bd sp;
+        Error (err ~op:`Write ~block ~e ~retries:attempts)
       | spare :: rest ->
         t.spares <- rest;
         Hashtbl.replace t.remap block spare;
@@ -108,64 +137,88 @@ let write_result t block buf =
   in
   go 0 0
 
-let lift_read = function
-  | Ok v -> v
-  | Error e -> raise (Device.Io_error e)
-
-let read t block = lift_read (read_result t block)
-
-let write t block buf =
-  match write_result t block buf with
-  | Ok bd -> bd
-  | Error e -> raise (Device.Io_error e)
-
 let run_remapped t block count =
   let rec go i = i < count && (Hashtbl.mem t.remap (block + i) || go (i + 1)) in
   go 0
 
+let merge_counters a b =
+  List.fold_left
+    (fun acc (k, v) ->
+      match List.assoc_opt k acc with
+      | Some prev -> (k, prev + v) :: List.remove_assoc k acc
+      | None -> (k, v) :: acc)
+    a b
+
 (* Multi-block requests stream as one disk command when nothing in the
    range is remapped or faulty; otherwise fall back to per-block service
    so one bad sector cannot take down the whole transfer. *)
-let read_run t block count =
+let read_run_result t block count =
   check t block count;
-  let per_block () =
+  let sp = dev_span t "dev.read_run" block count in
+  (* [acc] carries the cost of a failed streaming attempt into the
+     per-block fallback so the fold stays strictly chronological. *)
+  let per_block acc =
     let out = Bytes.create (count * t.block_bytes) in
-    let bd = ref Vlog_util.Breakdown.zero in
-    for i = 0 to count - 1 do
-      let data, cost = lift_read (read_result t (block + i)) in
-      Bytes.blit data 0 out (i * t.block_bytes) t.block_bytes;
-      bd := Vlog_util.Breakdown.add !bd cost
-    done;
-    (out, !bd)
+    let bd = ref acc in
+    let counters = ref [] in
+    let rec go i =
+      if i >= count then begin
+        Trace.exit (sink t) ~bd:!bd sp;
+        Ok (out, Io.make ~span:sp ~counters:!counters !bd)
+      end
+      else
+        match read_result t (block + i) with
+        | Ok (data, c) ->
+          Bytes.blit data 0 out (i * t.block_bytes) t.block_bytes;
+          bd := Breakdown.add !bd c.Io.breakdown;
+          counters := merge_counters !counters c.Io.counters;
+          go (i + 1)
+        | Error e ->
+          Trace.exit (sink t) ~bd:!bd sp;
+          Error e
+    in
+    go 0
   in
-  if run_remapped t block count then per_block ()
+  if run_remapped t block count then per_block Breakdown.zero
   else
     let r, bd =
       Disk.Disk_sim.read_checked t.disk ~lba:(block * t.sectors_per_block)
         ~sectors:(count * t.sectors_per_block)
     in
     match r with
-    | Ok data -> (data, bd)
-    | Error _ ->
-      let data, bd2 = per_block () in
-      (data, Vlog_util.Breakdown.add bd bd2)
+    | Ok data ->
+      Trace.exit (sink t) ~bd sp;
+      Ok (data, Io.make ~span:sp bd)
+    | Error _ -> per_block bd
 
-let write_run t block buf =
+let write_run_result t block buf =
   if Bytes.length buf = 0 || Bytes.length buf mod t.block_bytes <> 0 then
     invalid_arg "Regular_disk.write_run: buffer must be whole blocks";
   let count = Bytes.length buf / t.block_bytes in
   check t block count;
-  let per_block from acc =
+  let sp = dev_span t "dev.write_run" block count in
+  let per_block acc =
     let bd = ref acc in
-    for i = from to count - 1 do
-      let piece = Bytes.sub buf (i * t.block_bytes) t.block_bytes in
-      match write_result t (block + i) piece with
-      | Ok cost -> bd := Vlog_util.Breakdown.add !bd cost
-      | Error e -> raise (Device.Io_error e)
-    done;
-    !bd
+    let counters = ref [] in
+    let rec go i =
+      if i >= count then begin
+        Trace.exit (sink t) ~bd:!bd sp;
+        Ok (Io.make ~span:sp ~counters:!counters !bd)
+      end
+      else
+        let piece = Bytes.sub buf (i * t.block_bytes) t.block_bytes in
+        match write_result t (block + i) piece with
+        | Ok c ->
+          bd := Breakdown.add !bd c.Io.breakdown;
+          counters := merge_counters !counters c.Io.counters;
+          go (i + 1)
+        | Error e ->
+          Trace.exit (sink t) ~bd:!bd sp;
+          Error e
+    in
+    go 0
   in
-  if run_remapped t block count then per_block 0 Vlog_util.Breakdown.zero
+  if run_remapped t block count then per_block Breakdown.zero
   else
     let r, bd =
       Disk.Disk_sim.write_checked t.disk ~lba:(block * t.sectors_per_block) buf
@@ -175,20 +228,20 @@ let write_run t block buf =
       for i = block to block + count - 1 do
         note_written t i
       done;
-      bd
-    | Error _ -> per_block 0 bd
+      Trace.exit (sink t) ~bd sp;
+      Ok (Io.make ~span:sp bd)
+    | Error _ -> per_block bd
 
 let device t =
   {
     Device.name = "regular";
     block_bytes = t.block_bytes;
     n_blocks = t.n_blocks;
-    read = read t;
-    read_run = read_run t;
-    write = write t;
-    write_run = write_run t;
-    read_r = read_result t;
-    write_r = write_result t;
+    trace = sink t;
+    read = read_result t;
+    read_run = read_run_result t;
+    write = write_result t;
+    write_run = write_run_result t;
     trim = (fun block -> check t block 1);
     idle = (fun _ -> ());
     utilization =

@@ -19,14 +19,26 @@ val written_blocks : t -> int
     device reports, since an update-in-place disk has no liveness
     information of its own. *)
 
-val read_result : t -> int -> (Bytes.t * Vlog_util.Breakdown.t, Device.io_error) result
+val read_result : t -> int -> (Bytes.t * Vlog_util.Io.completion, Device.io_error) result
 (** Defect-tolerant read: transient errors are retried (bounded), remapped
-    blocks are fetched from their spare.  [Error] means the data is gone. *)
+    blocks are fetched from their spare.  [Error] means the data is gone.
+    The completion reports a ["retries"] counter when retries happened. *)
 
-val write_result : t -> int -> Bytes.t -> (Vlog_util.Breakdown.t, Device.io_error) result
+val write_result : t -> int -> Bytes.t -> (Vlog_util.Io.completion, Device.io_error) result
 (** Defect-tolerant write: transient errors are retried; a grown defect
     retires the block's physical home and remaps it to a spare.  [Error]
-    means the spare pool is exhausted. *)
+    means the spare pool is exhausted.  The completion reports
+    ["retries"] and ["remaps"] counters when either happened. *)
+
+val read_run_result :
+  t -> int -> int -> (Bytes.t * Vlog_util.Io.completion, Device.io_error) result
+(** Multi-block read: one streamed disk command when the range is clean,
+    per-block fallback when remapped or faulty. *)
+
+val write_run_result :
+  t -> int -> Bytes.t -> (Vlog_util.Io.completion, Device.io_error) result
+(** Multi-block write, same streaming/fallback policy as
+    {!read_run_result}. *)
 
 val remapped_blocks : t -> int
 (** Entries in the grown-defect list. *)

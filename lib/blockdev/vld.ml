@@ -51,21 +51,40 @@ let check t block count =
     invalid_arg "Vld: logical block range out of bounds"
 
 let clock t = Disk.Disk_sim.clock t.disk
+let sink t = Disk.Disk_sim.trace t.disk
 
+let dev_span t name block count =
+  let tr = sink t in
+  if Trace.enabled tr then
+    Trace.enter tr
+      ~attrs:[ ("block", string_of_int block); ("count", string_of_int count) ]
+      name
+  else Io.no_span
+
+(* The command-processing charge of a request the map answers without
+   touching the platters; a leaf span so parents fold it exactly. *)
 let scsi_only t =
   let o = (Disk.Disk_sim.profile t.disk).Disk.Profile.scsi_overhead_ms in
+  let sp = if Trace.enabled (sink t) then Trace.enter (sink t) "vld.scsi" else Io.no_span in
   Clock.advance (clock t) o;
-  Breakdown.of_scsi o
+  let bd = Breakdown.of_scsi o in
+  Trace.exit (sink t) ~bd sp;
+  bd
 
 let max_retries = 3
 let max_realloc = 8
 
+let retry_counters attempts = if attempts > 0 then [ ("retries", attempts) ] else []
+
 let read_result t block =
   check t block 1;
+  let sp = dev_span t "dev.read" block 1 in
   match Vlog.Virtual_log.lookup t.vlog block with
   | None ->
     (* Unmapped: the map answers without touching the platters. *)
-    Ok (Bytes.make t.block_bytes '\000', scsi_only t)
+    let bd = scsi_only t in
+    Trace.exit (sink t) ~bd sp;
+    Ok (Bytes.make t.block_bytes '\000', Io.make ~span:sp bd)
   | Some pba ->
     let lba = Vlog.Freemap.lba_of_block (Vlog.Virtual_log.freemap t.vlog) pba in
     let bd = ref Breakdown.zero in
@@ -76,10 +95,14 @@ let read_result t block =
       in
       bd := Breakdown.add !bd cost;
       match r with
-      | Ok data -> Ok (data, !bd)
+      | Ok data ->
+        if attempts > 0 then Trace.incr (sink t) ~by:attempts "dev.read_retries";
+        Trace.exit (sink t) ~bd:!bd sp;
+        Ok (data, Io.make ~span:sp ~counters:(retry_counters attempts) !bd)
       | Error e when e.Disk.Disk_sim.transient && attempts < max_retries ->
         go (attempts + 1)
       | Error e ->
+        Trace.exit (sink t) ~bd:!bd sp;
         Error
           {
             Device.op = `Read;
@@ -90,49 +113,62 @@ let read_result t block =
     in
     go 0
 
-let read t block =
-  match read_result t block with
-  | Ok v -> v
-  | Error e -> raise (Device.Io_error e)
-
 (* Group consecutive logical blocks whose physical locations are also
    consecutive into single platter requests. *)
-let read_run t block count =
+let read_run_result t block count =
   check t block count;
+  let sp = dev_span t "dev.read_run" block count in
   let out = Bytes.make (count * t.block_bytes) '\000' in
   let bd = ref Breakdown.zero in
   let first_op = ref true in
   let issue ~off ~pba ~blocks =
     let scsi = !first_op in
     first_op := false;
-    let data, cost =
-      Disk.Disk_sim.read ~scsi t.disk
+    let r, cost =
+      Disk.Disk_sim.read_checked ~scsi t.disk
         ~lba:(Vlog.Freemap.lba_of_block (Vlog.Virtual_log.freemap t.vlog) pba)
         ~sectors:(blocks * t.sectors_per_block)
     in
-    Bytes.blit data 0 out (off * t.block_bytes) (Bytes.length data);
-    bd := Breakdown.add !bd cost
+    bd := Breakdown.add !bd cost;
+    match r with
+    | Ok data ->
+      Bytes.blit data 0 out (off * t.block_bytes) (Bytes.length data);
+      Ok ()
+    | Error e ->
+      Error
+        {
+          Device.op = `Read;
+          block = block + off;
+          error_lba = e.Disk.Disk_sim.error_lba;
+          retries = 0;
+        }
   in
   let rec go i run_start run_pba run_len =
     let flush () =
-      if run_len > 0 then issue ~off:run_start ~pba:run_pba ~blocks:run_len
+      if run_len > 0 then issue ~off:run_start ~pba:run_pba ~blocks:run_len else Ok ()
     in
     if i >= count then flush ()
     else
       match Vlog.Virtual_log.lookup t.vlog (block + i) with
-      | None ->
-        flush ();
-        go (i + 1) (i + 1) 0 0
+      | None -> (
+        match flush () with
+        | Ok () -> go (i + 1) (i + 1) 0 0
+        | Error _ as e -> e)
       | Some pba ->
         if run_len > 0 && pba = run_pba + run_len then go (i + 1) run_start run_pba (run_len + 1)
-        else begin
-          flush ();
-          go (i + 1) i pba 1
-        end
+        else (
+          match flush () with
+          | Ok () -> go (i + 1) i pba 1
+          | Error _ as e -> e)
   in
-  go 0 0 0 0;
-  if !first_op then bd := scsi_only t;
-  (out, !bd)
+  match go 0 0 0 0 with
+  | Error e ->
+    Trace.exit (sink t) ~bd:!bd sp;
+    Error e
+  | Ok () ->
+    if !first_op then bd := scsi_only t;
+    Trace.exit (sink t) ~bd:!bd sp;
+    Ok (out, Io.make ~span:sp !bd)
 
 let allocate ?(lead_time = 0.) t =
   match Vlog.Eager.choose ~lead_time (Vlog.Virtual_log.eager t.vlog) with
@@ -148,9 +184,14 @@ let scsi_lead t = (Disk.Disk_sim.profile t.disk).Disk.Profile.scsi_overhead_ms
    in a row. *)
 let put_data t ~scsi ~lead_time buf =
   let freemap = Vlog.Virtual_log.freemap t.vlog in
+  (* A group span per eager put keeps the parent's fold exact even when
+     a defect forces reallocation: the retries fold inside this span,
+     and the parent folds the span's total as a single child. *)
+  let sp = if Trace.enabled (sink t) then Trace.enter (sink t) "vld.put" else Io.no_span in
   let bd = ref Breakdown.zero in
   let rec go attempts =
     let pba = allocate ~lead_time:(if attempts = 0 then lead_time else 0.) t in
+    Trace.incr (sink t) "vld.eager_choices";
     Vlog.Freemap.occupy freemap pba;
     let r, cost =
       Disk.Disk_sim.write_checked ~scsi:(scsi && attempts = 0) t.disk
@@ -159,60 +200,81 @@ let put_data t ~scsi ~lead_time buf =
     in
     bd := Breakdown.add !bd cost;
     match r with
-    | Ok () -> Ok (pba, !bd)
+    | Ok () ->
+      if attempts > 0 then Trace.incr (sink t) ~by:attempts "vld.reallocs";
+      Trace.exit (sink t) ~bd:!bd sp;
+      Ok (pba, attempts, !bd)
     | Error e ->
       Vlog.Freemap.mark_bad freemap pba;
-      if attempts >= max_realloc then Error (e, attempts, !bd) else go (attempts + 1)
+      if attempts >= max_realloc then begin
+        Trace.exit (sink t) ~bd:!bd sp;
+        Error (e, attempts, !bd)
+      end
+      else go (attempts + 1)
   in
   go 0
+
+let realloc_counters attempts = if attempts > 0 then [ ("reallocs", attempts) ] else []
 
 let write_result t block buf =
   check t block 1;
   if Bytes.length buf <> t.block_bytes then
     invalid_arg "Vld.write: buffer must be exactly one block";
+  let sp = dev_span t "dev.write" block 1 in
   (* The head keeps moving while the SCSI command is processed; the
      allocator must aim past that. *)
   match put_data t ~scsi:true ~lead_time:(scsi_lead t) buf with
-  | Error (e, retries, _) ->
+  | Error (e, retries, bd) ->
+    Trace.exit (sink t) ~bd sp;
     Error
       { Device.op = `Write; block; error_lba = e.Disk.Disk_sim.error_lba; retries }
-  | Ok (pba, bd) ->
+  | Ok (pba, reallocs, bd) ->
     let map_bd = Vlog.Virtual_log.update t.vlog [ (block, Some pba) ] in
-    Ok (Breakdown.add bd map_bd)
+    let total = Breakdown.add bd map_bd in
+    Trace.exit (sink t) ~bd:total sp;
+    Ok (Io.make ~span:sp ~counters:(realloc_counters reallocs) total)
 
-let write t block buf =
-  match write_result t block buf with
-  | Ok bd -> bd
-  | Error e -> raise (Device.Io_error e)
-
-let write_run t block buf =
+let write_run_result t block buf =
   if Bytes.length buf = 0 || Bytes.length buf mod t.block_bytes <> 0 then
     invalid_arg "Vld.write_run: buffer must be whole blocks";
   let count = Bytes.length buf / t.block_bytes in
   check t block count;
+  let sp = dev_span t "dev.write_run" block count in
   let bd = ref Breakdown.zero in
+  let reallocs = ref 0 in
   let entries = ref [] in
-  for i = 0 to count - 1 do
-    let piece = Bytes.sub buf (i * t.block_bytes) t.block_bytes in
-    match
-      put_data t ~scsi:(i = 0) ~lead_time:(if i = 0 then scsi_lead t else 0.) piece
-    with
-    | Error (e, retries, _) ->
-      raise
-        (Device.Io_error
-           {
-             Device.op = `Write;
-             block = block + i;
-             error_lba = e.Disk.Disk_sim.error_lba;
-             retries;
-           })
-    | Ok (pba, cost) ->
-      bd := Breakdown.add !bd cost;
-      entries := (block + i, Some pba) :: !entries
-  done;
-  (* One transaction: the whole run commits atomically. *)
-  let map_bd = Vlog.Virtual_log.update t.vlog (List.rev !entries) in
-  Breakdown.add !bd map_bd
+  let rec go i =
+    if i >= count then Ok ()
+    else
+      let piece = Bytes.sub buf (i * t.block_bytes) t.block_bytes in
+      match
+        put_data t ~scsi:(i = 0) ~lead_time:(if i = 0 then scsi_lead t else 0.) piece
+      with
+      | Error (e, retries, cost) ->
+        bd := Breakdown.add !bd cost;
+        Error
+          {
+            Device.op = `Write;
+            block = block + i;
+            error_lba = e.Disk.Disk_sim.error_lba;
+            retries;
+          }
+      | Ok (pba, re, cost) ->
+        bd := Breakdown.add !bd cost;
+        reallocs := !reallocs + re;
+        entries := (block + i, Some pba) :: !entries;
+        go (i + 1)
+  in
+  match go 0 with
+  | Error e ->
+    Trace.exit (sink t) ~bd:!bd sp;
+    Error e
+  | Ok () ->
+    (* One transaction: the whole run commits atomically. *)
+    let map_bd = Vlog.Virtual_log.update t.vlog (List.rev !entries) in
+    let total = Breakdown.add !bd map_bd in
+    Trace.exit (sink t) ~bd:total sp;
+    Ok (Io.make ~span:sp ~counters:(realloc_counters !reallocs) total)
 
 let trim t block =
   check t block 1;
@@ -221,20 +283,22 @@ let trim t block =
   | Some _ -> ignore (Vlog.Virtual_log.update t.vlog [ (block, None) ])
 
 let idle t dt =
-  if dt > 0. then
-    ignore (Vlog.Compactor.run t.compactor ~deadline:(Clock.now (clock t) +. dt))
+  if dt > 0. then begin
+    let sp = if Trace.enabled (sink t) then Trace.enter (sink t) "vld.idle" else Io.no_span in
+    ignore (Vlog.Compactor.run t.compactor ~deadline:(Clock.now (clock t) +. dt));
+    Trace.exit (sink t) sp
+  end
 
 let device t =
   {
     Device.name = "vld";
     block_bytes = t.block_bytes;
     n_blocks = logical_blocks t;
-    read = read t;
-    read_run = read_run t;
-    write = write t;
-    write_run = write_run t;
-    read_r = read_result t;
-    write_r = write_result t;
+    trace = sink t;
+    read = read_result t;
+    read_run = read_run_result t;
+    write = write_result t;
+    write_run = write_run_result t;
     trim = trim t;
     idle = idle t;
     utilization =

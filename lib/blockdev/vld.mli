@@ -44,13 +44,25 @@ val power_down : t -> Vlog_util.Breakdown.t
 (** Firmware park sequence: persist the log-tail record (best effort — a
     defective landing zone degrades the next recovery to the scan path). *)
 
-val read_result : t -> int -> (Bytes.t * Vlog_util.Breakdown.t, Device.io_error) result
+val read_result : t -> int -> (Bytes.t * Vlog_util.Io.completion, Device.io_error) result
 (** Defect-tolerant read: transient errors retried (bounded); a permanent
     defect or ECC failure on the data's only copy is an [Error] — never
-    silently-returned corrupt bytes. *)
+    silently-returned corrupt bytes.  The completion reports a
+    ["retries"] counter when retries happened. *)
 
-val write_result : t -> int -> Bytes.t -> (Vlog_util.Breakdown.t, Device.io_error) result
+val write_result : t -> int -> Bytes.t -> (Vlog_util.Io.completion, Device.io_error) result
 (** Defect-tolerant write: a grown defect retires the eager-allocated
     block in the freemap (the VLD's defect list) and reallocates — the
     free space itself is the spare pool.  Map-node writes inside the
-    commit get the same treatment in {!Vlog.Virtual_log}. *)
+    commit get the same treatment in {!Vlog.Virtual_log}.  The
+    completion reports a ["reallocs"] counter when defects forced
+    reallocation. *)
+
+val read_run_result :
+  t -> int -> int -> (Bytes.t * Vlog_util.Io.completion, Device.io_error) result
+(** Multi-block read; consecutive logical blocks whose physical homes
+    are also consecutive stream as single platter requests. *)
+
+val write_run_result :
+  t -> int -> Bytes.t -> (Vlog_util.Io.completion, Device.io_error) result
+(** Multi-block write committed by one map transaction (atomic). *)

@@ -6,7 +6,24 @@ type stats = {
   sectors_read : int;
   sectors_written : int;
   buffer_hits : int;
+  read_faults : int;
+  write_faults : int;
   busy_ms : float;
+}
+
+(* Counters live in individually mutable fields so the hot path never
+   copies a record; [reset_stats] must therefore audit every field —
+   including [busy_ms], which background work (a VLD compactor running
+   inside an idle window) keeps accumulating between foreground ops. *)
+type counters = {
+  mutable c_reads : int;
+  mutable c_writes : int;
+  mutable c_sectors_read : int;
+  mutable c_sectors_written : int;
+  mutable c_buffer_hits : int;
+  mutable c_read_faults : int;
+  mutable c_write_faults : int;
+  mutable c_busy_ms : float;
 }
 
 type read_fault = Transient_read | Unreadable of int
@@ -28,16 +45,15 @@ type t = {
   clock : Clock.t;
   store : Sector_store.t;
   buffer : Track_buffer.t;
+  trace : Trace.sink;
   mutable cyl : int;
   mutable head : int;
   mutable injector : injector option;
-  mutable st : stats;
+  st : counters;
 }
 
-let zero_stats =
-  { reads = 0; writes = 0; sectors_read = 0; sectors_written = 0; buffer_hits = 0; busy_ms = 0. }
-
-let create ?(buffer_policy = Track_buffer.Forward_discard) ?store ~profile ~clock () =
+let create ?(buffer_policy = Track_buffer.Forward_discard) ?store ?(trace = Trace.null)
+    ~profile ~clock () =
   let store =
     match store with
     | None -> Sector_store.create profile.Profile.geometry
@@ -51,10 +67,21 @@ let create ?(buffer_policy = Track_buffer.Forward_discard) ?store ~profile ~cloc
     clock;
     store;
     buffer = Track_buffer.create buffer_policy;
+    trace;
     cyl = 0;
     head = 0;
     injector = None;
-    st = zero_stats;
+    st =
+      {
+        c_reads = 0;
+        c_writes = 0;
+        c_sectors_read = 0;
+        c_sectors_written = 0;
+        c_buffer_hits = 0;
+        c_read_faults = 0;
+        c_write_faults = 0;
+        c_busy_ms = 0.;
+      };
   }
 
 let set_injector t injector = t.injector <- injector
@@ -63,10 +90,31 @@ let profile t = t.profile
 let geometry t = t.profile.Profile.geometry
 let clock t = t.clock
 let store t = t.store
+let trace t = t.trace
 let current_cylinder t = t.cyl
 let current_track t = t.head
-let stats t = t.st
-let reset_stats t = t.st <- zero_stats
+
+let stats t =
+  {
+    reads = t.st.c_reads;
+    writes = t.st.c_writes;
+    sectors_read = t.st.c_sectors_read;
+    sectors_written = t.st.c_sectors_written;
+    buffer_hits = t.st.c_buffer_hits;
+    read_faults = t.st.c_read_faults;
+    write_faults = t.st.c_write_faults;
+    busy_ms = t.st.c_busy_ms;
+  }
+
+let reset_stats t =
+  t.st.c_reads <- 0;
+  t.st.c_writes <- 0;
+  t.st.c_sectors_read <- 0;
+  t.st.c_sectors_written <- 0;
+  t.st.c_buffer_hits <- 0;
+  t.st.c_read_faults <- 0;
+  t.st.c_write_faults <- 0;
+  t.st.c_busy_ms <- 0.
 
 let sectors_per_track t = (geometry t).Geometry.sectors_per_track
 
@@ -110,11 +158,27 @@ let track_pieces t ~lba ~sectors =
 
 (* Mechanically access one within-track piece at the current clock time:
    position, rotate, transfer.  Advances the clock and moves the head.
-   Returns the breakdown (no SCSI). *)
+   Returns the breakdown (no SCSI).  Traced as a leaf "disk.access" span;
+   the seek share is in [seek_ms], the rotation share is the span's
+   locate minus it. *)
 let access_piece t (addr, piece) =
   let g = geometry t in
-  let locate_start = Clock.now t.clock in
   let mv = move_cost t ~cyl:addr.Geometry.cyl ~track:addr.Geometry.track in
+  let sp =
+    if Trace.enabled t.trace then
+      Trace.enter t.trace
+        ~attrs:
+          [
+            ("cyl", string_of_int addr.Geometry.cyl);
+            ("track", string_of_int addr.Geometry.track);
+            ("sector", string_of_int addr.Geometry.sector);
+            ("sectors", string_of_int piece);
+            ("seek_ms", Printf.sprintf "%.6f" mv);
+          ]
+        "disk.access"
+    else Io.no_span
+  in
+  let locate_start = Clock.now t.clock in
   Clock.advance t.clock mv;
   t.cyl <- addr.Geometry.cyl;
   t.head <- addr.Geometry.track;
@@ -126,7 +190,9 @@ let access_piece t (addr, piece) =
   let locate = Clock.now t.clock -. locate_start in
   let xfer = float_of_int piece *. Profile.sector_ms t.profile in
   Clock.advance t.clock xfer;
-  Breakdown.add (Breakdown.of_locate locate) (Breakdown.of_transfer xfer)
+  let bd = Breakdown.add (Breakdown.of_locate locate) (Breakdown.of_transfer xfer) in
+  Trace.exit t.trace ~bd sp;
+  bd
 
 let estimate_access t ~lba ~sectors =
   (* Simulate the pieces without committing: only the first piece's
@@ -153,14 +219,15 @@ let estimate_access t ~lba ~sectors =
 let charge_scsi t scsi =
   if scsi then begin
     let o = t.profile.Profile.scsi_overhead_ms in
+    let sp = if Trace.enabled t.trace then Trace.enter t.trace "disk.scsi" else Io.no_span in
     Clock.advance t.clock o;
-    Breakdown.of_scsi o
+    let bd = Breakdown.of_scsi o in
+    Trace.exit t.trace ~bd sp;
+    bd
   end
   else Breakdown.zero
 
-let bump_busy t start =
-  let dt = Clock.now t.clock -. start in
-  t.st <- { t.st with busy_ms = t.st.busy_ms +. dt }
+let bump_busy t start = t.st.c_busy_ms <- t.st.c_busy_ms +. (Clock.now t.clock -. start)
 
 (* Mechanical work of touching a range without any buffer interaction:
    what a faulted request costs — the head still seeks, rotates and
@@ -170,25 +237,41 @@ let mechanics t ~lba ~sectors bd =
     (fun piece -> bd := Breakdown.add !bd (access_piece t piece))
     (track_pieces t ~lba ~sectors)
 
+let request_span t name ~lba ~sectors ~scsi =
+  if Trace.enabled t.trace then
+    Trace.enter t.trace
+      ~attrs:
+        [
+          ("lba", string_of_int lba);
+          ("sectors", string_of_int sectors);
+          ("scsi", if scsi then "true" else "false");
+        ]
+      name
+  else Io.no_span
+
 let read_checked ?(scsi = true) t ~lba ~sectors =
   if sectors <= 0 then invalid_arg "Disk_sim.read: sectors must be positive";
   let g = geometry t in
   if not (Geometry.valid_lba g lba) || lba + sectors > Geometry.total_sectors g then
     invalid_arg "Disk_sim.read: range out of bounds";
+  let sp = request_span t "disk.read" ~lba ~sectors ~scsi in
   let start = Clock.now t.clock in
   let bd = ref (charge_scsi t scsi) in
   let fault =
     match t.injector with None -> None | Some i -> i.on_read ~lba ~sectors
   in
   let finish outcome =
-    t.st <-
-      { t.st with reads = t.st.reads + 1; sectors_read = t.st.sectors_read + sectors };
+    t.st.c_reads <- t.st.c_reads + 1;
+    t.st.c_sectors_read <- t.st.c_sectors_read + sectors;
     bump_busy t start;
+    Trace.exit t.trace ~bd:!bd sp;
     (outcome, !bd)
   in
   match fault with
   | Some fault ->
     (* The drive retries internally for a revolution before giving up. *)
+    t.st.c_read_faults <- t.st.c_read_faults + 1;
+    Trace.incr t.trace "disk.read_faults";
     mechanics t ~lba ~sectors bd;
     Clock.advance t.clock (Profile.revolution_ms t.profile);
     let err =
@@ -204,10 +287,17 @@ let read_checked ?(scsi = true) t ~lba ~sectors =
       if Track_buffer.hit t.buffer ~track_index ~sector:addr.Geometry.sector ~sectors:piece
       then begin
         (* Buffer hit: only the transfer off the buffer is paid. *)
+        let hsp =
+          if Trace.enabled t.trace then Trace.enter t.trace "disk.buffer_hit"
+          else Io.no_span
+        in
         let xfer = float_of_int piece *. Profile.sector_ms t.profile in
         Clock.advance t.clock xfer;
-        t.st <- { t.st with buffer_hits = t.st.buffer_hits + 1 };
-        bd := Breakdown.add !bd (Breakdown.of_transfer xfer)
+        t.st.c_buffer_hits <- t.st.c_buffer_hits + 1;
+        Trace.incr t.trace "disk.buffer_hits";
+        let hit_bd = Breakdown.of_transfer xfer in
+        Trace.exit t.trace ~bd:hit_bd hsp;
+        bd := Breakdown.add !bd hit_bd
       end
       else begin
         bd := Breakdown.add !bd (access_piece t (addr, piece));
@@ -217,7 +307,10 @@ let read_checked ?(scsi = true) t ~lba ~sectors =
     in
     List.iter serve pieces;
     (match Sector_store.ecc_error t.store ~lba ~sectors with
-    | Some bad -> finish (Error { error_lba = bad; transient = false })
+    | Some bad ->
+      t.st.c_read_faults <- t.st.c_read_faults + 1;
+      Trace.incr t.trace "disk.read_faults";
+      finish (Error { error_lba = bad; transient = false })
     | None -> finish (Ok (Sector_store.read t.store ~lba ~sectors)))
 
 let read ?scsi t ~lba ~sectors =
@@ -233,6 +326,7 @@ let write_checked ?(scsi = true) t ~lba buf =
   let sectors = Bytes.length buf / sb in
   if not (Geometry.valid_lba g lba) || lba + sectors > Geometry.total_sectors g then
     invalid_arg "Disk_sim.write: range out of bounds";
+  let sp = request_span t "disk.write" ~lba ~sectors ~scsi in
   let start = Clock.now t.clock in
   let bd = ref (charge_scsi t scsi) in
   let fault =
@@ -245,13 +339,10 @@ let write_checked ?(scsi = true) t ~lba buf =
       (track_pieces t ~lba ~sectors)
   in
   let finish outcome =
-    t.st <-
-      {
-        t.st with
-        writes = t.st.writes + 1;
-        sectors_written = t.st.sectors_written + sectors;
-      };
+    t.st.c_writes <- t.st.c_writes + 1;
+    t.st.c_sectors_written <- t.st.c_sectors_written + sectors;
     bump_busy t start;
+    Trace.exit t.trace ~bd:!bd sp;
     (outcome, !bd)
   in
   match fault with
@@ -259,6 +350,8 @@ let write_checked ?(scsi = true) t ~lba buf =
     (* Power dies mid-transfer: the first [k] sectors reach the platter
        (each sector is atomic — written with its ECC or not at all), the
        rest keep their stale contents. *)
+    t.st.c_write_faults <- t.st.c_write_faults + 1;
+    Trace.incr t.trace "disk.write_faults";
     let k = max 0 (min k sectors) in
     invalidate_all ();
     if k > 0 then begin
@@ -270,6 +363,8 @@ let write_checked ?(scsi = true) t ~lba buf =
   | Some (Unwritable bad) ->
     (* A grown defect surfaces during the write pass: sectors before the
        bad one are on the platter, the command fails. *)
+    t.st.c_write_faults <- t.st.c_write_faults + 1;
+    Trace.incr t.trace "disk.write_faults";
     invalidate_all ();
     let before = max 0 (min (bad - lba) sectors) in
     mechanics t ~lba ~sectors bd;

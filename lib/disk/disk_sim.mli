@@ -17,6 +17,7 @@ type t
 val create :
   ?buffer_policy:Track_buffer.policy ->
   ?store:Sector_store.t ->
+  ?trace:Trace.sink ->
   profile:Profile.t ->
   clock:Vlog_util.Clock.t ->
   unit ->
@@ -26,12 +27,18 @@ val create :
     drive); a VLD creates its disk with [Whole_track].  [store] supplies
     existing platter contents (e.g. a {!Sector_store.snapshot} taken at a
     simulated power failure) instead of zeroed ones; its geometry must
-    match the profile's. *)
+    match the profile's.  [trace] (default {!Trace.null}) observes every
+    request as a span — [disk.read]/[disk.write] with
+    [disk.scsi]/[disk.access]/[disk.buffer_hit] children — and is the
+    sink every layer stacked on this disk inherits. *)
 
 val profile : t -> Profile.t
 val geometry : t -> Geometry.t
 val clock : t -> Vlog_util.Clock.t
 val store : t -> Sector_store.t
+
+val trace : t -> Trace.sink
+(** The sink given at {!create}; {!Trace.null} when tracing is off. *)
 
 val current_cylinder : t -> int
 val current_track : t -> int
@@ -131,8 +138,15 @@ type stats = {
   sectors_read : int;
   sectors_written : int;
   buffer_hits : int;
+  read_faults : int;  (** injected read faults + ECC mismatches *)
+  write_faults : int;  (** injected write faults (torn or defect) *)
   busy_ms : float;  (** total simulated time spent servicing requests *)
 }
 
 val stats : t -> stats
+(** A snapshot of the counters at this instant. *)
+
 val reset_stats : t -> unit
+(** Zero {e every} counter, [busy_ms] included — also the busy time that
+    background work (e.g. a VLD compactor running inside an idle window)
+    accumulated since the last foreground operation. *)

@@ -4,8 +4,14 @@ let sparc10 = { name = "SPARCstation-10"; syscall_ms = 0.35; per_block_ms = 0.15
 let ultra170 = { name = "UltraSPARC-170"; syscall_ms = 0.105; per_block_ms = 0.045 }
 let free = { name = "free"; syscall_ms = 0.; per_block_ms = 0. }
 
-let charge t ~clock ~blocks =
+let charge ?(trace = Trace.null) t ~clock ~blocks =
   if blocks < 0 then invalid_arg "Host.charge: negative block count";
   let cost = t.syscall_ms +. (t.per_block_ms *. float_of_int blocks) in
-  Vlog_util.Clock.advance clock cost;
-  Vlog_util.Breakdown.of_other cost
+  let bd = Vlog_util.Breakdown.of_other cost in
+  if Trace.enabled trace then begin
+    let sp = Trace.enter trace ~attrs:[ ("blocks", string_of_int blocks) ] "host" in
+    Vlog_util.Clock.advance clock cost;
+    Trace.exit trace ~bd sp
+  end
+  else Vlog_util.Clock.advance clock cost;
+  bd

@@ -23,6 +23,10 @@ val ultra170 : t
 val free : t
 (** Zero-cost host; used by unit tests that only exercise disk timing. *)
 
-val charge : t -> clock:Vlog_util.Clock.t -> blocks:int -> Vlog_util.Breakdown.t
+val charge :
+  ?trace:Trace.sink -> t -> clock:Vlog_util.Clock.t -> blocks:int -> Vlog_util.Breakdown.t
 (** Advance the clock by the operation's host cost and return it as an
-    [other]-component breakdown. *)
+    [other]-component breakdown.  When [trace] is an enabled sink, the
+    cost is recorded as a leaf ["host"] span whose breakdown is exactly
+    the returned value, so a parent file-system span that folds this
+    return into its accumulator stays bit-equal to its child sum. *)

@@ -21,15 +21,9 @@ let default_config =
     n_inodes = 4096;
   }
 
-type error =
-  [ `No_space | `No_inodes | `Not_found of string | `Exists of string | `Bad_offset ]
+type error = Blockdev.Fs_error.t
 
-let pp_error ppf = function
-  | `No_space -> Format.pp_print_string ppf "no space left on device"
-  | `No_inodes -> Format.pp_print_string ppf "out of inodes"
-  | `Not_found name -> Format.fprintf ppf "no such file: %s" name
-  | `Exists name -> Format.fprintf ppf "file exists: %s" name
-  | `Bad_offset -> Format.pp_print_string ppf "bad offset or length"
+let pp_error = Blockdev.Fs_error.pp
 
 type blkid =
   | Data of int * int (* inum, file block index *)
@@ -139,7 +133,8 @@ let files t = Hashtbl.fold (fun name _ acc -> name :: acc) t.files [] |> List.so
 let cleaner_stats t = t.stats
 let buffered_blocks t = Hashtbl.length t.pending
 
-let charge t ~blocks = Host.charge t.host ~clock:t.clock ~blocks
+let sink t = t.dev.Blockdev.Device.trace
+let charge t ~blocks = Host.charge ~trace:(sink t) t.host ~clock:t.clock ~blocks
 
 let seg_base t seg = t.seg_start + (seg * t.cfg.segment_blocks)
 let seg_capacity t = t.cfg.segment_blocks - 1 (* summary takes one block *)
@@ -290,38 +285,42 @@ let rec ensure_open t =
 
 and write_open_segment t ~seal =
   if t.open_seg < 0 then Breakdown.zero
-  else begin
-    let seg = t.open_seg in
-    let items = List.rev t.open_items in
-    let count = List.length items in
-    let buf = Bytes.make ((1 + count) * t.block_bytes) '\000' in
-    Bytes.blit (encode_summary t items seg) 0 buf 0 t.block_bytes;
-    List.iteri
-      (fun i (_, bytes) -> Bytes.blit bytes 0 buf ((1 + i) * t.block_bytes) t.block_bytes)
-      items;
-    let bd = t.dev.Blockdev.Device.write_run (seg_base t seg) buf in
-    if seal then begin
-      t.open_seg <- -1;
-      t.open_items <- [];
-      t.open_count <- 0;
-      Hashtbl.reset t.open_map;
-      t.seals <- t.seals + 1;
-      if t.cfg.checkpoint_interval > 0 && t.seals mod t.cfg.checkpoint_interval = 0 then begin
-        (* Alternating checkpoint blocks at the front of the device. *)
-        let cp = Bytes.make t.block_bytes '\000' in
-        Bytes.blit_string "LFSCKPT1" 0 cp 0 8;
-        Bytes.set_int64_le cp 8 (Int64.of_int t.seals);
-        Array.iteri
-          (fun c loc -> Bytes.set_int32_le cp (16 + (c * 4)) (Int32.of_int loc))
-          t.imap_chunk_loc;
-        let slot = t.checkpoint_slot in
-        t.checkpoint_slot <- 1 - slot;
-        Breakdown.add bd (t.dev.Blockdev.Device.write slot cp)
-      end
-      else bd
-    end
-    else bd
-  end
+  else
+    Trace.group (sink t) "lfs.segwrite" (fun () ->
+        let seg = t.open_seg in
+        let items = List.rev t.open_items in
+        let count = List.length items in
+        let buf = Bytes.make ((1 + count) * t.block_bytes) '\000' in
+        Bytes.blit (encode_summary t items seg) 0 buf 0 t.block_bytes;
+        List.iteri
+          (fun i (_, bytes) ->
+            Bytes.blit bytes 0 buf ((1 + i) * t.block_bytes) t.block_bytes)
+          items;
+        let bd = Blockdev.Device.write_run t.dev (seg_base t seg) buf in
+        if seal then begin
+          t.open_seg <- -1;
+          t.open_items <- [];
+          t.open_count <- 0;
+          Hashtbl.reset t.open_map;
+          t.seals <- t.seals + 1;
+          Trace.incr (sink t) "lfs.seals";
+          if t.cfg.checkpoint_interval > 0 && t.seals mod t.cfg.checkpoint_interval = 0
+          then begin
+            (* Alternating checkpoint blocks at the front of the device. *)
+            let cp = Bytes.make t.block_bytes '\000' in
+            Bytes.blit_string "LFSCKPT1" 0 cp 0 8;
+            Bytes.set_int64_le cp 8 (Int64.of_int t.seals);
+            Array.iteri
+              (fun c loc -> Bytes.set_int32_le cp (16 + (c * 4)) (Int32.of_int loc))
+              t.imap_chunk_loc;
+            let slot = t.checkpoint_slot in
+            t.checkpoint_slot <- 1 - slot;
+            Trace.incr (sink t) "lfs.checkpoints";
+            Breakdown.add bd (Blockdev.Device.write t.dev slot cp)
+          end
+          else bd
+        end
+        else bd)
 
 (* Append one block to the open segment, assigning its device address and
    updating the metadata that points at it.  Seals (and writes) segments
@@ -385,10 +384,14 @@ and clean_one_segment t =
   match !candidate with
   | None -> None
   | Some (seg, live) ->
-    let base = seg_base t seg in
-    let data, read_bd =
-      t.dev.Blockdev.Device.read_run base t.cfg.segment_blocks
+    let tr = sink t in
+    let sp =
+      if Trace.enabled tr then
+        Trace.enter tr ~attrs:[ ("seg", string_of_int seg) ] "lfs.clean_seg"
+      else Io.no_span
     in
+    let base = seg_base t seg in
+    let data, read_bd = Blockdev.Device.read_run t.dev base t.cfg.segment_blocks in
     let bd = ref read_bd in
     let copied = ref 0 in
     for b = base to base + t.cfg.segment_blocks - 1 do
@@ -407,28 +410,37 @@ and clean_one_segment t =
         segments_cleaned = t.stats.segments_cleaned + 1;
         blocks_copied = t.stats.blocks_copied + !copied;
       };
+    Trace.incr tr "lfs.segments_cleaned";
+    if !copied > 0 then Trace.incr tr ~by:!copied "lfs.blocks_copied";
+    Trace.exit tr ~bd:!bd sp;
     Some (live, !bd)
 
 and force_clean t =
-  t.cleaning <- true;
-  t.stats <- { t.stats with forced_cleans = t.stats.forced_cleans + 1 };
-  let bd = ref Breakdown.zero in
-  (* Keep cleaning least-utilized segments until comfortably above the
-     reserve.  Live copies accumulate in the open segment and only seal
-     when it is actually full (inside [append]) — sealing half-empty
-     segments after every clean would hand back the space just gained. *)
-  let target_free = t.cfg.reserve_segments + 2 in
-  let rec go guard =
-    if guard > 0 && free_segments t < target_free then
-      match clean_one_segment t with
-      | Some (_, cost) ->
-        bd := Breakdown.add !bd cost;
-        go (guard - 1)
-      | None -> ()
-  in
-  go t.n_segments;
-  t.cleaning <- false;
-  !bd
+  (* The callers of [ensure_open] never fold this cost into the
+     breakdown the triggering operation returns, so the span is
+     unaccounted: visible in the trace, excluded from the parent's
+     child fold. *)
+  Trace.group (sink t) ~unaccounted:true "lfs.clean" (fun () ->
+      t.cleaning <- true;
+      t.stats <- { t.stats with forced_cleans = t.stats.forced_cleans + 1 };
+      Trace.incr (sink t) "lfs.forced_cleans";
+      let bd = ref Breakdown.zero in
+      (* Keep cleaning least-utilized segments until comfortably above the
+         reserve.  Live copies accumulate in the open segment and only seal
+         when it is actually full (inside [append]) — sealing half-empty
+         segments after every clean would hand back the space just gained. *)
+      let target_free = t.cfg.reserve_segments + 2 in
+      let rec go guard =
+        if guard > 0 && free_segments t < target_free then
+          match clean_one_segment t with
+          | Some (_, cost) ->
+            bd := Breakdown.add !bd cost;
+            go (guard - 1)
+          | None -> ()
+      in
+      go t.n_segments;
+      t.cleaning <- false;
+      !bd)
 
 (* ---- pending buffer ---- *)
 
@@ -436,7 +448,11 @@ let pending_put t blkid bytes =
   if not (Hashtbl.mem t.pending blkid) then t.pending_order <- blkid :: t.pending_order;
   Hashtbl.replace t.pending blkid bytes
 
-let flush t =
+let rec flush t =
+  Trace.group (sink t) "lfs.flush" (fun () -> flush_inner t)
+
+and flush_inner t =
+  Trace.incr (sink t) "lfs.flushes";
   let bd = ref Breakdown.zero in
   (* Data first, oldest first. *)
   let order = List.rev t.pending_order in
@@ -545,22 +561,23 @@ let lookup t name =
 let file_size t name = Result.map (fun ln -> ln.size) (lookup t name)
 
 let create t name =
-  if Hashtbl.mem t.files name then Error (`Exists name)
-  else
-    match alloc_inum t with
-    | None -> Error `No_inodes
-    | Some inum ->
-      let ln = { inum; size = 0; blocks = [||] } in
-      Hashtbl.replace t.files name ln;
-      Hashtbl.replace t.by_inum inum ln;
-      Hashtbl.replace t.dirty_inodes inum ();
-      let didx, slot = find_dir_slot t in
-      let _, slots = t.dir.(didx) in
-      slots.(slot) <- Some name;
-      Hashtbl.replace t.file_dir_slot inum (didx, slot);
-      write_dir_block t didx;
-      let bd = charge t ~blocks:0 in
-      Ok (Breakdown.add bd (maybe_autoflush t))
+  Trace.op (sink t) "lfs.create" ~bd_of:Fun.id (fun () ->
+      if Hashtbl.mem t.files name then Error (`Exists name)
+      else
+        match alloc_inum t with
+        | None -> Error `No_inodes
+        | Some inum ->
+          let ln = { inum; size = 0; blocks = [||] } in
+          Hashtbl.replace t.files name ln;
+          Hashtbl.replace t.by_inum inum ln;
+          Hashtbl.replace t.dirty_inodes inum ();
+          let didx, slot = find_dir_slot t in
+          let _, slots = t.dir.(didx) in
+          slots.(slot) <- Some name;
+          Hashtbl.replace t.file_dir_slot inum (didx, slot);
+          write_dir_block t didx;
+          let bd = charge t ~blocks:0 in
+          Ok (Breakdown.add bd (maybe_autoflush t)))
 
 (* Content of file block [i], looking through the write path layers. *)
 let read_data_block t ln i =
@@ -575,16 +592,21 @@ let read_data_block t ln i =
       if b < 0 then (Bytes.make t.block_bytes '\000', Breakdown.zero)
       else begin
         match Ufs.Buffer_cache.find t.cache b with
-        | Some bytes -> (bytes, Breakdown.zero)
+        | Some bytes ->
+          Trace.incr (sink t) "lfs.cache_hits";
+          (bytes, Breakdown.zero)
         | None ->
-          let bytes, bd = t.dev.Blockdev.Device.read b in
+          let bytes, bd = Blockdev.Device.read t.dev b in
           (* Cache insertion; evicted blocks are clean (LFS data reaches
              the device only through segment writes). *)
           ignore (Ufs.Buffer_cache.insert t.cache b bytes ~dirty:false);
           (bytes, bd)
       end)
 
-let write t name ~off data =
+let rec write t name ~off data =
+  Trace.op (sink t) "lfs.write" ~bd_of:Fun.id (fun () -> write_inner t name ~off data)
+
+and write_inner t name ~off data =
   match lookup t name with
   | Error _ as e -> e
   | Ok ln ->
@@ -622,7 +644,10 @@ let write t name ~off data =
       end
     end
 
-let read t name ~off ~len =
+let rec read t name ~off ~len =
+  Trace.op (sink t) "lfs.read" ~bd_of:snd (fun () -> read_inner t name ~off ~len)
+
+and read_inner t name ~off ~len =
   match lookup t name with
   | Error _ as e -> e
   | Ok ln ->
@@ -645,7 +670,10 @@ let read t name ~off ~len =
       end
     end
 
-let delete t name =
+let rec delete t name =
+  Trace.op (sink t) "lfs.delete" ~bd_of:Fun.id (fun () -> delete_inner t name)
+
+and delete_inner t name =
   match lookup t name with
   | Error _ as e -> e
   | Ok ln ->
@@ -686,11 +714,14 @@ let delete t name =
     Ok (Breakdown.add bd (maybe_autoflush t))
 
 let sync t =
-  let bd = charge t ~blocks:0 in
-  Breakdown.add bd (flush t)
+  Trace.group (sink t) "lfs.sync" (fun () ->
+      let bd = charge t ~blocks:0 in
+      Breakdown.add bd (flush t))
 
 let fsync t name =
-  match lookup t name with Error _ as e -> e | Ok _ -> Ok (sync t)
+  Trace.incr (sink t) "lfs.fsyncs";
+  Trace.op (sink t) "lfs.fsync" ~bd_of:Fun.id (fun () ->
+      match lookup t name with Error _ as e -> e | Ok _ -> Ok (sync t))
 
 (* Worth cleaning only while fragmented segments exist and free space is
    scarce enough that the next buffer flush could block on the cleaner. *)
@@ -709,6 +740,8 @@ let has_fragmented_segment t =
   go 0
 
 let idle_clean ?target_free t ~deadline =
+  let tr = sink t in
+  let sp = Trace.enter tr ~unaccounted:true "lfs.idle" in
   (* Rough per-segment estimate: read the segment, rewrite its live half,
      both at media bandwidth plus positioning. *)
   let target_free =
@@ -747,6 +780,7 @@ let idle_clean ?target_free t ~deadline =
     in
     ignore (write_open_segment t ~seal)
   end;
+  Trace.exit tr sp;
   !cleaned
 
 let idle_work t ~deadline =
@@ -760,7 +794,8 @@ let idle_work t ~deadline =
         t.last_clean_ms *. float_of_int pending /. float_of_int t.cfg.segment_blocks
       else 0.5 *. float_of_int pending
     in
-    if Clock.now t.clock +. est <= deadline then ignore (flush t)
+    if Clock.now t.clock +. est <= deadline then
+      ignore (Trace.group (sink t) ~unaccounted:true "lfs.idle_flush" (fun () -> flush t))
   end;
   cleaned
 

@@ -33,8 +33,9 @@ val default_config : config
 val format :
   dev:Blockdev.Device.t -> host:Host.t -> clock:Vlog_util.Clock.t -> config -> t
 
-type error =
-  [ `No_space | `No_inodes | `Not_found of string | `Exists of string | `Bad_offset ]
+type error = Blockdev.Fs_error.t
+(** The error type shared by all three file systems; LFS itself never
+    returns [`Io]. *)
 
 val pp_error : Format.formatter -> error -> unit
 

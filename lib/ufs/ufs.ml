@@ -12,15 +12,9 @@ type config = {
 let default_config =
   { sync_data = true; n_inodes = 4096; cache_blocks = 1536; readahead_blocks = 8 }
 
-type error =
-  [ `No_space | `No_inodes | `Not_found of string | `Exists of string | `Bad_offset ]
+type error = Blockdev.Fs_error.t
 
-let pp_error ppf = function
-  | `No_space -> Format.pp_print_string ppf "no space left on device"
-  | `No_inodes -> Format.pp_print_string ppf "out of inodes"
-  | `Not_found name -> Format.fprintf ppf "no such file: %s" name
-  | `Exists name -> Format.fprintf ppf "file exists: %s" name
-  | `Bad_offset -> Format.pp_print_string ppf "bad offset or length"
+let pp_error = Blockdev.Fs_error.pp
 
 type file = {
   inode : Inode.t;
@@ -109,7 +103,8 @@ let files t = Hashtbl.fold (fun name _ acc -> name :: acc) t.files [] |> List.so
 let allocated_blocks t = t.data_start + t.allocated_data
 let utilization t = float_of_int (allocated_blocks t) /. float_of_int t.n_blocks
 
-let charge t ~blocks = Host.charge t.host ~clock:t.clock ~blocks
+let sink t = t.dev.Blockdev.Device.trace
+let charge t ~blocks = Host.charge ~trace:(sink t) t.host ~clock:t.clock ~blocks
 
 (* ---- block allocation ---- *)
 
@@ -139,30 +134,44 @@ let free_block t b =
 
 (* ---- low-level I/O helpers (all flow through the buffer cache) ---- *)
 
+(* Any helper whose returned breakdown folds several device operations
+   runs under a [Trace.group] span, so a caller's accumulator adds one
+   child subtotal in the same grouping the sink folds — [Breakdown.add]
+   is not associative in floats. *)
 let flush_victims t victims =
-  List.fold_left
-    (fun bd (block, bytes) -> Breakdown.add bd (t.dev.Blockdev.Device.write block bytes))
-    Breakdown.zero victims
+  if victims = [] then Breakdown.zero
+  else
+    Trace.group (sink t) "ufs.evict" (fun () ->
+        List.fold_left
+          (fun bd (block, bytes) ->
+            Breakdown.add bd (Blockdev.Device.write t.dev block bytes))
+          Breakdown.zero victims)
 
 let cache_insert t block bytes ~dirty =
   let victims = Buffer_cache.insert t.cache block bytes ~dirty in
   flush_victims t victims
 
 let write_block_sync t block bytes =
-  let bd = t.dev.Blockdev.Device.write block bytes in
-  let bd' = cache_insert t block bytes ~dirty:false in
-  Buffer_cache.mark_clean t.cache block;
-  Breakdown.add bd bd'
+  Trace.group (sink t) "ufs.wsync" (fun () ->
+      let bd = Blockdev.Device.write t.dev block bytes in
+      let bd' = cache_insert t block bytes ~dirty:false in
+      Buffer_cache.mark_clean t.cache block;
+      Breakdown.add bd bd')
 
 let write_block_async t block bytes = cache_insert t block bytes ~dirty:true
 
 let read_block t block =
   match Buffer_cache.find t.cache block with
-  | Some bytes -> (bytes, Breakdown.zero)
+  | Some bytes ->
+    Trace.incr (sink t) "ufs.cache_hits";
+    (bytes, Breakdown.zero)
   | None ->
-    let bytes, bd = t.dev.Blockdev.Device.read block in
-    let bd' = cache_insert t block bytes ~dirty:false in
-    (bytes, Breakdown.add bd bd')
+    let tr = sink t in
+    let sp = Trace.enter tr "ufs.rblock" in
+    let bytes, bd = Blockdev.Device.read t.dev block in
+    let total = Breakdown.add bd (cache_insert t block bytes ~dirty:false) in
+    Trace.exit tr ~bd:total sp;
+    (bytes, total)
 
 (* ---- metadata writes ---- *)
 
@@ -376,7 +385,7 @@ let alloc_inum t =
   in
   go 0 t.inode_rover
 
-let create t name =
+let create_inner t name =
   if Hashtbl.mem t.files name then Error (`Exists name)
   else
     match alloc_inum t with
@@ -397,6 +406,9 @@ let create t name =
         let bd = Breakdown.add bd (write_inode t inode ~sync:true) in
         let bd = Breakdown.add bd (write_dir_block t didx ~sync:true) in
         Ok bd)
+
+let create t name =
+  Trace.op (sink t) "ufs.create" ~bd_of:Fun.id (fun () -> create_inner t name)
 
 let lookup t name =
   match Hashtbl.find_opt t.files name with
@@ -430,7 +442,11 @@ let promote_from_frags t file =
       in
       Ok bd)
 
-let rec write t name ~off data =
+(* [init] is the breakdown accumulated so far inside the enclosing
+   ["ufs.write"] span (non-zero only on the promote-then-retry path);
+   threading it through keeps the final value a single chronological
+   left-fold of the span's children. *)
+let rec write_inner t name ~init ~off data =
   match lookup t name with
   | Error _ as e -> e
   | Ok file ->
@@ -442,20 +458,18 @@ let rec write t name ~off data =
       let small = new_size <= frag_capacity t in
       let currently_frag = inode.Inode.frag <> None || Inode.file_blocks inode = 0 in
       if small && currently_frag && inode.Inode.size = 0 && off = 0 then
-        write_small t file data
+        write_small t file ~init data
       else if (not small) && inode.Inode.frag <> None then begin
         match promote_from_frags t file with
         | Error _ as e -> e
-        | Ok bd -> (
-          match write t name ~off data with
-          | Ok bd' -> Ok (Breakdown.add bd bd')
-          | Error _ as e -> e)
+        | Ok bd -> write_inner t name ~init:(Breakdown.add init bd) ~off data
       end
-      else if small && inode.Inode.frag <> None then write_small_update t file ~off data
-      else write_blocks t file ~off data
+      else if small && inode.Inode.frag <> None then
+        write_small_update t file ~init ~off data
+      else write_blocks t file ~init ~off data
     end
 
-and write_small t file data =
+and write_small t file ~init data =
   (* First write of a small file: place it in fragments. *)
   let inode = file.inode in
   let len = Bytes.length data in
@@ -467,12 +481,12 @@ and write_small t file data =
     Bytes.blit data 0 buf (slot * t.frag_bytes) len;
     inode.Inode.frag <- Some (block, slot, slots);
     inode.Inode.size <- len;
-    let bd = charge t ~blocks:1 in
+    let bd = Breakdown.add init (charge t ~blocks:1) in
     let bd = Breakdown.add bd (write_frag_block t block ~sync:t.cfg.sync_data) in
     let bd = Breakdown.add bd (write_inode t inode ~sync:t.cfg.sync_data) in
     Ok bd
 
-and write_small_update t file ~off data =
+and write_small_update t file ~init ~off data =
   let inode = file.inode in
   let len = Bytes.length data in
   let new_size = max inode.Inode.size (off + len) in
@@ -503,7 +517,7 @@ and write_small_update t file ~off data =
       inode.Inode.frag <- Some (block, slot, slots);
       let meta_changed = new_size <> inode.Inode.size in
       inode.Inode.size <- new_size;
-      let bd = charge t ~blocks:1 in
+      let bd = Breakdown.add init (charge t ~blocks:1) in
       let bd = Breakdown.add bd (write_frag_block t block ~sync:t.cfg.sync_data) in
       let bd =
         if meta_changed then Breakdown.add bd (write_inode t inode ~sync:t.cfg.sync_data)
@@ -511,11 +525,11 @@ and write_small_update t file ~off data =
       in
       Ok bd)
 
-and write_blocks t file ~off data =
+and write_blocks t file ~init ~off data =
   let inode = file.inode in
   let len = Bytes.length data in
   let first = off / t.block_bytes and last = (off + len - 1) / t.block_bytes in
-  let bd = ref (charge t ~blocks:(last - first + 1)) in
+  let bd = ref (Breakdown.add init (charge t ~blocks:(last - first + 1))) in
   let dirty_meta = ref [] and meta_err = ref None in
   let note_meta m = if not (List.mem m !dirty_meta) then dirty_meta := m :: !dirty_meta in
   for i = first to last do
@@ -580,9 +594,16 @@ and write_blocks t file ~off data =
       (List.rev !dirty_meta);
     Ok !bd
 
+let write t name ~off data =
+  Trace.op (sink t) "ufs.write" ~bd_of:Fun.id (fun () ->
+      write_inner t name ~init:Breakdown.zero ~off data)
+
 (* Group the device blocks backing file blocks [first..last] into
-   physically consecutive runs and read each run in one request. *)
-let read_file_blocks t inode ~first ~last ~insert_cache =
+   physically consecutive runs and read each run in one request.
+   [label] names the group span ("ufs.rblocks" or "ufs.readahead"). *)
+let read_file_blocks t inode ~first ~last ~insert_cache ~label =
+  let tr = sink t in
+  let sp = Trace.enter tr label in
   let bd = ref Breakdown.zero in
   let chunks = ref [] in
   let flush run =
@@ -590,7 +611,7 @@ let read_file_blocks t inode ~first ~last ~insert_cache =
     | [] -> ()
     | (b0, _) :: _ as run ->
       let count = List.length run in
-      let data, cost = t.dev.Blockdev.Device.read_run b0 count in
+      let data, cost = Blockdev.Device.read_run t.dev b0 count in
       bd := Breakdown.add !bd cost;
       List.iteri
         (fun k (b, i) ->
@@ -611,6 +632,7 @@ let read_file_blocks t inode ~first ~last ~insert_cache =
       else
         match Buffer_cache.find t.cache b with
         | Some bytes ->
+          Trace.incr tr "ufs.cache_hits";
           flush (List.rev run);
           chunks := (i, bytes) :: !chunks;
           go (i + 1) []
@@ -625,9 +647,11 @@ let read_file_blocks t inode ~first ~last ~insert_cache =
     end
   in
   go first [];
-  (List.sort (fun (a, _) (b, _) -> compare a b) !chunks, !bd)
+  let total = !bd in
+  Trace.exit tr ~bd:total sp;
+  (List.sort (fun (a, _) (b, _) -> compare a b) !chunks, total)
 
-let read t name ~off ~len =
+let read_op t name ~off ~len =
   match lookup t name with
   | Error _ as e -> e
   | Ok file ->
@@ -645,7 +669,9 @@ let read t name ~off ~len =
           Ok (Bytes.sub contents ((slot * t.frag_bytes) + off) len, !bd)
         | None ->
           let first = off / t.block_bytes and last = (off + len - 1) / t.block_bytes in
-          let chunks, cost = read_file_blocks t inode ~first ~last ~insert_cache:true in
+          let chunks, cost =
+            read_file_blocks t inode ~first ~last ~insert_cache:true ~label:"ufs.rblocks"
+          in
           bd := Breakdown.add !bd cost;
           let out = Bytes.make len '\000' in
           List.iter
@@ -675,7 +701,8 @@ let read t name ~off ~len =
               in
               if uncached then begin
                 let _, cost =
-                  read_file_blocks t inode ~first:ra_first ~last:ra_last ~insert_cache:true
+                  read_file_blocks t inode ~first:ra_first ~last:ra_last
+                    ~insert_cache:true ~label:"ufs.readahead"
                 in
                 bd := Breakdown.add !bd cost
               end
@@ -683,6 +710,9 @@ let read t name ~off ~len =
           end;
           Ok (out, !bd)
     end
+
+let read t name ~off ~len =
+  Trace.op (sink t) "ufs.read" ~bd_of:snd (fun () -> read_op t name ~off ~len)
 
 let all_file_blocks inode =
   let acc = ref [] in
@@ -692,7 +722,7 @@ let all_file_blocks inode =
   Array.iter (fun b -> if b >= 0 then acc := b :: !acc) inode.Inode.ind2_children;
   !acc
 
-let delete t name =
+let delete_inner t name =
   match lookup t name with
   | Error _ as e -> e
   | Ok file ->
@@ -710,28 +740,36 @@ let delete t name =
     let bd = Breakdown.add bd (write_dir_block t didx ~sync:true) in
     Ok bd
 
+let delete t name =
+  Trace.op (sink t) "ufs.delete" ~bd_of:Fun.id (fun () -> delete_inner t name)
+
 let flush_blocks t blocks =
+  if blocks <> [] then Trace.incr (sink t) ~by:(List.length blocks) "ufs.flushes";
   List.fold_left
     (fun bd (block, bytes) ->
-      let cost = t.dev.Blockdev.Device.write block bytes in
+      let cost = Blockdev.Device.write t.dev block bytes in
       Buffer_cache.mark_clean t.cache block;
       Breakdown.add bd cost)
     Breakdown.zero blocks
 
-let sync t = flush_blocks t (Buffer_cache.dirty_blocks t.cache)
+let sync t =
+  Trace.group (sink t) "ufs.sync" (fun () ->
+      flush_blocks t (Buffer_cache.dirty_blocks t.cache))
 
 let fsync t name =
-  match lookup t name with
-  | Error _ as e -> e
-  | Ok file ->
-    let mine =
-      match file.inode.Inode.frag with
-      | Some (b, _, _) -> [ b ]
-      | None -> all_file_blocks file.inode
-    in
-    let dirty =
-      Buffer_cache.dirty_blocks t.cache |> List.filter (fun (b, _) -> List.mem b mine)
-    in
-    Ok (flush_blocks t dirty)
+  Trace.incr (sink t) "ufs.fsyncs";
+  Trace.op (sink t) "ufs.fsync" ~bd_of:Fun.id (fun () ->
+      match lookup t name with
+      | Error _ as e -> e
+      | Ok file ->
+        let mine =
+          match file.inode.Inode.frag with
+          | Some (b, _, _) -> [ b ]
+          | None -> all_file_blocks file.inode
+        in
+        let dirty =
+          Buffer_cache.dirty_blocks t.cache |> List.filter (fun (b, _) -> List.mem b mine)
+        in
+        Ok (flush_blocks t dirty))
 
 let drop_caches t = Buffer_cache.drop_clean t.cache

@@ -36,8 +36,10 @@ val format :
   dev:Blockdev.Device.t -> host:Host.t -> clock:Vlog_util.Clock.t -> config -> t
 (** Lay out a fresh file system on the device. *)
 
-type error =
-  [ `No_space | `No_inodes | `Not_found of string | `Exists of string | `Bad_offset ]
+type error = Blockdev.Fs_error.t
+(** The error type shared by all three file systems; UFS itself never
+    returns [`Io] — device faults surface as
+    {!Blockdev.Device.Io_error} from the raising device wrappers. *)
 
 val pp_error : Format.formatter -> error -> unit
 

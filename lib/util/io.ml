@@ -1,0 +1,27 @@
+(* The unified I/O completion: what every device operation returns.
+
+   The breakdown is the paper's Figure-9 attribution; the span is the
+   trace span covering the operation (-1 when tracing is off — the span
+   id is a bare int so this module needs no dependency on the trace
+   library); counters are op-specific deltas (retries, remaps,
+   reallocations) the device chose to report for this one request. *)
+
+type completion = {
+  breakdown : Breakdown.t;
+  span : int;
+  counters : (string * int) list;
+}
+
+let no_span = -1
+
+let make ?(span = no_span) ?(counters = []) breakdown =
+  { breakdown; span; counters }
+
+let bd c = c.breakdown
+
+let counter c name =
+  match List.assoc_opt name c.counters with Some n -> n | None -> 0
+
+let pp ppf c =
+  Breakdown.pp ppf c.breakdown;
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) c.counters

@@ -1,0 +1,31 @@
+(** The unified I/O completion record.
+
+    Every result-typed device operation ({!Blockdev.Device.t}) resolves
+    to a [completion]: the latency {!Breakdown.t} of the request, the
+    trace span that covered it, and any op-specific counter deltas the
+    device wants to surface (bounded-retry counts, firmware remaps,
+    eager-write reallocations).  The span id is a bare [int] so this
+    module carries no dependency on the trace library; [no_span] marks
+    a request served with tracing off. *)
+
+type completion = {
+  breakdown : Breakdown.t;  (** where the simulated time went *)
+  span : int;  (** trace span id, {!no_span} when tracing is disabled *)
+  counters : (string * int) list;
+      (** op-specific deltas, e.g. [("retries", 2)]; empty on the
+          fault-free fast path *)
+}
+
+val no_span : int
+(** The span id used when no trace sink observed the request. *)
+
+val make : ?span:int -> ?counters:(string * int) list -> Breakdown.t -> completion
+(** [make bd] is a completion with [span = no_span] and no counters. *)
+
+val bd : completion -> Breakdown.t
+(** The completion's breakdown. *)
+
+val counter : completion -> string -> int
+(** [counter c name] is the delta reported under [name], or [0]. *)
+
+val pp : Format.formatter -> completion -> unit

@@ -17,25 +17,14 @@ let default_config =
     switch_free_fraction = 0.25;
   }
 
-type error =
-  [ `No_space
-  | `No_inodes
-  | `Not_found of string
-  | `Exists of string
-  | `Bad_offset
-  | `Io of int ]
+type error = Blockdev.Fs_error.t
 
-let pp_error ppf = function
-  | `No_space -> Format.pp_print_string ppf "no space left on device"
-  | `No_inodes -> Format.pp_print_string ppf "out of inodes"
-  | `Not_found name -> Format.fprintf ppf "no such file: %s" name
-  | `Exists name -> Format.fprintf ppf "file exists: %s" name
-  | `Bad_offset -> Format.pp_print_string ppf "bad offset or length"
-  | `Io pba -> Format.fprintf ppf "I/O error reading physical block %d" pba
+let pp_error = Blockdev.Fs_error.pp
 
 (* Local escape hatch so block loops can abort on a media error without
-   threading results through every iteration. *)
-exception Io_abort of int
+   threading results through every iteration.  Carries the structured
+   {!Blockdev.Device.io_error} the public API reports as [`Io]. *)
+exception Io_abort of Blockdev.Device.io_error
 
 (* Each inode occupies up to [max_parts] physical blocks: part 0 carries
    the header and the first pointers, later parts are pure pointer
@@ -82,7 +71,8 @@ let reserve_blocks = 24
 
 let fm t = Vlog.Virtual_log.freemap t.vlog
 let eager t = Vlog.Virtual_log.eager t.vlog
-let charge t ~blocks = Host.charge t.host ~clock:t.clock ~blocks
+let sink t = Disk.Disk_sim.trace t.disk
+let charge t ~blocks = Host.charge ~trace:(sink t) t.host ~clock:t.clock ~blocks
 let exists t name = Hashtbl.mem t.files name
 let files t = Hashtbl.fold (fun name _ acc -> name :: acc) t.files [] |> List.sort compare
 let utilization t = Vlog.Freemap.utilization (fm t)
@@ -218,8 +208,17 @@ let eager_write t ?(exclude = fun _ -> false) ~first bytes =
     Ok (pba, bd)
 
 (* Flush pending data blocks, dirty inode parts, and commit the inode-map
-   transaction.  Everything between two flushes is atomic. *)
-let flush t =
+   transaction.  Everything between two flushes is atomic.  The whole
+   flush runs under one span so callers fold a single child subtotal. *)
+let rec flush t =
+  let tr = sink t in
+  let sp = Trace.enter tr "vlfs.flush" in
+  Trace.incr tr "vlfs.flushes";
+  let r = flush_inner t in
+  (match r with Ok bd | Error (_, bd) -> Trace.exit tr ~bd sp);
+  r
+
+and flush_inner t =
   let bd = ref Breakdown.zero in
   let first = ref true in
   let to_release = ref [] in
@@ -364,24 +363,25 @@ let lookup t name =
 let file_size t name = Result.map (fun vn -> vn.size) (lookup t name)
 
 let create t name =
-  if Hashtbl.mem t.files name then Error (`Exists name)
-  else
-    match alloc_inum t with
-    | None -> Error `No_inodes
-    | Some inum ->
-      let vn = { inum; size = 0; blocks = [||] } in
-      Hashtbl.replace t.files name vn;
-      Hashtbl.replace t.by_inum inum vn;
-      Hashtbl.replace t.dirty_parts (inum, 0) ();
-      let didx, slot = find_dir_slot t in
-      let _, slots = t.dir.(didx) in
-      slots.(slot) <- Some name;
-      Hashtbl.replace t.file_dir_slot inum (didx, slot);
-      write_dir_block t didx;
-      let bd = charge t ~blocks:0 in
-      (match maybe_flush t with
-      | Ok fbd -> Ok (Breakdown.add bd fbd)
-      | Error (e, _) -> Error e)
+  Trace.op (sink t) "vlfs.create" ~bd_of:Fun.id (fun () ->
+      if Hashtbl.mem t.files name then Error (`Exists name)
+      else
+        match alloc_inum t with
+        | None -> Error `No_inodes
+        | Some inum ->
+          let vn = { inum; size = 0; blocks = [||] } in
+          Hashtbl.replace t.files name vn;
+          Hashtbl.replace t.by_inum inum vn;
+          Hashtbl.replace t.dirty_parts (inum, 0) ();
+          let didx, slot = find_dir_slot t in
+          let _, slots = t.dir.(didx) in
+          slots.(slot) <- Some name;
+          Hashtbl.replace t.file_dir_slot inum (didx, slot);
+          write_dir_block t didx;
+          let bd = charge t ~blocks:0 in
+          (match maybe_flush t with
+          | Ok fbd -> Ok (Breakdown.add bd fbd)
+          | Error (e, _) -> Error e))
 
 let max_read_retries = 3
 
@@ -393,11 +393,17 @@ let read_data_block t vn fb =
     if pba < 0 then (Bytes.make t.block_bytes '\000', Breakdown.zero)
     else begin
       match Ufs.Buffer_cache.find t.cache pba with
-      | Some bytes -> (bytes, Breakdown.zero)
+      | Some bytes ->
+        Trace.incr (sink t) "vlfs.cache_hits";
+        (bytes, Breakdown.zero)
       | None ->
         (* Defect-tolerant fetch: retry transient errors a bounded number
            of times; a permanent error or ECC failure aborts the file
-           operation with [`Io] rather than handing out corrupt bytes. *)
+           operation with [`Io] rather than handing out corrupt bytes.
+           Retries make this a multi-access subtotal, so it runs under
+           its own span. *)
+        let tr = sink t in
+        let sp = Trace.enter tr "vlfs.rblock" in
         let bd = ref Breakdown.zero in
         let rec go attempts =
           let r, cost =
@@ -409,10 +415,21 @@ let read_data_block t vn fb =
           match r with
           | Ok bytes ->
             ignore (Ufs.Buffer_cache.insert t.cache pba bytes ~dirty:false);
+            if attempts > 0 then Trace.incr tr ~by:attempts "vlfs.read_retries";
+            Trace.exit tr ~bd:!bd sp;
             (bytes, !bd)
           | Error e when e.Disk.Disk_sim.transient && attempts < max_read_retries ->
             go (attempts + 1)
-          | Error _ -> raise (Io_abort pba)
+          | Error e ->
+            Trace.exit tr ~bd:!bd sp;
+            raise
+              (Io_abort
+                 {
+                   Blockdev.Device.op = `Read;
+                   block = pba;
+                   error_lba = e.Disk.Disk_sim.error_lba;
+                   retries = attempts;
+                 })
         in
         go 0
     end
@@ -462,7 +479,8 @@ let write_unchecked t name ~off data =
     end
 
 let write t name ~off data =
-  try write_unchecked t name ~off data with Io_abort pba -> Error (`Io pba)
+  Trace.op (sink t) "vlfs.write" ~bd_of:Fun.id (fun () ->
+      try write_unchecked t name ~off data with Io_abort e -> Error (`Io e))
 
 let read_unchecked t name ~off ~len =
   match lookup t name with
@@ -488,9 +506,13 @@ let read_unchecked t name ~off ~len =
     end
 
 let read t name ~off ~len =
-  try read_unchecked t name ~off ~len with Io_abort pba -> Error (`Io pba)
+  Trace.op (sink t) "vlfs.read" ~bd_of:snd (fun () ->
+      try read_unchecked t name ~off ~len with Io_abort e -> Error (`Io e))
 
-let delete t name =
+let rec delete t name =
+  Trace.op (sink t) "vlfs.delete" ~bd_of:Fun.id (fun () -> delete_inner t name)
+
+and delete_inner t name =
   match lookup t name with
   | Error _ as e -> e
   | Ok vn ->
@@ -526,11 +548,14 @@ let delete t name =
     | Error (e, _) -> Error e)
 
 let sync t =
-  let bd = charge t ~blocks:0 in
-  Breakdown.add bd (flush_bd t)
+  Trace.group (sink t) "vlfs.sync" (fun () ->
+      let bd = charge t ~blocks:0 in
+      Breakdown.add bd (flush_bd t))
 
 let fsync t name =
-  match lookup t name with Error _ as e -> e | Ok _ -> Ok (sync t)
+  Trace.incr (sink t) "vlfs.fsyncs";
+  Trace.op (sink t) "vlfs.fsync" ~bd_of:Fun.id (fun () ->
+      match lookup t name with Error _ as e -> e | Ok _ -> Ok (sync t))
 
 let drop_caches t = Ufs.Buffer_cache.drop_clean t.cache
 
@@ -548,6 +573,13 @@ let per_access_estimate t =
 
 (* Empty one track as far as the deadline allows. *)
 let compact_track t ~track ~deadline =
+  let tr = sink t in
+  let sp =
+    if Trace.enabled tr then
+      Trace.enter tr ~attrs:[ ("track", string_of_int track) ] ~unaccounted:true
+        "vlfs.compact"
+    else Io.no_span
+  in
   let freemap = fm t in
   let est = per_access_estimate t in
   let exclude_target tr = tr = track in
@@ -673,6 +705,9 @@ let compact_track t ~track ~deadline =
       tracks_emptied = (t.comp_stats.tracks_emptied + if emptied then 1 else 0);
       blocks_moved = t.comp_stats.blocks_moved + !moved;
     };
+  if !moved > 0 then Trace.incr tr ~by:!moved "vlfs.compactor_moves";
+  if emptied then Trace.incr tr "vlfs.tracks_emptied";
+  Trace.exit tr sp;
   if emptied then `Emptied else if !out_of_time then `Out_of_time else `Stuck
 
 let compact t ~deadline =
@@ -714,6 +749,8 @@ let compact t ~deadline =
 
 let idle t dt =
   if dt > 0. then begin
+    let tr = sink t in
+    let sp = Trace.enter tr ~unaccounted:true "vlfs.idle" in
     let until = Clock.now t.clock +. dt in
     compact t ~deadline:until;
     (* Background-flush buffered writes with leftover idle time. *)
@@ -721,6 +758,7 @@ let idle t dt =
       let est = 1.5 *. per_access_estimate t *. float_of_int (Hashtbl.length t.pending) in
       if Clock.now t.clock +. est <= until then ignore (flush t)
     end;
+    Trace.exit tr sp;
     Clock.advance_to t.clock until
   end
 

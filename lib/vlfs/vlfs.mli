@@ -44,17 +44,12 @@ val format :
 (** Lay VLFS directly onto the drive (it {e is} the disk's firmware; no
     logical-disk layer in between). *)
 
-type error =
-  [ `No_space
-  | `No_inodes
-  | `Not_found of string
-  | `Exists of string
-  | `Bad_offset
-  | `Io of int
-    (** a media fault that survived bounded retry; the payload is the
-        physical block whose data is unavailable.  The operation had no
-        effect beyond the time spent — VLFS never returns corrupt bytes. *)
-  ]
+type error = Blockdev.Fs_error.t
+(** The error type shared by all three file systems.  [`Io] carries the
+    structured {!Blockdev.Device.io_error}: a media fault that survived
+    bounded retry ([op], the failing physical [block], the sector the
+    drive reported, the retries spent).  The operation had no effect
+    beyond the time spent — VLFS never returns corrupt bytes. *)
 
 val pp_error : Format.formatter -> error -> unit
 

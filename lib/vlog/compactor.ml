@@ -104,6 +104,12 @@ let occupants t track =
 (* Move as much of [track] as the deadline allows.  Returns [`Emptied],
    [`Out_of_time] or [`Stuck] (no destination holes remain). *)
 let compact_track t ~track ~deadline =
+  let tr = Disk.Disk_sim.trace (disk t) in
+  let sp =
+    if Trace.enabled tr then
+      Trace.enter tr ~attrs:[ ("track", string_of_int track) ] "vld.compact"
+    else Vlog_util.Io.no_span
+  in
   let freemap = fm t in
   let eager = Virtual_log.eager t.vlog in
   let spb = Freemap.sectors_per_block freemap in
@@ -151,6 +157,9 @@ let compact_track t ~track ~deadline =
   let outcome =
     if emptied then `Emptied else match !result with Some r -> r | None -> `Stuck
   in
+  if !moved_blocks > 0 then Trace.incr tr ~by:!moved_blocks "vld.compactor_moves";
+  if emptied then Trace.incr tr "vld.tracks_emptied";
+  Trace.exit tr sp;
   (outcome, !moved_blocks, List.length !rewrites)
 
 let run t ~deadline =

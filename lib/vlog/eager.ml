@@ -169,14 +169,18 @@ let choose ?(exclude_tracks = no_exclusion) ?(greedy_only = false) ?(lead_time =
       | Some _ as r -> r
       | None -> greedy t ~exclude_tracks ~lead_time
   in
-  match t.soft_exclusion with
-  | None -> attempt hard
-  | Some soft -> (
-    (* Prefer honoring the soft mask; fall back to the hard mask alone
-       when nothing else is free. *)
-    match attempt (fun tr -> hard tr || soft tr) with
-    | Some _ as r -> r
-    | None -> attempt hard)
+  let chosen =
+    match t.soft_exclusion with
+    | None -> attempt hard
+    | Some soft -> (
+      (* Prefer honoring the soft mask; fall back to the hard mask alone
+         when nothing else is free. *)
+      match attempt (fun tr -> hard tr || soft tr) with
+      | Some _ as r -> r
+      | None -> attempt hard)
+  in
+  if chosen <> None then Trace.incr (Disk.Disk_sim.trace t.disk) "eager.choices";
+  chosen
 
 let active_track t = t.active_track
 

@@ -49,6 +49,7 @@ let landing_pba = 0
 let reserve_slack = 4
 
 let disk t = t.disk
+let sink t = Disk.Disk_sim.trace t.disk
 let freemap t = t.freemap
 let eager t = t.eager
 let config t = t.cfg
@@ -145,6 +146,21 @@ let write_node t piece ~txn_id ~commit =
     }
   in
   let buf = Map_codec.encode_node ~block_bytes:t.block_bytes node in
+  (* One "vlog.node" span per map-node commit: defect-retry writes fold
+     inside it, so the enclosing transaction folds each node as a single
+     child and the trace sums stay exact. *)
+  let sp =
+    if Trace.enabled (sink t) then
+      Trace.enter (sink t)
+        ~attrs:
+          [
+            ("piece", string_of_int piece.idx);
+            ("kind", match kind with Map_codec.Checkpoint -> "checkpoint" | _ -> "node");
+            ("commit", if commit then "true" else "false");
+          ]
+        "vlog.node"
+    else Vlog_util.Io.no_span
+  in
   (* Grown defects surface here as write errors: retire the block in the
      freemap (the VLD's defect list) and eager-allocate another — the
      same node lands elsewhere, exactly like firmware remapping to a
@@ -168,12 +184,15 @@ let write_node t piece ~txn_id ~commit =
       else put (attempts + 1) (Breakdown.add acc cost)
   in
   let pba, bd = put 0 Breakdown.zero in
+  Trace.exit (sink t) ~bd sp;
   let superseded = if piece.loc >= 0 then Some piece.loc else None in
   piece.loc <- pba;
   piece.node_seq <- t.seq;
   piece.ptrs <- ptrs;
   t.root <- Some (pba, t.seq);
   let checkpoint = kind = Map_codec.Checkpoint in
+  Trace.incr (sink t) "vlog.node_writes";
+  if checkpoint then Trace.incr (sink t) "vlog.checkpoints";
   t.st <-
     {
       t.st with
@@ -183,6 +202,13 @@ let write_node t piece ~txn_id ~commit =
   (bd, superseded)
 
 let update ?(rewrite_pieces = []) t entries =
+  let sp =
+    if Trace.enabled (sink t) then
+      Trace.enter (sink t)
+        ~attrs:[ ("entries", string_of_int (List.length entries)) ]
+        "vlog.update"
+    else Vlog_util.Io.no_span
+  in
   t.txn_counter <- Int64.add t.txn_counter 1L;
   let txn_id = t.txn_counter in
   let dirty = Hashtbl.create 8 in
@@ -223,6 +249,8 @@ let update ?(rewrite_pieces = []) t entries =
      destroy the pre-image. *)
   List.iter (Freemap.release t.freemap) !to_release;
   t.st <- { t.st with txns = t.st.txns + 1 };
+  Trace.incr (sink t) "vlog.txns";
+  Trace.exit (sink t) ~bd:!bd sp;
   !bd
 
 let tail_record t =
@@ -535,7 +563,7 @@ let scan ~disk ~sectors_per_block =
   let recovered = Hashtbl.fold (fun _ v acc -> v :: acc) nodes [] in
   (recovered, !bd, !scanned, !uncommitted, !unreadable)
 
-let recover ?(eager_mode = Eager.Sweep) ?(switch_free_fraction = 0.25) ~disk () =
+let recover_untraced ~eager_mode ~switch_free_fraction ~disk () =
   (* Probe the landing zone with the smallest sensible block (one sector
      holds the whole record; we read 8 sectors to cover the common 4 KB
      layout, then re-read nothing: config comes from the record). *)
@@ -651,6 +679,16 @@ let recover ?(eager_mode = Eager.Sweep) ?(switch_free_fraction = 0.25) ~disk () 
       (* No trustworthy tail: scan for signed map nodes.  The node format
          is self-describing enough to infer the configuration. *)
       fresh_scan bd0)
+
+let recover ?(eager_mode = Eager.Sweep) ?(switch_free_fraction = 0.25) ~disk () =
+  (* The recovery span is exited without an explicit breakdown: it
+     records the fold of its children (every platter read and the
+     landing-zone clear), which is exact by construction. *)
+  let tr = Disk.Disk_sim.trace disk in
+  let sp = if Trace.enabled tr then Trace.enter tr "vlog.recover" else Vlog_util.Io.no_span in
+  let r = recover_untraced ~eager_mode ~switch_free_fraction ~disk () in
+  Trace.exit tr sp;
+  r
 
 let check_invariants t =
   let errors = ref [] in

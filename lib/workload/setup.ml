@@ -83,20 +83,22 @@ let vlfs_ops ~label ~clock fs =
   }
 
 let make ?(seed = 0xC0FFEEL) ?cylinders ?(vld_eager_mode = Vlog.Eager.Sweep)
-    ?(vld_compaction = Vlog.Compactor.Random_target) ~profile ~host ~fs ~dev () =
+    ?(vld_compaction = Vlog.Compactor.Random_target) ?(trace = false) ~profile ~host ~fs
+    ~dev () =
   let profile =
     match cylinders with
     | Some c -> Disk.Profile.with_cylinders profile c
     | None -> profile
   in
   let clock = Clock.create () in
+  let trace = if trace then Trace.create ~clock () else Trace.null in
   let buffer_policy =
     match (fs, dev) with
     | VLFS _, _ -> Disk.Track_buffer.Whole_track (* VLFS is the disk's firmware *)
     | _, Regular -> Disk.Track_buffer.Forward_discard
     | _, VLD -> Disk.Track_buffer.Whole_track
   in
-  let disk = Disk.Disk_sim.create ~buffer_policy ~profile ~clock () in
+  let disk = Disk.Disk_sim.create ~buffer_policy ~profile ~clock ~trace () in
   let prng = Prng.create ~seed in
   let vld, device =
     match (fs, dev) with
@@ -136,6 +138,8 @@ let make ?(seed = 0xC0FFEEL) ?cylinders ?(vld_eager_mode = Vlog.Eager.Sweep)
       vlfs_ops ~label:(if sync_writes then "VLFS" else "VLFS/buffered") ~clock fs
   in
   { clock; disk; dev = device; ops; vld; prng }
+
+let trace t = Disk.Disk_sim.trace t.disk
 
 let elapsed t f =
   let t0 = Clock.now t.clock in

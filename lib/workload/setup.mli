@@ -43,6 +43,7 @@ val make :
   ?cylinders:int ->
   ?vld_eager_mode:Vlog.Eager.mode ->
   ?vld_compaction:Vlog.Compactor.target_policy ->
+  ?trace:bool ->
   profile:Disk.Profile.t ->
   host:Host.t ->
   fs:fs_choice ->
@@ -52,7 +53,12 @@ val make :
 (** Build a fresh rig.  [cylinders] overrides the simulated slice size
     (default: the profile's own — the paper's 24 MB); the [vld_*]
     parameters select allocator / compactor policy variants for the
-    ablation benches. *)
+    ablation benches.  [trace] (default [false]) attaches a recording
+    {!Trace} sink to the rig's clock and threads it through every layer;
+    retrieve it with {!trace}. *)
+
+val trace : t -> Trace.sink
+(** The rig's trace sink ({!Trace.null} unless [make ~trace:true]). *)
 
 val elapsed : t -> (unit -> 'a) -> 'a * float
 (** Run a closure and report the simulated milliseconds it consumed. *)

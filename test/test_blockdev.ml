@@ -21,8 +21,8 @@ let block_of_tag dev tag = Bytes.make dev.Device.block_bytes tag
 
 let roundtrip dev =
   let b = block_of_tag dev 'k' in
-  ignore (dev.Device.write 11 b);
-  let got, _ = dev.Device.read 11 in
+  ignore (Device.write dev 11 b);
+  let got, _ = Device.read dev 11 in
   Alcotest.(check bytes) "roundtrip" b got
 
 let test_regular_roundtrip () =
@@ -35,7 +35,7 @@ let test_vld_roundtrip () =
 
 let test_unwritten_reads_zero () =
   let _, dev, _ = make_vld () in
-  let got, _ = dev.Device.read 100 in
+  let got, _ = Device.read dev 100 in
   Alcotest.(check bytes) "zeros" (Bytes.make dev.Device.block_bytes '\000') got
 
 let test_run_roundtrip dev =
@@ -43,8 +43,8 @@ let test_run_roundtrip dev =
   let buf =
     Bytes.init (n * dev.Device.block_bytes) (fun i -> Char.chr (i / dev.Device.block_bytes + 48))
   in
-  ignore (dev.Device.write_run 5 buf);
-  let got, _ = dev.Device.read_run 5 n in
+  ignore (Device.write_run dev 5 buf);
+  let got, _ = Device.read_run dev 5 n in
   Alcotest.(check bytes) "run roundtrip" buf got
 
 let test_regular_run () =
@@ -64,17 +64,17 @@ let test_vld_sync_write_faster_than_regular () =
   let b = Bytes.make 4096 'u' in
   (* Prefill both with the same 600 logical blocks. *)
   let targets = Array.init 600 (fun i -> i * 3) in
-  Array.iter (fun l -> ignore (reg_dev.Device.write l b)) targets;
-  Array.iter (fun l -> ignore (vld_dev.Device.write l b)) targets;
+  Array.iter (fun l -> ignore (Device.write reg_dev l b)) targets;
+  Array.iter (fun l -> ignore (Device.write vld_dev l b)) targets;
   let t0r = Clock.now reg_clock and t0v = Clock.now vld_clock in
   for _ = 1 to 300 do
     let l = targets.(Prng.int prng 600) in
-    ignore (reg_dev.Device.write l b)
+    ignore (Device.write reg_dev l b)
   done;
   let prng = Prng.create ~seed:22L in
   for _ = 1 to 300 do
     let l = targets.(Prng.int prng 600) in
-    ignore (vld_dev.Device.write l b)
+    ignore (Device.write vld_dev l b)
   done;
   let reg_ms = Clock.now reg_clock -. t0r and vld_ms = Clock.now vld_clock -. t0v in
   Alcotest.(check bool)
@@ -84,24 +84,24 @@ let test_vld_sync_write_faster_than_regular () =
 
 let test_vld_trim_releases () =
   let vld, dev, _ = make_vld () in
-  ignore (dev.Device.write 9 (block_of_tag dev 't'));
+  ignore (Device.write dev 9 (block_of_tag dev 't'));
   let fm = Vlog.Virtual_log.freemap (Vld.vlog vld) in
   let used_before = Vlog.Freemap.n_blocks fm - Vlog.Freemap.free_total fm in
   dev.Device.trim 9;
   let used_after = Vlog.Freemap.n_blocks fm - Vlog.Freemap.free_total fm in
   (* The data block is freed; the map write may consume nothing net. *)
   Alcotest.(check bool) "space released" true (used_after <= used_before);
-  let got, _ = dev.Device.read 9 in
+  let got, _ = Device.read dev 9 in
   Alcotest.(check bytes) "reads zeros" (Bytes.make dev.Device.block_bytes '\000') got
 
 let test_vld_overwrite_detection () =
   let vld, dev, _ = make_vld () in
   let fm = Vlog.Virtual_log.freemap (Vld.vlog vld) in
-  ignore (dev.Device.write 3 (block_of_tag dev 'a'));
+  ignore (Device.write dev 3 (block_of_tag dev 'a'));
   let used1 = Vlog.Freemap.n_blocks fm - Vlog.Freemap.free_total fm in
   (* Overwriting the same logical address must not leak physical space. *)
   for _ = 1 to 20 do
-    ignore (dev.Device.write 3 (block_of_tag dev 'b'))
+    ignore (Device.write dev 3 (block_of_tag dev 'b'))
   done;
   let used2 = Vlog.Freemap.n_blocks fm - Vlog.Freemap.free_total fm in
   Alcotest.(check int) "no leak" used1 used2
@@ -110,7 +110,7 @@ let test_vld_write_run_atomic_txn () =
   let vld, dev, _ = make_vld () in
   let before = (Vlog.Virtual_log.stats (Vld.vlog vld)).Vlog.Virtual_log.txns in
   let buf = Bytes.make (8 * dev.Device.block_bytes) 'r' in
-  ignore (dev.Device.write_run 100 buf);
+  ignore (Device.write_run dev 100 buf);
   let after = (Vlog.Virtual_log.stats (Vld.vlog vld)).Vlog.Virtual_log.txns in
   Alcotest.(check int) "one transaction" (before + 1) after
 
@@ -123,7 +123,7 @@ let test_vld_power_down_recover_end_to_end () =
   let vld = Vld.create ~disk ~logical_blocks:500 ~prng () in
   let dev = Vld.device vld in
   let payload l = Bytes.init dev.Device.block_bytes (fun i -> Char.chr ((l + i) mod 256)) in
-  List.iter (fun l -> ignore (dev.Device.write l (payload l))) [ 0; 7; 200; 499 ];
+  List.iter (fun l -> ignore (Device.write dev l (payload l))) [ 0; 7; 200; 499 ];
   ignore (Vld.power_down vld);
   match Vld.recover ~disk ~prng () with
   | Error e -> Alcotest.fail e
@@ -132,17 +132,17 @@ let test_vld_power_down_recover_end_to_end () =
     let dev2 = Vld.device vld2 in
     List.iter
       (fun l ->
-        let got, _ = dev2.Device.read l in
+        let got, _ = Device.read dev2 l in
         Alcotest.(check bytes) "payload" (payload l) got)
       [ 0; 7; 200; 499 ];
-    let got, _ = dev2.Device.read 42 in
+    let got, _ = Device.read dev2 42 in
     Alcotest.(check bytes) "unwritten zero" (Bytes.make dev.Device.block_bytes '\000') got
 
 let test_vld_idle_compacts () =
   let vld, dev, clock = make_vld ~logical_blocks:1800 () in
   (* Fragment the disk. *)
   for l = 0 to 1200 do
-    ignore (dev.Device.write l (block_of_tag dev 'f'))
+    ignore (Device.write dev l (block_of_tag dev 'f'))
   done;
   for l = 0 to 1200 do
     if l mod 2 = 0 then dev.Device.trim l
@@ -161,7 +161,7 @@ let test_utilization_reporting () =
   let _, dev, _ = make_vld ~logical_blocks:1000 () in
   let u0 = dev.Device.utilization () in
   for l = 0 to 499 do
-    ignore (dev.Device.write l (block_of_tag dev 'u'))
+    ignore (Device.write dev l (block_of_tag dev 'u'))
   done;
   let u1 = dev.Device.utilization () in
   Alcotest.(check bool) "grew" true (u1 > u0 +. 0.2)
@@ -177,14 +177,14 @@ let qcheck_tests =
         List.iter
           (fun (l, v) ->
             let b = Bytes.make dev.Device.block_bytes (Char.chr v) in
-            ignore (dev.Device.write l b);
+            ignore (Device.write dev l b);
             Hashtbl.replace model l v)
           ops;
         Hashtbl.fold
           (fun l v ok ->
             ok
             &&
-            let got, _ = dev.Device.read l in
+            let got, _ = Device.read dev l in
             got = Bytes.make dev.Device.block_bytes (Char.chr v))
           model true);
   ]
