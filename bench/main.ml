@@ -6,11 +6,24 @@
      dune exec bench/main.exe                 # all tables+figures, full scale
      dune exec bench/main.exe -- --quick      # smoke-test sizes
      dune exec bench/main.exe -- fig8 table2  # a subset
-     dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks *)
+     dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- --json out.json fig8   # machine-readable timings
+
+   [--json FILE] writes one record per experiment run:
+     [{"name": "fig8", "wall_s": 1.234567, "sim_ms": 56789.123,
+       "scale": "quick"}, ...]
+   where [wall_s] is host wall-clock seconds and [sim_ms] the simulated
+   milliseconds the experiment consumed (delta of
+   [Vlog_util.Clock.advanced_total] around the run).  The schema is
+   documented in DESIGN.md; CI's bench-smoke job validates it. *)
 
 open Experiments
 
 let scale = ref Rigs.Full
+let json_out : string option ref = ref None
+
+(* (name, wall seconds, simulated ms), in run order. *)
+let timings : (string * float * float) list ref = ref []
 
 let run_tech_trends () =
   (* One measurement feeds both Table 2 and Figure 9. *)
@@ -21,8 +34,28 @@ let run_tech_trends () =
 
 let timed name f =
   let t0 = Unix.gettimeofday () in
+  let s0 = Vlog_util.Clock.advanced_total () in
   f ();
-  Printf.printf "[%s: %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0)
+  let wall = Unix.gettimeofday () -. t0 in
+  let sim = Vlog_util.Clock.advanced_total () -. s0 in
+  timings := (name, wall, sim) :: !timings;
+  Printf.printf "[%s: %.1fs]\n\n%!" name wall
+
+let write_json path =
+  let oc = open_out path in
+  let scale_s = match !scale with Rigs.Quick -> "quick" | Rigs.Full -> "full" in
+  let rows = List.rev !timings in
+  let n = List.length rows in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (name, wall, sim) ->
+      Printf.fprintf oc
+        "  {\"name\": %S, \"wall_s\": %.6f, \"sim_ms\": %.3f, \"scale\": %S}%s\n"
+        name wall sim scale_s
+        (if i = n - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc
 
 let experiments : (string * (unit -> unit)) list =
   let table t = Vlog_util.Table.print t in
@@ -81,6 +114,21 @@ let micro () =
     }
   in
   let encoded = Vlog.Map_codec.encode_node ~block_bytes:4096 node in
+  (* Eager allocation at 95% utilization — where the indexed search has
+     to prune hardest.  Same freemap state for every variant; [search]
+     is pure, so each run does the full search from scratch. *)
+  let eager_alloc mode =
+    let clock = Vlog_util.Clock.create () in
+    let disk = Disk.Disk_sim.create ~profile:Rigs.seagate ~clock () in
+    let g = Disk.Disk_sim.geometry disk in
+    let freemap = Vlog.Freemap.create ~geometry:g ~sectors_per_block:8 in
+    let prng = Vlog_util.Prng.create ~seed:0x95L in
+    Vlog.Freemap.random_occupy freemap prng ~utilization:0.95;
+    Vlog.Eager.create ~mode ~disk ~freemap ()
+  in
+  let eager_sweep = eager_alloc Vlog.Eager.Sweep in
+  let eager_nearest = eager_alloc Vlog.Eager.Nearest in
+  let no_exclude _ = false in
   let tests =
     Test.make_grouped ~name:"vlogfs"
       [
@@ -94,6 +142,21 @@ let micro () =
         Test.make ~name:"analytic-cylinder-model"
           (Staged.stage (fun () ->
                ignore (Models.Cylinder_model.locate_ms Rigs.seagate ~p:0.2)));
+        Test.make ~name:"eager-alloc-sweep-95"
+          (Staged.stage (fun () ->
+               ignore
+                 (Vlog.Eager.search eager_sweep ~exclude_tracks:no_exclude
+                    ~lead_time:0.)));
+        Test.make ~name:"eager-alloc-nearest-95"
+          (Staged.stage (fun () ->
+               ignore
+                 (Vlog.Eager.search eager_nearest ~exclude_tracks:no_exclude
+                    ~lead_time:0.)));
+        Test.make ~name:"eager-alloc-reference-95"
+          (Staged.stage (fun () ->
+               ignore
+                 (Vlog.Eager.Reference.search eager_sweep
+                    ~exclude_tracks:no_exclude ~lead_time:0.)));
       ]
   in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
@@ -118,6 +181,17 @@ let micro () =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let rec strip_json acc = function
+    | [] -> List.rev acc
+    | "--json" :: path :: rest ->
+      json_out := Some path;
+      strip_json acc rest
+    | [ "--json" ] ->
+      prerr_endline "--json requires a file argument";
+      exit 2
+    | a :: rest -> strip_json (a :: acc) rest
+  in
+  let args = strip_json [] args in
   let quick = List.mem "--quick" args in
   if quick then scale := Rigs.Quick;
   let names = List.filter (fun a -> a <> "--quick") args in
@@ -138,4 +212,5 @@ let () =
         names
   in
   List.iter (fun (name, f) -> timed name f) to_run;
+  (match !json_out with Some path -> write_json path | None -> ());
   if want_micro || names = [] then micro ()

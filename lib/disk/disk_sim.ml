@@ -134,13 +134,18 @@ let sector_position_at t ~track_index ~at =
   let pos = Float.rem skewed (float_of_int n) in
   if pos < 0. then pos +. float_of_int n else pos
 
-let rotational_delay_to t ~track_index ~sector ~at =
+(* Delay from a known rotational position: one subtraction, one
+   remainder, one multiply — the closed form the eager allocator
+   evaluates per candidate after computing the track's position once. *)
+let rotational_delay_from t ~pos ~sector =
   let n = float_of_int (sectors_per_track t) in
   let sector_time = Profile.sector_ms t.profile in
-  let pos = sector_position_at t ~track_index ~at in
   let dist = Float.rem (float_of_int sector -. pos) n in
   let dist = if dist < 0. then dist +. n else dist in
   dist *. sector_time
+
+let rotational_delay_to t ~track_index ~sector ~at =
+  rotational_delay_from t ~pos:(sector_position_at t ~track_index ~at) ~sector
 
 (* Split [lba, lba+sectors) into per-track contiguous pieces. *)
 let track_pieces t ~lba ~sectors =

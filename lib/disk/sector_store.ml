@@ -1,20 +1,54 @@
+(* The platter contents live in per-track chunks allocated on first
+   touch: a store models a ~24 MB disk, and experiment rigs create (and
+   drop) many of them, so zeroing the whole medium eagerly would cost
+   more than some entire experiment runs.  An untouched track reads as
+   zeroes, exactly as the eager allocation did. *)
 type t = {
   geometry : Geometry.t;
-  data : Bytes.t;
+  track_bytes : int;
+  chunks : Bytes.t array; (* per track; [Bytes.empty] = never touched *)
   written : Bytes.t;
   rotten : Bytes.t; (* sectors whose media ECC no longer matches the data *)
 }
 
 let create geometry =
   let sectors = Geometry.total_sectors geometry in
+  let spt = geometry.Geometry.sectors_per_track in
   {
     geometry;
-    data = Bytes.make (sectors * geometry.Geometry.sector_bytes) '\000';
+    track_bytes = spt * geometry.Geometry.sector_bytes;
+    chunks = Array.make (Geometry.total_tracks geometry) Bytes.empty;
     written = Bytes.make sectors '\000';
     rotten = Bytes.make sectors '\000';
   }
 
 let geometry t = t.geometry
+
+let chunk t track =
+  let c = t.chunks.(track) in
+  if Bytes.length c > 0 then c
+  else begin
+    let c = Bytes.make t.track_bytes '\000' in
+    t.chunks.(track) <- c;
+    c
+  end
+
+(* Apply [f chunk_opt off len dst_off] to each per-track span of the
+   sector range; [chunk_opt] is [None] for untouched tracks. *)
+let iter_spans t ~lba ~sectors f =
+  let sb = t.geometry.Geometry.sector_bytes in
+  let spt = t.geometry.Geometry.sectors_per_track in
+  let s = ref lba in
+  while !s < lba + sectors do
+    let track = !s / spt in
+    let first = !s mod spt in
+    let n = min (spt - first) (lba + sectors - !s) in
+    let c = t.chunks.(track) in
+    f ~track (if Bytes.length c > 0 then Some c else None) ~off:(first * sb)
+      ~len:(n * sb)
+      ~dst_off:((!s - lba) * sb);
+    s := !s + n
+  done
 
 let check_range t ~lba ~sectors =
   let total = Geometry.total_sectors t.geometry in
@@ -27,7 +61,8 @@ let write t ~lba buf =
     invalid_arg "Sector_store.write: buffer is not a whole number of sectors";
   let sectors = Bytes.length buf / sb in
   check_range t ~lba ~sectors;
-  Bytes.blit buf 0 t.data (lba * sb) (Bytes.length buf);
+  iter_spans t ~lba ~sectors (fun ~track _ ~off ~len ~dst_off ->
+      Bytes.blit buf dst_off (chunk t track) off len);
   Bytes.fill t.written lba sectors '\001';
   (* A fresh write lays down data and ECC together. *)
   Bytes.fill t.rotten lba sectors '\000'
@@ -35,17 +70,35 @@ let write t ~lba buf =
 let read t ~lba ~sectors =
   check_range t ~lba ~sectors;
   let sb = t.geometry.Geometry.sector_bytes in
-  Bytes.sub t.data (lba * sb) (sectors * sb)
+  let out = Bytes.create (sectors * sb) in
+  iter_spans t ~lba ~sectors (fun ~track:_ c ~off ~len ~dst_off ->
+      match c with
+      | Some c -> Bytes.blit c off out dst_off len
+      | None -> Bytes.fill out dst_off len '\000');
+  out
 
 let written t ~lba =
   check_range t ~lba ~sectors:1;
   Bytes.get t.written lba = '\001'
 
+let set_byte t i v =
+  let sb = t.geometry.Geometry.sector_bytes in
+  let spt = t.geometry.Geometry.sectors_per_track in
+  let track = i / (spt * sb) in
+  Bytes.set (chunk t track) (i mod (spt * sb)) v
+
+let get_byte t i =
+  let sb = t.geometry.Geometry.sector_bytes in
+  let spt = t.geometry.Geometry.sectors_per_track in
+  let track = i / (spt * sb) in
+  let c = t.chunks.(track) in
+  if Bytes.length c = 0 then '\000' else Bytes.get c (i mod (spt * sb))
+
 let corrupt t ~lba ~sectors prng =
   check_range t ~lba ~sectors;
   let sb = t.geometry.Geometry.sector_bytes in
   for i = lba * sb to ((lba + sectors) * sb) - 1 do
-    Bytes.set t.data i (Char.chr (Vlog_util.Prng.int prng 256))
+    set_byte t i (Char.chr (Vlog_util.Prng.int prng 256))
   done;
   Bytes.fill t.written lba sectors '\001';
   (* The head physically wrote the garbage, so its sector ECC is valid. *)
@@ -58,7 +111,7 @@ let rot t ~lba ~sectors prng =
     (* Flip one random bit per sector: enough to invalidate the ECC. *)
     let byte = (s * sb) + Vlog_util.Prng.int prng sb in
     let bit = Vlog_util.Prng.int prng 8 in
-    Bytes.set t.data byte (Char.chr (Char.code (Bytes.get t.data byte) lxor (1 lsl bit)));
+    set_byte t byte (Char.chr (Char.code (get_byte t byte) lxor (1 lsl bit)));
     Bytes.set t.rotten s '\001'
   done
 
@@ -73,8 +126,9 @@ let ecc_error t ~lba ~sectors =
 
 let snapshot t =
   {
-    geometry = t.geometry;
-    data = Bytes.copy t.data;
+    t with
+    chunks =
+      Array.map (fun c -> if Bytes.length c = 0 then c else Bytes.copy c) t.chunks;
     written = Bytes.copy t.written;
     rotten = Bytes.copy t.rotten;
   }

@@ -628,12 +628,19 @@ and write_inner t name ~off data =
           let lo = max off block_off and hi = min (off + len) (block_off + t.block_bytes) in
           let full = lo = block_off && hi = block_off + t.block_bytes in
           let contents, read_bd =
-            if full then (Bytes.make t.block_bytes '\000', Breakdown.zero)
-            else read_data_block t ln i
+            if full then
+              (* One copy of the payload range; fresh, so the pending
+                 table may own it. *)
+              (Bytes.sub data (lo - off) t.block_bytes, Breakdown.zero)
+            else begin
+              let c, read_bd = read_data_block t ln i in
+              (* Shared cache contents: copy before modifying. *)
+              let c = Bytes.copy c in
+              Bytes.blit data (lo - off) c (lo - block_off) (hi - lo);
+              (c, read_bd)
+            end
           in
           bd := Breakdown.add !bd read_bd;
-          let contents = Bytes.copy contents in
-          Bytes.blit data (lo - off) contents (lo - block_off) (hi - lo);
           pending_put t (Data (ln.inum, i)) contents;
           if lnode_block ln i < 0 then set_lnode_block ln i (-1)
         done;

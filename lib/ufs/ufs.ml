@@ -538,12 +538,18 @@ and write_blocks t file ~init ~off data =
       let lo = max off block_off and hi = min (off + len) (block_off + t.block_bytes) in
       let full = lo = block_off && hi = block_off + t.block_bytes in
       let contents, read_bd =
-        if full then (Bytes.make t.block_bytes '\000', Breakdown.zero)
-        else file_block_contents t inode i
+        if full then
+          (* One copy of the payload range; a fresh buffer the cache may own. *)
+          (Bytes.sub data (lo - off) t.block_bytes, Breakdown.zero)
+        else begin
+          let c, read_bd = file_block_contents t inode i in
+          (* Shared cache contents: copy before modifying. *)
+          let c = Bytes.copy c in
+          Bytes.blit data (lo - off) c (lo - block_off) (hi - lo);
+          (c, read_bd)
+        end
       in
       bd := Breakdown.add !bd read_bd;
-      let contents = Bytes.copy contents in
-      Bytes.blit data (lo - off) contents (lo - block_off) (hi - lo);
       (if Inode.get_block inode i < 0 then begin
          match ensure_metadata_path t inode i with
          | Error e -> meta_err := Some e

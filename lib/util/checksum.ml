@@ -6,12 +6,69 @@ let prime = 0x100000001B3L
 let add_byte h b =
   Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
 
-let add_bytes h buf =
-  let h = ref h in
-  for i = 0 to Bytes.length buf - 1 do
-    h := add_byte !h (Char.code (Bytes.unsafe_get buf i))
+(* The bulk path keeps the hash as a (hi, lo) pair of 32-bit values in
+   native ints: Int64 arithmetic boxes every intermediate, which on a
+   4 KB block means ~12k allocations per digest.  The FNV prime is
+   2^40 + 0x1B3, so h * prime mod 2^64 decomposes into native-int
+   shifts and one small multiply, every intermediate fitting in 63 bits:
+
+     low 32  = (lo * 0x1B3) mod 2^32
+     high 32 = (lo * 0x1B3) / 2^32 + hi * 0x1B3 + lo * 2^8   (mod 2^32)
+
+   (the hi * 2^32 * 2^40 term is congruent to 0 mod 2^64). *)
+let mask32 = 0xFFFFFFFF
+
+let add_sub_bytes h buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Checksum.add_sub_bytes";
+  let hi = ref (Int64.to_int (Int64.shift_right_logical h 32) land mask32) in
+  let lo = ref (Int64.to_int (Int64.logand h 0xFFFFFFFFL)) in
+  for i = pos to pos + len - 1 do
+    let l = !lo lxor Char.code (Bytes.unsafe_get buf i) in
+    let a = l * 0x1B3 in
+    hi := ((a lsr 32) + (!hi * 0x1B3) + (l lsl 8)) land mask32;
+    lo := a land mask32
   done;
-  !h
+  Int64.logor (Int64.shift_left (Int64.of_int !hi) 32) (Int64.of_int !lo)
+
+let add_bytes h buf = add_sub_bytes h buf ~pos:0 ~len:(Bytes.length buf)
+
+(* FNV-1a consuming the region as little-endian 64-bit words (trailing
+   bytes one at a time): the same prime and update rule, but one step
+   per word, so a block digest costs 1/8th of the byte walk.  Values
+   differ from [add_sub_bytes] over the same region — the two are
+   distinct checksums.  Detection is no weaker for the block use case:
+   each step h -> (h xor w) * prime is a bijection of the accumulator
+   for fixed input, so any single corrupted word changes the final
+   value deterministically, and multi-word corruption survives only by
+   the same 2^-64 accident as under the byte walk. *)
+let add_words h buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Checksum.add_words";
+  let hi = ref (Int64.to_int (Int64.shift_right_logical h 32) land mask32) in
+  let lo = ref (Int64.to_int (Int64.logand h 0xFFFFFFFFL)) in
+  let n_words = len / 8 in
+  for w = 0 to n_words - 1 do
+    let o = pos + (w * 8) in
+    let wlo =
+      Bytes.get_uint16_le buf o lor (Bytes.get_uint16_le buf (o + 2) lsl 16)
+    in
+    let whi =
+      Bytes.get_uint16_le buf (o + 4) lor (Bytes.get_uint16_le buf (o + 6) lsl 16)
+    in
+    let l = !lo lxor wlo in
+    let h' = !hi lxor whi in
+    let a = l * 0x1B3 in
+    hi := ((a lsr 32) + (h' * 0x1B3) + (l lsl 8)) land mask32;
+    lo := a land mask32
+  done;
+  for i = pos + (n_words * 8) to pos + len - 1 do
+    let l = !lo lxor Char.code (Bytes.unsafe_get buf i) in
+    let a = l * 0x1B3 in
+    hi := ((a lsr 32) + (!hi * 0x1B3) + (l lsl 8)) land mask32;
+    lo := a land mask32
+  done;
+  Int64.logor (Int64.shift_left (Int64.of_int !hi) 32) (Int64.of_int !lo)
 
 let add_string h s =
   let h = ref h in

@@ -13,6 +13,19 @@ val empty : t
 (** The FNV-1a offset basis. *)
 
 val add_bytes : t -> Bytes.t -> t
+
+val add_sub_bytes : t -> Bytes.t -> pos:int -> len:int -> t
+(** [add_bytes] over [buf.(pos .. pos+len-1)] without copying the slice. *)
+
+val add_words : t -> Bytes.t -> pos:int -> len:int -> t
+(** FNV-1a over the same region consumed as little-endian 64-bit words
+    (any trailing bytes one at a time) — a {e different} checksum from
+    {!add_sub_bytes}, one multiply per word instead of per byte.  The
+    block codecs digest 4 KB bodies with this.  Any single corrupted
+    word is still detected deterministically: each step is a bijection
+    of the accumulator for fixed input, so states that diverge once
+    never reconverge on an identical suffix. *)
+
 val add_string : t -> string -> t
 val add_int : t -> int -> t
 val add_int64 : t -> int64 -> t

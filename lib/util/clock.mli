@@ -18,3 +18,9 @@ val advance_to : t -> float -> unit
     future; a [when_] in the past is a no-op (the event already fits). *)
 
 val reset : t -> unit
+
+val advanced_total : unit -> float
+(** Simulated milliseconds consumed so far across every clock created in
+    this process ([reset] does not subtract).  Monotone; meant for
+    harnesses that report the simulated time a run consumed as a delta
+    of two samples. *)

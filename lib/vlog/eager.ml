@@ -38,26 +38,56 @@ let cylinder t track = Freemap.cylinder_of_track t.freemap track
 let track_move_cost t track =
   Disk.Disk_sim.move_cost t.disk ~cyl:(cylinder t track) ~track:(surface t track)
 
-(* Cheapest (move + rotation) free block of one track; [None] if the track
-   has no free block.  [lead_time] models delay (e.g. SCSI processing)
-   before the mechanical access can start. *)
-let best_in_track t ~lead_time track =
+(* In-track block index whose start sector is the cyclically next to pass
+   under the head when the rotational position is [pos]: the smallest
+   slot k with k * sectors_per_block >= pos, which is [blocks_per_track]
+   (i.e. wrap to slot 0) when the head is already past the last block
+   boundary.  The float ceiling is corrected with exact comparisons so
+   the result never disagrees with the per-block float costs. *)
+let first_slot_at_or_after t pos =
+  let spb = float_of_int (Freemap.sectors_per_block t.freemap) in
+  let k = ref (int_of_float (Float.ceil (pos /. spb))) in
+  if !k < 0 then k := 0;
+  while !k > 0 && float_of_int (!k - 1) *. spb >= pos do decr k done;
+  while float_of_int !k *. spb < pos do incr k done;
+  !k
+
+(* Cheapest (move + rotation) free block of one track, via the freemap's
+   allocation index: the track's rotational position is computed once
+   (closed form), the winning block is the cyclically next free slot —
+   no fold over occupied blocks.  [cutoff] prunes: once the rotational
+   lower bound (delay to the next block boundary, free or not) pushes
+   the track's cost to [cutoff] or beyond, no block in it can improve on
+   the caller's best candidate and the scan is skipped.  [lead_time]
+   models delay (e.g. SCSI processing) before the mechanical access can
+   start. *)
+let best_in_track_indexed t ~move ~cutoff ~lead_time track =
   if Freemap.free_in_track t.freemap track = 0 then None
   else begin
-    let move = track_move_cost t track in
     let arrival = Clock.now (Disk.Disk_sim.clock t.disk) +. lead_time +. move in
-    let consider best block =
-      let sector = Freemap.start_sector_of_block t.freemap block in
-      let rot =
-        Disk.Disk_sim.rotational_delay_to t.disk ~track_index:track ~sector ~at:arrival
-      in
-      let cost = move +. rot in
-      match best with
-      | Some (c, _) when c <= cost -> best
-      | _ -> Some (cost, block)
+    let pos = Disk.Disk_sim.sector_position_at t.disk ~track_index:track ~at:arrival in
+    let bpt = Freemap.blocks_per_track t.freemap in
+    let spb = Freemap.sectors_per_block t.freemap in
+    let slot =
+      let k = first_slot_at_or_after t pos in
+      if k >= bpt then 0 else k
     in
-    Freemap.fold_free_in_track t.freemap ~track ~init:None ~f:consider
+    (* Rotational lower bound: even the very next block boundary is
+       [rot_lb] away, so every free block costs at least [move + rot_lb]. *)
+    let rot_lb = Disk.Disk_sim.rotational_delay_from t.disk ~pos ~sector:(slot * spb) in
+    if move +. rot_lb >= cutoff then None
+    else
+      match Freemap.nearest_free_in_track t.freemap ~track ~slot with
+      | None -> None
+      | Some block ->
+        let sector = Freemap.start_sector_of_block t.freemap block in
+        let rot = Disk.Disk_sim.rotational_delay_from t.disk ~pos ~sector in
+        Some (move +. rot, block)
   end
+
+let best_in_track t ~lead_time track =
+  best_in_track_indexed t ~move:(track_move_cost t track) ~cutoff:infinity ~lead_time
+    track
 
 let locate_cost t block =
   let track = Freemap.track_of_block t.freemap block in
@@ -66,47 +96,155 @@ let locate_cost t block =
   let sector = Freemap.start_sector_of_block t.freemap block in
   move +. Disk.Disk_sim.rotational_delay_to t.disk ~track_index:track ~sector ~at:arrival
 
-(* Greedy nearest-free-block search over cylinders, per the mode's
-   ordering, skipping cylinders whose bare seek cost already exceeds the
-   best candidate. *)
+(* Greedy nearest-free-block search over cylinders in the mode's order,
+   generated incrementally (no per-allocation list of all cylinders).
+   Pruning, all of it sound with respect to the reference search below:
+   fully-occupied cylinders are skipped via the per-cylinder free counts;
+   a cylinder whose bare seek already reaches the best cost is skipped
+   (and in [Nearest] order, where remaining distances only grow, the
+   whole search stops there); a track whose move cost — seek and head
+   switch, hoisted per cylinder so every track of it is costed against
+   the same arrival basis — reaches the best cost is skipped; and the
+   rotational lower bound inside [best_in_track_indexed] prunes the rest.
+   Ties keep the earliest candidate in search order, exactly like the
+   reference fold. *)
 let greedy t ~exclude_tracks ~lead_time =
   let g = Freemap.geometry t.freemap in
   let cylinders = g.Disk.Geometry.cylinders in
   let tpc = g.Disk.Geometry.tracks_per_cylinder in
   let cur = Disk.Disk_sim.current_cylinder t.disk in
+  let cur_surface = Disk.Disk_sim.current_track t.disk in
   let profile = Disk.Disk_sim.profile t.disk in
-  let best = ref None in
+  let hs = profile.Disk.Profile.head_switch_ms in
+  let best_block = ref (-1) in
+  let best_cost = ref infinity in
   let eval_cylinder c =
-    let lower_bound = Disk.Profile.seek_ms profile (abs (c - cur)) in
-    let skip = match !best with Some (cost, _) -> lower_bound >= cost | None -> false in
-    if not skip then
-      for s = 0 to tpc - 1 do
-        let track = (c * tpc) + s in
-        if not (exclude_tracks track) then
-          match best_in_track t ~lead_time track with
-          | None -> ()
-          | Some (cost, block) -> (
-            match !best with
-            | Some (c0, _) when c0 <= cost -> ()
-            | _ -> best := Some (cost, block))
-      done
+    if Freemap.free_in_cylinder t.freemap c > 0 then begin
+      let seek = Disk.Profile.seek_ms profile (abs (c - cur)) in
+      if seek < !best_cost then begin
+        (* The two move costs any track of this cylinder can have,
+           computed once: staying on the current surface, or paying the
+           head switch. *)
+        let move_same = if c <> cur then Float.max seek 0. else 0. in
+        let move_switch = if c <> cur then Float.max seek hs else hs in
+        let base = c * tpc in
+        for s = 0 to tpc - 1 do
+          let track = base + s in
+          if not (exclude_tracks track) then begin
+            let move = if s = cur_surface then move_same else move_switch in
+            if move < !best_cost then
+              match
+                best_in_track_indexed t ~move ~cutoff:!best_cost ~lead_time track
+              with
+              | Some (cost, block) when cost < !best_cost ->
+                best_cost := cost;
+                best_block := block
+              | Some _ | None -> ()
+          end
+        done
+      end
+    end
   in
-  let order =
-    match t.mode with
-    | Nearest ->
-      (* current cylinder, then +/-1, +/-2, ... *)
-      let rec go d acc =
-        if d >= cylinders then List.rev acc
-        else
-          let acc = if cur + d < cylinders then (cur + d) :: acc else acc in
-          let acc = if d > 0 && cur - d >= 0 then (cur - d) :: acc else acc in
-          go (d + 1) acc
+  (match t.mode with
+  | Nearest ->
+    (* Current cylinder, then +/-1, +/-2, ...; distances of remaining
+       candidates only grow, so the search stops outright once the bare
+       seek at distance [d] cannot beat the best. *)
+    let d = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !d < cylinders do
+      if !best_block >= 0 && Disk.Profile.seek_ms profile !d >= !best_cost then
+        stop := true
+      else begin
+        if cur + !d < cylinders then eval_cylinder (cur + !d);
+        if !d > 0 && cur - !d >= 0 then eval_cylinder (cur - !d);
+        incr d
+      end
+    done
+  | Sweep ->
+    (* One-direction sweep with wrap.  After the wrap the candidates
+       approach [cur] from below, ending at distance 1, so (unless the
+       head is at cylinder 0 and distances are monotone) the minimum
+       distance still ahead is 1 from the second step on. *)
+    let d = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !d < cylinders do
+      let min_rem_dist = if cur = 0 then !d else if !d = 0 then 0 else 1 in
+      if !best_block >= 0 && Disk.Profile.seek_ms profile min_rem_dist >= !best_cost
+      then stop := true
+      else begin
+        eval_cylinder ((cur + !d) mod cylinders);
+        incr d
+      end
+    done);
+  if !best_block < 0 then None else Some !best_block
+
+(* The original O(cylinders * tracks * blocks) search, kept as the
+   equivalence oracle: property tests assert the indexed search above
+   picks the identical block (same cost floats, same tie-breaks) on
+   arbitrary freemap states.  Not used on any hot path. *)
+module Reference = struct
+  let best_in_track t ~lead_time track =
+    if Freemap.free_in_track t.freemap track = 0 then None
+    else begin
+      let move = track_move_cost t track in
+      let arrival = Clock.now (Disk.Disk_sim.clock t.disk) +. lead_time +. move in
+      let consider best block =
+        let sector = Freemap.start_sector_of_block t.freemap block in
+        let rot =
+          Disk.Disk_sim.rotational_delay_to t.disk ~track_index:track ~sector ~at:arrival
+        in
+        let cost = move +. rot in
+        match best with
+        | Some (c, _) when c <= cost -> best
+        | _ -> Some (cost, block)
       in
-      go 0 []
-    | Sweep -> List.init cylinders (fun d -> (cur + d) mod cylinders)
-  in
-  List.iter eval_cylinder order;
-  Option.map snd !best
+      Freemap.fold_free_in_track t.freemap ~track ~init:None ~f:consider
+    end
+
+  let greedy t ~exclude_tracks ~lead_time =
+    let g = Freemap.geometry t.freemap in
+    let cylinders = g.Disk.Geometry.cylinders in
+    let tpc = g.Disk.Geometry.tracks_per_cylinder in
+    let cur = Disk.Disk_sim.current_cylinder t.disk in
+    let profile = Disk.Disk_sim.profile t.disk in
+    let best = ref None in
+    let eval_cylinder c =
+      let lower_bound = Disk.Profile.seek_ms profile (abs (c - cur)) in
+      let skip = match !best with Some (cost, _) -> lower_bound >= cost | None -> false in
+      if not skip then
+        for s = 0 to tpc - 1 do
+          let track = (c * tpc) + s in
+          if not (exclude_tracks track) then
+            match best_in_track t ~lead_time track with
+            | None -> ()
+            | Some (cost, block) -> (
+              match !best with
+              | Some (c0, _) when c0 <= cost -> ()
+              | _ -> best := Some (cost, block))
+        done
+    in
+    let order =
+      match t.mode with
+      | Nearest ->
+        (* current cylinder, then +/-1, +/-2, ... *)
+        let rec go d acc =
+          if d >= cylinders then List.rev acc
+          else
+            let acc = if cur + d < cylinders then (cur + d) :: acc else acc in
+            let acc = if d > 0 && cur - d >= 0 then (cur - d) :: acc else acc in
+            go (d + 1) acc
+        in
+        go 0 []
+      | Sweep -> List.init cylinders (fun d -> (cur + d) mod cylinders)
+    in
+    List.iter eval_cylinder order;
+    Option.map snd !best
+
+  let search = greedy
+end
+
+let search = greedy
 
 let still_empty t track =
   Freemap.free_in_track t.freemap track = Freemap.blocks_per_track t.freemap
@@ -115,26 +253,25 @@ let free_fraction t track =
   float_of_int (Freemap.free_in_track t.freemap track)
   /. float_of_int (Freemap.blocks_per_track t.freemap)
 
-(* Pop the nearest usable empty track off the list. *)
+(* Pop the nearest usable empty track off the list.  Move costs are
+   computed once per candidate, not once per comparison. *)
 let next_empty_track t ~exclude_tracks =
   let usable tr = still_empty t tr && not (exclude_tracks tr) in
   let candidates = List.filter usable t.empty_tracks in
   t.empty_tracks <- candidates;
   match candidates with
   | [] -> None
-  | candidates ->
-    let cost tr = track_move_cost t tr in
-    let nearest =
+  | first :: rest ->
+    let nearest, _ =
       List.fold_left
-        (fun acc tr ->
-          match acc with Some best when cost best <= cost tr -> acc | _ -> Some tr)
-        None candidates
+        (fun ((_, best_cost) as acc) tr ->
+          let cost = track_move_cost t tr in
+          if best_cost <= cost then acc else (tr, cost))
+        (first, track_move_cost t first)
+        rest
     in
-    (match nearest with
-    | None -> None
-    | Some tr ->
-      t.empty_tracks <- List.filter (fun x -> x <> tr) t.empty_tracks;
-      Some tr)
+    t.empty_tracks <- List.filter (fun x -> x <> nearest) t.empty_tracks;
+    Some nearest
 
 let rec from_active_track t ~exclude_tracks ~lead_time =
   match t.active_track with

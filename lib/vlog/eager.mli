@@ -56,6 +56,30 @@ val locate_cost : t -> int -> float
     the given block from the current head position — the "locate" the
     models of Section 2 predict. *)
 
+val search : t -> exclude_tracks:(int -> bool) -> lead_time:float -> int option
+(** The indexed greedy search {!choose} runs when the empty-track fill
+    policy yields nothing: cylinders are generated incrementally in the
+    mode's order and pruned by per-cylinder free counts, the seek lower
+    bound, the hoisted per-cylinder move cost, and a rotational lower
+    bound; the best block of a track comes from the freemap's free
+    bitset in O(words), not from a fold over all blocks.  Pure: does not
+    advance the clock, move the head, or touch allocator state. *)
+
+val best_in_track : t -> lead_time:float -> int -> (float * int) option
+(** Cheapest (cost, block) among the free blocks of one track, or [None]
+    if it has none; the indexed evaluation behind both {!search} and the
+    empty-track fill path. *)
+
+(** The original O(cylinders x tracks x blocks) search kept verbatim as
+    an equivalence oracle: for any allocator state, [Reference.search]
+    and {!search} (and the two [best_in_track]s) must agree exactly —
+    same block, same cost floats, same tie-breaks.  Property-tested; not
+    on any hot path. *)
+module Reference : sig
+  val search : t -> exclude_tracks:(int -> bool) -> lead_time:float -> int option
+  val best_in_track : t -> lead_time:float -> int -> (float * int) option
+end
+
 val active_track : t -> int option
 (** The empty track currently being filled, if any. *)
 

@@ -4,11 +4,17 @@ type t = {
   geometry : Disk.Geometry.t;
   sectors_per_block : int;
   blocks_per_track : int;
+  blocks_per_cylinder : int;
   n_blocks : int;
   n_tracks : int;
   occupied : Bytes.t;
   bad : Bytes.t;
+  (* Allocation index: one bit per block, set = free.  Kept consistent
+     with [occupied] by the three mutators below; padded to a whole
+     number of 64-bit words so the scanners can read full words. *)
+  free_bits : Bytes.t;
   free_per_track : int array;
+  free_per_cyl : int array;
   mutable free_total : int;
   mutable n_bad : int;
 }
@@ -20,15 +26,28 @@ let create ~geometry ~sectors_per_block =
   let blocks_per_track = spt / sectors_per_block in
   let n_tracks = Disk.Geometry.total_tracks geometry in
   let n_blocks = blocks_per_track * n_tracks in
+  let n_words = (n_blocks + 63) / 64 in
+  let free_bits = Bytes.make (n_words * 8) '\000' in
+  (* All blocks start free: set the first [n_blocks] bits. *)
+  for b = 0 to n_blocks - 1 do
+    let i = b lsr 3 in
+    Bytes.set free_bits i
+      (Char.chr (Char.code (Bytes.get free_bits i) lor (1 lsl (b land 7))))
+  done;
   {
     geometry;
     sectors_per_block;
     blocks_per_track;
+    blocks_per_cylinder = blocks_per_track * geometry.Disk.Geometry.tracks_per_cylinder;
     n_blocks;
     n_tracks;
     occupied = Bytes.make n_blocks '\000';
     bad = Bytes.make n_blocks '\000';
+    free_bits;
     free_per_track = Array.make n_tracks blocks_per_track;
+    free_per_cyl =
+      Array.make geometry.Disk.Geometry.cylinders
+        (blocks_per_track * geometry.Disk.Geometry.tracks_per_cylinder);
     free_total = n_blocks;
     n_bad = 0;
   }
@@ -61,26 +80,45 @@ let start_sector_of_block t b =
 
 let cylinder_of_track t track = track / t.geometry.Disk.Geometry.tracks_per_cylinder
 let track_in_cylinder t track = track mod t.geometry.Disk.Geometry.tracks_per_cylinder
+let cylinder_of_block t b = b / t.blocks_per_cylinder
 
 let is_free t b =
   check t b;
   Bytes.get t.occupied b = '\000'
 
+let set_free_bit t b =
+  let i = b lsr 3 in
+  Bytes.unsafe_set t.free_bits i
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.free_bits i) lor (1 lsl (b land 7))))
+
+let clear_free_bit t b =
+  let i = b lsr 3 in
+  Bytes.unsafe_set t.free_bits i
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.free_bits i) land (lnot (1 lsl (b land 7)) land 0xFF)))
+
+let note_occupied t b =
+  clear_free_bit t b;
+  let tr = b / t.blocks_per_track in
+  t.free_per_track.(tr) <- t.free_per_track.(tr) - 1;
+  t.free_per_cyl.(b / t.blocks_per_cylinder) <- t.free_per_cyl.(b / t.blocks_per_cylinder) - 1;
+  t.free_total <- t.free_total - 1
+
 let occupy t b =
   check t b;
   if Bytes.get t.occupied b <> '\000' then invalid_arg "Freemap.occupy: block already occupied";
   Bytes.set t.occupied b '\001';
-  let tr = b / t.blocks_per_track in
-  t.free_per_track.(tr) <- t.free_per_track.(tr) - 1;
-  t.free_total <- t.free_total - 1
+  note_occupied t b
 
 let release t b =
   check t b;
   if Bytes.get t.occupied b = '\000' then invalid_arg "Freemap.release: block already free";
   if Bytes.get t.bad b <> '\000' then invalid_arg "Freemap.release: block is a grown defect";
   Bytes.set t.occupied b '\000';
+  set_free_bit t b;
   let tr = b / t.blocks_per_track in
   t.free_per_track.(tr) <- t.free_per_track.(tr) + 1;
+  t.free_per_cyl.(b / t.blocks_per_cylinder) <- t.free_per_cyl.(b / t.blocks_per_cylinder) + 1;
   t.free_total <- t.free_total + 1
 
 let is_bad t b =
@@ -96,9 +134,7 @@ let mark_bad t b =
        hand it out again and [release] refuses to free it. *)
     if Bytes.get t.occupied b = '\000' then begin
       Bytes.set t.occupied b '\001';
-      let tr = b / t.blocks_per_track in
-      t.free_per_track.(tr) <- t.free_per_track.(tr) - 1;
-      t.free_total <- t.free_total - 1
+      note_occupied t b
     end
   end
 
@@ -106,8 +142,119 @@ let n_bad t = t.n_bad
 
 let free_total t = t.free_total
 let free_in_track t track = t.free_per_track.(track)
+let free_in_cylinder t cyl = t.free_per_cyl.(cyl)
 let occupied_in_track t track = t.blocks_per_track - t.free_per_track.(track)
 let utilization t = 1. -. (float_of_int t.free_total /. float_of_int t.n_blocks)
+
+(* Trailing zero count of a nonzero word; the scanners below touch at
+   most a couple of words per query, so a branchy version is fine. *)
+let ctz64 v =
+  let n = ref 0 and v = ref v in
+  if Int64.logand !v 0xFFFFFFFFL = 0L then begin
+    n := !n + 32;
+    v := Int64.shift_right_logical !v 32
+  end;
+  if Int64.logand !v 0xFFFFL = 0L then begin
+    n := !n + 16;
+    v := Int64.shift_right_logical !v 16
+  end;
+  if Int64.logand !v 0xFFL = 0L then begin
+    n := !n + 8;
+    v := Int64.shift_right_logical !v 8
+  end;
+  if Int64.logand !v 0xFL = 0L then begin
+    n := !n + 4;
+    v := Int64.shift_right_logical !v 4
+  end;
+  if Int64.logand !v 0x3L = 0L then begin
+    n := !n + 2;
+    v := Int64.shift_right_logical !v 2
+  end;
+  if Int64.logand !v 0x1L = 0L then incr n;
+  !n
+
+(* First free block in [lo, hi), or -1.  Word-at-a-time over the bitset;
+   track ranges are not word-aligned (9 blocks/track on the HP profile),
+   so the first and last word are masked. *)
+let first_free_in_range t ~lo ~hi =
+  if lo >= hi then -1
+  else begin
+    let w0 = lo lsr 6 and w1 = (hi - 1) lsr 6 in
+    let rec go w =
+      if w > w1 then -1
+      else begin
+        let v = Bytes.get_int64_le t.free_bits (w lsl 3) in
+        let v =
+          if w = w0 then Int64.logand v (Int64.shift_left Int64.minus_one (lo land 63))
+          else v
+        in
+        let v =
+          if w = w1 then begin
+            let live = hi - (w lsl 6) in
+            if live >= 64 then v
+            else Int64.logand v (Int64.sub (Int64.shift_left 1L live) 1L)
+          end
+          else v
+        in
+        if v = 0L then go (w + 1) else (w lsl 6) + ctz64 v
+      end
+    in
+    go w0
+  end
+
+let first_free_at_or_after t ~track ~slot =
+  if track < 0 || track >= t.n_tracks then
+    invalid_arg "Freemap.first_free_at_or_after: track out of range";
+  if slot < 0 || slot > t.blocks_per_track then
+    invalid_arg "Freemap.first_free_at_or_after: slot out of range";
+  let base = track * t.blocks_per_track in
+  let b = first_free_in_range t ~lo:(base + slot) ~hi:(base + t.blocks_per_track) in
+  if b < 0 then None else Some b
+
+(* Cyclically-first free block of the track at or after [slot]: the one
+   whose start sector next passes under the head when the head is at the
+   rotational position of slot [slot]. *)
+let nearest_free_in_track t ~track ~slot =
+  if track < 0 || track >= t.n_tracks then
+    invalid_arg "Freemap.nearest_free_in_track: track out of range";
+  if slot < 0 || slot >= t.blocks_per_track then
+    invalid_arg "Freemap.nearest_free_in_track: slot out of range";
+  let base = track * t.blocks_per_track in
+  let b = first_free_in_range t ~lo:(base + slot) ~hi:(base + t.blocks_per_track) in
+  if b >= 0 then Some b
+  else begin
+    let b = first_free_in_range t ~lo:base ~hi:(base + slot) in
+    if b >= 0 then Some b else None
+  end
+
+(* Consistency of the redundant representations; used by tests and
+   debugging, not by the hot path. *)
+let index_consistent t =
+  let ok = ref true in
+  for b = 0 to t.n_blocks - 1 do
+    let byte_free = Bytes.get t.occupied b = '\000' in
+    let bit_free =
+      Char.code (Bytes.get t.free_bits (b lsr 3)) land (1 lsl (b land 7)) <> 0
+    in
+    if byte_free <> bit_free then ok := false;
+    if Bytes.get t.bad b <> '\000' && bit_free then ok := false
+  done;
+  for tr = 0 to t.n_tracks - 1 do
+    let n = ref 0 in
+    for b = tr * t.blocks_per_track to ((tr + 1) * t.blocks_per_track) - 1 do
+      if Bytes.get t.occupied b = '\000' then incr n
+    done;
+    if !n <> t.free_per_track.(tr) then ok := false
+  done;
+  let tpc = t.geometry.Disk.Geometry.tracks_per_cylinder in
+  for c = 0 to t.geometry.Disk.Geometry.cylinders - 1 do
+    let n = ref 0 in
+    for tr = c * tpc to ((c + 1) * tpc) - 1 do
+      n := !n + t.free_per_track.(tr)
+    done;
+    if !n <> t.free_per_cyl.(c) then ok := false
+  done;
+  !ok
 
 let fold_free_in_track t ~track ~init ~f =
   let base = track * t.blocks_per_track in

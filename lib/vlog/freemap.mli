@@ -29,6 +29,8 @@ val cylinder_of_track : t -> int -> int
 val track_in_cylinder : t -> int -> int
 (** Surface index of a global track. *)
 
+val cylinder_of_block : t -> int -> int
+
 val is_free : t -> int -> bool
 val occupy : t -> int -> unit
 (** Raises [Invalid_argument] if the block is already occupied — callers
@@ -50,9 +52,38 @@ val n_bad : t -> int
 
 val free_total : t -> int
 val free_in_track : t -> int -> int
+
+val free_in_cylinder : t -> int -> int
+(** Free blocks in a whole cylinder; O(1).  The eager allocator skips
+    fully-occupied cylinders with this before looking at any track. *)
+
 val occupied_in_track : t -> int -> int
 val utilization : t -> float
 (** Occupied fraction of all blocks. *)
+
+(** {2 Allocation index}
+
+    A word-scanned free bitset answers positional queries in O(words)
+    instead of O(blocks).  Invariants (checked by {!index_consistent}):
+    a bit is set iff the block is neither occupied nor a grown defect
+    ({!mark_bad} clears it permanently), per-track counts equal the
+    bitset's per-track population, and per-cylinder counts are the sum
+    of their tracks' counts. *)
+
+val first_free_at_or_after : t -> track:int -> slot:int -> int option
+(** First free block of [track] whose in-track index is >= [slot]
+    ([slot] in [0, blocks_per_track]), or [None].  Word-level scan. *)
+
+val nearest_free_in_track : t -> track:int -> slot:int -> int option
+(** Cyclically-first free block of [track] at or after [slot] ([slot] in
+    [0, blocks_per_track)), wrapping to the track start: exactly the
+    block whose start sector next passes under the head when the head
+    sits at the rotational position of slot [slot].  [None] iff the
+    track has no free block. *)
+
+val index_consistent : t -> bool
+(** Whole-structure audit of the index invariants above; test/debug
+    only, O(blocks). *)
 
 val fold_free_in_track : t -> track:int -> init:'a -> f:('a -> int -> 'a) -> 'a
 (** Fold [f] over the free block indices of a track. *)

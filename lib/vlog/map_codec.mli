@@ -37,6 +37,30 @@ val max_entries : block_bytes:int -> int
 val encode_node : block_bytes:int -> node -> Bytes.t
 (** Raises [Invalid_argument] if the node does not fit. *)
 
+val encode_node_slice :
+  block_bytes:int -> node -> entries:int array -> pos:int -> len:int -> Bytes.t
+(** [encode_node], but the map entries come from
+    [entries.(pos .. pos+len-1)] and the node's own [entries] field is
+    ignored — the virtual log encodes a piece straight out of its backing
+    map array without copying the slice first. *)
+
+val encode_node_slice_into :
+  Bytes.t -> node -> entries:int array -> pos:int -> len:int -> unit
+(** {!encode_node_slice} into a caller-owned block-sized buffer
+    (overwritten entirely).  The virtual log reuses one scratch block for
+    every map-node write: the simulated disk copies the buffer out before
+    returning, so the allocation per write would be pure GC churn. *)
+
+val encode_node_image_into : Bytes.t -> node -> image:Bytes.t -> unit
+(** Like {!encode_node_slice_into}, but the entry region comes
+    pre-encoded: [image] holds the piece's entries already in their
+    on-disk form (each entry stored [+1], 4 bytes little-endian), and is
+    copied into place with one blit.  The virtual log maintains such an
+    image per piece, patched whenever a map entry changes, which turns
+    the per-node entry walk into O(1).  Must produce output identical to
+    {!encode_node_slice_into} over the corresponding entries slice
+    (property-tested). *)
+
 val decode_node : Bytes.t -> node option
 (** [None] on bad magic, bad checksum, or inconsistent sizes. *)
 

@@ -21,6 +21,10 @@ type piece = {
   idx : int;
   first_logical : int;
   n_entries : int;
+  image : Bytes.t;
+      (* the piece's entry region in on-disk form (entry+1, 4 bytes LE
+         each), patched in place whenever a map entry changes; node
+         encoding blits it instead of walking the entries *)
   mutable loc : int; (* physical block of the current node, -1 before first write *)
   mutable node_seq : int64;
   mutable ptrs : Map_codec.ptr list;
@@ -39,6 +43,7 @@ type t = {
   map : int array; (* logical -> physical block, -1 unmapped *)
   reverse : int array; (* physical -> logical, -1 = none *)
   landing_pba : int;
+  scratch : Bytes.t; (* reusable node-encode block; never escapes a write *)
   mutable seq : int64;
   mutable txn_counter : int64;
   mutable root : (int * int64) option; (* newest node: (pba, seq) *)
@@ -57,6 +62,16 @@ let block_bytes t = t.block_bytes
 let n_pieces t = Array.length t.pieces
 let seq t = t.seq
 let stats t = t.st
+
+(* Every write to [t.map] goes through here so [piece.image] stays the
+   exact on-disk encoding of the piece's map slice. *)
+let set_map t logical v =
+  t.map.(logical) <- v;
+  let piece = t.pieces.(logical / t.entries_per_piece) in
+  let off = (logical - piece.first_logical) * 4 in
+  let enc = v + 1 in
+  Bytes.set_uint16_le piece.image off (enc land 0xFFFF);
+  Bytes.set_uint16_le piece.image (off + 2) ((enc lsr 16) land 0xFFFF)
 
 let lookup t logical =
   if logical < 0 || logical >= t.cfg.logical_blocks then
@@ -83,10 +98,16 @@ let make_pieces ~logical_blocks ~entries_per_piece =
   Array.init n (fun idx ->
       let first_logical = idx * entries_per_piece in
       let n_entries = min entries_per_piece (logical_blocks - first_logical) in
-      { idx; first_logical; n_entries; loc = -1; node_seq = 0L; ptrs = [] })
-
-let piece_payload t piece =
-  Array.sub t.map piece.first_logical piece.n_entries
+      {
+        idx;
+        first_logical;
+        n_entries;
+        (* all-zero = every entry -1 (unmapped) in the +1 encoding *)
+        image = Bytes.make (n_entries * 4) '\000';
+        loc = -1;
+        node_seq = 0L;
+        ptrs = [];
+      })
 
 (* Dedup pointers by target block, keeping the highest expected sequence
    number (older expectations are necessarily stale). *)
@@ -142,10 +163,13 @@ let write_node t piece ~txn_id ~commit =
       txn_id;
       txn_commit = commit;
       ptrs;
-      entries = piece_payload t piece;
+      entries = [||];
     }
   in
-  let buf = Map_codec.encode_node ~block_bytes:t.block_bytes node in
+  (* The disk copies the buffer out before the write returns, so one
+     scratch block serves every node write. *)
+  let buf = t.scratch in
+  Map_codec.encode_node_image_into buf node ~image:piece.image;
   (* One "vlog.node" span per map-node commit: defect-retry writes fold
      inside it, so the enclosing transaction folds each node as a single
      child and the trace sums stay exact. *)
@@ -224,7 +248,7 @@ let update ?(rewrite_pieces = []) t entries =
         invalid_arg "Virtual_log.update: new physical block must be occupied by caller";
       t.reverse.(nw) <- logical
     end;
-    t.map.(logical) <- nw;
+    set_map t logical nw;
     if old >= 0 && old <> nw then begin
       if t.reverse.(old) = logical then t.reverse.(old) <- -1;
       to_release := old :: !to_release
@@ -312,6 +336,7 @@ let format ~disk cfg =
       map = Array.make cfg.logical_blocks (-1);
       reverse = Array.make (Freemap.n_blocks freemap) (-1);
       landing_pba;
+      scratch = Bytes.create block_bytes;
       seq = 0L;
       txn_counter = 0L;
       root = None;
@@ -374,6 +399,7 @@ let rebuild ~disk ~eager_mode ~switch_free_fraction ~logical_blocks ~sectors_per
       map = Array.make logical_blocks (-1);
       reverse = Array.make (Freemap.n_blocks freemap) (-1);
       landing_pba;
+      scratch = Bytes.create block_bytes;
       seq = 0L;
       txn_counter = 0L;
       root = None;
@@ -388,7 +414,7 @@ let rebuild ~disk ~eager_mode ~switch_free_fraction ~logical_blocks ~sectors_per
     Array.iteri
       (fun i v ->
         let logical = piece.first_logical + i in
-        if logical < logical_blocks then t.map.(logical) <- v)
+        if logical < logical_blocks then set_map t logical v)
       node.Map_codec.entries;
     if node.Map_codec.seq > t.seq then begin
       t.seq <- node.Map_codec.seq;

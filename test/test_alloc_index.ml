@@ -1,0 +1,253 @@
+open Vlog_util
+open Vlog
+
+(* The allocation index behind indexed eager writing: word-scanned
+   freemap queries checked against naive folds (including the ragged
+   9-block tracks of the HP profile and grown defects), and the indexed
+   [Eager.search] checked block-for-block against [Eager.Reference] over
+   randomized allocator states. *)
+
+let st = Disk.Profile.with_cylinders Disk.Profile.st19101 4
+let hp = Disk.Profile.with_cylinders Disk.Profile.hp97560 6
+
+let freemap_of profile =
+  Freemap.create ~geometry:profile.Disk.Profile.geometry ~sectors_per_block:8
+
+(* ---- Freemap positional queries vs naive folds ---- *)
+
+let naive_first_free fm ~track ~slot =
+  let per = Freemap.blocks_per_track fm in
+  let base = track * per in
+  let rec go s =
+    if s >= per then None
+    else if Freemap.is_free fm (base + s) then Some (base + s)
+    else go (s + 1)
+  in
+  go slot
+
+let naive_nearest fm ~track ~slot =
+  match naive_first_free fm ~track ~slot with
+  | Some b -> Some b
+  | None -> (
+    match naive_first_free fm ~track ~slot:0 with
+    | Some b when b - (track * Freemap.blocks_per_track fm) < slot -> Some b
+    | _ -> None)
+
+let check_queries_agree fm =
+  let opt = Alcotest.(option int) in
+  for track = 0 to Freemap.n_tracks fm - 1 do
+    for slot = 0 to Freemap.blocks_per_track fm - 1 do
+      Alcotest.check opt "first_free_at_or_after"
+        (naive_first_free fm ~track ~slot)
+        (Freemap.first_free_at_or_after fm ~track ~slot);
+      Alcotest.check opt "nearest_free_in_track"
+        (naive_nearest fm ~track ~slot)
+        (Freemap.nearest_free_in_track fm ~track ~slot)
+    done;
+    (* [first_free_at_or_after] also accepts slot = blocks_per_track. *)
+    Alcotest.check opt "slot at end" None
+      (Freemap.first_free_at_or_after fm ~track
+         ~slot:(Freemap.blocks_per_track fm))
+  done;
+  Alcotest.(check bool) "index consistent" true (Freemap.index_consistent fm)
+
+let test_queries_track_edges profile () =
+  let fm = freemap_of profile in
+  let per = Freemap.blocks_per_track fm in
+  (* Track 0 full except the last slot; track 1 full except slot 0;
+     track 2 completely full; track 3 untouched — word-scan edge cases
+     on both word-aligned (ST, 32/track) and ragged (HP, 9/track)
+     geometries. *)
+  for s = 0 to per - 2 do
+    Freemap.occupy fm s
+  done;
+  for s = 1 to per - 1 do
+    Freemap.occupy fm (per + s)
+  done;
+  for s = 0 to per - 1 do
+    Freemap.occupy fm ((2 * per) + s)
+  done;
+  check_queries_agree fm
+
+let test_queries_random profile () =
+  let fm = freemap_of profile in
+  let prng = Prng.create ~seed:0xA110CL in
+  for _ = 1 to 4 do
+    (* Occupy a random batch, retire a few as grown defects, release a
+       few — the index must track all three transitions. *)
+    for _ = 1 to Freemap.n_blocks fm / 3 do
+      let b = Prng.int prng (Freemap.n_blocks fm) in
+      if Freemap.is_free fm b then Freemap.occupy fm b
+    done;
+    for _ = 1 to 5 do
+      let b = Prng.int prng (Freemap.n_blocks fm) in
+      if Freemap.is_free fm b then Freemap.mark_bad fm b
+    done;
+    for _ = 1 to Freemap.n_blocks fm / 6 do
+      let b = Prng.int prng (Freemap.n_blocks fm) in
+      if (not (Freemap.is_free fm b)) && not (Freemap.is_bad fm b) then
+        Freemap.release fm b
+    done;
+    check_queries_agree fm
+  done
+
+let test_bad_blocks_never_returned () =
+  let fm = freemap_of st in
+  let per = Freemap.blocks_per_track fm in
+  for s = 0 to per - 1 do
+    if s mod 2 = 0 then Freemap.mark_bad fm s
+  done;
+  for slot = 0 to per - 1 do
+    (match Freemap.nearest_free_in_track fm ~track:0 ~slot with
+    | Some b -> Alcotest.(check bool) "not bad" false (Freemap.is_bad fm b)
+    | None -> Alcotest.fail "odd slots are free");
+    ()
+  done;
+  (* A grown defect is permanent: not free, and release refuses. *)
+  Alcotest.(check bool) "bad not free" false (Freemap.is_free fm 0);
+  Alcotest.check_raises "release of defect rejected"
+    (Invalid_argument "Freemap.release: block is a grown defect") (fun () ->
+      Freemap.release fm 0);
+  Alcotest.(check bool) "index consistent" true (Freemap.index_consistent fm)
+
+(* ---- Indexed search vs reference oracle ---- *)
+
+let drive_and_compare profile mode ~utilization ~seed =
+  let clock = Clock.create () in
+  let disk = Disk.Disk_sim.create ~profile ~clock () in
+  let fm = Freemap.create ~geometry:(Disk.Disk_sim.geometry disk) ~sectors_per_block:8 in
+  let prng = Prng.create ~seed in
+  Freemap.random_occupy fm prng ~utilization;
+  for _ = 1 to 8 do
+    let b = Prng.int prng (Freemap.n_blocks fm) in
+    if Freemap.is_free fm b then Freemap.mark_bad fm b
+  done;
+  let eager = Eager.create ~mode ~disk ~freemap:fm () in
+  let payload =
+    Bytes.make (8 * (Disk.Disk_sim.geometry disk).Disk.Geometry.sector_bytes) 'w'
+  in
+  let opt = Alcotest.(option int) in
+  let no_mask _ = false in
+  let stripe_mask tr = tr mod 3 = 0 in
+  for _ = 1 to 40 do
+    List.iter
+      (fun (exclude_tracks, lead_time) ->
+        let before = Clock.now clock in
+        let indexed = Eager.search eager ~exclude_tracks ~lead_time in
+        let reference = Eager.Reference.search eager ~exclude_tracks ~lead_time in
+        Alcotest.check opt "search = reference" reference indexed;
+        Alcotest.(check (float 0.)) "search moved the clock" before (Clock.now clock))
+      [ (no_mask, 0.); (no_mask, 0.13); (stripe_mask, 0.); (stripe_mask, 0.47) ];
+    (* Per-track bests must agree exactly too: same cost, same block. *)
+    let track = Prng.int prng (Freemap.n_tracks fm) in
+    (match
+       ( Eager.best_in_track eager ~lead_time:0.21 track,
+         Eager.Reference.best_in_track eager ~lead_time:0.21 track )
+     with
+    | None, None -> ()
+    | Some (c1, b1), Some (c2, b2) ->
+      Alcotest.(check int) "best block" b2 b1;
+      Alcotest.(check (float 0.)) "best cost" c2 c1
+    | _ -> Alcotest.fail "best_in_track disagrees on presence");
+    (* Evolve the state: take the allocation, write it (moves the head,
+       advances the clock), sometimes release a random occupied block. *)
+    (match Eager.search eager ~exclude_tracks:no_mask ~lead_time:0. with
+    | None -> ()
+    | Some b ->
+      Freemap.occupy fm b;
+      ignore
+        (Disk.Disk_sim.write ~scsi:false disk ~lba:(Freemap.lba_of_block fm b)
+           payload));
+    if Prng.int prng 2 = 0 then begin
+      let b = Prng.int prng (Freemap.n_blocks fm) in
+      if (not (Freemap.is_free fm b)) && not (Freemap.is_bad fm b) then
+        Freemap.release fm b
+    end
+  done
+
+let test_search_equivalence profile mode utilization seed () =
+  drive_and_compare profile mode ~utilization ~seed
+
+(* ---- Pre-encoded entry images ---- *)
+
+let image_of entries ~pos ~len =
+  let img = Bytes.create (len * 4) in
+  for i = 0 to len - 1 do
+    Bytes.set_int32_le img (i * 4) (Int32.of_int (entries.(pos + i) + 1))
+  done;
+  img
+
+let test_image_encode_equivalence () =
+  let prng = Prng.create ~seed:0x1111L in
+  let block_bytes = 4096 in
+  for trial = 1 to 50 do
+    let n_ptrs = Prng.int prng (Map_codec.max_ptrs + 1) in
+    let ptrs =
+      List.init n_ptrs (fun i ->
+          { Map_codec.pba = Prng.int prng 100_000; seq = Int64.of_int (trial * 100 + i) })
+    in
+    let max_len = (block_bytes - 36 - (n_ptrs * 12) - 8) / 4 in
+    let len = match trial mod 3 with 0 -> 0 | 1 -> max_len | _ -> Prng.int prng max_len in
+    let pos = Prng.int prng 8 in
+    let entries =
+      Array.init (pos + len) (fun _ -> Prng.int prng 1_000_000 - 1)
+    in
+    let node =
+      {
+        Map_codec.seq = Int64.of_int trial;
+        piece = trial mod 16;
+        kind = (if trial mod 2 = 0 then Map_codec.Node else Map_codec.Checkpoint);
+        txn_id = Int64.of_int (trial * 7);
+        txn_commit = trial mod 2 = 1;
+        ptrs;
+        entries = [||];
+      }
+    in
+    let via_slice = Bytes.create block_bytes in
+    Map_codec.encode_node_slice_into via_slice node ~entries ~pos ~len;
+    let via_image = Bytes.create block_bytes in
+    Map_codec.encode_node_image_into via_image node ~image:(image_of entries ~pos ~len);
+    Alcotest.(check bool) "image encode = slice encode" true
+      (Bytes.equal via_slice via_image);
+    (* And both must round-trip. *)
+    match Map_codec.decode_node via_image with
+    | None -> Alcotest.fail "image-encoded node does not decode"
+    | Some back ->
+      Alcotest.(check int) "entries survive" len (Array.length back.Map_codec.entries);
+      Array.iteri
+        (fun i v -> Alcotest.(check int) "entry" entries.(pos + i) v)
+        back.Map_codec.entries
+  done
+
+let suites =
+  let tc = Alcotest.test_case in
+  [
+    ( "alloc-index",
+      [
+        tc "queries: track edges (ST19101)" `Quick (test_queries_track_edges st);
+        tc "queries: track edges (HP97560)" `Quick (test_queries_track_edges hp);
+        tc "queries: randomized (ST19101)" `Quick (test_queries_random st);
+        tc "queries: randomized (HP97560)" `Quick (test_queries_random hp);
+        tc "queries: grown defects excluded" `Quick test_bad_blocks_never_returned;
+        tc "image encode = slice encode" `Quick test_image_encode_equivalence;
+      ] );
+    ( "alloc-equivalence",
+      [
+        tc "ST19101 nearest 75%" `Quick
+          (test_search_equivalence st Eager.Nearest 0.75 0x51L);
+        tc "ST19101 sweep 75%" `Quick
+          (test_search_equivalence st Eager.Sweep 0.75 0x52L);
+        tc "ST19101 nearest 95%" `Quick
+          (test_search_equivalence st Eager.Nearest 0.95 0x53L);
+        tc "ST19101 sweep 95%" `Quick
+          (test_search_equivalence st Eager.Sweep 0.95 0x54L);
+        tc "ST19101 sweep 99.9%" `Quick
+          (test_search_equivalence st Eager.Sweep 0.999 0x55L);
+        tc "HP97560 nearest 90%" `Quick
+          (test_search_equivalence hp Eager.Nearest 0.9 0x56L);
+        tc "HP97560 sweep 90%" `Quick
+          (test_search_equivalence hp Eager.Sweep 0.9 0x57L);
+        tc "HP97560 sweep 30%" `Quick
+          (test_search_equivalence hp Eager.Sweep 0.3 0x58L);
+      ] );
+  ]
