@@ -182,41 +182,226 @@ let faults_cmd =
       value & opt int 22
       & info [ "triggers" ] ~doc:"operation boundaries swept per fault kind")
   in
-  let run plan seed triggers quick =
-    let kinds, errors =
-      List.fold_right
-        (fun s (ks, es) ->
-          match Fault.Plan.kind_of_string (String.trim s) with
-          | Ok k -> (k :: ks, es)
-          | Error e -> (ks, e :: es))
-        (String.split_on_char ',' plan)
-        ([], [])
-    in
-    if errors <> [] then begin
-      List.iter (Printf.eprintf "vlsim: %s\n") errors;
-      exit 2
-    end;
-    let cfg =
-      {
-        Fault.Sweep.default with
-        Fault.Sweep.seed = Int64.of_int seed;
-        kinds;
-        triggers = (if quick then min triggers 6 else triggers);
-      }
-    in
-    let o = Fault.Sweep.run cfg in
+  let repro_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro" ] ~docv:"SPEC"
+          ~doc:
+            "rerun exactly one failing cell, as printed by a failure: \
+             seed=7101,kind=torn-write,trigger=5,tail=true,case=37")
+  in
+  let report o =
     Printf.printf
       "%d scenarios (%d faults injected): %d power cuts, %d degraded recoveries\n"
       o.Fault.Sweep.scenarios o.Fault.Sweep.injected o.Fault.Sweep.cut
       o.Fault.Sweep.degraded;
     if o.Fault.Sweep.failures = [] then print_endline "all invariants satisfied"
     else begin
-      List.iter (Printf.printf "FAILED %s\n") o.Fault.Sweep.failures;
+      List.iter
+        (fun fl -> Format.printf "FAILED %a@." Fault.Sweep.pp_failure fl)
+        o.Fault.Sweep.failures;
       exit 1
     end
   in
+  let run plan seed triggers quick repro =
+    match repro with
+    | Some spec -> (
+      match Fault.Sweep.parse_repro spec with
+      | Error e ->
+        Printf.eprintf "vlsim: %s\n" e;
+        exit 2
+      | Ok (seed_override, kind, trigger, with_tail, case) ->
+        let cfg =
+          {
+            Fault.Sweep.default with
+            Fault.Sweep.seed =
+              Option.value seed_override ~default:(Int64.of_int seed);
+          }
+        in
+        report (Fault.Sweep.run_scenario cfg ~kind ~trigger ~with_tail ~case))
+    | None ->
+      let kinds, errors =
+        List.fold_right
+          (fun s (ks, es) ->
+            match Fault.Plan.kind_of_string (String.trim s) with
+            | Ok k -> (k :: ks, es)
+            | Error e -> (ks, e :: es))
+          (String.split_on_char ',' plan)
+          ([], [])
+      in
+      if errors <> [] then begin
+        List.iter (Printf.eprintf "vlsim: %s\n") errors;
+        exit 2
+      end;
+      let cfg =
+        {
+          Fault.Sweep.default with
+          Fault.Sweep.seed = Int64.of_int seed;
+          kinds;
+          triggers = (if quick then min triggers 6 else triggers);
+        }
+      in
+      report (Fault.Sweep.run cfg)
+  in
   Cmd.v (Cmd.info "faults" ~doc)
-    Term.(const run $ plan_arg $ seed_arg $ triggers_arg $ quick_arg)
+    Term.(const run $ plan_arg $ seed_arg $ triggers_arg $ quick_arg $ repro_arg)
+
+(* --- fssweep --- *)
+
+let fssweep_cmd =
+  let doc =
+    "crash/fault sweep at the file-system level: run a seeded metadata \
+     workload on each (file system x device) rig with a fault plan armed, \
+     freeze the platters, remount, and judge the result with fsck, the \
+     durability oracle, and a remount-idempotence check"
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 9203
+      & info [ "seed" ] ~docv:"SEED" ~doc:"master seed for the sweep")
+  in
+  let repro_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro" ] ~docv:"SPEC"
+          ~doc:
+            "rerun exactly one failing cell, as printed by a failure: \
+             rig=ufs/vld,seed=9203,kind=torn-write,trigger=5,case=37")
+  in
+  let report o =
+    Printf.printf
+      "%d scenarios (%d faults injected): %d power cuts, %d degraded \
+       recoveries, %d oracle checks\n"
+      o.Check.Fs_sweep.scenarios o.Check.Fs_sweep.injected o.Check.Fs_sweep.cut
+      o.Check.Fs_sweep.degraded_mounts o.Check.Fs_sweep.oracle_checks;
+    if o.Check.Fs_sweep.failures = [] then
+      print_endline "all file systems recovered consistently"
+    else begin
+      List.iter
+        (fun fl -> Format.printf "FAILED %a@." Check.Fs_sweep.pp_failure fl)
+        o.Check.Fs_sweep.failures;
+      exit 1
+    end
+  in
+  let run seed quick repro =
+    match repro with
+    | Some spec -> (
+      match Check.Fs_sweep.parse_repro spec with
+      | Error e ->
+        Printf.eprintf "vlsim: %s\n" e;
+        exit 2
+      | Ok (rig, seed_override, kind, trigger, case) ->
+        let cfg =
+          {
+            Check.Fs_sweep.default with
+            Check.Fs_sweep.seed =
+              Option.value seed_override ~default:(Int64.of_int seed);
+          }
+        in
+        report (Check.Fs_sweep.run_cell cfg ~rig ~kind ~trigger ~case))
+    | None ->
+      let cfg =
+        if quick then Check.Fs_sweep.smoke else Check.Fs_sweep.default
+      in
+      report
+        (Check.Fs_sweep.run { cfg with Check.Fs_sweep.seed = Int64.of_int seed })
+  in
+  Cmd.v (Cmd.info "fssweep" ~doc)
+    Term.(const run $ seed_arg $ quick_arg $ repro_arg)
+
+(* --- mkimage --- *)
+
+let fs_kind_arg =
+  Arg.(
+    required
+    & opt
+        (some
+           (enum
+              [
+                ("ufs", Check.Fs_sweep.F_ufs);
+                ("lfs", Check.Fs_sweep.F_lfs);
+                ("vlfs", Check.Fs_sweep.F_vlfs);
+              ]))
+        None
+    & info [ "fs" ] ~docv:"FS" ~doc:"file system: ufs, lfs, or vlfs")
+
+let mkimage_cmd =
+  let doc =
+    "write a small file-system image to a file, optionally with one piece of \
+     metadata corrupted, for vlsim fsck"
+  in
+  let corrupt_arg =
+    Arg.(
+      value & opt string "none"
+      & info [ "corrupt" ] ~docv:"KIND"
+          ~doc:
+            "damage to seed: none, dangling (zeroed inode), checksum \
+             (garbage with valid ECC), rot (failing sector)")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"output image path")
+  in
+  let run fs corrupt out =
+    match Check.Fs_sweep.corruption_of_string corrupt with
+    | Error e ->
+      Printf.eprintf "vlsim: %s\n" e;
+      exit 2
+    | Ok corrupt -> (
+      match Check.Fs_sweep.make_image ~fs ~corrupt with
+      | Error e ->
+        Printf.eprintf "vlsim: mkimage: %s\n" e;
+        exit 1
+      | Ok (h, store) ->
+        Check.Image.save h store out;
+        Printf.printf "wrote %s (%s on %s, profile %s)\n" out h.Check.Image.fs
+          h.Check.Image.dev h.Check.Image.profile)
+  in
+  Cmd.v (Cmd.info "mkimage" ~doc)
+    Term.(const run $ fs_kind_arg $ corrupt_arg $ out_arg)
+
+(* --- fsck --- *)
+
+let fsck_cmd =
+  let doc =
+    "check a saved image: rebuild the stack its header names, mount it, run \
+     the invariant checker; exits non-zero on findings or a degraded mount"
+  in
+  let image_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "image" ] ~docv:"FILE" ~doc:"image written by vlsim mkimage")
+  in
+  let run image =
+    match Check.Image.load image with
+    | Error e ->
+      Printf.eprintf "vlsim: fsck: %s\n" e;
+      exit 2
+    | Ok (h, store) -> (
+      match Check.Fs_sweep.fsck_image h store with
+      | Error e ->
+        Printf.printf "fsck %s: mount aborted: %s\n" image e;
+        exit 1
+      | Ok r ->
+        Printf.printf "fsck %s: %s on %s (profile %s)\n" image
+          h.Check.Image.fs h.Check.Image.dev h.Check.Image.profile;
+        Format.printf "%a@." Check.Report.pp r.Check.Fs_sweep.fr_report;
+        let degraded =
+          match r.Check.Fs_sweep.fr_mode with
+          | `Degraded why ->
+            Printf.printf "mounted DEGRADED (read-only): %s\n" why;
+            true
+          | `Rw -> false
+        in
+        if degraded || not (Check.Report.ok r.Check.Fs_sweep.fr_report) then
+          exit 1)
+  in
+  Cmd.v (Cmd.info "fsck" ~doc) Term.(const run $ image_arg)
 
 (* --- trace --- *)
 
@@ -311,4 +496,6 @@ let () =
   let info = Cmd.info "vlsim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; model_cmd; latency_cmd; faults_cmd; trace_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; model_cmd; latency_cmd; faults_cmd; fssweep_cmd;
+            mkimage_cmd; fsck_cmd; trace_cmd ]))

@@ -4,6 +4,7 @@ type t =
   | `Not_found of string
   | `Exists of string
   | `Bad_offset
+  | `Read_only
   | `Io of Device.io_error ]
 
 let pp ppf = function
@@ -12,4 +13,5 @@ let pp ppf = function
   | `Not_found name -> Format.fprintf ppf "%s: not found" name
   | `Exists name -> Format.fprintf ppf "%s: already exists" name
   | `Bad_offset -> Format.pp_print_string ppf "bad offset"
+  | `Read_only -> Format.pp_print_string ppf "file system is read-only (degraded)"
   | `Io e -> Format.fprintf ppf "I/O error: %a" Device.pp_io_error e

@@ -12,6 +12,7 @@ type t =
   | `Not_found of string
   | `Exists of string
   | `Bad_offset
+  | `Read_only
   | `Io of Device.io_error ]
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+(** File-system-level crash/fault sweep: the {!Fault.Sweep} idea lifted
+    one layer up.  Each cell runs a seeded metadata-heavy workload on a
+    full stack (file system x logical-disk layer) with a fault plan
+    installed, freezes the platters, remounts on a fresh drive, and
+    judges the result with the per-FS fsck checker, the durability
+    {!Oracle}, and a remount-idempotence comparison. *)
+
+type fs_kind = F_ufs | F_lfs | F_vlfs
+type dev_kind = D_vld | D_regular | D_direct
+
+type rig = { fs : fs_kind; on : dev_kind }
+
+val rig_name : rig -> string
+(** ["ufs/vld"], ["vlfs/direct"], ... *)
+
+val rig_of_string : string -> (rig, string) result
+
+val all_rigs : rig list
+(** The five mountable stacks: UFS and LFS on both the virtual log disk
+    and a plain disk, VLFS directly on the drive. *)
+
+type config = {
+  seed : int64;
+  ops : int;                      (** workload operations per scenario *)
+  cylinders : int;
+  logical_blocks : int;           (** VLD logical size *)
+  triggers : int list;            (** I/O counts after which the fault arms *)
+  kinds : Fault.Plan.kind list;
+  rigs : rig list;
+}
+
+val default : config
+(** The full matrix: 161 scenarios (5 rigs x 5 kinds x 7 triggers, minus
+    the regular-disk grown-defect cells, whose remap table is volatile
+    and so have nothing to assert). *)
+
+val smoke : config
+(** CI-sized: torn writes only, two triggers, one rig per file system. *)
+
+type failure = {
+  f_rig : string;
+  f_seed : int64;
+  f_kind : Fault.Plan.kind;
+  f_trigger : int;
+  f_case : int;
+  message : string;
+}
+
+val repro_of_failure : failure -> string
+(** Machine-readable spec, ["rig=...,seed=...,kind=...,trigger=...,case=..."]. *)
+
+val parse_repro :
+  string ->
+  (rig * int64 option * Fault.Plan.kind * int * int, string) result
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type outcome = {
+  scenarios : int;
+  injected : int;         (** scenarios whose fault actually fired *)
+  cut : int;              (** scenarios ended by a simulated power cut *)
+  degraded_mounts : int;  (** recoveries that came up read-only *)
+  oracle_checks : int;
+  failures : failure list;
+}
+
+val merge : outcome -> outcome -> outcome
+
+val run_cell :
+  config ->
+  rig:rig ->
+  kind:Fault.Plan.kind ->
+  trigger:int ->
+  case:int ->
+  outcome
+(** One scenario: workload under fault, freeze, remount, fsck, oracle,
+    idempotence.  [case] perturbs the scenario seed. *)
+
+val run : config -> outcome
+
+val degraded_demo : fs_kind -> (unit, string) result
+(** Seeded corruption of one live inode's sole metadata copy on an
+    otherwise healthy image; checks the remount comes up [`Degraded],
+    refuses writes with [`Read_only], and still serves unaffected
+    reads. *)
+
+(** {1 Image generation and offline fsck (vlsim mkimage / vlsim fsck)} *)
+
+type corruption = C_none | C_dangling | C_checksum | C_rot
+
+val corruption_of_string : string -> (corruption, string) result
+
+val make_image :
+  fs:fs_kind ->
+  corrupt:corruption ->
+  (Image.header * Disk.Sector_store.t, string) result
+(** A small healthy file system image, optionally with file "b"'s sole
+    metadata copy damaged the requested way. *)
+
+type fsck_result = {
+  fr_header : Image.header;
+  fr_mode : [ `Rw | `Degraded of string ];
+  fr_report : Report.t;
+  fr_notes : (string * int) list;  (** recovery counters from the mount *)
+}
+
+val fsck_image : Image.header -> Disk.Sector_store.t -> (fsck_result, string) result
+(** Rebuild the stack named by the header around the platters, mount it,
+    run the invariant checker, and fold what the mount itself had to
+    drop or repair into the report's findings. *)

@@ -1,0 +1,92 @@
+(* On-disk image files for [vlsim mkimage]/[vlsim fsck]: one
+   human-readable header line identifying the rig the platters belong
+   to, then the raw {!Disk.Sector_store} payload (which carries its own
+   magic and the drive geometry).  The header is what lets fsck rebuild
+   the right stack — file system, logical-disk layer, timing profile —
+   around platters that are otherwise just bytes. *)
+
+type header = { fs : string; dev : string; profile : string }
+
+let header_line h =
+  Printf.sprintf "vlsim-image v1 fs=%s dev=%s profile=%s\n" h.fs h.dev
+    h.profile
+
+let save h store path =
+  let payload = Filename.temp_file "vlsim" ".store" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove payload with Sys_error _ -> ())
+    (fun () ->
+      Disk.Sector_store.save store payload;
+      let ic = open_in_bin payload in
+      let len = in_channel_length ic in
+      let bytes = really_input_string ic len in
+      close_in ic;
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (header_line h);
+          output_string oc bytes))
+
+let parse_header line =
+  let ( let* ) = Result.bind in
+  match String.split_on_char ' ' (String.trim line) with
+  | "vlsim-image" :: "v1" :: fields ->
+    let* kvs =
+      List.fold_left
+        (fun acc field ->
+          let* acc = acc in
+          match String.index_opt field '=' with
+          | None -> Error (Printf.sprintf "malformed header field %S" field)
+          | Some i ->
+            Ok
+              ((String.sub field 0 i,
+                String.sub field (i + 1) (String.length field - i - 1))
+              :: acc))
+        (Ok []) fields
+    in
+    let get k =
+      match List.assoc_opt k kvs with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "header misses %s=" k)
+    in
+    let* fs = get "fs" in
+    let* dev = get "dev" in
+    let* profile = get "profile" in
+    Ok { fs; dev; profile }
+  | _ -> Error "not a vlsim-image v1 file"
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match input_line ic with
+        | exception End_of_file -> Error "empty image file"
+        | line -> (
+          match parse_header line with
+          | Error _ as e -> e
+          | Ok h -> (
+            let payload = Filename.temp_file "vlsim" ".store" in
+            Fun.protect
+              ~finally:(fun () ->
+                try Sys.remove payload with Sys_error _ -> ())
+              (fun () ->
+                let oc = open_out_bin payload in
+                (try
+                   let buf = Bytes.create 65536 in
+                   let rec pump () =
+                     let n = input ic buf 0 (Bytes.length buf) in
+                     if n > 0 then begin
+                       output oc buf 0 n;
+                       pump ()
+                     end
+                   in
+                   pump ()
+                 with End_of_file -> ());
+                close_out oc;
+                match Disk.Sector_store.load payload with
+                | store -> Ok (h, store)
+                | exception Failure m -> Error m))))

@@ -1,0 +1,11 @@
+(** Image files for [vlsim mkimage]/[vlsim fsck]: a one-line header
+    naming the rig ([fs], logical-disk layer [dev], timing [profile])
+    followed by the raw {!Disk.Sector_store} payload. *)
+
+type header = { fs : string; dev : string; profile : string }
+
+val save : header -> Disk.Sector_store.t -> string -> unit
+
+val load : string -> (header * Disk.Sector_store.t, string) result
+(** [Error] on unreadable files, foreign formats, or a payload
+    {!Disk.Sector_store.load} rejects. *)

@@ -1,0 +1,6 @@
+(** fsck-style invariant checker for a mounted {!Lfs.t}: directory and
+    inode-map linkage, live-block reachability against the owner table
+    and per-segment live counters, and summary-checksum verification of
+    every live block on the platter. *)
+
+val check : Lfs.t -> Report.t

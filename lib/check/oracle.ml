@@ -1,0 +1,189 @@
+(* The durability oracle is a pure in-memory model of what a file system
+   owes its callers across a crash.  The sweep drives it in lock-step
+   with the real operations:
+
+   - [begin_*] just before issuing an operation: the attempted state
+     becomes *legal* (a crash may persist it) but not *committed*;
+   - [commit_*] when the operation returns [Ok]: the state is now the
+     current committed one, but still not durable;
+   - [barrier] at every durability point (a sync-mounted operation
+     returning, an explicit fsync/sync): the legal sets collapse to
+     exactly the committed state — anything else seen after a crash is a
+     violation.
+
+   Content is tracked by tag: every write fills its range with one byte
+   value, so the first byte of each recovered sector identifies which
+   attempted version that sector carries — or that it carries none of
+   them ("fabricated data").  Per-sector granularity is deliberate: an
+   update-in-place file system may legitimately tear a block at a sector
+   boundary, mixing two legal versions in one block.
+
+   Two judgement modes:
+   - [strict]: recovered state must lie inside the crash-legal sets
+     (old-or-new per attempted op, durable files must exist);
+   - non-strict (single-copy media damage): state may regress to any
+     previously committed version and files may be missing, but data
+     never fabricated and never-created files never appear. *)
+
+type bstate = {
+  mutable bcur : char;
+  mutable blegal : char list;
+  mutable bhist : char list;
+}
+
+type fstate = {
+  mutable exists : bool;
+  mutable ever : bool; (* a create was ever attempted *)
+  mutable legal_exists : bool list;
+  mutable cur_size : int;
+  mutable legal_sizes : int list;
+  mutable size_hist : int list;
+  blocks : (int, bstate) Hashtbl.t;
+}
+
+type t = { sector_bytes : int; files : (string, fstate) Hashtbl.t }
+
+let create ~sector_bytes = { sector_bytes; files = Hashtbl.create 16 }
+
+let addm x l = if List.mem x l then l else x :: l
+
+let fstate t name =
+  match Hashtbl.find_opt t.files name with
+  | Some f -> f
+  | None ->
+    let f =
+      {
+        exists = false;
+        ever = false;
+        legal_exists = [ false ];
+        cur_size = 0;
+        legal_sizes = [ 0 ];
+        size_hist = [ 0 ];
+        blocks = Hashtbl.create 4;
+      }
+    in
+    Hashtbl.replace t.files name f;
+    f
+
+let bstate f fblock =
+  match Hashtbl.find_opt f.blocks fblock with
+  | Some b -> b
+  | None ->
+    let b = { bcur = '\000'; blegal = [ '\000' ]; bhist = [ '\000' ] } in
+    Hashtbl.replace f.blocks fblock b;
+    b
+
+let exists t name =
+  match Hashtbl.find_opt t.files name with Some f -> f.exists | None -> false
+
+let size t name =
+  match Hashtbl.find_opt t.files name with Some f -> f.cur_size | None -> 0
+
+let begin_create t name =
+  let f = fstate t name in
+  f.ever <- true;
+  f.legal_exists <- addm true f.legal_exists;
+  f.legal_sizes <- addm 0 f.legal_sizes;
+  f.size_hist <- addm 0 f.size_hist
+
+let commit_create t name =
+  let f = fstate t name in
+  f.exists <- true;
+  f.cur_size <- 0
+
+let begin_write t name ~fblock ~tag ~size =
+  let f = fstate t name in
+  let b = bstate f fblock in
+  b.blegal <- addm tag b.blegal;
+  b.bhist <- addm tag b.bhist;
+  let sz = max f.cur_size size in
+  f.legal_sizes <- addm sz f.legal_sizes;
+  f.size_hist <- addm sz f.size_hist
+
+let commit_write t name ~fblock ~tag ~size =
+  let f = fstate t name in
+  let b = bstate f fblock in
+  b.bcur <- tag;
+  f.cur_size <- max f.cur_size size
+
+let begin_delete t name =
+  let f = fstate t name in
+  f.legal_exists <- addm false f.legal_exists;
+  f.legal_sizes <- addm 0 f.legal_sizes;
+  Hashtbl.iter (fun _ b -> b.blegal <- addm '\000' b.blegal) f.blocks
+
+let commit_delete t name =
+  let f = fstate t name in
+  f.exists <- false;
+  f.cur_size <- 0;
+  Hashtbl.iter (fun _ b -> b.bcur <- '\000') f.blocks
+
+let barrier t =
+  Hashtbl.iter
+    (fun _ f ->
+      f.legal_exists <- [ f.exists ];
+      f.legal_sizes <- [ f.cur_size ];
+      Hashtbl.iter (fun _ b -> b.blegal <- [ b.bcur ]) f.blocks)
+    t.files
+
+type view = {
+  v_files : unit -> string list;
+  v_size : string -> int option;
+  v_read_block : string -> int -> (Bytes.t, [ `Io | `Gone ]) result;
+}
+
+let check t ~strict ~allow_io_errors view =
+  let fails = ref [] in
+  let failf fmt = Printf.ksprintf (fun m -> fails := m :: !fails) fmt in
+  let present = view.v_files () in
+  (* Phase 1: nothing the file system serves may be fabricated. *)
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.files name with
+      | None -> failf "file %S present but never created" name
+      | Some f ->
+        if not f.ever then failf "file %S present but never created" name
+        else if strict && not (List.mem true f.legal_exists) then
+          failf "file %S present after its deletion was made durable" name)
+    present;
+  (* Phase 2: everything owed must be there, with legal size and
+     content. *)
+  Hashtbl.iter
+    (fun name f ->
+      if not (List.mem name present) then begin
+        if strict && f.ever && not (List.mem false f.legal_exists) then
+          failf "durable file %S missing after recovery" name
+      end
+      else begin
+        (match view.v_size name with
+        | None -> failf "size of %S unavailable" name
+        | Some sz ->
+          let okset = if strict then f.legal_sizes else f.size_hist in
+          if not (List.mem sz okset) then
+            failf "file %S recovered with size %d, outside its %s" name sz
+              (if strict then "crash-legal sizes" else "committed history"));
+        Hashtbl.iter
+          (fun fblock b ->
+            match view.v_read_block name fblock with
+            | Error `Gone -> () (* beyond EOF of a legally older incarnation *)
+            | Error `Io ->
+              if not allow_io_errors then
+                failf "block %d of %S unreadable without media damage" fblock
+                  name
+            | Ok buf ->
+              let okset = if strict then b.blegal else b.bhist in
+              let len = Bytes.length buf in
+              let sectors = (len + t.sector_bytes - 1) / t.sector_bytes in
+              for s = 0 to sectors - 1 do
+                let c = Bytes.get buf (s * t.sector_bytes) in
+                if not (List.mem c okset) then
+                  failf "file %S block %d sector %d holds %s (tag %d)" name
+                    fblock s
+                    (if strict then "stale or fabricated data"
+                     else "fabricated data")
+                    (Char.code c)
+              done)
+          f.blocks
+      end)
+    t.files;
+  List.rev !fails

@@ -1,0 +1,61 @@
+(** Durability oracle: an in-memory model of the legal post-crash states
+    of a file system, driven in lock-step with the real operations.
+
+    The caller brackets every operation with [begin_*] (just before
+    issuing — the attempted state becomes {e crash-legal}) and
+    [commit_*] (on [Ok] — it becomes the current committed state), and
+    calls {!barrier} at every durability point (sync-mounted operation
+    return, explicit fsync/sync), which collapses the legal sets to
+    exactly the committed state.  After a crash and recovery, {!check}
+    diffs the recovered file system against the model:
+
+    - [strict]: fsync-barriered state must survive; un-synced operations
+      may surface as old or new, but never as anything else;
+    - non-strict (for single-copy media damage such as bit rot or grown
+      defects): regression to any previously committed version and
+      honest data loss are tolerated, fabrication never is.
+
+    Content is identified by tag bytes: each tracked write fills its
+    range with a single byte value, checked per recovered {e sector}
+    (an update-in-place file system may legally tear a block at a
+    sector boundary). *)
+
+type t
+
+val create : sector_bytes:int -> t
+
+val exists : t -> string -> bool
+(** Current committed existence (for the workload's own decisions). *)
+
+val size : t -> string -> int
+(** Current committed size; 0 when absent. *)
+
+val begin_create : t -> string -> unit
+val commit_create : t -> string -> unit
+
+val begin_write : t -> string -> fblock:int -> tag:char -> size:int -> unit
+(** [size] is the file size the operation will produce ([off + len]);
+    the oracle keeps the running maximum. *)
+
+val commit_write : t -> string -> fblock:int -> tag:char -> size:int -> unit
+val begin_delete : t -> string -> unit
+val commit_delete : t -> string -> unit
+
+val barrier : t -> unit
+(** Everything committed so far is durable: collapse every legal set to
+    the committed state. *)
+
+type view = {
+  v_files : unit -> string list;
+  v_size : string -> int option;
+  v_read_block : string -> int -> (Bytes.t, [ `Io | `Gone ]) result;
+      (** Content of one file block; [`Gone] for reads beyond the
+          recovered EOF, [`Io] for media errors.  Short reads (a partial
+          tail block) return the available prefix. *)
+}
+
+val check : t -> strict:bool -> allow_io_errors:bool -> view -> string list
+(** Human-readable violations; empty means the recovered state is a
+    legal post-crash state.  [allow_io_errors] permits honest read
+    errors (damaged single-copy media); fabricated content is never
+    permitted in any mode. *)

@@ -1,0 +1,72 @@
+type category =
+  | Leaked_block
+  | Double_alloc
+  | Dangling_dirent
+  | Orphan_inode
+  | Bad_checksum
+  | Bad_reference
+  | Io_unreadable
+  | Map_inconsistent
+  | Unflushed
+  | Malformed
+
+let category_to_string = function
+  | Leaked_block -> "leaked-block"
+  | Double_alloc -> "double-alloc"
+  | Dangling_dirent -> "dangling-dirent"
+  | Orphan_inode -> "orphan-inode"
+  | Bad_checksum -> "bad-checksum"
+  | Bad_reference -> "bad-reference"
+  | Io_unreadable -> "io-unreadable"
+  | Map_inconsistent -> "map-inconsistent"
+  | Unflushed -> "unflushed"
+  | Malformed -> "malformed"
+
+(* The media-verification hooks of the three file systems report plain
+   string slugs so they need not depend on this library; anything they
+   invent that we do not know lands in [Malformed] rather than being
+   dropped. *)
+let category_of_slug = function
+  | "bad-checksum" -> Bad_checksum
+  | "bad-reference" -> Bad_reference
+  | "io-unreadable" -> Io_unreadable
+  | "unflushed" -> Unflushed
+  | _ -> Malformed
+
+type finding = { category : category; detail : string }
+
+type t = { fs : string; findings : finding list }
+
+let v ~fs findings = { fs; findings }
+
+let ok t = t.findings = []
+
+let count t cat =
+  List.length (List.filter (fun f -> f.category = cat) t.findings)
+
+let categories t =
+  List.sort_uniq compare (List.map (fun f -> f.category) t.findings)
+
+let of_media pairs =
+  List.map
+    (fun (slug, detail) -> { category = category_of_slug slug; detail })
+    pairs
+
+let findf category fmt =
+  Printf.ksprintf (fun detail -> { category; detail }) fmt
+
+let pp ppf t =
+  if ok t then Format.fprintf ppf "%s: clean" t.fs
+  else begin
+    Format.fprintf ppf "%s: %d finding(s)" t.fs (List.length t.findings);
+    List.iter
+      (fun cat ->
+        Format.fprintf ppf "@\n  %-16s %d" (category_to_string cat)
+          (count t cat))
+      (categories t);
+    List.iter
+      (fun f ->
+        Format.fprintf ppf "@\n  [%s] %s" (category_to_string f.category)
+          f.detail)
+      t.findings
+  end

@@ -1,0 +1,41 @@
+(** Structured fsck reports shared by the three file-system checkers.
+
+    A report is a flat list of categorized findings; an empty list means
+    the walked image satisfied every invariant the checker knows.  The
+    categories are the vocabulary [vlsim fsck] prints and the crash
+    sweep asserts over. *)
+
+type category =
+  | Leaked_block      (** allocator claims a block nothing reachable owns *)
+  | Double_alloc      (** one device block claimed by two owners *)
+  | Dangling_dirent   (** directory entry naming a dead inode *)
+  | Orphan_inode      (** live inode no directory entry names *)
+  | Bad_checksum      (** stored checksum does not match the bytes *)
+  | Bad_reference     (** an index (imap, virtual-log map) points nowhere *)
+  | Io_unreadable     (** the platter refuses to return the block *)
+  | Map_inconsistent  (** two in-memory structures disagree *)
+  | Unflushed         (** volatile state not yet on the platter *)
+  | Malformed         (** a structure that decodes to nonsense *)
+
+val category_to_string : category -> string
+
+val category_of_slug : string -> category
+(** Map the string slugs used by [verify_media] in ufs/lfs/vlfs (which
+    cannot depend on this library) onto categories; unknown slugs become
+    [Malformed]. *)
+
+type finding = { category : category; detail : string }
+
+type t = { fs : string; findings : finding list }
+
+val v : fs:string -> finding list -> t
+val ok : t -> bool
+val count : t -> category -> int
+val categories : t -> category list
+
+val of_media : (string * string) list -> finding list
+(** Lift [verify_media] output into findings. *)
+
+val findf : category -> ('a, unit, string, finding) format4 -> 'a
+
+val pp : Format.formatter -> t -> unit

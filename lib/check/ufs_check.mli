@@ -1,0 +1,5 @@
+(** fsck-style invariant checker for a mounted {!Ufs.t}: directory and
+    inode linkage, block reachability against the allocator bitmap,
+    fragment-slot occupancy, and metadata-vs-platter verification. *)
+
+val check : Ufs.t -> Report.t

@@ -1,0 +1,6 @@
+(** fsck-style invariant checker for a mounted {!Vlfs.t}: virtual-log
+    and occupancy invariants, namespace and inode linkage, data-block
+    claims against the owner table and freemap, and map-and-checksum
+    verification of every live inode part. *)
+
+val check : Vlfs.t -> Report.t

@@ -124,6 +124,79 @@ let ecc_error t ~lba ~sectors =
   in
   go lba
 
+(* On-disk image format (vlsim fsck/mkimage): a fixed magic line, the
+   four geometry fields, the written/rotten maps, then one presence byte
+   per track followed by the chunk bytes of touched tracks.  Everything
+   little-endian, nothing compressed — images are a test vehicle, not an
+   archival format. *)
+let image_magic = "VLSIMG1\n"
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc image_magic;
+      let w32 v =
+        let b = Bytes.create 4 in
+        Bytes.set_int32_le b 0 (Int32.of_int v);
+        output_bytes oc b
+      in
+      let g = t.geometry in
+      w32 g.Geometry.sector_bytes;
+      w32 g.Geometry.sectors_per_track;
+      w32 g.Geometry.tracks_per_cylinder;
+      w32 g.Geometry.cylinders;
+      output_bytes oc t.written;
+      output_bytes oc t.rotten;
+      Array.iter
+        (fun c ->
+          if Bytes.length c = 0 then output_char oc '\000'
+          else begin
+            output_char oc '\001';
+            output_bytes oc c
+          end)
+        t.chunks)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let fail msg = failwith (Printf.sprintf "Sector_store.load: %s: %s" path msg) in
+      let magic = really_input_string ic (String.length image_magic) in
+      if magic <> image_magic then fail "bad magic";
+      let r32 () =
+        let b = Bytes.create 4 in
+        really_input ic b 0 4;
+        Int32.to_int (Bytes.get_int32_le b 0)
+      in
+      let sector_bytes = r32 () in
+      let sectors_per_track = r32 () in
+      let tracks_per_cylinder = r32 () in
+      let cylinders = r32 () in
+      let geometry =
+        try
+          Geometry.v ~sector_bytes ~sectors_per_track ~tracks_per_cylinder
+            ~cylinders
+        with Invalid_argument m -> fail m
+      in
+      let t = create geometry in
+      really_input ic t.written 0 (Bytes.length t.written);
+      really_input ic t.rotten 0 (Bytes.length t.rotten);
+      Array.iteri
+        (fun i _ ->
+          match input_char ic with
+          | '\000' -> ()
+          | '\001' ->
+            let c = Bytes.create t.track_bytes in
+            really_input ic c 0 t.track_bytes;
+            t.chunks.(i) <- c
+          | _ -> fail "bad track presence flag"
+          | exception End_of_file -> fail "truncated image")
+        t.chunks;
+      t)
+
 let snapshot t =
   {
     t with

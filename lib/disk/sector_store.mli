@@ -41,3 +41,10 @@ val ecc_error : t -> lba:int -> sectors:int -> int option
 val snapshot : t -> t
 (** Deep copy; used by crash tests to freeze the platter state at the
     moment of a simulated power failure. *)
+
+val save : t -> string -> unit
+(** Serialize the store (geometry, written/rotten maps, touched tracks)
+    to a file, for [vlsim fsck --image] and friends. *)
+
+val load : string -> t
+(** Inverse of {!save}.  Raises [Failure] on a malformed image. *)

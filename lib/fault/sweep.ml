@@ -25,12 +25,72 @@ let default =
     tail_modes = [ false; true ];
   }
 
+type failure = {
+  seed : int64;
+  kind : Plan.kind;
+  trigger : int;
+  with_tail : bool;
+  case : int;
+  message : string;
+}
+
+(* A failure must be machine-reproducible: the repro string round-trips
+   through {!parse_repro} into the exact [run_scenario] cell. *)
+let repro_of_failure f =
+  Printf.sprintf "seed=%Ld,kind=%s,trigger=%d,tail=%b,case=%d" f.seed
+    (Plan.kind_to_string f.kind) f.trigger f.with_tail f.case
+
+let pp_failure ppf f =
+  Format.fprintf ppf "[%s trigger=%d tail=%b] %s (--repro %s)"
+    (Plan.kind_to_string f.kind) f.trigger f.with_tail f.message
+    (repro_of_failure f)
+
+let parse_repro spec =
+  let ( let* ) = Result.bind in
+  let fields = String.split_on_char ',' spec in
+  List.fold_left
+    (fun acc field ->
+      let* seed, kind, trigger, tail, case = acc in
+      match String.index_opt field '=' with
+      | None -> Error (Printf.sprintf "malformed repro field %S" field)
+      | Some i -> (
+        let k = String.sub field 0 i in
+        let v = String.sub field (i + 1) (String.length field - i - 1) in
+        match k with
+        | "seed" -> (
+          match Int64.of_string_opt v with
+          | Some s -> Ok (Some s, kind, trigger, tail, case)
+          | None -> Error (Printf.sprintf "bad seed %S" v))
+        | "kind" ->
+          let* kd = Plan.kind_of_string v in
+          Ok (seed, Some kd, trigger, tail, case)
+        | "trigger" -> (
+          match int_of_string_opt v with
+          | Some n -> Ok (seed, kind, Some n, tail, case)
+          | None -> Error (Printf.sprintf "bad trigger %S" v))
+        | "tail" -> (
+          match bool_of_string_opt v with
+          | Some b -> Ok (seed, kind, trigger, Some b, case)
+          | None -> Error (Printf.sprintf "bad tail %S" v))
+        | "case" -> (
+          match int_of_string_opt v with
+          | Some n -> Ok (seed, kind, trigger, tail, Some n)
+          | None -> Error (Printf.sprintf "bad case %S" v))
+        | _ -> Error (Printf.sprintf "unknown repro field %S" k)))
+    (Ok (None, None, None, None, None))
+    fields
+  |> function
+  | Error _ as e -> e
+  | Ok (seed, Some kind, Some trigger, Some tail, Some case) ->
+    Ok (seed, kind, trigger, tail, case)
+  | Ok _ -> Error "repro spec needs at least kind=,trigger=,tail=,case="
+
 type outcome = {
   scenarios : int;
   injected : int;
   cut : int;
   degraded : int;
-  failures : string list;
+  failures : failure list;
 }
 
 let zero = { scenarios = 0; injected = 0; cut = 0; degraded = 0; failures = [] }
@@ -66,11 +126,7 @@ let workload_time = function
    regress at most this many logical blocks. *)
 let max_blast_radius = 16
 
-let run_scenario c ~kind ~trigger ~with_tail ~case =
-  let name =
-    Printf.sprintf "%s trigger=%d tail=%b" (Plan.kind_to_string kind) trigger
-      with_tail
-  in
+let run_scenario (c : config) ~kind ~trigger ~with_tail ~case =
   let scenario_seed = Int64.add c.seed (Int64.of_int (case * 7919)) in
   let clock = Clock.create () in
   let disk = fresh_disk c clock in
@@ -111,7 +167,10 @@ let run_scenario c ~kind ~trigger ~with_tail ~case =
   let frozen = Disk.Sector_store.snapshot (Disk.Disk_sim.store disk) in
   let fail = ref [] in
   let failf fmt =
-    Printf.ksprintf (fun m -> fail := Printf.sprintf "[%s] %s" name m :: !fail) fmt
+    Printf.ksprintf
+      (fun message ->
+        fail := { seed = c.seed; kind; trigger; with_tail; case; message } :: !fail)
+      fmt
   in
   (* Strict cells must recover the model exactly; only damage to the sole
      copy of map state (bit rot) is allowed to regress entries. *)
@@ -200,7 +259,7 @@ let run_scenario c ~kind ~trigger ~with_tail ~case =
     failures = List.rev !fail;
   }
 
-let run c =
+let run (c : config) =
   let acc = ref zero in
   let case = ref 0 in
   List.iter

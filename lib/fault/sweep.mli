@@ -35,12 +35,35 @@ val default : config
     comfortably over 200 actually inject their fault (a trigger can
     fall past the end of a short recovery's read sequence). *)
 
+type failure = {
+  seed : int64;  (** the config's master seed *)
+  kind : Plan.kind;
+  trigger : int;
+  with_tail : bool;
+  case : int;
+  message : string;
+}
+(** One invariant violation, carrying every coordinate needed to rerun
+    its cell via {!run_scenario}. *)
+
+val repro_of_failure : failure -> string
+(** Copy-pasteable [--repro] argument, e.g.
+    ["seed=7101,kind=torn-write,trigger=5,tail=true,case=37"]. *)
+
+val parse_repro :
+  string -> (int64 option * Plan.kind * int * bool * int, string) result
+(** Inverse of {!repro_of_failure}: (seed override, kind, trigger,
+    with_tail, case).  The seed field is optional — omitted means "use
+    the config's". *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
 type outcome = {
   scenarios : int;  (** cells executed *)
   injected : int;  (** cells whose fault actually fired *)
   cut : int;  (** workloads ended by simulated power loss *)
   degraded : int;  (** recoveries that had to skip damage (corrupt nodes or scan fallback) *)
-  failures : string list;  (** invariant violations, empty on success *)
+  failures : failure list;  (** invariant violations, empty on success *)
 }
 
 val run : config -> outcome

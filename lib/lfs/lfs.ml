@@ -66,6 +66,11 @@ type t = {
   open_map : (blkid, Bytes.t) Hashtbl.t; (* unwritten appended blocks, for reads *)
   mutable seals : int;
   mutable checkpoint_slot : int;
+  mutable gen : int;
+      (* generation counter: bumped on every segment write, stamped into
+         the summary so recovery can order summaries and pick the newer
+         of the two alternating slots *)
+  mutable mode : [ `Rw | `Degraded of string ];
   cache : Ufs.Buffer_cache.t;
   mutable dir : (int * string option array) array; (* (dir-file block idx, slots) *)
   dir_entries_per_block : int;
@@ -77,11 +82,68 @@ type t = {
 
 let dir_inum = 0
 
+(* ---- on-disk checkpoint (two alternating blocks at the device front) ----
+
+   Magic, generation, seal count, the layout parameters the image was
+   formatted with, the imap chunk locations, and a trailing FNV-1a
+   checksum so a torn checkpoint write is detected and the other slot
+   used.  One checkpoint is written at format time, so a freshly
+   formatted (never synced) file system already mounts. *)
+
+let checkpoint_magic = "LFSCKPT2"
+
+let encode_checkpoint_of ~block_bytes ~gen ~seals ~n_inodes ~segment_blocks
+    ~chunk_loc =
+  let cp = Bytes.make block_bytes '\000' in
+  Bytes.blit_string checkpoint_magic 0 cp 0 8;
+  Bytes.set_int64_le cp 8 (Int64.of_int gen);
+  Bytes.set_int32_le cp 16 (Int32.of_int seals);
+  Bytes.set_int32_le cp 20 (Int32.of_int n_inodes);
+  Bytes.set_int32_le cp 24 (Int32.of_int segment_blocks);
+  Bytes.set_int32_le cp 28 (Int32.of_int (Array.length chunk_loc));
+  Array.iteri
+    (fun c loc -> Bytes.set_int32_le cp (32 + (c * 4)) (Int32.of_int loc))
+    chunk_loc;
+  Bytes.set_int64_le cp (block_bytes - 8)
+    (Checksum.add_words Checksum.empty cp ~pos:0 ~len:(block_bytes - 8));
+  cp
+
+type checkpoint = {
+  cp_gen : int;
+  cp_seals : int;
+  cp_n_inodes : int;
+  cp_segment_blocks : int;
+  cp_chunk_loc : int array;
+}
+
+let decode_checkpoint ~block_bytes buf =
+  if Bytes.length buf <> block_bytes then None
+  else if not (String.equal (Bytes.sub_string buf 0 8) checkpoint_magic) then None
+  else if
+    Bytes.get_int64_le buf (block_bytes - 8)
+    <> Checksum.add_words Checksum.empty buf ~pos:0 ~len:(block_bytes - 8)
+  then None
+  else
+    let i32 off = Int32.to_int (Bytes.get_int32_le buf off) in
+    let n_chunks = i32 28 in
+    if n_chunks < 0 || 32 + (n_chunks * 4) > block_bytes - 8 then None
+    else
+      Some
+        {
+          cp_gen = Int64.to_int (Bytes.get_int64_le buf 8);
+          cp_seals = i32 16;
+          cp_n_inodes = i32 20;
+          cp_segment_blocks = i32 24;
+          cp_chunk_loc = Array.init n_chunks (fun c -> i32 (32 + (c * 4)));
+        }
+
 let format ~dev ~host ~clock cfg =
   let block_bytes = dev.Blockdev.Device.block_bytes in
   let seg_start = 2 (* two alternating checkpoint blocks *) in
   let n_segments = (dev.Blockdev.Device.n_blocks - seg_start) / cfg.segment_blocks in
   if n_segments <= cfg.reserve_segments + 1 then invalid_arg "Lfs.format: device too small";
+  if cfg.segment_blocks - 2 > (block_bytes - 32) / 20 then
+    invalid_arg "Lfs.format: segment larger than the summary can describe";
   let t =
     {
       dev;
@@ -110,6 +172,8 @@ let format ~dev ~host ~clock cfg =
       open_map = Hashtbl.create 256;
       seals = 0;
       checkpoint_slot = 0;
+      gen = 0;
+      mode = `Rw;
       cache = Ufs.Buffer_cache.create ~capacity:cfg.cache_blocks;
       dir = [||];
       dir_entries_per_block = block_bytes / 32;
@@ -124,6 +188,14 @@ let format ~dev ~host ~clock cfg =
   let dirn = { inum = dir_inum; size = 0; blocks = [||] } in
   Hashtbl.replace t.by_inum dir_inum dirn;
   Hashtbl.replace t.dirty_inodes dir_inum ();
+  (* A formatted but never-synced log must already mount: write the first
+     checkpoint so recovery can recognize the layout. *)
+  let cp =
+    encode_checkpoint_of ~block_bytes ~gen:0 ~seals:0 ~n_inodes:cfg.n_inodes
+      ~segment_blocks:cfg.segment_blocks ~chunk_loc:t.imap_chunk_loc
+  in
+  ignore (Blockdev.Device.write t.dev 0 cp);
+  t.checkpoint_slot <- 1;
   t
 
 let device t = t.dev
@@ -137,7 +209,13 @@ let sink t = t.dev.Blockdev.Device.trace
 let charge t ~blocks = Host.charge ~trace:(sink t) t.host ~clock:t.clock ~blocks
 
 let seg_base t seg = t.seg_start + (seg * t.cfg.segment_blocks)
-let seg_capacity t = t.cfg.segment_blocks - 1 (* summary takes one block *)
+
+(* Two alternating summary slots per segment (blocks [base] and
+   [base+1]); the data run starts at [base+2].  A rewrite of a
+   still-open segment goes to the slot the previous write did not use,
+   so a torn summary write can never destroy the only description of
+   data already on the platter. *)
+let seg_capacity t = t.cfg.segment_blocks - 2
 
 (* ---- liveness ---- *)
 
@@ -232,28 +310,95 @@ let encode_imap_chunk t c =
   done;
   buf
 
-let encode_summary t items seg =
+(* ---- segment summary codec ----
+
+   Header: magic, segment number, item count, generation.  One 20-byte
+   record per item: blkid tag, two operands, and the FNV-1a word digest
+   of the item's block — recovery validates every metadata block it
+   replays against this before trusting it.  A trailing whole-summary
+   checksum rejects torn or rotted summaries outright. *)
+
+let summary_magic = "LFSSUMM2"
+let summary_header_bytes = 24
+let summary_item_bytes = 20
+
+let block_checksum bytes =
+  Checksum.add_words Checksum.empty bytes ~pos:0 ~len:(Bytes.length bytes)
+
+let encode_summary t items seg ~gen =
   let buf = Bytes.make t.block_bytes '\000' in
-  Bytes.blit_string "LFSSUMM1" 0 buf 0 8;
+  Bytes.blit_string summary_magic 0 buf 0 8;
   Bytes.set_int32_le buf 8 (Int32.of_int seg);
   Bytes.set_int32_le buf 12 (Int32.of_int (List.length items));
+  Bytes.set_int64_le buf 16 (Int64.of_int gen);
   List.iteri
-    (fun i (blkid, _) ->
-      let off = 16 + (i * 12) in
-      if off + 12 <= t.block_bytes then begin
-        let tag, a, b =
-          match blkid with
-          | Data (inum, fb) -> (0, inum, fb)
-          | Inode_part (inum, p) -> (1, inum, p)
-          | Imap_chunk c -> (2, c, 0)
-          | Summary s -> (3, s, 0)
-        in
-        Bytes.set_int32_le buf off (Int32.of_int tag);
-        Bytes.set_int32_le buf (off + 4) (Int32.of_int a);
-        Bytes.set_int32_le buf (off + 8) (Int32.of_int b)
-      end)
+    (fun i (blkid, bytes) ->
+      let off = summary_header_bytes + (i * summary_item_bytes) in
+      assert (off + summary_item_bytes <= t.block_bytes - 8);
+      let tag, a, b =
+        match blkid with
+        | Data (inum, fb) -> (0, inum, fb)
+        | Inode_part (inum, p) -> (1, inum, p)
+        | Imap_chunk c -> (2, c, 0)
+        | Summary s -> (3, s, 0)
+      in
+      Bytes.set_int32_le buf off (Int32.of_int tag);
+      Bytes.set_int32_le buf (off + 4) (Int32.of_int a);
+      Bytes.set_int32_le buf (off + 8) (Int32.of_int b);
+      Bytes.set_int64_le buf (off + 12) (block_checksum bytes))
     items;
+  Bytes.set_int64_le buf (t.block_bytes - 8)
+    (Checksum.add_words Checksum.empty buf ~pos:0 ~len:(t.block_bytes - 8));
   buf
+
+type summary_item = { it_blkid : blkid; it_cksum : int64 }
+type summary = { sm_seg : int; sm_gen : int; sm_items : summary_item list }
+
+let decode_summary ~block_bytes ~seg buf =
+  if Bytes.length buf <> block_bytes then None
+  else if not (String.equal (Bytes.sub_string buf 0 8) summary_magic) then None
+  else if
+    Bytes.get_int64_le buf (block_bytes - 8)
+    <> Checksum.add_words Checksum.empty buf ~pos:0 ~len:(block_bytes - 8)
+  then None
+  else
+    let i32 off = Int32.to_int (Bytes.get_int32_le buf off) in
+    if i32 8 <> seg then None
+    else
+      let count = i32 12 in
+      if
+        count < 0
+        || summary_header_bytes + (count * summary_item_bytes) > block_bytes - 8
+      then None
+      else
+        let items = ref [] in
+        let ok = ref true in
+        for i = count - 1 downto 0 do
+          let off = summary_header_bytes + (i * summary_item_bytes) in
+          let a = i32 (off + 4) and b = i32 (off + 8) in
+          let blkid =
+            match i32 off with
+            | 0 -> Some (Data (a, b))
+            | 1 -> Some (Inode_part (a, b))
+            | 2 -> Some (Imap_chunk a)
+            | 3 -> Some (Summary a)
+            | _ -> None
+          in
+          match blkid with
+          | None -> ok := false
+          | Some blkid ->
+            items :=
+              { it_blkid = blkid; it_cksum = Bytes.get_int64_le buf (off + 12) }
+              :: !items
+        done;
+        if not !ok then None
+        else
+          Some
+            {
+              sm_seg = seg;
+              sm_gen = Int64.to_int (Bytes.get_int64_le buf 16);
+              sm_items = !items;
+            }
 
 (* ---- segment writing ---- *)
 
@@ -279,24 +424,55 @@ let rec ensure_open t =
         t.open_items <- [];
         t.open_count <- 0;
         Hashtbl.reset t.open_map;
-        t.owners.(base) <- Some (Summary seg)
+        t.owners.(base) <- Some (Summary seg);
+        t.owners.(base + 1) <- Some (Summary seg)
     end
   end
+
+and write_checkpoint t =
+  let cp =
+    encode_checkpoint_of ~block_bytes:t.block_bytes ~gen:t.gen ~seals:t.seals
+      ~n_inodes:t.cfg.n_inodes ~segment_blocks:t.cfg.segment_blocks
+      ~chunk_loc:t.imap_chunk_loc
+  in
+  (* Alternating checkpoint blocks at the front of the device. *)
+  let slot = t.checkpoint_slot in
+  t.checkpoint_slot <- 1 - slot;
+  Trace.incr (sink t) "lfs.checkpoints";
+  Blockdev.Device.write t.dev slot cp
 
 and write_open_segment t ~seal =
   if t.open_seg < 0 then Breakdown.zero
   else
     Trace.group (sink t) "lfs.segwrite" (fun () ->
         let seg = t.open_seg in
+        let base = seg_base t seg in
         let items = List.rev t.open_items in
         let count = List.length items in
-        let buf = Bytes.make ((1 + count) * t.block_bytes) '\000' in
-        Bytes.blit (encode_summary t items seg) 0 buf 0 t.block_bytes;
-        List.iteri
-          (fun i (_, bytes) ->
-            Bytes.blit bytes 0 buf ((1 + i) * t.block_bytes) t.block_bytes)
-          items;
-        let bd = Blockdev.Device.write_run t.dev (seg_base t seg) buf in
+        t.gen <- t.gen + 1;
+        let gen = t.gen in
+        (* Data first, then the summary describing it: a summary on the
+           platter guarantees its data run is there too.  Rewrites of a
+           still-open segment lay down a byte-identical prefix from
+           [base+2], so items already covered by an earlier summary
+           survive a torn rewrite; the summary alternates slots because
+           consecutive generations of one open segment are consecutive
+           integers. *)
+        let bd =
+          if count = 0 then Breakdown.zero
+          else begin
+            let buf = Bytes.make (count * t.block_bytes) '\000' in
+            List.iteri
+              (fun i (_, bytes) ->
+                Bytes.blit bytes 0 buf (i * t.block_bytes) t.block_bytes)
+              items;
+            Blockdev.Device.write_run t.dev (base + 2) buf
+          end
+        in
+        let summary = encode_summary t items seg ~gen in
+        let bd =
+          Breakdown.add bd (Blockdev.Device.write t.dev (base + (gen land 1)) summary)
+        in
         if seal then begin
           t.open_seg <- -1;
           t.open_items <- [];
@@ -305,19 +481,7 @@ and write_open_segment t ~seal =
           t.seals <- t.seals + 1;
           Trace.incr (sink t) "lfs.seals";
           if t.cfg.checkpoint_interval > 0 && t.seals mod t.cfg.checkpoint_interval = 0
-          then begin
-            (* Alternating checkpoint blocks at the front of the device. *)
-            let cp = Bytes.make t.block_bytes '\000' in
-            Bytes.blit_string "LFSCKPT1" 0 cp 0 8;
-            Bytes.set_int64_le cp 8 (Int64.of_int t.seals);
-            Array.iteri
-              (fun c loc -> Bytes.set_int32_le cp (16 + (c * 4)) (Int32.of_int loc))
-              t.imap_chunk_loc;
-            let slot = t.checkpoint_slot in
-            t.checkpoint_slot <- 1 - slot;
-            Trace.incr (sink t) "lfs.checkpoints";
-            Breakdown.add bd (Blockdev.Device.write t.dev slot cp)
-          end
+          then Breakdown.add bd (write_checkpoint t)
           else bd
         end
         else bd)
@@ -331,7 +495,7 @@ and append t blkid bytes =
     if t.open_count >= seg_capacity t then write_open_segment t ~seal:true else Breakdown.zero
   in
   ensure_open t;
-  let addr = seg_base t t.open_seg + 1 + t.open_count in
+  let addr = seg_base t t.open_seg + 2 + t.open_count in
   t.open_items <- (blkid, bytes) :: t.open_items;
   t.open_count <- t.open_count + 1;
   Hashtbl.replace t.open_map blkid bytes;
@@ -562,7 +726,8 @@ let file_size t name = Result.map (fun ln -> ln.size) (lookup t name)
 
 let create t name =
   Trace.op (sink t) "lfs.create" ~bd_of:Fun.id (fun () ->
-      if Hashtbl.mem t.files name then Error (`Exists name)
+      if t.mode <> `Rw then Error `Read_only
+      else if Hashtbl.mem t.files name then Error (`Exists name)
       else
         match alloc_inum t with
         | None -> Error `No_inodes
@@ -607,6 +772,8 @@ let rec write t name ~off data =
   Trace.op (sink t) "lfs.write" ~bd_of:Fun.id (fun () -> write_inner t name ~off data)
 
 and write_inner t name ~off data =
+  if t.mode <> `Rw then Error `Read_only
+  else
   match lookup t name with
   | Error _ as e -> e
   | Ok ln ->
@@ -681,6 +848,8 @@ let rec delete t name =
   Trace.op (sink t) "lfs.delete" ~bd_of:Fun.id (fun () -> delete_inner t name)
 
 and delete_inner t name =
+  if t.mode <> `Rw then Error `Read_only
+  else
   match lookup t name with
   | Error _ as e -> e
   | Ok ln ->
@@ -728,7 +897,8 @@ let sync t =
 let fsync t name =
   Trace.incr (sink t) "lfs.fsyncs";
   Trace.op (sink t) "lfs.fsync" ~bd_of:Fun.id (fun () ->
-      match lookup t name with Error _ as e -> e | Ok _ -> Ok (sync t))
+      if t.mode <> `Rw then Error `Read_only
+      else match lookup t name with Error _ as e -> e | Ok _ -> Ok (sync t))
 
 (* Worth cleaning only while fragmented segments exist and free space is
    scarce enough that the next buffer flush could block on the cleaner. *)
@@ -747,6 +917,8 @@ let has_fragmented_segment t =
   go 0
 
 let idle_clean ?target_free t ~deadline =
+  if t.mode <> `Rw then 0
+  else
   let tr = sink t in
   let sp = Trace.enter tr ~unaccounted:true "lfs.idle" in
   (* Rough per-segment estimate: read the segment, rewrite its live half,
@@ -807,3 +979,548 @@ let idle_work t ~deadline =
   cleaned
 
 let drop_caches t = Ufs.Buffer_cache.drop_clean t.cache
+
+(* ---- crash recovery (mount) ----
+
+   No roll-forward pointer is needed: every live block is described by an
+   intact summary (a segment holding live data is never reused, and the
+   last write of its open life left a checksummed summary in one of the
+   two slots), so recovery scans both summary slots of every segment and
+   replays the valid ones in generation order.  The imap chunk supplies
+   the base image for inode locations (it records deletions); inode-part
+   items newer than the winning chunk override it.  Every metadata block
+   replayed is validated against the checksum its summary recorded. *)
+
+let mode t = t.mode
+
+let power_down t =
+  Trace.group (sink t) "lfs.power_down" (fun () ->
+      let bd = flush t in
+      Breakdown.add bd (write_checkpoint t))
+
+type recovery_report = {
+  checkpoint_used : bool;
+  segments_scanned : int;
+  summaries_valid : int;
+  items_replayed : int;
+  corrupt_items : int;
+  inodes_loaded : int;
+  inodes_skipped : int;
+  files_found : int;
+  dangling_dropped : int;
+  duration : Breakdown.t;
+}
+
+(* Both summary slots of every segment, valid ones only, generation
+   ascending.  Item [i] of a summary describes device block
+   [seg_base + 2 + i]. *)
+let scan_summaries t ~bd =
+  let out = ref [] in
+  for seg = 0 to t.n_segments - 1 do
+    let base = seg_base t seg in
+    for slot = 0 to 1 do
+      match t.dev.Blockdev.Device.read (base + slot) with
+      | Error _ -> ()
+      | Ok (buf, c) -> (
+        bd := Breakdown.add !bd (Io.bd c);
+        match decode_summary ~block_bytes:t.block_bytes ~seg buf with
+        | Some s -> out := s :: !out
+        | None -> ())
+    done
+  done;
+  List.sort (fun a b -> compare a.sm_gen b.sm_gen) !out
+
+(* blkid -> (gen, addr, checksum) list, newest first. *)
+let item_history t summaries =
+  let hist : (blkid, (int * int * int64) list) Hashtbl.t = Hashtbl.create 512 in
+  let n = ref 0 in
+  List.iter
+    (fun s ->
+      let base = seg_base t s.sm_seg in
+      List.iteri
+        (fun i it ->
+          incr n;
+          let addr = base + 2 + i in
+          let prev =
+            match Hashtbl.find_opt hist it.it_blkid with Some l -> l | None -> []
+          in
+          Hashtbl.replace hist it.it_blkid ((s.sm_gen, addr, it.it_cksum) :: prev))
+        s.sm_items)
+    summaries;
+  (hist, !n)
+
+let recover ~dev ~host ~clock cfg =
+  let block_bytes = dev.Blockdev.Device.block_bytes in
+  let seg_start = 2 in
+  let n_segments = (dev.Blockdev.Device.n_blocks - seg_start) / cfg.segment_blocks in
+  if n_segments <= cfg.reserve_segments + 1 then Error "Lfs.recover: device too small"
+  else begin
+    let t =
+      {
+        dev;
+        host;
+        clock;
+        cfg;
+        block_bytes;
+        seg_start;
+        n_segments;
+        owners = Array.make dev.Blockdev.Device.n_blocks None;
+        files = Hashtbl.create 256;
+        by_inum = Hashtbl.create 256;
+        file_dir_slot = Hashtbl.create 256;
+        inode_used = Bytes.make cfg.n_inodes '\000';
+        inode_rover = 1;
+        imap = Hashtbl.create 256;
+        imap_chunk_loc =
+          Array.make ((cfg.n_inodes + (block_bytes / 4) - 1) / (block_bytes / 4)) (-1);
+        imap_entries_per_chunk = block_bytes / 4;
+        pending = Hashtbl.create 256;
+        pending_order = [];
+        dirty_inodes = Hashtbl.create 64;
+        dirty_chunks = Hashtbl.create 8;
+        open_seg = -1;
+        open_items = [];
+        open_count = 0;
+        open_map = Hashtbl.create 256;
+        seals = 0;
+        checkpoint_slot = 0;
+        gen = 0;
+        mode = `Rw;
+        cache = Ufs.Buffer_cache.create ~capacity:cfg.cache_blocks;
+        dir = [||];
+        dir_entries_per_block = block_bytes / 32;
+        cleaning = false;
+        stats = { segments_cleaned = 0; blocks_copied = 0; forced_cleans = 0 };
+        user_blocks = 0;
+        last_clean_ms = 0.;
+      }
+    in
+    let layout_error = ref None in
+    let report = ref None in
+    let duration =
+      Trace.group (sink t) "lfs.recover" (fun () ->
+          let bd = ref Breakdown.zero in
+          let degraded = ref [] in
+          let note_degraded msg =
+            if not (List.mem msg !degraded) then degraded := msg :: !degraded
+          in
+          let corrupt_items = ref 0 in
+          (* Checkpoint: best of the two alternating slots. *)
+          let cp =
+            List.fold_left
+              (fun best slot ->
+                match t.dev.Blockdev.Device.read slot with
+                | Error _ -> best
+                | Ok (buf, c) -> (
+                  bd := Breakdown.add !bd (Io.bd c);
+                  match decode_checkpoint ~block_bytes buf with
+                  | None -> best
+                  | Some cp -> (
+                    match best with
+                    | Some (_, b) when b.cp_gen >= cp.cp_gen -> best
+                    | _ -> Some (slot, cp))))
+              None [ 0; 1 ]
+          in
+          (match cp with
+          | Some (slot, cp) ->
+            if cp.cp_n_inodes <> cfg.n_inodes || cp.cp_segment_blocks <> cfg.segment_blocks
+            then
+              layout_error :=
+                Some
+                  (Printf.sprintf
+                     "Lfs.recover: image formatted with n_inodes=%d segment_blocks=%d, \
+                      config says n_inodes=%d segment_blocks=%d"
+                     cp.cp_n_inodes cp.cp_segment_blocks cfg.n_inodes
+                     cfg.segment_blocks)
+            else begin
+              t.seals <- cp.cp_seals;
+              t.gen <- cp.cp_gen;
+              t.checkpoint_slot <- 1 - slot
+            end
+          | None ->
+            (* Format always writes a checkpoint and checkpoint writes
+               alternate slots, so losing both means media damage. *)
+            note_degraded "no valid checkpoint");
+          let summaries = scan_summaries t ~bd in
+          let hist, items_replayed = item_history t summaries in
+          List.iter (fun s -> t.gen <- max t.gen s.sm_gen) summaries;
+          t.gen <- t.gen + 1;
+          (* Read a block and validate it against the checksum recorded by
+             the summary that logged it. *)
+          let read_checked addr ~cksum =
+            match t.dev.Blockdev.Device.read addr with
+            | Error _ -> None
+            | Ok (buf, c) ->
+              bd := Breakdown.add !bd (Io.bd c);
+              (match cksum with
+              | Some k when block_checksum buf <> k -> None
+              | _ -> Some buf)
+          in
+          (* Winning imap chunk per chunk index: newest version whose
+             content still matches its recorded checksum (a stale version
+             may sit in a since-reused segment). *)
+          let chunk_info = Array.make (Array.length t.imap_chunk_loc) None in
+          Array.iteri
+            (fun c _ ->
+              match Hashtbl.find_opt hist (Imap_chunk c) with
+              | None -> ()
+              | Some versions ->
+                let rec try_versions = function
+                  | [] ->
+                    incr corrupt_items;
+                    note_degraded
+                      (Printf.sprintf "imap chunk %d unreadable or corrupt" c)
+                  | (gen, addr, cksum) :: rest -> (
+                    match read_checked addr ~cksum:(Some cksum) with
+                    | Some buf ->
+                      chunk_info.(c) <- Some (gen, addr, buf);
+                      t.imap_chunk_loc.(c) <- addr
+                    | None -> try_versions rest)
+                in
+                try_versions versions)
+            chunk_info;
+          (* Resolve each inode's part-0 location: chunk contents as the
+             base image, inode-part items newer than the chunk override. *)
+          let inodes_loaded = ref 0 and inodes_skipped = ref 0 in
+          let first_ptrs = (block_bytes - inode_header_bytes) / 4 in
+          let ptrs_per_part = block_bytes / 4 in
+          for inum = 0 to cfg.n_inodes - 1 do
+            let c = inum / t.imap_entries_per_chunk in
+            let chunk_gen, chunk_addr =
+              match chunk_info.(c) with
+              | Some (gen, _, buf) ->
+                (gen, Int32.to_int (Bytes.get_int32_le buf ((inum mod t.imap_entries_per_chunk) * 4)))
+              | None -> (-1, -1)
+            in
+            let part_newest =
+              match Hashtbl.find_opt hist (Inode_part (inum, 0)) with
+              | Some ((gen, addr, cksum) :: _) -> Some (gen, addr, cksum)
+              | _ -> None
+            in
+            let winner =
+              match part_newest with
+              | Some (gen, addr, cksum) when gen > chunk_gen -> Some (addr, Some cksum)
+              | _ ->
+                if chunk_addr >= 0 then
+                  (* Find the item that logged this address, for its checksum. *)
+                  let cksum =
+                    match Hashtbl.find_opt hist (Inode_part (inum, 0)) with
+                    | Some versions ->
+                      List.find_map
+                        (fun (_, a, k) -> if a = chunk_addr then Some k else None)
+                        versions
+                    | None -> None
+                  in
+                  Some (chunk_addr, cksum)
+                else None
+            in
+            match winner with
+            | None -> ()
+            | Some (addr, cksum) -> (
+              let skip msg =
+                incr inodes_skipped;
+                incr corrupt_items;
+                note_degraded msg
+              in
+              match read_checked addr ~cksum with
+              | None -> skip (Printf.sprintf "inode %d: part 0 unreadable or corrupt" inum)
+              | Some buf ->
+                let stored_inum = Int32.to_int (Bytes.get_int32_le buf 0) in
+                let size = Int64.to_int (Bytes.get_int64_le buf 4) in
+                let nblocks = Int32.to_int (Bytes.get_int32_le buf 12) in
+                if
+                  stored_inum <> inum || size < 0 || nblocks < 0
+                  || nblocks > dev.Blockdev.Device.n_blocks
+                  || size > (nblocks + 1) * block_bytes
+                then skip (Printf.sprintf "inode %d: part 0 does not decode" inum)
+                else begin
+                  let parts_needed =
+                    if nblocks <= first_ptrs then 1
+                    else 1 + ((nblocks - first_ptrs + ptrs_per_part - 1) / ptrs_per_part)
+                  in
+                  let blocks = Array.make nblocks (-1) in
+                  for i = 0 to min first_ptrs nblocks - 1 do
+                    blocks.(i) <-
+                      Int32.to_int (Bytes.get_int32_le buf (inode_header_bytes + (i * 4)))
+                  done;
+                  let parts = Array.make parts_needed (-1) in
+                  parts.(0) <- addr;
+                  let ok = ref true in
+                  for p = 1 to parts_needed - 1 do
+                    if !ok then
+                      match Hashtbl.find_opt hist (Inode_part (inum, p)) with
+                      | Some ((_, paddr, pcksum) :: _) -> (
+                        match read_checked paddr ~cksum:(Some pcksum) with
+                        | None ->
+                          ok := false;
+                          skip
+                            (Printf.sprintf "inode %d: part %d unreadable or corrupt"
+                               inum p)
+                        | Some pbuf ->
+                          parts.(p) <- paddr;
+                          let offset = first_ptrs + ((p - 1) * ptrs_per_part) in
+                          for i = 0 to ptrs_per_part - 1 do
+                            let idx = offset + i in
+                            if idx < nblocks then
+                              blocks.(idx) <-
+                                Int32.to_int (Bytes.get_int32_le pbuf (i * 4))
+                          done)
+                      | _ ->
+                        ok := false;
+                        skip (Printf.sprintf "inode %d: part %d missing from the log" inum p)
+                  done;
+                  if !ok
+                     && Array.exists
+                          (fun b ->
+                            b <> -1
+                            && (b < seg_start || b >= dev.Blockdev.Device.n_blocks))
+                          blocks
+                  then begin
+                    ok := false;
+                    skip (Printf.sprintf "inode %d: block pointer out of range" inum)
+                  end;
+                  if !ok then begin
+                    incr inodes_loaded;
+                    let ln = { inum; size; blocks } in
+                    Hashtbl.replace t.by_inum inum ln;
+                    Hashtbl.replace t.imap inum parts;
+                    Bytes.set t.inode_used inum '\001'
+                  end
+                end)
+          done;
+          (* Directory: file 0's data blocks name every live file. *)
+          let dangling_dropped = ref 0 in
+          (if Hashtbl.length t.by_inum = 0 then begin
+             (* Empty log (fresh format, or nothing ever synced): come up
+                as format does. *)
+             Bytes.set t.inode_used dir_inum '\001';
+             Hashtbl.replace t.by_inum dir_inum { inum = dir_inum; size = 0; blocks = [||] };
+             Hashtbl.replace t.dirty_inodes dir_inum ()
+           end
+           else
+             match Hashtbl.find_opt t.by_inum dir_inum with
+             | None ->
+               note_degraded "directory inode missing";
+               Bytes.set t.inode_used dir_inum '\001';
+               Hashtbl.replace t.by_inum dir_inum
+                 { inum = dir_inum; size = 0; blocks = [||] }
+             | Some dirn ->
+               let nblocks = Array.length dirn.blocks in
+               t.dir <-
+                 Array.init nblocks (fun fb ->
+                     (fb, Array.make t.dir_entries_per_block None));
+               for fb = 0 to nblocks - 1 do
+                 let addr = dirn.blocks.(fb) in
+                 if addr >= 0 then begin
+                   let cksum =
+                     match Hashtbl.find_opt hist (Data (dir_inum, fb)) with
+                     | Some versions ->
+                       List.find_map
+                         (fun (_, a, k) -> if a = addr then Some k else None)
+                         versions
+                     | None -> None
+                   in
+                   match read_checked addr ~cksum with
+                   | None ->
+                     incr corrupt_items;
+                     note_degraded
+                       (Printf.sprintf "directory block %d unreadable or corrupt" fb)
+                   | Some buf ->
+                     let _, slots = t.dir.(fb) in
+                     for slot = 0 to t.dir_entries_per_block - 1 do
+                       let off = slot * 32 in
+                       if off + 32 <= Bytes.length buf && Bytes.get buf off = '\001'
+                       then begin
+                         let inum = Int32.to_int (Bytes.get_int32_le buf (off + 1)) in
+                         let namelen = Char.code (Bytes.get buf (off + 5)) in
+                         if inum < 1 || inum >= cfg.n_inodes || namelen < 1 || namelen > 26
+                         then begin
+                           incr corrupt_items;
+                           note_degraded
+                             (Printf.sprintf "directory block %d: undecodable entry" fb)
+                         end
+                         else
+                           let name = Bytes.sub_string buf (off + 6) namelen in
+                           match Hashtbl.find_opt t.by_inum inum with
+                           | None ->
+                             (* Legal crash window: the directory block of a
+                                create reached the log before the inode did. *)
+                             incr dangling_dropped
+                           | Some ln ->
+                             if Hashtbl.mem t.files name then begin
+                               incr corrupt_items;
+                               note_degraded
+                                 (Printf.sprintf "duplicate directory entry %S" name)
+                             end
+                             else begin
+                               Hashtbl.replace t.files name ln;
+                               Hashtbl.replace t.file_dir_slot inum (fb, slot);
+                               slots.(slot) <- Some name
+                             end
+                       end
+                     done
+                 end
+               done);
+          (* Inodes named by no directory entry are creates whose dirent
+             never reached the log: unacknowledged, so drop them. *)
+          let orphans =
+            Hashtbl.fold
+              (fun inum _ acc ->
+                if inum <> dir_inum && not (Hashtbl.mem t.file_dir_slot inum) then
+                  inum :: acc
+                else acc)
+              t.by_inum []
+          in
+          List.iter
+            (fun inum ->
+              incr dangling_dropped;
+              Hashtbl.remove t.by_inum inum;
+              Hashtbl.remove t.imap inum;
+              Bytes.set t.inode_used inum '\000')
+            orphans;
+          (* Rebuild the ownership table and space accounting from the
+             reconstructed metadata alone. *)
+          Hashtbl.iter
+            (fun inum (ln : lnode) ->
+              Array.iteri
+                (fun i b ->
+                  if b >= 0 then
+                    match t.owners.(b) with
+                    | Some _ ->
+                      incr corrupt_items;
+                      note_degraded
+                        (Printf.sprintf "device block %d claimed twice" b)
+                    | None ->
+                      t.owners.(b) <- Some (Data (inum, i));
+                      if inum <> dir_inum then t.user_blocks <- t.user_blocks + 1)
+                ln.blocks;
+              match Hashtbl.find_opt t.imap inum with
+              | None -> ()
+              | Some parts ->
+                Array.iteri
+                  (fun p b ->
+                    if b >= 0 then
+                      match t.owners.(b) with
+                      | Some _ ->
+                        incr corrupt_items;
+                        note_degraded
+                          (Printf.sprintf "device block %d claimed twice" b)
+                      | None -> t.owners.(b) <- Some (Inode_part (inum, p)))
+                  parts)
+            t.by_inum;
+          Array.iteri
+            (fun c addr ->
+              if addr >= 0 then
+                match t.owners.(addr) with
+                | Some _ ->
+                  incr corrupt_items;
+                  note_degraded (Printf.sprintf "device block %d claimed twice" addr)
+                | None -> t.owners.(addr) <- Some (Imap_chunk c))
+            t.imap_chunk_loc;
+          (if !degraded <> [] then
+             t.mode <- `Degraded (String.concat "; " (List.rev !degraded)));
+          Trace.incr (sink t) "lfs.recoveries";
+          if !corrupt_items > 0 then
+            Trace.incr (sink t) ~by:!corrupt_items "lfs.recovery_corrupt_items";
+          report :=
+            Some
+              {
+                checkpoint_used = cp <> None;
+                segments_scanned = t.n_segments;
+                summaries_valid = List.length summaries;
+                items_replayed;
+                corrupt_items = !corrupt_items;
+                inodes_loaded = !inodes_loaded;
+                inodes_skipped = !inodes_skipped;
+                files_found = Hashtbl.length t.files;
+                dangling_dropped = !dangling_dropped;
+                duration = Breakdown.zero;
+              };
+          !bd)
+    in
+    match (!layout_error, !report) with
+    | Some e, _ -> Error e
+    | None, Some report -> Ok (t, { report with duration })
+    | None, None -> Error "Lfs.recover: internal error"
+  end
+
+(* ---- checker access ---- *)
+
+let config t = t.cfg
+let n_segments t = t.n_segments
+let segment_area_start t = t.seg_start
+let dir_entries t =
+  Hashtbl.fold (fun name (ln : lnode) acc -> (name, ln.inum) :: acc) t.files []
+  |> List.sort compare
+
+let inode_in_use t inum =
+  inum >= 0 && inum < t.cfg.n_inodes && Bytes.get t.inode_used inum = '\001'
+
+let inode_blocks t inum =
+  match Hashtbl.find_opt t.by_inum inum with
+  | None -> None
+  | Some ln -> Some (ln.size, Array.copy ln.blocks)
+
+let imap_parts t inum =
+  match Hashtbl.find_opt t.imap inum with
+  | None -> None
+  | Some parts -> Some (Array.copy parts)
+
+let imap_chunk_locations t = Array.copy t.imap_chunk_loc
+let owner_of t b = if b >= 0 && b < Array.length t.owners then t.owners.(b) else None
+let seg_live t seg = seg_live_count t seg
+let generation t = t.gen
+
+(* Media validation behind the fsck checkers: every live metadata and
+   data block must be readable and match the checksum recorded by the
+   summary item that logged it at its current address.  Requires a
+   quiescent log (no buffered writes, no open segment) — recovery and
+   [power_down] both leave the log that way. *)
+let verify_media t =
+  if Hashtbl.length t.pending > 0 || t.open_seg >= 0 then
+    [ ("unflushed", "log has buffered or unsealed writes; media not verified") ]
+  else begin
+    let findings = ref [] in
+    let add cat msg = findings := (cat, msg) :: !findings in
+    let bd = ref Breakdown.zero in
+    let summaries = scan_summaries t ~bd in
+    let hist, _ = item_history t summaries in
+    let check blkid addr what =
+      match Hashtbl.find_opt hist blkid with
+      | None -> add "bad-reference" (Printf.sprintf "%s at block %d: no summary item records it" what addr)
+      | Some versions -> (
+        match List.find_map (fun (_, a, k) -> if a = addr then Some k else None) versions
+        with
+        | None ->
+          add "bad-reference"
+            (Printf.sprintf "%s at block %d: no summary item records this address" what addr)
+        | Some cksum -> (
+          match t.dev.Blockdev.Device.read addr with
+          | Error _ -> add "io-unreadable" (Printf.sprintf "%s at block %d: unreadable" what addr)
+          | Ok (buf, _) ->
+            if block_checksum buf <> cksum then
+              add "bad-checksum" (Printf.sprintf "%s at block %d: checksum mismatch" what addr)))
+    in
+    Hashtbl.iter
+      (fun inum (ln : lnode) ->
+        Array.iteri
+          (fun i b ->
+            if b >= 0 then
+              check (Data (inum, i)) b (Printf.sprintf "data block %d of inode %d" i inum))
+          ln.blocks;
+        match Hashtbl.find_opt t.imap inum with
+        | None -> ()
+        | Some parts ->
+          Array.iteri
+            (fun p b ->
+              if b >= 0 then
+                check (Inode_part (inum, p)) b
+                  (Printf.sprintf "inode part %d of inode %d" p inum))
+            parts)
+      t.by_inum;
+    Array.iteri
+      (fun c addr ->
+        if addr >= 0 then check (Imap_chunk c) addr (Printf.sprintf "imap chunk %d" c))
+      t.imap_chunk_loc;
+    List.rev !findings
+  end

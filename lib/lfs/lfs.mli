@@ -85,3 +85,82 @@ val buffered_blocks : t -> int
 
 val device : t -> Blockdev.Device.t
 val block_bytes : t -> int
+val config : t -> config
+
+(** {2 Crash recovery}
+
+    Every segment carries two alternating checksummed summary slots; a
+    segment write lays down the data run first and the summary (which
+    records a per-item block checksum) last, so a summary on the platter
+    guarantees its data.  Two alternating checkpoint blocks at the
+    device front record the layout and generation.  {!recover} scans
+    both summary slots of every segment, replays the valid summaries in
+    generation order (the newest imap chunk as the base image, newer
+    inode-part items overriding), validates every metadata block it
+    trusts against the recorded checksum, and rebuilds the directory
+    from file 0.  Unverifiable damage puts the mount in [`Degraded]
+    read-only mode rather than serving corrupt data. *)
+
+val power_down : t -> Vlog_util.Breakdown.t
+(** Flush the log buffer, then write a checkpoint — the clean-shutdown
+    sequence. *)
+
+type recovery_report = {
+  checkpoint_used : bool;  (** a valid checkpoint block was found *)
+  segments_scanned : int;
+  summaries_valid : int;   (** summary slots that decoded and checksummed *)
+  items_replayed : int;
+  corrupt_items : int;     (** replayed blocks failing validation *)
+  inodes_loaded : int;
+  inodes_skipped : int;    (** inodes dropped for unverifiable parts *)
+  files_found : int;
+  dangling_dropped : int;  (** half-created files dropped (legal crash states) *)
+  duration : Vlog_util.Breakdown.t;
+}
+
+val recover :
+  dev:Blockdev.Device.t ->
+  host:Host.t ->
+  clock:Vlog_util.Clock.t ->
+  config ->
+  (t * recovery_report, string) result
+(** Mount from the platters alone.  [Error] only for configuration
+    mismatches (device too small, layout fields disagreeing with a valid
+    checkpoint); media damage degrades the mount instead. *)
+
+val mode : t -> [ `Rw | `Degraded of string ]
+(** [`Degraded] mounts refuse [create]/[write]/[delete]/[fsync] with
+    [`Read_only]; reads still work. *)
+
+(** {2 Checker access}
+
+    Read-only views for the fsck-style checker ([Check.Lfs_check]). *)
+
+type blkid =
+  | Data of int * int  (** inum, file block index *)
+  | Inode_part of int * int  (** inum, part index *)
+  | Imap_chunk of int
+  | Summary of int  (** segment *)
+
+val dir_entries : t -> (string * int) list
+(** (name, inum), sorted. *)
+
+val inode_in_use : t -> int -> bool
+val inode_blocks : t -> int -> (int * int array) option
+(** (size, device block per file block) for a live inode. *)
+
+val imap_parts : t -> int -> int array option
+(** Device blocks holding the inode's on-disk parts. *)
+
+val imap_chunk_locations : t -> int array
+val owner_of : t -> int -> blkid option
+val n_segments : t -> int
+val segment_area_start : t -> int
+val seg_live : t -> int -> int
+val generation : t -> int
+
+val verify_media : t -> (string * string) list
+(** Validate every live block against the checksum recorded by the
+    summary item that logged it: [(category, detail)] findings with
+    categories ["bad-reference"], ["bad-checksum"], ["io-unreadable"],
+    or ["unflushed"] when the log is not quiescent. *)

@@ -53,19 +53,63 @@ type t = {
   frag_slots : (int, bool array) Hashtbl.t; (* frag block -> slot occupancy *)
   frag_data : (int, Bytes.t) Hashtbl.t; (* authoritative frag block contents *)
   mutable last_frag_block : int; (* preferred frag block for new tails *)
+  mutable sb_gen : int; (* superblock generation; slot = gen land 1 *)
+  mutable mode : [ `Rw | `Degraded of string ];
 }
 
 let max_frag_slots = 3 (* a 4-slot tail is just a full block *)
+
+(* ---- superblock ----
+
+   UFS keeps no on-disk free bitmap (reachability from the inodes
+   reconstructs it), but the directory blocks are reachable from nowhere
+   else, so the superblock lists them.  Two alternating checksummed
+   slots at device blocks 0 and 1: the superblock is rewritten whenever
+   the directory grows, and a torn rewrite must not orphan the whole
+   namespace. *)
+
+let superblock_magic = "UFSSUPB2"
+
+let encode_superblock_of ~block_bytes ~gen ~n_inodes ~dir_blocks =
+  let sb = Bytes.make block_bytes '\000' in
+  Bytes.blit_string superblock_magic 0 sb 0 8;
+  Bytes.set_int64_le sb 8 (Int64.of_int gen);
+  Bytes.set_int32_le sb 16 (Int32.of_int n_inodes);
+  Bytes.set_int32_le sb 20 (Int32.of_int (Array.length dir_blocks));
+  Array.iteri
+    (fun i b -> Bytes.set_int32_le sb (24 + (i * 4)) (Int32.of_int b))
+    dir_blocks;
+  Bytes.set_int64_le sb (block_bytes - 8)
+    (Checksum.add_words Checksum.empty sb ~pos:0 ~len:(block_bytes - 8));
+  sb
+
+let decode_superblock ~block_bytes buf =
+  if Bytes.length buf <> block_bytes then None
+  else if not (String.equal (Bytes.sub_string buf 0 8) superblock_magic) then None
+  else if
+    Bytes.get_int64_le buf (block_bytes - 8)
+    <> Checksum.add_words Checksum.empty buf ~pos:0 ~len:(block_bytes - 8)
+  then None
+  else
+    let i32 off = Int32.to_int (Bytes.get_int32_le buf off) in
+    let count = i32 20 in
+    if count < 0 || 24 + (count * 4) > block_bytes - 8 then None
+    else
+      Some
+        ( Int64.to_int (Bytes.get_int64_le buf 8),
+          i32 16,
+          Array.init count (fun i -> i32 (24 + (i * 4))) )
 
 let format ~dev ~host ~clock cfg =
   let block_bytes = dev.Blockdev.Device.block_bytes in
   let inodes_per_block = block_bytes / Inode.bytes_per_inode in
   let inode_table_blocks = (cfg.n_inodes + inodes_per_block - 1) / inodes_per_block in
   let n_blocks = dev.Blockdev.Device.n_blocks in
-  let data_start = 1 + inode_table_blocks in
+  let data_start = 2 + inode_table_blocks in
   if data_start >= n_blocks then invalid_arg "Ufs.format: device too small";
   let bitmap = Bytes.make n_blocks '\000' in
   Bytes.fill bitmap 0 data_start '\001';
+  let t =
   {
     dev;
     host;
@@ -75,7 +119,7 @@ let format ~dev ~host ~clock cfg =
     frag_bytes = block_bytes / 4;
     frags_per_block = 4;
     ptrs_per_block = block_bytes / 4;
-    inode_table_start = 1;
+    inode_table_start = 2;
     inode_table_blocks;
     inodes_per_block;
     data_start;
@@ -93,7 +137,15 @@ let format ~dev ~host ~clock cfg =
     frag_slots = Hashtbl.create 64;
     frag_data = Hashtbl.create 64;
     last_frag_block = -1;
+    sb_gen = 0;
+    mode = `Rw;
   }
+  in
+  let sb =
+    encode_superblock_of ~block_bytes ~gen:0 ~n_inodes:cfg.n_inodes ~dir_blocks:[||]
+  in
+  ignore (Blockdev.Device.write t.dev 0 sb);
+  t
 
 let device t = t.dev
 let block_bytes t = t.block_bytes
@@ -349,6 +401,18 @@ let write_dir_block t idx ~sync =
   let buf = encode_dir_block t db in
   if sync then write_block_sync t db.dblock buf else write_block_async t db.dblock buf
 
+let write_superblock t =
+  t.sb_gen <- t.sb_gen + 1;
+  let dir_blocks = Array.map (fun db -> db.dblock) t.dir in
+  let sb =
+    encode_superblock_of ~block_bytes:t.block_bytes ~gen:t.sb_gen
+      ~n_inodes:t.cfg.n_inodes ~dir_blocks
+  in
+  write_block_sync t (t.sb_gen land 1) sb
+
+(* The allocation path performs device writes, so the returned breakdown
+   must be folded into the caller's accumulator in chronological
+   position. *)
 let find_dir_slot t =
   let existing =
     Array.to_list t.dir
@@ -361,14 +425,19 @@ let find_dir_slot t =
     while db.slots.(!slot) <> None do
       incr slot
     done;
-    Some (i, !slot)
+    Some (i, !slot, Breakdown.zero)
   | None -> (
     match alloc_block t ~near:t.rover with
     | None -> None
     | Some b ->
+      (* Zero the block on the platter before the superblock names it: a
+         crash in between must not leave the superblock pointing at stale
+         reallocated data that could decode as directory entries. *)
+      let bd = write_block_sync t b (Bytes.make t.block_bytes '\000') in
       let db = { dblock = b; slots = Array.make t.dir_entries_per_block None } in
       t.dir <- Array.append t.dir [| db |];
-      Some (Array.length t.dir - 1, 0))
+      let bd = Breakdown.add bd (write_superblock t) in
+      Some (Array.length t.dir - 1, 0, bd))
 
 (* ---- public operations ---- *)
 
@@ -386,7 +455,8 @@ let alloc_inum t =
   go 0 t.inode_rover
 
 let create_inner t name =
-  if Hashtbl.mem t.files name then Error (`Exists name)
+  if t.mode <> `Rw then Error `Read_only
+  else if Hashtbl.mem t.files name then Error (`Exists name)
   else
     match alloc_inum t with
     | None -> Error `No_inodes
@@ -395,14 +465,14 @@ let create_inner t name =
       | None ->
         Bytes.set t.inode_used inum '\000';
         Error `No_space
-      | Some (didx, slot) ->
+      | Some (didx, slot, alloc_bd) ->
         let inode = Inode.create ~inum in
         let file = { inode; name; dir_slot = (didx, slot); seq_off = -1; seq_hits = 0 } in
         Hashtbl.replace t.files name file;
         Hashtbl.replace t.by_inum inum inode;
         t.dir.(didx).slots.(slot) <- Some name;
         (* Namespace changes hit the platter synchronously. *)
-        let bd = charge t ~blocks:0 in
+        let bd = Breakdown.add alloc_bd (charge t ~blocks:0) in
         let bd = Breakdown.add bd (write_inode t inode ~sync:true) in
         let bd = Breakdown.add bd (write_dir_block t didx ~sync:true) in
         Ok bd)
@@ -602,7 +672,8 @@ and write_blocks t file ~init ~off data =
 
 let write t name ~off data =
   Trace.op (sink t) "ufs.write" ~bd_of:Fun.id (fun () ->
-      write_inner t name ~init:Breakdown.zero ~off data)
+      if t.mode <> `Rw then Error `Read_only
+      else write_inner t name ~init:Breakdown.zero ~off data)
 
 (* Group the device blocks backing file blocks [first..last] into
    physically consecutive runs and read each run in one request.
@@ -729,6 +800,8 @@ let all_file_blocks inode =
   !acc
 
 let delete_inner t name =
+  if t.mode <> `Rw then Error `Read_only
+  else
   match lookup t name with
   | Error _ as e -> e
   | Ok file ->
@@ -765,6 +838,8 @@ let sync t =
 let fsync t name =
   Trace.incr (sink t) "ufs.fsyncs";
   Trace.op (sink t) "ufs.fsync" ~bd_of:Fun.id (fun () ->
+      if t.mode <> `Rw then Error `Read_only
+      else
       match lookup t name with
       | Error _ as e -> e
       | Ok file ->
@@ -779,3 +854,410 @@ let fsync t name =
         Ok (flush_blocks t dirty))
 
 let drop_caches t = Buffer_cache.drop_clean t.cache
+
+(* ---- crash recovery / mount ---- *)
+
+let mode t = t.mode
+
+type mount_report = {
+  superblock_found : bool;
+  inodes_loaded : int;
+  files_found : int;
+  orphans_cleared : int;
+  dangling_dropped : int;
+  duration : Breakdown.t;
+}
+
+let mount ~dev ~host ~clock cfg =
+  let block_bytes = dev.Blockdev.Device.block_bytes in
+  let inodes_per_block = block_bytes / Inode.bytes_per_inode in
+  let inode_table_blocks = (cfg.n_inodes + inodes_per_block - 1) / inodes_per_block in
+  let n_blocks = dev.Blockdev.Device.n_blocks in
+  let data_start = 2 + inode_table_blocks in
+  if data_start >= n_blocks then Error "Ufs.mount: device too small"
+  else begin
+    let bitmap = Bytes.make n_blocks '\000' in
+    Bytes.fill bitmap 0 data_start '\001';
+    let t =
+      {
+        dev;
+        host;
+        clock;
+        cfg;
+        block_bytes;
+        frag_bytes = block_bytes / 4;
+        frags_per_block = 4;
+        ptrs_per_block = block_bytes / 4;
+        inode_table_start = 2;
+        inode_table_blocks;
+        inodes_per_block;
+        data_start;
+        n_blocks;
+        bitmap;
+        allocated_data = 0;
+        rover = data_start;
+        files = Hashtbl.create 256;
+        by_inum = Hashtbl.create 256;
+        inode_used = Bytes.make cfg.n_inodes '\000';
+        inode_rover = 0;
+        dir = [||];
+        dir_entries_per_block = block_bytes / 32;
+        cache = Buffer_cache.create ~capacity:cfg.cache_blocks;
+        frag_slots = Hashtbl.create 64;
+        frag_data = Hashtbl.create 64;
+        last_frag_block = -1;
+        sb_gen = 0;
+        mode = `Rw;
+      }
+    in
+    let bd = ref Breakdown.zero in
+    let reasons = ref [] in
+    let degrade msg = if not (List.mem msg !reasons) then reasons := msg :: !reasons in
+    let dread b =
+      match t.dev.Blockdev.Device.read b with
+      | Error _ -> None
+      | Ok (buf, c) ->
+        bd := Breakdown.add !bd (Io.bd c);
+        Some buf
+    in
+    let layout_error = ref None in
+    let sb_found = ref false in
+    let inodes_loaded = ref 0 and orphans = ref 0 and dangling = ref 0 in
+    let duration =
+      Trace.group (sink t) "ufs.mount" (fun () ->
+          (* Best of the two alternating superblock slots.  A torn rewrite
+             tears the slot being written; the other slot is the previous
+             generation and still checksums. *)
+          let sb =
+            List.fold_left
+              (fun best slot ->
+                match dread slot with
+                | None -> best
+                | Some buf -> (
+                  match decode_superblock ~block_bytes buf with
+                  | None -> best
+                  | Some ((gen, _, _) as cand) -> (
+                    match best with
+                    | Some (g, _, _) when g >= gen -> best
+                    | _ -> Some cand)))
+              None [ 0; 1 ]
+          in
+          let dir_blocks =
+            match sb with
+            | None ->
+              degrade "no valid superblock";
+              [||]
+            | Some (gen, sb_inodes, dblocks) ->
+              if sb_inodes <> cfg.n_inodes then begin
+                layout_error :=
+                  Some
+                    (Printf.sprintf
+                       "Ufs.mount: superblock has n_inodes = %d, config says %d"
+                       sb_inodes cfg.n_inodes);
+                [||]
+              end
+              else begin
+                sb_found := true;
+                t.sb_gen <- gen;
+                dblocks
+              end
+          in
+          if !layout_error = None then begin
+            (* Directory blocks: zero-filled before the superblock ever
+               names them, so every slot is either a valid entry or
+               free.  Torn dirent-block writes mix old and new sectors,
+               but 32 divides the sector size, so entries stay whole. *)
+            let raw_dirents = ref [] in
+            Array.iter
+              (fun b ->
+                if b < data_start || b >= n_blocks then
+                  degrade "superblock lists an out-of-range directory block"
+                else begin
+                  Bytes.set t.bitmap b '\001';
+                  let didx = Array.length t.dir in
+                  let slots = Array.make t.dir_entries_per_block None in
+                  t.dir <- Array.append t.dir [| { dblock = b; slots } |];
+                  match dread b with
+                  | None -> degrade (Printf.sprintf "directory block %d unreadable" b)
+                  | Some buf ->
+                    for slot = 0 to t.dir_entries_per_block - 1 do
+                      let off = slot * 32 in
+                      match Bytes.get buf off with
+                      | '\000' -> ()
+                      | '\001' ->
+                        let inum = Int32.to_int (Bytes.get_int32_le buf (off + 1)) in
+                        let n = Char.code (Bytes.get buf (off + 5)) in
+                        if inum < 0 || inum >= cfg.n_inodes || n < 1 || n > 26 then
+                          degrade
+                            (Printf.sprintf "directory block %d: malformed entry" b)
+                        else
+                          raw_dirents :=
+                            (didx, slot, Bytes.sub_string buf (off + 6) n, inum)
+                            :: !raw_dirents
+                      | _ ->
+                        degrade (Printf.sprintf "directory block %d: malformed entry" b)
+                    done
+                end)
+              dir_blocks;
+            (* Inode table, one result-typed read per block: a rotted
+               block loses only its own inodes. *)
+            for k = 0 to inode_table_blocks - 1 do
+              match dread (t.inode_table_start + k) with
+              | None -> degrade (Printf.sprintf "inode table block %d unreadable" k)
+              | Some buf ->
+                for slot = 0 to inodes_per_block - 1 do
+                  let inum = (k * inodes_per_block) + slot in
+                  if inum < cfg.n_inodes then
+                    match
+                      Inode.decode ~inum
+                        (Bytes.sub buf (slot * Inode.bytes_per_inode)
+                           Inode.bytes_per_inode)
+                    with
+                    | None -> ()
+                    | Some inode ->
+                      Hashtbl.replace t.by_inum inum inode;
+                      incr inodes_loaded
+                done
+            done;
+            (* Link directory entries to inodes.  A dirent whose inode is
+               gone is the delete crash window (inode cleared first, dirent
+               removal lost) — a legal state, quietly dropped. *)
+            List.iter
+              (fun (didx, slot, name, inum) ->
+                match Hashtbl.find_opt t.by_inum inum with
+                | None -> incr dangling
+                | Some inode ->
+                  if Hashtbl.mem t.files name then
+                    degrade (Printf.sprintf "duplicate directory entry %S" name)
+                  else if Bytes.get t.inode_used inum = '\001' then
+                    degrade
+                      (Printf.sprintf "inode %d claimed by two directory entries" inum)
+                  else begin
+                    Bytes.set t.inode_used inum '\001';
+                    t.dir.(didx).slots.(slot) <- Some name;
+                    Hashtbl.replace t.files name
+                      { inode; name; dir_slot = (didx, slot); seq_off = -1; seq_hits = 0 }
+                  end)
+              (List.rev !raw_dirents);
+            (* Orphan inodes are the create crash window (inode written
+               first, dirent lost) — also legal; cleared. *)
+            Hashtbl.fold
+              (fun inum _ acc ->
+                if Bytes.get t.inode_used inum = '\000' then inum :: acc else acc)
+              t.by_inum []
+            |> List.iter (fun inum ->
+                   Hashtbl.remove t.by_inum inum;
+                   incr orphans);
+            (* Indirect pointers (the inode stores only the block
+               addresses of the indirect blocks), then block accounting:
+               reachability rebuilds the bitmap, and any double claim or
+               out-of-range pointer is real corruption. *)
+            let claim what b =
+              if b < data_start || b >= n_blocks then
+                degrade (Printf.sprintf "%s points outside the data area (block %d)" what b)
+              else if Bytes.get t.bitmap b = '\001' then
+                degrade (Printf.sprintf "block %d double-allocated (%s)" b what)
+              else Bytes.set t.bitmap b '\001'
+            in
+            Hashtbl.iter
+              (fun _ (file : file) ->
+                let inode = file.inode in
+                let what = Printf.sprintf "inode %d" inode.Inode.inum in
+                if inode.Inode.size < 0 then degrade (what ^ ": negative size");
+                match inode.Inode.frag with
+                | Some (fb, fslot, fslots) ->
+                  if
+                    fb < data_start || fb >= n_blocks || fslot < 0 || fslots < 1
+                    || fslots > max_frag_slots
+                    || fslot + fslots > t.frags_per_block
+                    || inode.Inode.size > fslots * t.frag_bytes
+                  then degrade (what ^ ": malformed fragment descriptor")
+                  else begin
+                    match Hashtbl.find_opt t.frag_slots fb with
+                    | Some occ ->
+                      let overlap = ref false in
+                      for k = fslot to fslot + fslots - 1 do
+                        if occ.(k) then overlap := true;
+                        occ.(k) <- true
+                      done;
+                      if !overlap then
+                        degrade (Printf.sprintf "frag block %d: overlapping tails" fb)
+                    | None ->
+                      claim (what ^ " fragment block") fb;
+                      let occ = Array.make t.frags_per_block false in
+                      for k = fslot to fslot + fslots - 1 do
+                        occ.(k) <- true
+                      done;
+                      Hashtbl.replace t.frag_slots fb occ;
+                      (match dread fb with
+                      | Some buf -> Hashtbl.replace t.frag_data fb buf
+                      | None ->
+                        degrade (Printf.sprintf "frag block %d unreadable" fb);
+                        Hashtbl.replace t.frag_data fb (Bytes.make block_bytes '\000'))
+                  end
+                | None ->
+                  if inode.Inode.ind1 >= 0 then begin
+                    if inode.Inode.ind1 < data_start || inode.Inode.ind1 >= n_blocks
+                    then degrade (what ^ ": indirect pointer out of range")
+                    else
+                      match dread inode.Inode.ind1 with
+                      | None -> degrade (what ^ ": indirect block unreadable")
+                      | Some buf ->
+                        for k = 0 to t.ptrs_per_block - 1 do
+                          let v = Int32.to_int (Bytes.get_int32_le buf (k * 4)) in
+                          if v >= 0 then Inode.set_block inode (ind1_window + k) v
+                        done
+                  end;
+                  if inode.Inode.ind2 >= 0 then begin
+                    if inode.Inode.ind2 < data_start || inode.Inode.ind2 >= n_blocks
+                    then degrade (what ^ ": double-indirect pointer out of range")
+                    else
+                      match dread inode.Inode.ind2 with
+                      | None -> degrade (what ^ ": double-indirect block unreadable")
+                      | Some buf ->
+                        let len = ref 0 in
+                        for k = 0 to t.ptrs_per_block - 1 do
+                          if Int32.to_int (Bytes.get_int32_le buf (k * 4)) >= 0 then
+                            len := k + 1
+                        done;
+                        inode.Inode.ind2_children <-
+                          Array.init !len (fun k ->
+                              Int32.to_int (Bytes.get_int32_le buf (k * 4)));
+                        Array.iteri
+                          (fun j c ->
+                            if c >= 0 then begin
+                              if c < data_start || c >= n_blocks then
+                                degrade
+                                  (what ^ ": double-indirect child out of range")
+                              else
+                                match dread c with
+                                | None ->
+                                  degrade
+                                    (what ^ ": double-indirect child unreadable")
+                                | Some cbuf ->
+                                  let offset =
+                                    ind1_window + t.ptrs_per_block
+                                    + (j * t.ptrs_per_block)
+                                  in
+                                  for k = 0 to t.ptrs_per_block - 1 do
+                                    let v =
+                                      Int32.to_int (Bytes.get_int32_le cbuf (k * 4))
+                                    in
+                                    if v >= 0 then Inode.set_block inode (offset + k) v
+                                  done
+                            end)
+                          inode.Inode.ind2_children
+                  end;
+                  List.iter (claim what) (all_file_blocks inode))
+              t.files;
+            let alloc = ref 0 in
+            for b = data_start to n_blocks - 1 do
+              if Bytes.get t.bitmap b = '\001' then incr alloc
+            done;
+            t.allocated_data <- !alloc
+          end;
+          !bd)
+    in
+    if !reasons <> [] then t.mode <- `Degraded (String.concat "; " (List.rev !reasons));
+    match !layout_error with
+    | Some e -> Error e
+    | None ->
+      Ok
+        ( t,
+          {
+            superblock_found = !sb_found;
+            inodes_loaded = !inodes_loaded;
+            files_found = Hashtbl.length t.files;
+            orphans_cleared = !orphans;
+            dangling_dropped = !dangling;
+            duration;
+          } )
+  end
+
+(* ---- checker access ---- *)
+
+let config t = t.cfg
+let total_blocks t = t.n_blocks
+let data_area_start t = t.data_start
+let inode_table_span t = (t.inode_table_start, t.inode_table_blocks)
+let superblock_generation t = t.sb_gen
+let block_marked t b = b >= 0 && b < t.n_blocks && Bytes.get t.bitmap b = '\001'
+let dir_data_blocks t = Array.to_list (Array.map (fun db -> db.dblock) t.dir)
+let inode_of t inum = Hashtbl.find_opt t.by_inum inum
+
+let dir_entries t =
+  Hashtbl.fold (fun name f acc -> (name, f.inode.Inode.inum) :: acc) t.files []
+  |> List.sort compare
+
+let live_inums t =
+  Hashtbl.fold (fun inum _ acc -> inum :: acc) t.by_inum [] |> List.sort compare
+
+let frag_occupancy t =
+  Hashtbl.fold (fun b occ acc -> (b, Array.copy occ) :: acc) t.frag_slots []
+  |> List.sort compare
+
+let verify_media t =
+  let dirty = Buffer_cache.dirty_blocks t.cache in
+  if dirty <> [] then
+    [ ("unflushed", Printf.sprintf "%d dirty blocks in the cache" (List.length dirty)) ]
+  else begin
+    let findings = ref [] in
+    let add cat detail = findings := (cat, detail) :: !findings in
+    let dread b =
+      match t.dev.Blockdev.Device.read b with Error _ -> None | Ok (buf, _) -> Some buf
+    in
+    (* The current superblock slot must decode to the in-memory state. *)
+    (match dread (t.sb_gen land 1) with
+    | None -> add "io-unreadable" "superblock slot unreadable"
+    | Some buf -> (
+      match decode_superblock ~block_bytes:t.block_bytes buf with
+      | Some (gen, n_inodes, dblocks)
+        when gen = t.sb_gen && n_inodes = t.cfg.n_inodes
+             && Array.to_list dblocks = dir_data_blocks t -> ()
+      | _ -> add "bad-checksum" "superblock slot stale or invalid"));
+    (* Inode table: compare the slot of every live inode.  Slots of dead
+       inodes may hold orphans dropped at mount; only a write re-zeroes
+       them. *)
+    Hashtbl.iter
+      (fun inum inode ->
+        let block = inode_block_of t inum in
+        match dread block with
+        | None -> add "io-unreadable" (Printf.sprintf "inode table block %d" block)
+        | Some buf ->
+          let off = inum mod t.inodes_per_block * Inode.bytes_per_inode in
+          let slot = Bytes.sub buf off Inode.bytes_per_inode in
+          if not (Bytes.equal slot (Inode.encode inode)) then
+            add "bad-checksum" (Printf.sprintf "inode %d differs from the platter" inum))
+      t.by_inum;
+    (* Directory blocks: used slots must match; free slots may hold
+       dirents dropped at mount. *)
+    Array.iteri
+      (fun didx db ->
+        match dread db.dblock with
+        | None -> add "io-unreadable" (Printf.sprintf "directory block %d" db.dblock)
+        | Some buf ->
+          let expect = encode_dir_block t db in
+          Array.iteri
+            (fun slot entry ->
+              match entry with
+              | None -> ()
+              | Some name ->
+                let off = slot * 32 in
+                if not (Bytes.equal (Bytes.sub buf off 32) (Bytes.sub expect off 32))
+                then
+                  add "bad-checksum"
+                    (Printf.sprintf "dirent %S (block %d of the directory) differs"
+                       name didx))
+            db.slots)
+      t.dir;
+    (* Fragment blocks: the in-memory copy is authoritative. *)
+    Hashtbl.iter
+      (fun b data ->
+        match dread b with
+        | None -> add "io-unreadable" (Printf.sprintf "frag block %d" b)
+        | Some buf ->
+          if not (Bytes.equal buf data) then
+            add "bad-checksum" (Printf.sprintf "frag block %d differs" b))
+      t.frag_data;
+    List.rev !findings
+  end

@@ -84,3 +84,72 @@ val utilization : t -> float
 
 val device : t -> Blockdev.Device.t
 val block_bytes : t -> int
+
+(** {2 Crash recovery}
+
+    UFS has no journal; crash safety rests on write ordering.  Namespace
+    changes write the inode before the directory entry (create) and
+    clear the inode before the entry (delete), so the only legal
+    inconsistencies a crash can leave are orphan inodes and dangling
+    directory entries — {!mount} clears and drops those silently.  Two
+    alternating checksummed superblock slots (device blocks 0 and 1)
+    list the directory's data blocks; new directory blocks are
+    zero-filled on the platter before the superblock names them.
+    Everything else — the free bitmap, indirect pointers, fragment
+    occupancy — is rebuilt by reachability, and any contradiction found
+    on the walk (double-allocated or out-of-range blocks, unreadable
+    metadata, malformed entries) puts the mount in [`Degraded] read-only
+    mode. *)
+
+type mount_report = {
+  superblock_found : bool;
+  inodes_loaded : int;
+  files_found : int;
+  orphans_cleared : int;   (** create crash window: inode without a dirent *)
+  dangling_dropped : int;  (** delete crash window: dirent without an inode *)
+  duration : Vlog_util.Breakdown.t;
+}
+
+val mount :
+  dev:Blockdev.Device.t ->
+  host:Host.t ->
+  clock:Vlog_util.Clock.t ->
+  config ->
+  (t * mount_report, string) result
+(** Mount from the platters alone.  [Error] only for configuration
+    mismatches (device too small, superblock disagreeing with the
+    config); media damage degrades the mount instead. *)
+
+val mode : t -> [ `Rw | `Degraded of string ]
+(** [`Degraded] mounts refuse [create]/[write]/[delete]/[fsync] with
+    [`Read_only]; reads still work. *)
+
+(** {2 Checker access}
+
+    Read-only views for the fsck-style checker ([Check.Ufs_check]). *)
+
+val config : t -> config
+val total_blocks : t -> int
+val data_area_start : t -> int
+val inode_table_span : t -> int * int
+(** (first block, block count) of the on-disk inode table. *)
+
+val superblock_generation : t -> int
+val block_marked : t -> int -> bool
+(** Whether the allocator bitmap marks the block in use. *)
+
+val dir_data_blocks : t -> int list
+val inode_of : t -> int -> Inode.t option
+val dir_entries : t -> (string * int) list
+(** (name, inum), sorted. *)
+
+val live_inums : t -> int list
+val frag_occupancy : t -> (int * bool array) list
+(** (frag block, per-slot occupancy), sorted. *)
+
+val verify_media : t -> (string * string) list
+(** Compare the platter against the in-memory state: [(category,
+    detail)] findings with categories ["bad-checksum"],
+    ["io-unreadable"], or ["unflushed"] when dirty blocks sit in the
+    cache.  File data blocks carry no checksums and are not verified —
+    that is the durability oracle's job. *)

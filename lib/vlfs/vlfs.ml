@@ -64,6 +64,7 @@ type t = {
   prng : Prng.t;
   mutable comp_stats : compaction_stats;
   mutable comp_resume : int option;
+  mutable mode : [ `Rw | `Degraded of string ];
 }
 
 let dir_inum = 0
@@ -82,8 +83,20 @@ let scsi_ms t = (Disk.Disk_sim.profile t.disk).Disk.Profile.scsi_overhead_ms
 
 (* ---- inode part codec (self-describing, needed by recovery) ---- *)
 
-let first_part_ptrs t = (t.block_bytes - inode_header_bytes) / 4
-let ptrs_per_part t = t.block_bytes / 4
+(* Every part block ends in an 8-byte FNV checksum so recovery can
+   reject garbage instead of decoding it. *)
+let first_part_ptrs t = (t.block_bytes - inode_header_bytes - 8) / 4
+let ptrs_per_part t = (t.block_bytes - 8) / 4
+
+let seal_part t buf =
+  Bytes.set_int64_le buf (t.block_bytes - 8)
+    (Checksum.add_words Checksum.empty buf ~pos:0 ~len:(t.block_bytes - 8));
+  buf
+
+let part_checksum_ok t buf =
+  Bytes.length buf = t.block_bytes
+  && Bytes.get_int64_le buf (t.block_bytes - 8)
+     = Checksum.add_words Checksum.empty buf ~pos:0 ~len:(t.block_bytes - 8)
 
 let parts_needed t nblocks =
   if nblocks <= first_part_ptrs t then 1
@@ -115,19 +128,24 @@ let encode_part t vn part =
         Bytes.set_int32_le buf (i * 4) (Int32.of_int vn.blocks.(idx))
     done
   end;
-  buf
+  seal_part t buf
 
-let decode_part0 t buf =
-  let inum = Int32.to_int (Bytes.get_int32_le buf 0) in
+let decode_part0 t ~inum buf =
+  if not (part_checksum_ok t buf) then None
+  else if Int32.to_int (Bytes.get_int32_le buf 0) <> inum then None
+  else begin
   let size = Int64.to_int (Bytes.get_int64_le buf 4) in
   let nblocks = Int32.to_int (Bytes.get_int32_le buf 12) in
-  if nblocks < 0 || nblocks > Vlog.Freemap.n_blocks (fm t) * max_parts then None
+  if nblocks < 0 || nblocks > Vlog.Freemap.n_blocks (fm t) * max_parts
+     || size < 0
+     || size > (nblocks + 1) * t.block_bytes then None
   else begin
     let vn = { inum; size; blocks = Array.make nblocks (-1) } in
     for i = 0 to min (first_part_ptrs t) nblocks - 1 do
       vn.blocks.(i) <- Int32.to_int (Bytes.get_int32_le buf (inode_header_bytes + (i * 4)))
     done;
     Some vn
+  end
   end
 
 let decode_part_into t vn part buf =
@@ -165,6 +183,7 @@ let make ~disk ~vlog ~host ~clock cfg =
     prng = Prng.create ~seed:0x7F5FL;
     comp_stats = { tracks_emptied = 0; blocks_moved = 0 };
     comp_resume = None;
+    mode = `Rw;
   }
 
 let format ~disk ~host ~clock cfg =
@@ -364,7 +383,8 @@ let file_size t name = Result.map (fun vn -> vn.size) (lookup t name)
 
 let create t name =
   Trace.op (sink t) "vlfs.create" ~bd_of:Fun.id (fun () ->
-      if Hashtbl.mem t.files name then Error (`Exists name)
+      if t.mode <> `Rw then Error `Read_only
+      else if Hashtbl.mem t.files name then Error (`Exists name)
       else
         match alloc_inum t with
         | None -> Error `No_inodes
@@ -480,7 +500,8 @@ let write_unchecked t name ~off data =
 
 let write t name ~off data =
   Trace.op (sink t) "vlfs.write" ~bd_of:Fun.id (fun () ->
-      try write_unchecked t name ~off data with Io_abort e -> Error (`Io e))
+      if t.mode <> `Rw then Error `Read_only
+      else try write_unchecked t name ~off data with Io_abort e -> Error (`Io e))
 
 let read_unchecked t name ~off ~len =
   match lookup t name with
@@ -513,6 +534,8 @@ let rec delete t name =
   Trace.op (sink t) "vlfs.delete" ~bd_of:Fun.id (fun () -> delete_inner t name)
 
 and delete_inner t name =
+  if t.mode <> `Rw then Error `Read_only
+  else
   match lookup t name with
   | Error _ as e -> e
   | Ok vn ->
@@ -555,7 +578,8 @@ let sync t =
 let fsync t name =
   Trace.incr (sink t) "vlfs.fsyncs";
   Trace.op (sink t) "vlfs.fsync" ~bd_of:Fun.id (fun () ->
-      match lookup t name with Error _ as e -> e | Ok _ -> Ok (sync t))
+      if t.mode <> `Rw then Error `Read_only
+      else match lookup t name with Error _ as e -> e | Ok _ -> Ok (sync t))
 
 let drop_caches t = Ufs.Buffer_cache.drop_clean t.cache
 
@@ -771,7 +795,9 @@ let power_down t =
 type recovery_report = {
   vlog_report : Vlog.Virtual_log.recovery_report;
   inodes_loaded : int;
+  inodes_skipped : int;
   files_found : int;
+  dangling_dropped : int;
   duration : Breakdown.t;
 }
 
@@ -788,47 +814,105 @@ let recover ~disk ~host ?(config = default_config) () =
     let config = { config with n_inodes } in
     let t = make ~disk ~vlog ~host ~clock config in
     let bd = ref vreport.Vlog.Virtual_log.duration in
-    let inodes_loaded = ref 0 in
-    (* Load every mapped inode; its part-0 header sizes the pointer
-       array, later parts fill it in. *)
+    let reasons = ref [] in
+    let degrade msg = if not (List.mem msg !reasons) then reasons := msg :: !reasons in
+    let inodes_loaded = ref 0 and inodes_skipped = ref 0 and dangling = ref 0 in
+    let n_phys = Vlog.Freemap.n_blocks (fm t) in
+    (* Defect-tolerant fetch: bounded retry of transients, [None] for
+       permanent damage — recovery must not raise on a rotted block. *)
     let read_pba pba =
-      let bytes, cost =
-        Disk.Disk_sim.read ~scsi:false disk
-          ~lba:(Vlog.Freemap.lba_of_block (fm t) pba)
-          ~sectors:t.spb
-      in
-      bd := Breakdown.add !bd cost;
-      bytes
+      if pba < 0 || pba >= n_phys then None
+      else begin
+        let rec go attempts =
+          let r, cost =
+            Disk.Disk_sim.read_checked ~scsi:false t.disk
+              ~lba:(Vlog.Freemap.lba_of_block (fm t) pba)
+              ~sectors:t.spb
+          in
+          bd := Breakdown.add !bd cost;
+          match r with
+          | Ok bytes ->
+            if attempts > 0 then Trace.incr (sink t) ~by:attempts "vlfs.read_retries";
+            Some bytes
+          | Error e when e.Disk.Disk_sim.transient && attempts < max_read_retries ->
+            go (attempts + 1)
+          | Error _ -> None
+        in
+        go 0
+      end
     in
-    (try
-       for inum = 0 to config.n_inodes - 1 do
-         match Vlog.Virtual_log.lookup vlog (inum * max_parts) with
-         | None -> ()
-         | Some pba0 ->
-           (match decode_part0 t (read_pba pba0) with
-           | None -> failwith "vlfs recovery: undecodable inode block"
-           | Some vn ->
-             for p = 1 to parts_needed t (Array.length vn.blocks) - 1 do
-               match Vlog.Virtual_log.lookup vlog ((inum * max_parts) + p) with
-               | Some pba -> decode_part_into t vn p (read_pba pba)
-               | None -> failwith "vlfs recovery: missing inode part"
-             done;
-             let vn = { vn with inum } in
-             Hashtbl.replace t.by_inum inum vn;
-             Bytes.set t.inode_used inum '\001';
-             incr inodes_loaded;
-             (* Re-derive data-block occupancy. *)
-             Array.iteri
-               (fun fb pba ->
-                 if pba >= 0 then begin
-                   Vlog.Freemap.occupy (fm t) pba;
-                   t.owner_inum.(pba) <- inum;
-                   t.owner_fblock.(pba) <- fb
-                 end)
-               vn.blocks)
-       done
-     with Failure msg -> raise (Failure msg));
-    (* Rebuild the directory from file 0's blocks. *)
+    (* Load every mapped inode; its part-0 header sizes the pointer
+       array, later parts fill it in.  Unverifiable parts skip the whole
+       inode and degrade the mount rather than serving garbage. *)
+    for inum = 0 to config.n_inodes - 1 do
+      match Vlog.Virtual_log.lookup vlog (inum * max_parts) with
+      | None -> ()
+      | Some pba0 ->
+        let skip msg =
+          incr inodes_skipped;
+          degrade msg
+        in
+        (match read_pba pba0 with
+        | None -> skip (Printf.sprintf "inode %d: part 0 unreadable" inum)
+        | Some buf -> (
+          match decode_part0 t ~inum buf with
+          | None -> skip (Printf.sprintf "inode %d: part 0 corrupt" inum)
+          | Some vn ->
+            let ok = ref true in
+            for p = 1 to parts_needed t (Array.length vn.blocks) - 1 do
+              if !ok then
+                match Vlog.Virtual_log.lookup vlog ((inum * max_parts) + p) with
+                | None ->
+                  ok := false;
+                  skip (Printf.sprintf "inode %d: part %d missing from the map" inum p)
+                | Some pba -> (
+                  match read_pba pba with
+                  | None ->
+                    ok := false;
+                    skip (Printf.sprintf "inode %d: part %d unreadable" inum p)
+                  | Some pbuf ->
+                    if not (part_checksum_ok t pbuf) then begin
+                      ok := false;
+                      skip (Printf.sprintf "inode %d: part %d corrupt" inum p)
+                    end
+                    else decode_part_into t vn p pbuf)
+            done;
+            if !ok then begin
+              Hashtbl.replace t.by_inum inum vn;
+              Bytes.set t.inode_used inum '\001';
+              incr inodes_loaded;
+              (* Re-derive data-block occupancy, rejecting pointers that
+                 contradict what is already claimed. *)
+              Array.iteri
+                (fun fb pba ->
+                  if pba >= 0 then begin
+                    if pba >= n_phys then begin
+                      degrade
+                        (Printf.sprintf "inode %d block %d out of range" inum fb);
+                      vn.blocks.(fb) <- -1
+                    end
+                    else if t.owner_inum.(pba) >= 0 then begin
+                      degrade (Printf.sprintf "physical block %d double-claimed" pba);
+                      vn.blocks.(fb) <- -1
+                    end
+                    else if not (Vlog.Freemap.is_free (fm t) pba) then begin
+                      degrade
+                        (Printf.sprintf
+                           "inode %d block %d points into the log structure" inum fb);
+                      vn.blocks.(fb) <- -1
+                    end
+                    else begin
+                      Vlog.Freemap.occupy (fm t) pba;
+                      t.owner_inum.(pba) <- inum;
+                      t.owner_fblock.(pba) <- fb
+                    end
+                  end)
+                vn.blocks
+            end))
+    done;
+    (* Rebuild the directory from file 0's blocks.  Every flush commits
+       dirents and inodes in one map transaction, so a dangling dirent is
+       never a legal crash state here (unlike UFS/LFS) — it degrades. *)
     (match Hashtbl.find_opt t.by_inum dir_inum with
     | None ->
       let dirn = { inum = dir_inum; size = 0; blocks = [||] } in
@@ -840,32 +924,82 @@ let recover ~disk ~host ?(config = default_config) () =
         Array.init dir_blocks (fun fb ->
             let slots = Array.make t.dir_entries_per_block None in
             (if fb < Array.length dirn.blocks && dirn.blocks.(fb) >= 0 then begin
-               let buf = read_pba dirn.blocks.(fb) in
-               for slot = 0 to t.dir_entries_per_block - 1 do
-                 let off = slot * 32 in
-                 if Bytes.get buf off = '\001' then begin
-                   let inum = Int32.to_int (Bytes.get_int32_le buf (off + 1)) in
-                   let n = Char.code (Bytes.get buf (off + 5)) in
-                   let name = Bytes.sub_string buf (off + 6) n in
-                   slots.(slot) <- Some name;
-                   match Hashtbl.find_opt t.by_inum inum with
-                   | Some vn ->
-                     Hashtbl.replace t.files name vn;
-                     Hashtbl.replace t.file_dir_slot inum (fb, slot)
-                   | None -> ()
-                 end
-               done
+               match read_pba dirn.blocks.(fb) with
+               | None -> degrade (Printf.sprintf "directory block %d unreadable" fb)
+               | Some buf ->
+                 for slot = 0 to t.dir_entries_per_block - 1 do
+                   let off = slot * 32 in
+                   match Bytes.get buf off with
+                   | '\000' -> ()
+                   | '\001' ->
+                     let inum = Int32.to_int (Bytes.get_int32_le buf (off + 1)) in
+                     let n = Char.code (Bytes.get buf (off + 5)) in
+                     if inum < 1 || inum >= config.n_inodes || n < 1 || n > 26 then
+                       degrade
+                         (Printf.sprintf "directory block %d: malformed entry" fb)
+                     else begin
+                       let name = Bytes.sub_string buf (off + 6) n in
+                       match Hashtbl.find_opt t.by_inum inum with
+                       | None ->
+                         incr dangling;
+                         degrade
+                           (Printf.sprintf "dirent %S references missing inode %d"
+                              name inum)
+                       | Some vn ->
+                         if Hashtbl.mem t.files name then
+                           degrade
+                             (Printf.sprintf "duplicate directory entry %S" name)
+                         else if Hashtbl.mem t.file_dir_slot inum then
+                           degrade
+                             (Printf.sprintf
+                                "inode %d claimed by two directory entries" inum)
+                         else begin
+                           slots.(slot) <- Some name;
+                           Hashtbl.replace t.files name vn;
+                           Hashtbl.replace t.file_dir_slot inum (fb, slot)
+                         end
+                     end
+                   | _ ->
+                     degrade (Printf.sprintf "directory block %d: malformed entry" fb)
+                 done
              end);
             (fb, slots)));
+    (* An inode no dirent names can only come from corruption (the same
+       atomicity argument); drop it and release its claims. *)
+    Hashtbl.fold
+      (fun inum _ acc ->
+        if inum <> dir_inum && not (Hashtbl.mem t.file_dir_slot inum) then inum :: acc
+        else acc)
+      t.by_inum []
+    |> List.iter (fun inum ->
+           degrade (Printf.sprintf "orphan inode %d" inum);
+           (match Hashtbl.find_opt t.by_inum inum with
+           | Some vn ->
+             Array.iter
+               (fun pba ->
+                 if pba >= 0 && t.owner_inum.(pba) = inum then begin
+                   Vlog.Freemap.release (fm t) pba;
+                   t.owner_inum.(pba) <- -1;
+                   t.owner_fblock.(pba) <- -1
+                 end)
+               vn.blocks
+           | None -> ());
+           Hashtbl.remove t.by_inum inum;
+           Bytes.set t.inode_used inum '\000');
     Vlog.Eager.rescan_empty_tracks (eager t);
+    if !reasons <> [] then t.mode <- `Degraded (String.concat "; " (List.rev !reasons));
     Ok
       ( t,
         {
           vlog_report = vreport;
           inodes_loaded = !inodes_loaded;
+          inodes_skipped = !inodes_skipped;
           files_found = Hashtbl.length t.files;
+          dangling_dropped = !dangling;
           duration = !bd;
         } )
+
+let mode t = t.mode
 
 let check_invariants t =
   let errors = ref [] in
@@ -896,3 +1030,80 @@ let check_invariants t =
         | None -> err "owner entry for dead inode %d at physical %d" inum pba)
     t.owner_inum;
   match !errors with [] -> Ok () | es -> Error (String.concat "; " es)
+
+(* ---- checker access ---- *)
+
+let disk t = t.disk
+let vlog t = t.vlog
+let config t = t.cfg
+let n_physical_blocks t = Vlog.Freemap.n_blocks (fm t)
+
+let dir_entries t =
+  Hashtbl.fold (fun name vn acc -> (name, vn.inum) :: acc) t.files []
+  |> List.sort compare
+
+let live_inums t =
+  Hashtbl.fold (fun i _ acc -> i :: acc) t.by_inum [] |> List.sort compare
+
+let inode_blocks t inum =
+  Option.map
+    (fun vn -> (vn.size, Array.copy vn.blocks))
+    (Hashtbl.find_opt t.by_inum inum)
+
+let owner_of t pba =
+  if pba < 0 || pba >= Array.length t.owner_inum || t.owner_inum.(pba) < 0 then None
+  else Some (t.owner_inum.(pba), t.owner_fblock.(pba))
+
+let verify_media t =
+  if Hashtbl.length t.pending > 0 || Hashtbl.length t.dirty_parts > 0 then
+    [
+      ( "unflushed",
+        Printf.sprintf "%d data blocks and %d inode parts buffered"
+          (Hashtbl.length t.pending)
+          (Hashtbl.length t.dirty_parts) );
+    ]
+  else begin
+    let findings = ref [] in
+    let add c d = findings := (c, d) :: !findings in
+    let rec read_raw ?(attempts = 0) pba =
+      let r, _ =
+        Disk.Disk_sim.read_checked ~scsi:false t.disk
+          ~lba:(Vlog.Freemap.lba_of_block (fm t) pba)
+          ~sectors:t.spb
+      in
+      (* Retry transients like every other read path: only permanent
+         damage is a media finding. *)
+      match r with
+      | Ok b -> Some b
+      | Error e when e.Disk.Disk_sim.transient && attempts < max_read_retries ->
+        read_raw ~attempts:(attempts + 1) pba
+      | Error _ -> None
+    in
+    Hashtbl.iter
+      (fun inum vn ->
+        for p = 0 to parts_needed t (logical_blocks_of t vn) - 1 do
+          match Vlog.Virtual_log.lookup t.vlog ((inum * max_parts) + p) with
+          | None ->
+            (* Only reachable for an inode that has never been flushed —
+               e.g. the empty directory recovery synthesizes when no
+               durable dir part exists; loaded inodes always had their
+               parts mapped. *)
+            add "unflushed"
+              (Printf.sprintf "inode %d part %d never written" inum p)
+          | Some pba -> (
+            match read_raw pba with
+            | None ->
+              add "io-unreadable"
+                (Printf.sprintf "inode %d part %d (physical %d)" inum p pba)
+            | Some buf ->
+              let ok =
+                if p = 0 then decode_part0 t ~inum buf <> None
+                else part_checksum_ok t buf
+              in
+              if not ok then
+                add "bad-checksum"
+                  (Printf.sprintf "inode %d part %d (physical %d)" inum p pba))
+        done)
+      t.by_inum;
+    List.rev !findings
+  end

@@ -85,7 +85,9 @@ val power_down : t -> Vlog_util.Breakdown.t
 type recovery_report = {
   vlog_report : Vlog.Virtual_log.recovery_report;
   inodes_loaded : int;
+  inodes_skipped : int;  (** inodes dropped for unverifiable parts *)
   files_found : int;
+  dangling_dropped : int;  (** dirents referencing missing inodes (corruption) *)
   duration : Vlog_util.Breakdown.t; (** total, inode reads included *)
 }
 
@@ -101,3 +103,34 @@ val recover :
     is needed. *)
 
 val check_invariants : t -> (unit, string) result
+
+val mode : t -> [ `Rw | `Degraded of string ]
+(** [`Degraded] mounts (entered when {!recover} finds unverifiable
+    damage: a corrupt or unreadable inode part, a contradictory block
+    claim, a malformed or dangling dirent) refuse
+    [create]/[write]/[delete]/[fsync] with [`Read_only]; reads still
+    work. *)
+
+(** {2 Checker access}
+
+    Read-only views for the fsck-style checker ([Check.Vlfs_check]). *)
+
+val disk : t -> Disk.Disk_sim.t
+val vlog : t -> Vlog.Virtual_log.t
+val config : t -> config
+val n_physical_blocks : t -> int
+val dir_entries : t -> (string * int) list
+(** (name, inum), sorted. *)
+
+val live_inums : t -> int list
+val inode_blocks : t -> int -> (int * int array) option
+(** (size, physical data block per file block) for a live inode. *)
+
+val owner_of : t -> int -> (int * int) option
+(** (inum, file block) owning a physical data block. *)
+
+val verify_media : t -> (string * string) list
+(** Validate every live inode part against the virtual-log map and its
+    block checksum: [(category, detail)] findings with categories
+    ["bad-reference"], ["bad-checksum"], ["io-unreadable"], or
+    ["unflushed"] when buffered writes are pending. *)

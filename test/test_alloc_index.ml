@@ -219,6 +219,69 @@ let test_image_encode_equivalence () =
         back.Map_codec.entries
   done
 
+(* ---- mark_bad property: model bitset + oracle equivalence ---- *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make
+      ~name:"mark_bad keeps the index consistent and the search oracle exact"
+      ~count:40
+      (list_of_size Gen.(5 -- 120) (pair (int_range 0 2) small_nat))
+      (fun ops ->
+        let clock = Clock.create () in
+        let disk = Disk.Disk_sim.create ~profile:st ~clock () in
+        let fm =
+          Freemap.create ~geometry:(Disk.Disk_sim.geometry disk)
+            ~sectors_per_block:8
+        in
+        let n = Freemap.n_blocks fm in
+        (* Shadow model: plain arrays, no index to get wrong. *)
+        let free = Array.make n true and bad = Array.make n false in
+        List.iter
+          (fun (op, b) ->
+            let b = b mod n in
+            match op with
+            | 0 ->
+              if free.(b) then begin
+                Freemap.occupy fm b;
+                free.(b) <- false
+              end
+            | 1 ->
+              if (not free.(b)) && not bad.(b) then begin
+                Freemap.release fm b;
+                free.(b) <- true
+              end
+            | _ ->
+              if free.(b) then begin
+                Freemap.mark_bad fm b;
+                free.(b) <- false;
+                bad.(b) <- true
+              end)
+          ops;
+        let model_agrees = ref (Freemap.index_consistent fm) in
+        for b = 0 to n - 1 do
+          if Freemap.is_free fm b <> free.(b) || Freemap.is_bad fm b <> bad.(b)
+          then model_agrees := false
+        done;
+        (* Retired blocks must be invisible to the allocator, and the
+           indexed search must still equal the reference fold exactly. *)
+        let eager = Eager.create ~mode:Eager.Nearest ~disk ~freemap:fm () in
+        let no_mask _ = false in
+        let search_agrees =
+          Eager.search eager ~exclude_tracks:no_mask ~lead_time:0.
+          = Eager.Reference.search eager ~exclude_tracks:no_mask ~lead_time:0.
+        in
+        let bests_agree = ref true in
+        for track = 0 to Freemap.n_tracks fm - 1 do
+          if
+            Eager.best_in_track eager ~lead_time:0.21 track
+            <> Eager.Reference.best_in_track eager ~lead_time:0.21 track
+          then bests_agree := false
+        done;
+        !model_agrees && search_agrees && !bests_agree);
+  ]
+
 let suites =
   let tc = Alcotest.test_case in
   [
@@ -250,4 +313,5 @@ let suites =
         tc "HP97560 sweep 30%" `Quick
           (test_search_equivalence hp Eager.Sweep 0.3 0x58L);
       ] );
+    ("alloc-index:properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
   ]
