@@ -6,82 +6,47 @@
      dune exec bench/main.exe                 # all tables+figures, full scale
      dune exec bench/main.exe -- --quick      # smoke-test sizes
      dune exec bench/main.exe -- fig8 table2  # a subset
+     dune exec bench/main.exe -- --jobs 4     # fan cells out to 4 workers
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
      dune exec bench/main.exe -- --json out.json fig8   # machine-readable timings
 
+   Experiments (and, for the big grids, their individual cells) run
+   through the [Par] worker pool; [--jobs N] sets the pool width
+   (default: detected cores, or $VLSIM_JOBS).  Results are merged in
+   input order, so the tables are byte-identical for every N.
+
    [--json FILE] writes one record per experiment run:
-     [{"name": "fig8", "wall_s": 1.234567, "sim_ms": 56789.123,
-       "scale": "quick"}, ...]
-   where [wall_s] is host wall-clock seconds and [sim_ms] the simulated
-   milliseconds the experiment consumed (delta of
-   [Vlog_util.Clock.advanced_total] around the run).  The schema is
-   documented in DESIGN.md; CI's bench-smoke job validates it. *)
+     [{"name": "fig8", "wall_s": 1.23, "elapsed_s": 2.46,
+       "sim_ms": 56789.123, "scale": "quick", "jobs": 2}, ...]
+   where [wall_s] is the experiment's host wall-clock span (first of its
+   jobs dispatched to last finished), [elapsed_s] the summed in-worker
+   compute seconds of its jobs, and [sim_ms] the simulated milliseconds
+   it consumed (delta of [Vlog_util.Clock.advanced_total] around each
+   job).  The schema is documented in DESIGN.md; CI's bench-smoke job
+   validates it, and the par-determinism job diffs the [jobs]-invariant
+   fields between a sequential and a parallel run. *)
 
 open Experiments
 
 let scale = ref Rigs.Full
 let json_out : string option ref = ref None
 
-(* (name, wall seconds, simulated ms), in run order. *)
-let timings : (string * float * float) list ref = ref []
-
-let run_tech_trends () =
-  (* One measurement feeds both Table 2 and Figure 9. *)
-  let rows = Tech_trends.series ~scale:!scale () in
-  Vlog_util.Table.print (Tech_trends.table2_of rows);
-  print_newline ();
-  Vlog_util.Table.print (Tech_trends.fig9_of rows)
-
-let timed name f =
-  let t0 = Unix.gettimeofday () in
-  let s0 = Vlog_util.Clock.advanced_total () in
-  f ();
-  let wall = Unix.gettimeofday () -. t0 in
-  let sim = Vlog_util.Clock.advanced_total () -. s0 in
-  timings := (name, wall, sim) :: !timings;
-  Printf.printf "[%s: %.1fs]\n\n%!" name wall
-
-let write_json path =
+let write_json path jobs (timings : Suite.timing list) =
   let oc = open_out path in
   let scale_s = match !scale with Rigs.Quick -> "quick" | Rigs.Full -> "full" in
-  let rows = List.rev !timings in
-  let n = List.length rows in
+  let n = List.length timings in
   output_string oc "[\n";
   List.iteri
-    (fun i (name, wall, sim) ->
+    (fun i (t : Suite.timing) ->
       Printf.fprintf oc
-        "  {\"name\": %S, \"wall_s\": %.6f, \"sim_ms\": %.3f, \"scale\": %S}%s\n"
-        name wall sim scale_s
+        "  {\"name\": %S, \"wall_s\": %.6f, \"elapsed_s\": %.6f, \"sim_ms\": \
+         %.3f, \"scale\": %S, \"jobs\": %d}%s\n"
+        t.Suite.t_name t.Suite.t_wall_s t.Suite.t_elapsed_s t.Suite.t_sim_ms
+        scale_s jobs
         (if i = n - 1 then "" else ","))
-    rows;
+    timings;
   output_string oc "]\n";
   close_out oc
-
-let experiments : (string * (unit -> unit)) list =
-  let table t = Vlog_util.Table.print t in
-  [
-    ("table1", fun () -> table (Table1.run ~scale:!scale ()));
-    ("fig1", fun () -> table (Fig1.run ~scale:!scale ()));
-    ("fig2", fun () -> table (Fig2.run ~scale:!scale ()));
-    ("fig6", fun () -> table (Fig6.run ~scale:!scale ()));
-    ("fig7", fun () -> table (Fig7.run ~scale:!scale ()));
-    ("fig8", fun () -> table (Fig8.run ~scale:!scale ()));
-    ("table2", run_tech_trends);
-    ("fig10", fun () -> table (Fig10.run ~scale:!scale ()));
-    ("fig11", fun () -> table (Fig11.run ~scale:!scale ()));
-    ("apps", fun () -> table (Apps.run ~scale:!scale ()));
-    ( "vlfs",
-      fun () ->
-        table (Vlfs_bench.sync_updates ~scale:!scale ());
-        print_newline ();
-        table (Vlfs_bench.buffered_small_files ~scale:!scale ());
-        print_newline ();
-        table (Vlfs_bench.recovery_cost ~scale:!scale ()) );
-    ("ablation-mode", fun () -> table (Ablations.eager_mode ~scale:!scale ()));
-    ("ablation-compact", fun () -> table (Ablations.compaction_policy ~scale:!scale ()));
-    ("ablation-blocksize", fun () -> table (Ablations.block_size ~scale:!scale ()));
-    ("ablation-mapbatch", fun () -> table (Ablations.map_batching ~scale:!scale ()));
-  ]
 
 (* ---- Bechamel micro-benchmarks of the core operations ---- *)
 
@@ -180,18 +145,30 @@ let micro () =
   Notty_unix.eol img |> Notty_unix.output_image
 
 let () =
+  let jobs = ref (Par.default_jobs ()) in
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec strip_json acc = function
+  let rec strip_opts acc = function
     | [] -> List.rev acc
     | "--json" :: path :: rest ->
       json_out := Some path;
-      strip_json acc rest
+      strip_opts acc rest
     | [ "--json" ] ->
       prerr_endline "--json requires a file argument";
       exit 2
-    | a :: rest -> strip_json (a :: acc) rest
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 ->
+        jobs := j;
+        strip_opts acc rest
+      | _ ->
+        prerr_endline "--jobs requires a positive integer";
+        exit 2)
+    | [ "--jobs" ] ->
+      prerr_endline "--jobs requires an integer argument";
+      exit 2
+    | a :: rest -> strip_opts (a :: acc) rest
   in
-  let args = strip_json [] args in
+  let args = strip_opts [] args in
   let quick = List.mem "--quick" args in
   if quick then scale := Rigs.Quick;
   let names = List.filter (fun a -> a <> "--quick") args in
@@ -199,18 +176,39 @@ let () =
   let names = List.filter (fun a -> a <> "micro") names in
   let to_run =
     match names with
-    | [] -> experiments
+    | [] -> Suite.names
     | names ->
-      List.filter_map
+      List.iter
         (fun n ->
-          match List.assoc_opt n experiments with
-          | Some f -> Some (n, f)
-          | None ->
+          if not (List.mem n Suite.names) then begin
             Printf.eprintf "unknown experiment %s (known: %s)\n" n
-              (String.concat ", " (List.map fst experiments));
-            exit 2)
-        names
+              (String.concat ", " Suite.names);
+            exit 2
+          end)
+        names;
+      names
   in
-  List.iter (fun (name, f) -> timed name f) to_run;
-  (match !json_out with Some path -> write_json path | None -> ());
+  (if to_run <> [] then
+     let progress ~completed ~total ~label =
+       Printf.eprintf "[%d/%d] %s\n%!" completed total label
+     in
+     let timings =
+       Suite.run ~jobs:!jobs ~timeout_s:3600. ~progress ~scale:!scale
+         ~names:to_run ()
+     in
+     List.iter
+       (fun (t : Suite.timing) ->
+         print_string t.Suite.t_output;
+         Printf.printf "[%s: %.1fs]\n\n%!" t.Suite.t_name t.Suite.t_wall_s)
+       timings;
+     (match !json_out with
+     | Some path -> write_json path !jobs timings
+     | None -> ());
+     let failed =
+       List.concat_map (fun (t : Suite.timing) -> t.Suite.t_failures) timings
+     in
+     if failed <> [] then begin
+       List.iter (Printf.eprintf "FAILED %s\n") failed;
+       exit 1
+     end);
   if want_micro || names = [] then micro ()

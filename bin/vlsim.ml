@@ -39,6 +39,16 @@ let host_arg =
 
 let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"smoke-test sizes")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Par.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "worker processes to fan sweep cells out to (default: detected \
+           cores, or \\$(b,VLSIM_JOBS)); results are merged in matrix order, \
+           so the report is identical for every N")
+
 (* --- experiments --- *)
 
 let experiment_names =
@@ -189,7 +199,7 @@ let faults_cmd =
       & info [ "repro" ] ~docv:"SPEC"
           ~doc:
             "rerun exactly one failing cell, as printed by a failure: \
-             seed=7101,kind=torn-write,trigger=5,tail=true,case=37")
+             seed=7101,kind=torn,trigger=5,tail=true,case=37")
   in
   let report o =
     Printf.printf
@@ -204,7 +214,7 @@ let faults_cmd =
       exit 1
     end
   in
-  let run plan seed triggers quick repro =
+  let run plan seed triggers quick jobs repro =
     match repro with
     | Some spec -> (
       match Fault.Sweep.parse_repro spec with
@@ -242,10 +252,12 @@ let faults_cmd =
           triggers = (if quick then min triggers 6 else triggers);
         }
       in
-      report (Fault.Sweep.run cfg)
+      report (Fault.Sweep.run ~jobs cfg)
   in
   Cmd.v (Cmd.info "faults" ~doc)
-    Term.(const run $ plan_arg $ seed_arg $ triggers_arg $ quick_arg $ repro_arg)
+    Term.(
+      const run $ plan_arg $ seed_arg $ triggers_arg $ quick_arg $ jobs_arg
+      $ repro_arg)
 
 (* --- fssweep --- *)
 
@@ -268,7 +280,7 @@ let fssweep_cmd =
       & info [ "repro" ] ~docv:"SPEC"
           ~doc:
             "rerun exactly one failing cell, as printed by a failure: \
-             rig=ufs/vld,seed=9203,kind=torn-write,trigger=5,case=37")
+             rig=ufs/vld,seed=9203,kind=torn,trigger=5,case=37")
   in
   let report o =
     Printf.printf
@@ -285,7 +297,7 @@ let fssweep_cmd =
       exit 1
     end
   in
-  let run seed quick repro =
+  let run seed quick jobs repro =
     match repro with
     | Some spec -> (
       match Check.Fs_sweep.parse_repro spec with
@@ -306,10 +318,11 @@ let fssweep_cmd =
         if quick then Check.Fs_sweep.smoke else Check.Fs_sweep.default
       in
       report
-        (Check.Fs_sweep.run { cfg with Check.Fs_sweep.seed = Int64.of_int seed })
+        (Check.Fs_sweep.run ~jobs
+           { cfg with Check.Fs_sweep.seed = Int64.of_int seed })
   in
   Cmd.v (Cmd.info "fssweep" ~doc)
-    Term.(const run $ seed_arg $ quick_arg $ repro_arg)
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg $ repro_arg)
 
 (* --- mkimage --- *)
 

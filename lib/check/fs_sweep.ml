@@ -588,8 +588,13 @@ let run_cell (c : config) ~rig ~kind ~trigger ~case =
     failures = List.rev !fails;
   }
 
-let run (c : config) =
-  let acc = ref zero in
+(* The matrix in canonical order.  [case] counts only the cells actually
+   present (excluded rig/kind pairs are skipped before numbering), is a
+   function of the cell's position alone, and thus never depends on
+   which cells have already executed — what makes the sweep safe to fan
+   out across workers. *)
+let cells (c : config) =
+  let cells = ref [] in
   let case = ref 0 in
   List.iter
     (fun rig ->
@@ -599,11 +604,44 @@ let run (c : config) =
             List.iter
               (fun trigger ->
                 incr case;
-                acc := merge !acc (run_cell c ~rig ~kind ~trigger ~case:!case))
+                cells := (rig, kind, trigger, !case) :: !cells)
               c.triggers)
         c.kinds)
     c.rigs;
-  !acc
+  List.rev !cells
+
+(* A worker that died (crash, wedge, exception) degrades to a per-cell
+   failure carrying the same repro coordinates a judged failure would. *)
+let worker_failure (c : config) (rig, kind, trigger, case) reason =
+  {
+    zero with
+    scenarios = 1;
+    failures =
+      [
+        {
+          f_rig = rig_name rig;
+          f_seed = c.seed;
+          f_kind = kind;
+          f_trigger = trigger;
+          f_case = case;
+          message = Par.reason_to_string reason;
+        };
+      ];
+  }
+
+let run ?(jobs = 1) ?(timeout_s = 300.) ?cell (c : config) =
+  let cell_fn = match cell with None -> run_cell | Some f -> f in
+  let cells = cells c in
+  let results =
+    Par.map ~timeout_s ~jobs
+      (fun (rig, kind, trigger, case) -> cell_fn c ~rig ~kind ~trigger ~case)
+      cells
+  in
+  List.fold_left2
+    (fun acc cl -> function
+      | Ok o -> merge acc o
+      | Error (e : Par.error) -> merge acc (worker_failure c cl e.Par.reason))
+    zero cells results
 
 (* ---- Seeded degraded-mount demonstrations ---- *)
 

@@ -76,7 +76,32 @@ val run_cell :
 (** One scenario: workload under fault, freeze, remount, fsck, oracle,
     idempotence.  [case] perturbs the scenario seed. *)
 
-val run : config -> outcome
+val cells : config -> (rig * Fault.Plan.kind * int * int) list
+(** The (rig, kind, trigger, case) matrix in canonical order.  [case]
+    numbers only the cells actually present (excluded pairs are skipped
+    before numbering) and is a function of a cell's coordinates alone,
+    independent of execution order. *)
+
+val run :
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?cell:
+    (config ->
+    rig:rig ->
+    kind:Fault.Plan.kind ->
+    trigger:int ->
+    case:int ->
+    outcome) ->
+  config ->
+  outcome
+(** Run the whole matrix through {!Par.map} on [jobs] workers (default
+    [1]: in-process, no fork) and merge per-cell outcomes in matrix
+    order — identical result for every [jobs] value.  A cell whose
+    worker crashes, raises, or exceeds [timeout_s] (default 300 s,
+    enforced only when [jobs > 1]) contributes a structured {!failure}
+    with its repro coordinates instead of killing the sweep.  [cell]
+    overrides the cell body — tests use it to plant deliberately
+    crashing or hanging cells. *)
 
 val degraded_demo : fs_kind -> (unit, string) result
 (** Seeded corruption of one live inode's sole metadata copy on an

@@ -3,6 +3,8 @@ open Vlog_util
 type point = { idle_s : float; latency_ms : float }
 type curve = { burst_kb : int; points : point list }
 
+type cell = { c_burst_kb : int; c_idle_s : float }
+
 let params_of_scale = function
   | Rigs.Quick -> ([ 128; 1008 ], [ 0.; 1.; 3. ], 1.5)
   | Rigs.Full ->
@@ -15,29 +17,55 @@ let bursts_for ~nvram_fills burst_kb =
   let need = int_of_float (nvram_fills *. float_of_int Rigs.nvram_blocks) in
   max 8 (min 200 ((need + burst_blocks - 1) / burst_blocks))
 
-let series ?(scale = Rigs.Full) () =
-  let burst_sizes, idles_s, nvram_fills = params_of_scale scale in
+let grid burst_sizes idles_s =
+  List.concat_map
+    (fun burst_kb ->
+      List.map (fun idle_s -> { c_burst_kb = burst_kb; c_idle_s = idle_s }) idles_s)
+    burst_sizes
+
+let cells ~scale =
+  let burst_sizes, idles_s, _ = params_of_scale scale in
+  grid burst_sizes idles_s
+
+let cell_label c = Printf.sprintf "%dK burst, %.2fs idle" c.c_burst_kb c.c_idle_s
+
+(* Coordinate-seeded: the rig comes from a constant seed, so the cell is
+   independent of every other cell and safe to run in parallel. *)
+let run_cell ~scale c =
+  let _, _, nvram_fills = params_of_scale scale in
+  let rig =
+    Rigs.rig
+      ~fs:(Workload.Setup.LFS { buffer_blocks = Rigs.nvram_blocks })
+      ~dev:Workload.Setup.Regular ()
+  in
+  let file_mb = Rigs.file_mb_for_utilization rig 0.8 in
+  let r =
+    Workload.Burst.run
+      ~bursts:(bursts_for ~nvram_fills c.c_burst_kb)
+      ~file_mb ~burst_kb:c.c_burst_kb ~idle_ms:(c.c_idle_s *. 1000.) rig
+  in
+  { idle_s = c.c_idle_s; latency_ms = r.Workload.Burst.latency_ms_per_block }
+
+let collate results =
+  let bursts =
+    List.fold_left
+      (fun acc (c, _) ->
+        if List.mem c.c_burst_kb acc then acc else acc @ [ c.c_burst_kb ])
+      [] results
+  in
   List.map
     (fun burst_kb ->
-      let points =
-        List.map
-          (fun idle_s ->
-            let rig =
-              Rigs.rig
-                ~fs:(Workload.Setup.LFS { buffer_blocks = Rigs.nvram_blocks })
-                ~dev:Workload.Setup.Regular ()
-            in
-            let file_mb = Rigs.file_mb_for_utilization rig 0.8 in
-            let r =
-              Workload.Burst.run
-                ~bursts:(bursts_for ~nvram_fills burst_kb)
-                ~file_mb ~burst_kb ~idle_ms:(idle_s *. 1000.) rig
-            in
-            { idle_s; latency_ms = r.Workload.Burst.latency_ms_per_block })
-          idles_s
-      in
-      { burst_kb; points })
-    burst_sizes
+      {
+        burst_kb;
+        points =
+          List.filter_map
+            (fun (c, p) -> if c.c_burst_kb = burst_kb then Some p else None)
+            results;
+      })
+    bursts
+
+let series ?(scale = Rigs.Full) () =
+  collate (List.map (fun c -> (c, run_cell ~scale c)) (cells ~scale))
 
 let table_of ~title curves =
   match curves with

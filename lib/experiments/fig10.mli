@@ -5,6 +5,19 @@
 type point = { idle_s : float; latency_ms : float }
 type curve = { burst_kb : int; points : point list }
 
+type cell = { c_burst_kb : int; c_idle_s : float }
+(** One independent (burst size × idle interval) measurement; cells
+    share no state and run in any order. *)
+
+val cells : scale:Rigs.scale -> cell list
+(** The grid in presentation order (burst-size-major). *)
+
+val cell_label : cell -> string
+val run_cell : scale:Rigs.scale -> cell -> point
+
+val collate : (cell * point) list -> curve list
+(** Regroup per-cell results (in {!cells} order) into curves. *)
+
 val series : ?scale:Rigs.scale -> unit -> curve list
 val table_of : title:string -> curve list -> Vlog_util.Table.t
 (** Shared idle-interval table renderer (Figure 11 reuses it). *)

@@ -7,5 +7,14 @@
 type point = { idle_s : float; latency_ms : float }
 type curve = { burst_kb : int; points : point list }
 
+type cell = { c_burst_kb : int; c_idle_s : float }
+(** One independent (burst size × idle interval) measurement. *)
+
+val cells : scale:Rigs.scale -> cell list
+val cell_label : cell -> string
+val run_cell : scale:Rigs.scale -> cell -> point
+val collate : (cell * point) list -> curve list
+val table_of : curve list -> Vlog_util.Table.t
+
 val series : ?scale:Rigs.scale -> unit -> curve list
 val run : ?scale:Rigs.scale -> unit -> Vlog_util.Table.t

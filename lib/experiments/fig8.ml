@@ -3,6 +3,8 @@ open Vlog_util
 type point = { file_mb : float; utilization : float; latency_ms : float }
 type series = { label : string; points : point list }
 
+type cell = { c_system : int; c_file_mb : float }
+
 let configs =
   [
     ("UFS on Regular Disk", Workload.Setup.UFS { sync_data = true }, Workload.Setup.Regular);
@@ -19,34 +21,51 @@ let sizes_of_scale = function
   | Rigs.Quick -> ([ 2.; 8. ], 120, 20)
   | Rigs.Full -> ([ 2.; 4.; 6.; 8.; 10.; 12.; 14.; 16.; 17.5; 19. ], 4000, 200)
 
-let series ?(scale = Rigs.Full) () =
-  let file_sizes, updates, warmup = sizes_of_scale scale in
-  List.map
-    (fun (label, fs, dev) ->
-      let points =
-        List.filter_map
-          (fun file_mb ->
-            let rig = Rigs.rig ~fs ~dev () in
-            (* LFS cannot hold files close to the raw device size (segment
-               reserve); skip infeasible points rather than fake them. *)
-            match
-              Workload.Random_update.run ~updates ~warmup ~file_mb rig
-            with
-            | r ->
-              Some
-                {
-                  file_mb;
-                  utilization = r.Workload.Random_update.utilization;
-                  latency_ms = r.Workload.Random_update.mean_latency_ms;
-                }
-            | exception Failure _ -> None)
-          file_sizes
-      in
-      { label; points })
+let cells ~scale =
+  let file_sizes, _, _ = sizes_of_scale scale in
+  List.concat
+    (List.mapi
+       (fun ci _ -> List.map (fun file_mb -> { c_system = ci; c_file_mb = file_mb }) file_sizes)
+       configs)
+
+let cell_label c =
+  let label, _, _ = List.nth configs c.c_system in
+  Printf.sprintf "%s, %.1f MB" label c.c_file_mb
+
+(* Every cell builds its own rig from a constant seed — nothing flows
+   between cells, so they can run in any order or in parallel. *)
+let run_cell ~scale c =
+  let _, updates, warmup = sizes_of_scale scale in
+  let _, fs, dev = List.nth configs c.c_system in
+  let rig = Rigs.rig ~fs ~dev () in
+  (* LFS cannot hold files close to the raw device size (segment
+     reserve); skip infeasible points rather than fake them. *)
+  match Workload.Random_update.run ~updates ~warmup ~file_mb:c.c_file_mb rig with
+  | r ->
+    Some
+      {
+        file_mb = c.c_file_mb;
+        utilization = r.Workload.Random_update.utilization;
+        latency_ms = r.Workload.Random_update.mean_latency_ms;
+      }
+  | exception Failure _ -> None
+
+let collate results =
+  List.mapi
+    (fun ci (label, _, _) ->
+      {
+        label;
+        points =
+          List.filter_map
+            (fun (c, p) -> if c.c_system = ci then p else None)
+            results;
+      })
     configs
 
-let run ?(scale = Rigs.Full) () =
-  let all = series ~scale () in
+let series ?(scale = Rigs.Full) () =
+  collate (List.map (fun c -> (c, run_cell ~scale c)) (cells ~scale))
+
+let table_of all =
   let t =
     Table.create
       ~title:
@@ -68,3 +87,5 @@ let run ?(scale = Rigs.Full) () =
         s.points)
     all;
   t
+
+let run ?(scale = Rigs.Full) () = table_of (series ~scale ())

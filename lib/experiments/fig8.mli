@@ -11,5 +11,26 @@ type point = {
 
 type series = { label : string; points : point list }
 
+type cell = { c_system : int;  (** index into the three systems *) c_file_mb : float }
+(** One independent measurement of the (system × file size) grid.  A
+    cell builds its rig from a constant seed, never from state another
+    cell advanced, so cells run in any order — {!Suite} fans them out as
+    parallel sub-jobs. *)
+
+val cells : scale:Rigs.scale -> cell list
+(** The grid in presentation order (system-major). *)
+
+val cell_label : cell -> string
+
+val run_cell : scale:Rigs.scale -> cell -> point option
+(** [None] when the point is infeasible on that system (LFS cannot hold
+    files near the raw device size). *)
+
+val collate : (cell * point option) list -> series list
+(** Regroup per-cell results (in {!cells} order) into the per-system
+    series [run] renders. *)
+
+val table_of : series list -> Vlog_util.Table.t
+
 val series : ?scale:Rigs.scale -> unit -> series list
 val run : ?scale:Rigs.scale -> unit -> Vlog_util.Table.t

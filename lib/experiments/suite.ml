@@ -1,0 +1,212 @@
+(* The bench suite as a parallel job plan.
+
+   Every experiment is decomposed into one or more independent jobs,
+   each returning a rendered payload; the whole run is one flat job list
+   through [Par.map], so figures and cells from different experiments
+   fill the worker pool together.  Sub-splittable figures (fig8's
+   utilization sweep, fig10/fig11's idle grids) contribute one job per
+   cell and a merge function that regroups cell results into the
+   figure's table; everything else is a single job rendering its own
+   output.  Because every cell derives its state from its own
+   coordinates (constant rig seeds, per-cell PRNGs), the merged output
+   is byte-identical whatever [jobs] is. *)
+
+open Vlog_util
+
+type timing = {
+  t_name : string;
+  t_output : string;
+  t_wall_s : float;
+  t_elapsed_s : float;
+  t_sim_ms : float;
+  t_failures : string list;
+}
+
+(* A plan is either one job or a fan-out with a typed merge.  ['r] is
+   existential: it never crosses the module boundary, only the wire
+   (where it is marshalled, so it must be closure-free data). *)
+type plan =
+  | Single of (unit -> string)
+  | Split : {
+      subs : (string * (unit -> 'r)) list;
+      merge : 'r list -> string;
+    }
+      -> plan
+
+let render t = Table.render t
+
+let plan ~scale name : plan =
+  let table (run : ?scale:Rigs.scale -> unit -> Table.t) =
+    Single (fun () -> render (run ~scale ()))
+  in
+  match name with
+  | "table1" -> table Table1.run
+  | "fig1" -> table Fig1.run
+  | "fig2" -> table Fig2.run
+  | "fig6" -> table Fig6.run
+  | "fig7" -> table Fig7.run
+  | "fig8" ->
+    let cells = Fig8.cells ~scale in
+    Split
+      {
+        subs =
+          List.map
+            (fun c -> (Printf.sprintf "fig8[%s]" (Fig8.cell_label c),
+                       fun () -> Fig8.run_cell ~scale c))
+            cells;
+        merge =
+          (fun points ->
+            render (Fig8.table_of (Fig8.collate (List.combine cells points))));
+      }
+  | "table2" ->
+    (* One measurement feeds both Table 2 and Figure 9. *)
+    Single
+      (fun () ->
+        let rows = Tech_trends.series ~scale () in
+        render (Tech_trends.table2_of rows) ^ "\n" ^ render (Tech_trends.fig9_of rows))
+  | "fig10" ->
+    let cells = Fig10.cells ~scale in
+    Split
+      {
+        subs =
+          List.map
+            (fun c -> (Printf.sprintf "fig10[%s]" (Fig10.cell_label c),
+                       fun () -> Fig10.run_cell ~scale c))
+            cells;
+        merge =
+          (fun points ->
+            render
+              (Fig10.table_of ~title:"Figure 10: LFS (with NVRAM) latency vs idle interval"
+                 (Fig10.collate (List.combine cells points))));
+      }
+  | "fig11" ->
+    let cells = Fig11.cells ~scale in
+    Split
+      {
+        subs =
+          List.map
+            (fun c -> (Printf.sprintf "fig11[%s]" (Fig11.cell_label c),
+                       fun () -> Fig11.run_cell ~scale c))
+            cells;
+        merge =
+          (fun points ->
+            render (Fig11.table_of (Fig11.collate (List.combine cells points))));
+      }
+  | "apps" -> table Apps.run
+  | "vlfs" ->
+    Single
+      (fun () ->
+        render (Vlfs_bench.sync_updates ~scale ())
+        ^ "\n"
+        ^ render (Vlfs_bench.buffered_small_files ~scale ())
+        ^ "\n"
+        ^ render (Vlfs_bench.recovery_cost ~scale ()))
+  | "ablation-mode" -> table Ablations.eager_mode
+  | "ablation-compact" -> table Ablations.compaction_policy
+  | "ablation-blocksize" -> table Ablations.block_size
+  | "ablation-mapbatch" -> table Ablations.map_batching
+  | other -> invalid_arg ("Suite.plan: unknown experiment " ^ other)
+
+let names =
+  [
+    "table1"; "fig1"; "fig2"; "fig6"; "fig7"; "fig8"; "table2"; "fig10";
+    "fig11"; "apps"; "vlfs"; "ablation-mode"; "ablation-compact";
+    "ablation-blocksize"; "ablation-mapbatch";
+  ]
+
+(* Type erasure at the job boundary: sub-results travel marshalled, and
+   the typed merge is rebuilt on strings.  ['r] stays bound inside each
+   match arm, so this needs no [Obj]. *)
+type erased = {
+  e_name : string;
+  e_subs : (string * (unit -> string)) list;
+  e_merge : string list -> string;
+}
+
+let erase e_name = function
+  | Single f -> { e_name; e_subs = [ (e_name, f) ]; e_merge = String.concat "" }
+  | Split { subs; merge } ->
+    {
+      e_name;
+      e_subs =
+        List.map (fun (lbl, f) -> (lbl, fun () -> Marshal.to_string (f ()) [])) subs;
+      e_merge =
+        (fun frags -> merge (List.map (fun s -> Marshal.from_string s 0) frags));
+    }
+
+(* What one job ships back: payload plus its own compute and simulated
+   time, measured in the worker so attribution survives the fan-out. *)
+type job_out = { jo_payload : string; jo_elapsed_s : float; jo_sim_ms : float }
+
+let run ?(jobs = 1) ?timeout_s ?(progress = fun ~completed:_ ~total:_ ~label:_ -> ())
+    ~scale ~names:wanted () =
+  let plans = List.map (fun n -> erase n (plan ~scale n)) wanted in
+  let flat =
+    List.concat
+      (List.mapi
+         (fun ei e -> List.map (fun (lbl, th) -> (ei, lbl, th)) e.e_subs)
+         plans)
+  in
+  let total = List.length flat in
+  let labels = Array.of_list (List.map (fun (_, lbl, _) -> lbl) flat) in
+  let starts = Array.make total 0. in
+  let dones = Array.make total 0. in
+  let completed = ref 0 in
+  let results =
+    Par.map ?timeout_s ~jobs
+      ~on_start:(fun i -> starts.(i) <- Unix.gettimeofday ())
+      ~on_done:(fun i ->
+        dones.(i) <- Unix.gettimeofday ();
+        incr completed;
+        progress ~completed:!completed ~total ~label:labels.(i))
+      (fun (_, _, thunk) ->
+        let t0 = Unix.gettimeofday () in
+        let s0 = Clock.advanced_total () in
+        let jo_payload = thunk () in
+        {
+          jo_payload;
+          jo_elapsed_s = Unix.gettimeofday () -. t0;
+          jo_sim_ms = Clock.advanced_total () -. s0;
+        })
+      flat
+  in
+  (* Regroup the flat results per experiment, in input order. *)
+  let indexed = List.mapi (fun i ((ei, lbl, _), r) -> (i, ei, lbl, r)) (List.combine flat results) in
+  List.mapi
+    (fun ei e ->
+      let mine = List.filter (fun (_, ei', _, _) -> ei' = ei) indexed in
+      let failures =
+        List.filter_map
+          (fun (_, _, lbl, r) ->
+            match r with
+            | Ok _ -> None
+            | Error (err : Par.error) ->
+              Some (Printf.sprintf "%s: %s" lbl (Par.reason_to_string err.Par.reason)))
+          mine
+      in
+      let oks = List.filter_map (fun (_, _, _, r) -> Result.to_option r) mine in
+      let t_output =
+        if failures = [] then e.e_merge (List.map (fun j -> j.jo_payload) oks)
+        else
+          Printf.sprintf "(%s: %d of %d jobs failed; no output)\n" e.e_name
+            (List.length failures) (List.length mine)
+      in
+      let sum f = List.fold_left (fun a j -> a +. f j) 0. oks in
+      let span =
+        let idxs = List.map (fun (i, _, _, _) -> i) mine in
+        match idxs with
+        | [] -> 0.
+        | _ ->
+          let first = List.fold_left (fun a i -> Float.min a starts.(i)) infinity idxs in
+          let last = List.fold_left (fun a i -> Float.max a dones.(i)) 0. idxs in
+          Float.max 0. (last -. first)
+      in
+      {
+        t_name = e.e_name;
+        t_output;
+        t_wall_s = span;
+        t_elapsed_s = sum (fun j -> j.jo_elapsed_s);
+        t_sim_ms = sum (fun j -> j.jo_sim_ms);
+        t_failures = failures;
+      })
+    plans

@@ -259,8 +259,12 @@ let run_scenario (c : config) ~kind ~trigger ~with_tail ~case =
     failures = List.rev !fail;
   }
 
-let run (c : config) =
-  let acc = ref zero in
+(* The matrix in canonical order.  [case] is a function of the cell's
+   position alone (tail-major, then kind, then trigger), so a cell's
+   seed derives from its coordinates and never from which cells ran
+   before it — the property that makes the sweep safe to fan out. *)
+let cells (c : config) =
+  let cells = ref [] in
   let case = ref 0 in
   List.iter
     (fun with_tail ->
@@ -268,8 +272,38 @@ let run (c : config) =
         (fun kind ->
           for trigger = 0 to c.triggers - 1 do
             incr case;
-            acc := merge !acc (run_scenario c ~kind ~trigger ~with_tail ~case:!case)
+            cells := (kind, trigger, with_tail, !case) :: !cells
           done)
         c.kinds)
     c.tail_modes;
-  !acc
+  List.rev !cells
+
+(* A worker that died (crash, wedge, exception) degrades to a per-cell
+   failure carrying the same repro coordinates a judged failure would. *)
+let worker_failure (c : config) (kind, trigger, with_tail, case) reason =
+  {
+    zero with
+    scenarios = 1;
+    failures =
+      [
+        { seed = c.seed; kind; trigger; with_tail; case;
+          message = Par.reason_to_string reason };
+      ];
+  }
+
+let run ?(jobs = 1) ?(timeout_s = 300.) ?scenario (c : config) =
+  let scenario =
+    match scenario with None -> run_scenario | Some f -> f
+  in
+  let cells = cells c in
+  let results =
+    Par.map ~timeout_s ~jobs
+      (fun (kind, trigger, with_tail, case) ->
+        scenario c ~kind ~trigger ~with_tail ~case)
+      cells
+  in
+  List.fold_left2
+    (fun acc cell -> function
+      | Ok o -> merge acc o
+      | Error (e : Par.error) -> merge acc (worker_failure c cell e.Par.reason))
+    zero cells results

@@ -48,7 +48,7 @@ type failure = {
 
 val repro_of_failure : failure -> string
 (** Copy-pasteable [--repro] argument, e.g.
-    ["seed=7101,kind=torn-write,trigger=5,tail=true,case=37"]. *)
+    ["seed=7101,kind=torn,trigger=5,tail=true,case=37"]. *)
 
 val parse_repro :
   string -> (int64 option * Plan.kind * int * bool * int, string) result
@@ -66,7 +66,26 @@ type outcome = {
   failures : failure list;  (** invariant violations, empty on success *)
 }
 
-val run : config -> outcome
+val cells : config -> (Plan.kind * int * bool * int) list
+(** The (kind, trigger, with_tail, case) matrix in canonical order.
+    [case] is a function of the cell's coordinates alone, so every
+    cell's seed is independent of execution order. *)
+
+val run :
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?scenario:
+    (config -> kind:Plan.kind -> trigger:int -> with_tail:bool -> case:int -> outcome) ->
+  config ->
+  outcome
+(** Run the whole matrix through {!Par.map} on [jobs] workers (default
+    [1]: in-process, no fork) and merge the per-cell outcomes in matrix
+    order — the result is identical for every [jobs] value.  A cell
+    whose worker crashes, raises, or exceeds [timeout_s] (default 300 s,
+    enforced only when [jobs > 1]) contributes a structured {!failure}
+    with its repro coordinates instead of killing the sweep.
+    [scenario] overrides the cell body — tests use it to plant
+    deliberately crashing or hanging cells. *)
 
 val run_scenario :
   config -> kind:Plan.kind -> trigger:int -> with_tail:bool -> case:int -> outcome

@@ -1,0 +1,205 @@
+type reason =
+  | Exn of string
+  | Timeout of float
+  | Crashed of string
+
+type error = { index : int; reason : reason }
+
+let reason_to_string = function
+  | Exn m -> "worker exception: " ^ m
+  | Timeout s -> Printf.sprintf "worker timed out after %gs and was killed" s
+  | Crashed m -> "worker crashed: " ^ m
+
+let detected_cores () =
+  try
+    let ic = Unix.open_process_in "getconf _NPROCESSORS_ONLN 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    max 1 (int_of_string (String.trim line))
+  with _ -> 1
+
+let default_jobs () =
+  match Sys.getenv_opt "VLSIM_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> detected_cores ())
+  | None -> detected_cores ()
+
+let nop (_ : int) = ()
+
+(* ---- wire format: 8-byte big-endian length, then a marshalled
+   [('b, string) result] (Ok payload | Error exn-string). ---- *)
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let k = Unix.write fd buf off len in
+    write_all fd buf (off + k) (len - k)
+  end
+
+(* Body of a worker process: compute, frame, ship, die without running
+   the parent's [at_exit] handlers. *)
+let child_main fd f x =
+  let payload = match f x with v -> Ok v | exception e -> Error (Printexc.to_string e) in
+  (try
+     let body = Marshal.to_bytes payload [] in
+     let frame = Bytes.create (8 + Bytes.length body) in
+     Bytes.set_int64_be frame 0 (Int64.of_int (Bytes.length body));
+     Bytes.blit body 0 frame 8 (Bytes.length body);
+     write_all fd frame 0 (Bytes.length frame)
+   with _ -> ());
+  (try Unix.close fd with _ -> ());
+  Unix._exit 0
+
+let rec restart f x = try f x with Unix.Unix_error (Unix.EINTR, _, _) -> restart f x
+
+(* One in-flight worker. *)
+type slot = {
+  pid : int;
+  idx : int;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  deadline : float option;
+}
+
+let describe_status = function
+  | Unix.WEXITED 0 -> "exited before returning a result"
+  | Unix.WEXITED n -> Printf.sprintf "exited with status %d before returning a result" n
+  | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
+
+(* Decode a worker's accumulated pipe output once it hit EOF. *)
+let decode_frame ~idx ~status buf =
+  let s = Buffer.contents buf in
+  let short () = Error { index = idx; reason = Crashed (describe_status status) } in
+  if String.length s < 8 then short ()
+  else
+    let len = Int64.to_int (String.get_int64_be s 0) in
+    if len < 0 || String.length s < 8 + len then short ()
+    else
+      match (Marshal.from_string s 8 : (_, string) result) with
+      | Ok v -> Ok v
+      | Error m -> Error { index = idx; reason = Exn m }
+      | exception _ -> short ()
+
+let sequential ~on_start ~on_done f items =
+  let out = ref [] in
+  List.iteri
+    (fun i x ->
+      on_start i;
+      let r =
+        match f x with
+        | v -> Ok v
+        | exception e -> Error { index = i; reason = Exn (Printexc.to_string e) }
+      in
+      on_done i;
+      out := r :: !out)
+    items;
+  List.rev !out
+
+let parallel ?timeout_s ~on_start ~on_done ~jobs f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let results : ('b, error) result option array = Array.make n None in
+  let running = ref ([] : slot list) in
+  let next = ref 0 in
+  let finish slot r =
+    results.(slot.idx) <- Some r;
+    running := List.filter (fun s -> s.pid <> slot.pid) !running;
+    on_done slot.idx
+  in
+  let reap_eof slot =
+    (try Unix.close slot.fd with Unix.Unix_error _ -> ());
+    let _, status = restart (Unix.waitpid []) slot.pid in
+    finish slot (decode_frame ~idx:slot.idx ~status slot.buf)
+  in
+  let kill_expired slot timeout =
+    (try Unix.kill slot.pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (restart (Unix.waitpid []) slot.pid);
+    (try Unix.close slot.fd with Unix.Unix_error _ -> ());
+    finish slot (Error { index = slot.idx; reason = Timeout timeout })
+  in
+  let spawn () =
+    while !next < n && List.length !running < jobs do
+      let i = !next in
+      incr next;
+      (* The child inherits the stdio buffers: flush now so it cannot
+         re-emit half-written parent output, and nothing is printed
+         between here and the fork. *)
+      flush stdout;
+      flush stderr;
+      let r, w = Unix.pipe () in
+      match Unix.fork () with
+      | 0 ->
+        (try Unix.close r with Unix.Unix_error _ -> ());
+        child_main w f items.(i)
+      | pid ->
+        (try Unix.close w with Unix.Unix_error _ -> ());
+        let deadline =
+          Option.map (fun t -> Unix.gettimeofday () +. t) timeout_s
+        in
+        running := { pid; idx = i; fd = r; buf = Buffer.create 256; deadline } :: !running;
+        on_start i
+    done
+  in
+  let chunk = Bytes.create 65536 in
+  let pump () =
+    let fds = List.map (fun s -> s.fd) !running in
+    let select_timeout =
+      List.fold_left
+        (fun acc s ->
+          match s.deadline with
+          | None -> acc
+          | Some d ->
+            let left = Float.max 0. (d -. Unix.gettimeofday ()) in
+            Some (match acc with None -> left | Some t -> Float.min t left))
+        None !running
+    in
+    let ready, _, _ =
+      restart (fun () ->
+          Unix.select fds [] [] (match select_timeout with None -> -1. | Some t -> t)) ()
+    in
+    List.iter
+      (fun fd ->
+        match List.find_opt (fun s -> s.fd = fd) !running with
+        | None -> ()
+        | Some slot -> (
+          match restart (fun () -> Unix.read fd chunk 0 (Bytes.length chunk)) () with
+          | 0 -> reap_eof slot
+          | k -> Buffer.add_subbytes slot.buf chunk 0 k
+          | exception Unix.Unix_error _ -> reap_eof slot))
+      ready;
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun slot ->
+        match (slot.deadline, timeout_s) with
+        | Some d, Some t when now >= d -> kill_expired slot t
+        | _ -> ())
+      !running
+  in
+  let cleanup () =
+    (* Only reached when the caller's callbacks raise: never leave
+       orphans or zombies behind. *)
+    List.iter
+      (fun slot ->
+        (try Unix.kill slot.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (restart (Unix.waitpid []) slot.pid) with Unix.Unix_error _ -> ());
+        try Unix.close slot.fd with Unix.Unix_error _ -> ())
+      !running;
+    running := []
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      spawn ();
+      while !running <> [] do
+        pump ();
+        spawn ()
+      done);
+  Array.to_list
+    (Array.map
+       (function Some r -> r | None -> assert false (* every slot finished *))
+       results)
+
+let map ?timeout_s ?(on_start = nop) ?(on_done = nop) ~jobs f items =
+  if items = [] then []
+  else if jobs <= 1 then sequential ~on_start ~on_done f items
+  else parallel ?timeout_s ~on_start ~on_done ~jobs f items

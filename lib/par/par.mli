@@ -1,0 +1,67 @@
+(** Deterministic process-parallel map for independent, seeded jobs.
+
+    The evaluation benches and the crash/fault sweeps are matrices of
+    independent cells: every cell derives its PRNG seed and builds its
+    rig from its own coordinates, so cells share no state and can run
+    anywhere.  {!map} fans such jobs out to worker processes
+    ([Unix.fork] + a pipe per job carrying a length-prefixed [Marshal]
+    frame) and merges the results {e in input order}, so the output of a
+    parallel run is byte-identical to the sequential one.
+
+    Workers are forked per job, at most [jobs] alive at once.  Forking
+    per job is deliberate: a job that crashes or wedges takes down only
+    its own process (the pool reports it as a structured {!error} and
+    keeps going), killing on timeout is just [SIGKILL] on that pid, and
+    every job starts from the parent's state with no carry-over from
+    earlier cells — mutable globals in the simulator are isolated for
+    free.
+
+    [jobs = 1] runs every job in the calling process with no fork (and
+    therefore no timeout enforcement), which keeps non-Unix platforms
+    and debuggers working; exceptions are still caught and reported as
+    [`Exn] errors so the two paths yield identical results. *)
+
+type reason =
+  | Exn of string  (** the job raised; payload is [Printexc.to_string] *)
+  | Timeout of float
+      (** the worker exceeded [timeout_s] and was killed with [SIGKILL] *)
+  | Crashed of string
+      (** the worker exited without delivering a result (fatal signal,
+          [exit], corrupted frame); payload describes its wait status *)
+
+type error = { index : int;  (** position of the failed item *) reason : reason }
+
+val reason_to_string : reason -> string
+
+val detected_cores : unit -> int
+(** Number of online processors (via [getconf _NPROCESSORS_ONLN]);
+    [1] when detection fails. *)
+
+val default_jobs : unit -> int
+(** [$VLSIM_JOBS] if set to a positive integer, else {!detected_cores}. *)
+
+val map :
+  ?timeout_s:float ->
+  ?on_start:(int -> unit) ->
+  ?on_done:(int -> unit) ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, error) result list
+(** [map ~jobs f items] computes [f] over [items] on up to [jobs]
+    concurrent worker processes and returns one result per item, in
+    input order.  Items are never serialized (workers inherit them
+    through [fork], so closures are fine); results cross the pipe via
+    [Marshal] and must not contain closures or custom blocks without
+    serializers.
+
+    [on_start i] / [on_done i] fire in the {e parent} when item [i] is
+    dispatched / when its result (or error) is recorded — in completion
+    order, for progress reporting and wall-clock attribution.
+
+    [timeout_s] bounds each job's run time; an expired worker is killed
+    and reported as [Timeout].  Not enforced when [jobs <= 1].
+
+    [f] must be deterministic for the parallel/sequential outputs to be
+    identical; anything a job prints from a worker process is lost, so
+    jobs should return rendered output instead of printing. *)

@@ -107,7 +107,7 @@ let test_clean_roundtrip rig () =
 (* ---- The full sweep (the acceptance matrix) ---- *)
 
 let test_full_sweep () =
-  let o = Fs_sweep.run Fs_sweep.default in
+  let o = Fs_sweep.run ~jobs:(Par.default_jobs ()) Fs_sweep.default in
   Alcotest.(check bool) "at least 150 scenarios" true (o.Fs_sweep.scenarios >= 150);
   Alcotest.(check bool) "faults actually fired" true (o.Fs_sweep.injected > 100);
   Alcotest.(check bool) "power cuts exercised" true (o.Fs_sweep.cut > 0);

@@ -206,11 +206,34 @@ let test_ablation_blocksize_matched_is_best () =
   Alcotest.(check bool) "model ordering" true (skips 8 < skips 1);
   table_nonempty (Ablations.block_size ~scale:Rigs.Quick ())
 
+(* The experiment suite through the worker pool: the rendered tables and
+   the simulated-time accounting must be identical whether the cells run
+   in-process or fanned out to workers. *)
+let test_suite_jobs_invariant () =
+  let run jobs =
+    match
+      Suite.run ~jobs ~timeout_s:600. ~scale:Rigs.Quick ~names:[ "fig8" ] ()
+    with
+    | [ t ] -> t
+    | _ -> Alcotest.fail "expected exactly one timing"
+  in
+  let seq = run 1 and par = run 4 in
+  Alcotest.(check string) "rendered output identical" seq.Suite.t_output
+    par.Suite.t_output;
+  (* Summation order differs between the in-process and forked paths
+     (the sequential path accumulates the global simulated clock across
+     cells), so simulated time agrees to the JSON schema's millisecond
+     precision rather than to the last bit. *)
+  Alcotest.(check (float 0.001)) "simulated time identical" seq.Suite.t_sim_ms
+    par.Suite.t_sim_ms;
+  Alcotest.(check (list string)) "no failures" [] (seq.Suite.t_failures @ par.Suite.t_failures)
+
 let suites =
   [
     ( "experiments",
       [
         Alcotest.test_case "table1" `Quick test_table1;
+        Alcotest.test_case "suite jobs-invariant" `Slow test_suite_jobs_invariant;
         Alcotest.test_case "fig1 model vs sim" `Slow test_fig1_model_matches_sim;
         Alcotest.test_case "fig1 monotone" `Slow test_fig1_monotone_in_free_space;
         Alcotest.test_case "fig1 disks ordered" `Slow test_fig1_seagate_faster_than_hp;

@@ -223,7 +223,7 @@ let test_rot_reads_error_not_garbage () =
 (* --- the systematic sweep --- *)
 
 let test_fault_sweep () =
-  let o = Fault.Sweep.run Fault.Sweep.default in
+  let o = Fault.Sweep.run ~jobs:(Par.default_jobs ()) Fault.Sweep.default in
   List.iter
     (fun f -> Format.printf "FAILED %a@." Fault.Sweep.pp_failure f)
     o.Fault.Sweep.failures;

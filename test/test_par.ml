@@ -1,0 +1,259 @@
+(* The process-parallel map: order preservation, degenerate shapes, and
+   the failure paths (raised exception, wedged worker, worker that dies
+   without delivering a frame) that the sweeps rely on for per-cell
+   fault isolation. *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let ok = function Ok v -> v | Error _ -> Alcotest.fail "expected Ok"
+
+let err = function
+  | Error (e : Par.error) -> e
+  | Ok _ -> Alcotest.fail "expected Error"
+
+(* --- order preservation and degenerate shapes --- *)
+
+let test_order_preserved () =
+  let items = List.init 23 Fun.id in
+  let expect = List.map (fun i -> i * i) items in
+  List.iter
+    (fun jobs ->
+      let got = Par.map ~jobs (fun i -> i * i) items |> List.map ok in
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d preserves input order" jobs)
+        expect got)
+    [ 1; 2; 4 ]
+
+let test_empty_input () =
+  List.iter
+    (fun jobs ->
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d on [] is []" jobs)
+        0
+        (List.length (Par.map ~jobs (fun i -> i) [])))
+    [ 1; 4 ]
+
+let test_more_jobs_than_items () =
+  let got = Par.map ~jobs:8 (fun i -> i + 1) [ 10; 20; 30 ] |> List.map ok in
+  Alcotest.(check (list int)) "3 items on 8 workers" [ 11; 21; 31 ] got
+
+(* --- failure isolation --- *)
+
+let test_worker_exception () =
+  List.iter
+    (fun jobs ->
+      let results =
+        Par.map ~jobs
+          (fun i -> if i = 1 then failwith "deliberate boom" else i)
+          [ 0; 1; 2 ]
+      in
+      (match results with
+      | [ Ok 0; Error e; Ok 2 ] ->
+        Alcotest.(check int) "error carries its index" 1 e.Par.index;
+        (match e.Par.reason with
+        | Par.Exn msg ->
+          Alcotest.(check bool)
+            "exception text survives the pipe" true
+            (contains ~needle:"deliberate boom" msg)
+        | r -> Alcotest.failf "wrong reason: %s" (Par.reason_to_string r))
+      | _ -> Alcotest.failf "unexpected shape at jobs=%d" jobs))
+    [ 1; 2 ]
+
+let test_worker_crash () =
+  (* A worker that dies without writing its frame must surface as
+     [Crashed], and must not disturb its neighbours. *)
+  let results =
+    Par.map ~jobs:2 (fun i -> if i = 1 then Unix._exit 3 else i) [ 0; 1; 2 ]
+  in
+  match results with
+  | [ Ok 0; Error e; Ok 2 ] -> (
+    Alcotest.(check int) "crash carries its index" 1 e.Par.index;
+    match e.Par.reason with
+    | Par.Crashed _ -> ()
+    | r -> Alcotest.failf "wrong reason: %s" (Par.reason_to_string r))
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_timeout_kill () =
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Par.map ~jobs:2 ~timeout_s:0.5
+      (fun i ->
+        if i = 1 then
+          while true do
+            ignore (Sys.opaque_identity i)
+          done;
+        i)
+      [ 0; 1; 2 ]
+  in
+  let span = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "wedged worker killed promptly (%.1fs)" span)
+    true (span < 10.);
+  match results with
+  | [ Ok 0; Error e; Ok 2 ] -> (
+    match e.Par.reason with
+    | Par.Timeout _ -> ()
+    | r -> Alcotest.failf "wrong reason: %s" (Par.reason_to_string r))
+  | _ -> Alcotest.fail "unexpected shape"
+
+(* --- parallel = sequential --- *)
+
+let test_parallel_equals_sequential () =
+  (* A job mixing success and failure: the full result list, errors
+     included, must be identical between the in-process and the forked
+     paths. *)
+  let f i = if i mod 5 = 3 then failwith "planned" else i * 7 in
+  let seq = Par.map ~jobs:1 f (List.init 17 Fun.id) in
+  let par = Par.map ~jobs:3 f (List.init 17 Fun.id) in
+  List.iteri
+    (fun i (s, p) ->
+      match (s, p) with
+      | Ok a, Ok b -> Alcotest.(check int) (Printf.sprintf "item %d" i) a b
+      | Error a, Error b ->
+        Alcotest.(check int) "same index" a.Par.index b.Par.index;
+        Alcotest.(check string) "same reason"
+          (Par.reason_to_string a.Par.reason)
+          (Par.reason_to_string b.Par.reason)
+      | _ -> Alcotest.failf "item %d: Ok/Error disagree across paths" i)
+    (List.combine seq par)
+
+let test_progress_hooks () =
+  let started = ref [] and done_ = ref [] in
+  let results =
+    Par.map ~jobs:2
+      ~on_start:(fun i -> started := i :: !started)
+      ~on_done:(fun i -> done_ := i :: !done_)
+      (fun i -> i)
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check int) "all ok" 4 (List.length (List.filter_map Result.to_option results));
+  Alcotest.(check (list int)) "every item started" [ 0; 1; 2; 3 ]
+    (List.sort compare !started);
+  Alcotest.(check (list int)) "every item finished" [ 0; 1; 2; 3 ]
+    (List.sort compare !done_)
+
+(* --- the sweeps through the pool --- *)
+
+let small_fault_config =
+  {
+    Fault.Sweep.default with
+    Fault.Sweep.kinds = [ Fault.Plan.Torn_write; Fault.Plan.Power_cut ];
+    triggers = 3;
+  }
+
+let test_fault_sweep_jobs_invariant () =
+  let o1 = Fault.Sweep.run ~jobs:1 small_fault_config in
+  let o3 = Fault.Sweep.run ~jobs:3 small_fault_config in
+  Alcotest.(check bool) "12 cells" true (o1.Fault.Sweep.scenarios = 12);
+  Alcotest.(check bool) "jobs=3 = jobs=1" true (o1 = o3)
+
+let test_fs_sweep_jobs_invariant () =
+  let o1 = Check.Fs_sweep.run ~jobs:1 Check.Fs_sweep.smoke in
+  let o4 = Check.Fs_sweep.run ~jobs:4 Check.Fs_sweep.smoke in
+  Alcotest.(check bool) "6 cells" true (o1.Check.Fs_sweep.scenarios = 6);
+  Alcotest.(check bool) "jobs=4 = jobs=1" true (o1 = o4)
+
+(* Order-independent seeding (the property that justifies fanning out):
+   every cell's outcome must be the same whether the matrix runs
+   forward or reversed.  A cell that leaked PRNG state to its successor
+   would diverge here. *)
+let test_cell_order_independent () =
+  let c = small_fault_config in
+  let cells = Fault.Sweep.cells c in
+  let run_one (kind, trigger, with_tail, case) =
+    Fault.Sweep.run_scenario c ~kind ~trigger ~with_tail ~case
+  in
+  let forward = List.map run_one cells in
+  let reversed = List.rev_map run_one (List.rev cells) in
+  Alcotest.(check bool) "reversed execution, identical outcomes" true
+    (forward = reversed)
+
+let test_fs_cell_order_independent () =
+  let c = Check.Fs_sweep.smoke in
+  let cells = Check.Fs_sweep.cells c in
+  let run_one (rig, kind, trigger, case) =
+    Check.Fs_sweep.run_cell c ~rig ~kind ~trigger ~case
+  in
+  let forward = List.map run_one cells in
+  let reversed = List.rev_map run_one (List.rev cells) in
+  Alcotest.(check bool) "reversed execution, identical outcomes" true
+    (forward = reversed)
+
+(* A sweep whose cells crash or wedge must degrade those cells to
+   structured failures with live repro coordinates and keep going. *)
+let test_sweep_survives_crashing_cells () =
+  let c =
+    {
+      Fault.Sweep.default with
+      Fault.Sweep.kinds = [ Fault.Plan.Torn_write ];
+      triggers = 4;
+      tail_modes = [ false ];
+    }
+  in
+  let scenario cfg ~kind ~trigger ~with_tail ~case =
+    if case = 2 then failwith "deliberate crash"
+    else if case = 3 then (
+      while true do
+        ignore (Sys.opaque_identity case)
+      done;
+      assert false)
+    else Fault.Sweep.run_scenario cfg ~kind ~trigger ~with_tail ~case
+  in
+  let o = Fault.Sweep.run ~jobs:2 ~timeout_s:1.0 ~scenario c in
+  Alcotest.(check int) "all 4 cells accounted for" 4 o.Fault.Sweep.scenarios;
+  Alcotest.(check int) "two structured failures" 2
+    (List.length o.Fault.Sweep.failures);
+  List.iter
+    (fun (f : Fault.Sweep.failure) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "failure names a planted cell (case %d)" f.Fault.Sweep.case)
+        true
+        (List.mem f.Fault.Sweep.case [ 2; 3 ]);
+      (* The repro string must round-trip back to the failing cell. *)
+      match Fault.Sweep.parse_repro (Fault.Sweep.repro_of_failure f) with
+      | Ok (_, kind, trigger, with_tail, case) ->
+        Alcotest.(check bool) "repro coordinates round-trip" true
+          (kind = f.Fault.Sweep.kind
+          && trigger = f.Fault.Sweep.trigger
+          && with_tail = f.Fault.Sweep.with_tail
+          && case = f.Fault.Sweep.case)
+      | Error e -> Alcotest.failf "repro failed to parse: %s" e)
+    o.Fault.Sweep.failures;
+  let messages =
+    List.map (fun (f : Fault.Sweep.failure) -> f.Fault.Sweep.message)
+      o.Fault.Sweep.failures
+  in
+  Alcotest.(check bool) "crash message survives" true
+    (List.exists (contains ~needle:"deliberate crash") messages);
+  Alcotest.(check bool) "timeout reported as such" true
+    (List.exists (contains ~needle:"timed out") messages)
+
+let suites =
+  let tc = Alcotest.test_case in
+  [
+    ( "par:pool",
+      [
+        tc "results come back in input order" `Quick test_order_preserved;
+        tc "empty input" `Quick test_empty_input;
+        tc "more workers than items" `Quick test_more_jobs_than_items;
+        tc "raised exception becomes a structured error" `Quick
+          test_worker_exception;
+        tc "worker crash is isolated" `Quick test_worker_crash;
+        tc "wedged worker is killed on timeout" `Quick test_timeout_kill;
+        tc "parallel results equal sequential" `Quick
+          test_parallel_equals_sequential;
+        tc "progress hooks fire once per item" `Quick test_progress_hooks;
+      ] );
+    ( "par:sweeps",
+      [
+        tc "fault sweep is jobs-invariant" `Quick test_fault_sweep_jobs_invariant;
+        tc "fs sweep is jobs-invariant" `Quick test_fs_sweep_jobs_invariant;
+        tc "fault cells are order-independent" `Quick test_cell_order_independent;
+        tc "fs cells are order-independent" `Quick test_fs_cell_order_independent;
+        tc "crashing and wedged cells degrade to repro failures" `Quick
+          test_sweep_survives_crashing_cells;
+      ] );
+  ]
