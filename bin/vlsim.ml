@@ -54,7 +54,7 @@ let jobs_arg =
 let experiment_names =
   [
     "table1"; "fig1"; "fig2"; "fig6"; "fig7"; "fig8"; "table2"; "fig9"; "fig10"; "vlfs"; "apps";
-    "fig11"; "ablation-mode"; "ablation-compact"; "ablation-blocksize";
+    "fig11"; "volume"; "ablation-mode"; "ablation-compact"; "ablation-blocksize";
     "ablation-mapbatch";
   ]
 
@@ -84,6 +84,7 @@ let run_experiment ~scale name =
     p (Vlfs_bench.buffered_small_files ~scale ());
     p (Vlfs_bench.recovery_cost ~scale ())
   | "apps" -> p (Apps.run ~scale ())
+  | "volume" -> p (Volume_bench.run ~scale ())
   | "ablation-mode" -> p (Ablations.eager_mode ~scale ())
   | "ablation-compact" -> p (Ablations.compaction_policy ~scale ())
   | "ablation-blocksize" -> p (Ablations.block_size ~scale ())
@@ -244,6 +245,18 @@ let faults_cmd =
         List.iter (Printf.eprintf "vlsim: %s\n") errors;
         exit 2
       end;
+      (match List.filter Fault.Plan.is_drive_kind kinds with
+      | [] -> ()
+      | drive ->
+        List.iter
+          (fun k ->
+            Printf.eprintf
+              "vlsim: %s is a whole-drive fault; this single-spindle sweep \
+               cannot express it — use vlsim fssweep, whose volume rigs \
+               inject it into one mirror leg\n"
+              (Fault.Plan.kind_to_string k))
+          drive;
+        exit 2);
       let cfg =
         {
           Fault.Sweep.default with
@@ -323,6 +336,161 @@ let fssweep_cmd =
   in
   Cmd.v (Cmd.info "fssweep" ~doc)
     Term.(const run $ seed_arg $ quick_arg $ jobs_arg $ repro_arg)
+
+(* --- volume --- *)
+
+let volume_layout_of_string s =
+  let int n = try Some (int_of_string n) with _ -> None in
+  match String.split_on_char ':' s with
+  | [ "stripe"; k ] -> (
+    match int k with
+    | Some k when k >= 1 -> Ok (Volume.Stripe k)
+    | _ -> Error (Printf.sprintf "bad stripe width %S" k))
+  | [ "mirror"; m ] -> (
+    match int m with
+    | Some m when m >= 2 -> Ok (Volume.Mirror m)
+    | _ -> Error (Printf.sprintf "bad mirror width %S (need >= 2)" m))
+  | [ "raid10"; km ] -> (
+    match String.split_on_char 'x' km with
+    | [ k; m ] -> (
+      match (int k, int m) with
+      | Some k, Some m when k >= 1 && m >= 2 -> Ok (Volume.Stripe_of_mirrors (k, m))
+      | _ -> Error (Printf.sprintf "bad raid10 shape %S (KxM, M >= 2)" km))
+    | _ -> Error (Printf.sprintf "bad raid10 shape %S (want KxM)" km))
+  | _ ->
+    Error
+      (Printf.sprintf "unknown layout %S (use stripe:K, mirror:M or raid10:KxM)" s)
+
+let volume_cmd =
+  let doc =
+    "build a multi-disk volume in the simulator and walk it through a failure \
+     story: mk writes a tagged workload, fail kills the requested legs and \
+     re-reads every block (exits 1 on data loss instead of hanging), rebuild \
+     resilvers dead legs onto hot spares and runs the volume checker, status \
+     prints the leg map"
+  in
+  let actions_arg =
+    Arg.(
+      value
+      & pos_all
+          (enum
+             [ ("mk", `Mk); ("status", `Status); ("fail", `Fail); ("rebuild", `Rebuild) ])
+          [ `Mk; `Status ]
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "mk, status, fail, rebuild — applied in order to one in-memory \
+             volume (default: mk status)")
+  in
+  let layout_arg =
+    Arg.(
+      value & opt string "mirror:2"
+      & info [ "layout" ] ~docv:"LAYOUT" ~doc:"stripe:K, mirror:M or raid10:KxM")
+  in
+  let legs_arg =
+    Arg.(
+      value
+      & opt (enum [ ("vld", Volume.Vld_leg); ("regular", Volume.Regular_leg) ])
+          Volume.Vld_leg
+      & info [ "legs" ] ~doc:"leg kind: vld or regular")
+  in
+  let blocks_arg =
+    Arg.(value & opt int 48 & info [ "blocks" ] ~doc:"logical blocks in the volume")
+  in
+  let kill_arg =
+    Arg.(
+      value & opt_all int []
+      & info [ "kill" ] ~docv:"LEG"
+          ~doc:"flat leg index to kill during the fail action (repeatable)")
+  in
+  let run actions layout_s leg_kind blocks kills profile =
+    match volume_layout_of_string layout_s with
+    | Error e ->
+      Printf.eprintf "vlsim: %s\n" e;
+      exit 2
+    | Ok layout ->
+      let n = Volume.n_legs layout in
+      let clock = Vlog_util.Clock.create () in
+      let mk_disk () =
+        Disk.Disk_sim.create ~buffer_policy:Disk.Track_buffer.Whole_track
+          ~profile ~clock ()
+      in
+      let disks = Array.init n (fun _ -> mk_disk ()) in
+      let vol =
+        Volume.create ~spare:mk_disk ~layout ~leg_kind ~logical_blocks:blocks
+          ~disks
+          ~prng:(Vlog_util.Prng.create ~seed:4242L)
+          ()
+      in
+      let dev = Volume.device vol in
+      let bb = dev.Blockdev.Device.block_bytes in
+      let tag b = Char.chr (33 + (b mod 90)) in
+      let m = Volume.legs_per_group vol in
+      let act = function
+        | `Mk ->
+          for b = 0 to blocks - 1 do
+            ignore (Blockdev.Device.write dev b (Bytes.make bb (tag b)))
+          done;
+          Printf.printf
+            "created %s volume (%s legs) over %d drives, wrote %d blocks\n"
+            layout_s
+            (if leg_kind = Volume.Vld_leg then "vld" else "regular")
+            n blocks
+        | `Status -> Format.printf "%a@?" Volume.pp_status vol
+        | `Fail ->
+          List.iter
+            (fun i ->
+              if i < 0 || i >= n then begin
+                Printf.eprintf "vlsim: no leg %d (volume has %d legs)\n" i n;
+                exit 2
+              end;
+              Volume.kill vol ~group:(i / m) ~leg:(i mod m);
+              Printf.printf "killed leg %d (group %d, mirror copy %d)\n" i
+                (i / m) (i mod m))
+            kills;
+          let lost = ref 0 in
+          for b = 0 to blocks - 1 do
+            match dev.Blockdev.Device.read b with
+            | Ok (data, _) when Bytes.get data 0 = tag b -> ()
+            | Ok _ | Error _ -> incr lost
+          done;
+          if !lost > 0 then begin
+            Printf.printf
+              "DATA LOSS: %d of %d blocks unreadable — every mirror copy is \
+               gone\n"
+              !lost blocks;
+            exit 1
+          end
+          else
+            Printf.printf "all %d blocks still readable%s\n" blocks
+              (if Volume.degraded vol then " (degraded: redundancy lost)"
+               else "")
+        | `Rebuild ->
+          let started = ref 0 in
+          for gi = 0 to Volume.n_groups vol - 1 do
+            for li = 0 to m - 1 do
+              if Volume.state_of vol ~group:gi ~leg:li = `Dead then
+                match Volume.start_rebuild vol ~group:gi ~leg:li with
+                | Ok () -> incr started
+                | Error e ->
+                  Printf.eprintf "vlsim: rebuild group %d leg %d: %s\n" gi li e;
+                  exit 1
+            done
+          done;
+          Volume.rebuild_to_completion vol;
+          let r = Check.Volume_check.check vol in
+          Printf.printf "rebuilt %d legs; volume check: %s\n" !started
+            (if Check.Report.ok r then "clean" else "DIRTY");
+          if not (Check.Report.ok r) then begin
+            Format.printf "%a@." Check.Report.pp r;
+            exit 1
+          end
+      in
+      List.iter act actions
+  in
+  Cmd.v (Cmd.info "volume" ~doc)
+    Term.(
+      const run $ actions_arg $ layout_arg $ legs_arg $ blocks_arg $ kill_arg
+      $ disk_arg)
 
 (* --- mkimage --- *)
 
@@ -511,4 +679,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; model_cmd; latency_cmd; faults_cmd; fssweep_cmd;
-            mkimage_cmd; fsck_cmd; trace_cmd ]))
+            volume_cmd; mkimage_cmd; fsck_cmd; trace_cmd ]))

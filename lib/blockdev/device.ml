@@ -12,6 +12,18 @@ let pp_io_error ppf e =
     (match e.op with `Read -> "read" | `Write -> "write")
     e.block e.error_lba e.retries
 
+let parse_io_error s =
+  match
+    Scanf.sscanf s "%s@ error at logical block %d (lba %d, %d retries)"
+      (fun op block error_lba retries -> (op, block, error_lba, retries))
+  with
+  | "read", block, error_lba, retries ->
+    Some { op = `Read; block; error_lba; retries }
+  | "write", block, error_lba, retries ->
+    Some { op = `Write; block; error_lba; retries }
+  | _ -> None
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
+
 type t = {
   name : string;
   block_bytes : int;

@@ -32,6 +32,11 @@ exception Io_error of io_error
 
 val pp_io_error : Format.formatter -> io_error -> unit
 
+val parse_io_error : string -> io_error option
+(** Inverse of {!pp_io_error}: parses exactly the string it prints back
+    to the same [(op, block, error_lba, retries)], so error lines in
+    sweep repro output stay machine-readable.  [None] on anything else. *)
+
 type t = {
   name : string;
   block_bytes : int;

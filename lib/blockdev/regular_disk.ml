@@ -41,6 +41,7 @@ let create ?(sectors_per_block = 8) ?spare_blocks ~disk () =
 
 let disk t = t.disk
 let written_blocks t = t.written_count
+let written t block = Bytes.get t.ever_written block <> '\000'
 let remapped_blocks t = Hashtbl.length t.remap
 let spares_left t = List.length t.spares
 
@@ -86,6 +87,8 @@ let read_result t block =
     | Error e when e.Disk.Disk_sim.transient && attempts < max_retries ->
       go (attempts + 1)
     | Error e ->
+      if attempts > 0 then
+        Trace.incr (sink t) ~by:attempts "dev.failed_retries";
       Trace.exit (sink t) ~bd:!bd sp;
       Error (err ~op:`Read ~block ~e ~retries:attempts)
   in
@@ -125,9 +128,18 @@ let write_result t block buf =
       Ok (Io.make ~span:sp ~counters !bd)
     | Error e when e.Disk.Disk_sim.transient && attempts < max_retries ->
       go (attempts + 1) remaps
+    | Error e when e.Disk.Disk_sim.transient ->
+      (* Retries exhausted on a transient error: the drive is hung or
+         flaky, not defective — remapping to a spare would not help and
+         would burn the pool. *)
+      Trace.incr (sink t) ~by:attempts "dev.failed_retries";
+      Trace.exit (sink t) ~bd:!bd sp;
+      Error (err ~op:`Write ~block ~e ~retries:attempts)
     | Error e -> (
       match t.spares with
       | [] ->
+        if attempts > 0 then
+          Trace.incr (sink t) ~by:attempts "dev.failed_retries";
         Trace.exit (sink t) ~bd:!bd sp;
         Error (err ~op:`Write ~block ~e ~retries:attempts)
       | spare :: rest ->

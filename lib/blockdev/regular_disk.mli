@@ -19,6 +19,10 @@ val written_blocks : t -> int
     device reports, since an update-in-place disk has no liveness
     information of its own. *)
 
+val written : t -> int -> bool
+(** Whether the logical block was ever written.  A volume rebuild skips
+    never-written source blocks instead of copying zeroes. *)
+
 val read_result : t -> int -> (Bytes.t * Vlog_util.Io.completion, Device.io_error) result
 (** Defect-tolerant read: transient errors are retried (bounded), remapped
     blocks are fetched from their spare.  [Error] means the data is gone.

@@ -102,6 +102,8 @@ let read_result t block =
       | Error e when e.Disk.Disk_sim.transient && attempts < max_retries ->
         go (attempts + 1)
       | Error e ->
+        if attempts > 0 then
+          Trace.incr (sink t) ~by:attempts "dev.failed_retries";
         Trace.exit (sink t) ~bd:!bd sp;
         Error
           {
@@ -189,10 +191,19 @@ let put_data t ~scsi ~lead_time buf =
      and the parent folds the span's total as a single child. *)
   let sp = if Trace.enabled (sink t) then Trace.enter (sink t) "vld.put" else Io.no_span in
   let bd = ref Breakdown.zero in
-  let rec go attempts =
-    let pba = allocate ~lead_time:(if attempts = 0 then lead_time else 0.) t in
-    Trace.incr (sink t) "vld.eager_choices";
-    Vlog.Freemap.occupy freemap pba;
+  (* [held] is an already-occupied home being retried after a transient
+     failure (a hung or flaky drive, not a defect): the media there is
+     fine, so it must not be marked bad — and a fresh home would not help. *)
+  let rec go attempts held =
+    let pba =
+      match held with
+      | Some pba -> pba
+      | None ->
+        let pba = allocate ~lead_time:(if attempts = 0 then lead_time else 0.) t in
+        Trace.incr (sink t) "vld.eager_choices";
+        Vlog.Freemap.occupy freemap pba;
+        pba
+    in
     let r, cost =
       Disk.Disk_sim.write_checked ~scsi:(scsi && attempts = 0) t.disk
         ~lba:(Vlog.Freemap.lba_of_block freemap pba)
@@ -204,15 +215,19 @@ let put_data t ~scsi ~lead_time buf =
       if attempts > 0 then Trace.incr (sink t) ~by:attempts "vld.reallocs";
       Trace.exit (sink t) ~bd:!bd sp;
       Ok (pba, attempts, !bd)
-    | Error e ->
+    | Error e when attempts >= max_realloc ->
+      if e.Disk.Disk_sim.transient then Vlog.Freemap.release freemap pba
+      else Vlog.Freemap.mark_bad freemap pba;
+      if attempts > 0 then
+        Trace.incr (sink t) ~by:attempts "dev.failed_retries";
+      Trace.exit (sink t) ~bd:!bd sp;
+      Error (e, attempts, !bd)
+    | Error e when e.Disk.Disk_sim.transient -> go (attempts + 1) (Some pba)
+    | Error _ ->
       Vlog.Freemap.mark_bad freemap pba;
-      if attempts >= max_realloc then begin
-        Trace.exit (sink t) ~bd:!bd sp;
-        Error (e, attempts, !bd)
-      end
-      else go (attempts + 1)
+      go (attempts + 1) None
   in
-  go 0
+  go 0 None
 
 let realloc_counters attempts = if attempts > 0 then [ ("reallocs", attempts) ] else []
 

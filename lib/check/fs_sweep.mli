@@ -6,18 +6,30 @@
     {!Oracle}, and a remount-idempotence comparison. *)
 
 type fs_kind = F_ufs | F_lfs | F_vlfs
-type dev_kind = D_vld | D_regular | D_direct
+
+type vol_layout = V_stripe | V_mirror | V_raid10
+(** Canonical small volume shapes: 2-group stripe, 2-way mirror,
+    2 x 2 stripe of mirrors. *)
+
+type vol_leg = VL_regular | VL_vld
+
+type dev_kind =
+  | D_vld
+  | D_regular
+  | D_direct
+  | D_volume of vol_layout * vol_leg
+      (** the file system runs on a {!Volume} over several drives *)
 
 type rig = { fs : fs_kind; on : dev_kind }
 
 val rig_name : rig -> string
-(** ["ufs/vld"], ["vlfs/direct"], ... *)
+(** ["ufs/vld"], ["vlfs/direct"], ["ufs/mirror-vld"], ... *)
 
 val rig_of_string : string -> (rig, string) result
 
 val all_rigs : rig list
-(** The five mountable stacks: UFS and LFS on both the virtual log disk
-    and a plain disk, VLFS directly on the drive. *)
+(** The five single-spindle stacks: UFS and LFS on both the virtual log
+    disk and a plain disk, VLFS directly on the drive. *)
 
 type config = {
   seed : int64;
@@ -27,15 +39,23 @@ type config = {
   triggers : int list;            (** I/O counts after which the fault arms *)
   kinds : Fault.Plan.kind list;
   rigs : rig list;
+  vol_triggers : int list;
+  vol_kinds : Fault.Plan.kind list;
+  vol_rigs : rig list;
+      (** the volume slice of the matrix: its own (rig x kind x trigger)
+          product, where the plan lands on one victim leg and whole-drive
+          kinds ([death], [hang], [flaky], [latent]) become meaningful *)
 }
 
 val default : config
-(** The full matrix: 161 scenarios (5 rigs x 5 kinds x 7 triggers, minus
-    the regular-disk grown-defect cells, whose remap table is volatile
-    and so have nothing to assert). *)
+(** The full matrix: 161 single-spindle scenarios (5 rigs x 5 kinds x 7
+    triggers, minus the regular-disk grown-defect cells, whose remap
+    table is volatile and so have nothing to assert) plus 84 volume
+    scenarios (4 mirrored rigs x 7 kinds x 3 triggers). *)
 
 val smoke : config
-(** CI-sized: torn writes only, two triggers, one rig per file system. *)
+(** CI-sized: torn writes only, two triggers, one rig per file system,
+    plus two mirrored-volume drive-death cells. *)
 
 type failure = {
   f_rig : string;

@@ -132,7 +132,11 @@ type view = {
   v_read_block : string -> int -> (Bytes.t, [ `Io | `Gone ]) result;
 }
 
-let check t ~strict ~allow_io_errors view =
+type mode = Strict | Lax | Redundant
+
+let check t ~mode view =
+  let strict = match mode with Strict | Redundant -> true | Lax -> false in
+  let allow_io_errors = mode = Lax in
   let fails = ref [] in
   let failf fmt = Printf.ksprintf (fun m -> fails := m :: !fails) fmt in
   let present = view.v_files () in
@@ -182,7 +186,21 @@ let check t ~strict ~allow_io_errors view =
                     (if strict then "stale or fabricated data"
                      else "fabricated data")
                     (Char.code c)
-              done)
+              done;
+              (* [Redundant]: a second read must return the identical
+                 bytes.  On a mirrored volume a read may be served by
+                 either leg, so any leg divergence the resync missed
+                 shows up as two reads disagreeing. *)
+              if mode = Redundant then (
+                match view.v_read_block name fblock with
+                | Error `Gone | Error `Io ->
+                  failf "file %S block %d unstable: reread failed" name fblock
+                | Ok buf' ->
+                  if not (Bytes.equal buf buf') then
+                    failf
+                      "file %S block %d unstable: rereads disagree (mirror \
+                       legs diverge)"
+                      name fblock))
           f.blocks
       end)
     t.files;

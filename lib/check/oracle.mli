@@ -54,8 +54,20 @@ type view = {
           tail block) return the available prefix. *)
 }
 
-val check : t -> strict:bool -> allow_io_errors:bool -> view -> string list
+type mode =
+  | Strict
+      (** fsync-barriered state must survive; un-synced operations may
+          surface as old or new, never as anything else; no read errors *)
+  | Lax
+      (** single-copy media damage: regression to any previously
+          committed version and honest read errors are tolerated *)
+  | Redundant
+      (** [Strict], plus stability: every checked block is read twice
+          and the two reads must agree byte-for-byte.  On a mirrored
+          volume a read may be served by either leg, so divergence the
+          resync missed surfaces as rereads disagreeing *)
+
+val check : t -> mode:mode -> view -> string list
 (** Human-readable violations; empty means the recovered state is a
-    legal post-crash state.  [allow_io_errors] permits honest read
-    errors (damaged single-copy media); fabricated content is never
-    permitted in any mode. *)
+    legal post-crash state.  Fabricated content is never permitted in
+    any mode. *)

@@ -9,6 +9,7 @@ type category =
   | Map_inconsistent
   | Unflushed
   | Malformed
+  | Mirror_divergence
 
 let category_to_string = function
   | Leaked_block -> "leaked-block"
@@ -21,6 +22,7 @@ let category_to_string = function
   | Map_inconsistent -> "map-inconsistent"
   | Unflushed -> "unflushed"
   | Malformed -> "malformed"
+  | Mirror_divergence -> "mirror-divergence"
 
 (* The media-verification hooks of the three file systems report plain
    string slugs so they need not depend on this library; anything they

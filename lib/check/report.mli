@@ -16,6 +16,7 @@ type category =
   | Map_inconsistent  (** two in-memory structures disagree *)
   | Unflushed         (** volatile state not yet on the platter *)
   | Malformed         (** a structure that decodes to nonsense *)
+  | Mirror_divergence (** mirror legs disagree on a block's contents *)
 
 val category_to_string : category -> string
 

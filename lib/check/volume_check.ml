@@ -1,0 +1,78 @@
+(* Volume-level fsck: mirror consistency of the legs themselves, below
+   any file system.  Walks every group-block and cross-reads the
+   surviving legs: after recovery-with-resync (or a completed rebuild)
+   every live leg of a group must return byte-identical content.
+
+   Findings map onto the shared vocabulary:
+   - [Mirror_divergence]: two live legs disagree on a block;
+   - [Io_unreadable]: a live leg cannot produce a block at all;
+   - [Unflushed]: redundancy not yet restored — a dead leg, a rebuild
+     still running, or dirty-region-log entries waiting to be drained.
+     Degraded but honest, the way unflushed volatile state is. *)
+
+let check vol =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let k = Volume.n_groups vol and m = Volume.legs_per_group vol in
+  if Volume.rebuild_active vol then
+    add (Report.findf Report.Unflushed "rebuild still in progress");
+  for gi = 0 to k - 1 do
+    for li = 0 to m - 1 do
+      (match Volume.state_of vol ~group:gi ~leg:li with
+      | `Dead ->
+        add
+          (Report.findf Report.Unflushed
+             "group %d leg %d is dead: redundancy lost" gi li)
+      | `Suspect ->
+        add
+          (Report.findf Report.Unflushed
+             "group %d leg %d is suspect: not yet settled" gi li)
+      | `Healthy | `Rebuilding _ -> ());
+      let drl = Volume.leg_drl_size vol ~group:gi ~leg:li in
+      if drl > 0 then
+        add
+          (Report.findf Report.Unflushed
+             "group %d leg %d has %d dirty-region entries awaiting resync" gi
+             li drl)
+    done
+  done;
+  (* Cross-read every block of every group on the legs that claim to be
+     current (healthy, block not held dirty).  Unwritten blocks read as
+     zeroes on every leg kind, so comparing blindly is sound. *)
+  for gi = 0 to k - 1 do
+    for gb = 0 to Volume.group_blocks vol - 1 do
+      let live =
+        List.filter
+          (fun li ->
+            (match Volume.state_of vol ~group:gi ~leg:li with
+            | `Healthy -> true
+            | `Suspect | `Dead | `Rebuilding _ -> false)
+            && not (Volume.leg_dirty vol ~group:gi ~leg:li gb))
+          (List.init m Fun.id)
+      in
+      let reads =
+        List.map (fun li -> (li, Volume.leg_read_raw vol ~group:gi ~leg:li gb)) live
+      in
+      List.iter
+        (fun (li, r) ->
+          match r with
+          | Ok _ -> ()
+          | Error e ->
+            add
+              (Report.findf Report.Io_unreadable
+                 "group %d leg %d block %d: %s" gi li gb
+                 (Format.asprintf "%a" Blockdev.Device.pp_io_error e)))
+        reads;
+      match List.filter_map (fun (li, r) -> Result.to_option r |> Option.map (fun d -> (li, d))) reads with
+      | [] | [ _ ] -> ()
+      | (li0, d0) :: rest ->
+        List.iter
+          (fun (li, d) ->
+            if not (Bytes.equal d d0) then
+              add
+                (Report.findf Report.Mirror_divergence
+                   "group %d block %d: legs %d and %d disagree" gi gb li0 li))
+          rest
+    done
+  done;
+  Report.v ~fs:"volume" (List.rev !findings)

@@ -27,7 +27,7 @@ type counters = {
 }
 
 type read_fault = Transient_read | Unreadable of int
-type write_fault = Torn_write of int | Unwritable of int
+type write_fault = Torn_write of int | Unwritable of int | Transient_write
 
 type injector = {
   on_read : lba:int -> sectors:int -> read_fault option;
@@ -375,6 +375,14 @@ let write_checked ?(scsi = true) t ~lba buf =
     mechanics t ~lba ~sectors bd;
     if before > 0 then Sector_store.write t.store ~lba (Bytes.sub buf 0 (before * sb));
     finish (Error { error_lba = bad; transient = false })
+  | Some Transient_write ->
+    (* The command times out or is rejected before any sector lands: the
+       platter is untouched, a retry may go through. *)
+    t.st.c_write_faults <- t.st.c_write_faults + 1;
+    Trace.incr t.trace "disk.write_faults";
+    invalidate_all ();
+    mechanics t ~lba ~sectors bd;
+    finish (Error { error_lba = lba; transient = true })
   | None ->
     let pieces = track_pieces t ~lba ~sectors in
     let serve (addr, piece) =

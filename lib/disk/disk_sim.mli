@@ -70,6 +70,9 @@ type write_fault =
       (** power dies after this many sectors of the request are on the
           platter; the operation raises {!Power_cut} *)
   | Unwritable of int  (** grown defect at the given absolute lba *)
+  | Transient_write
+      (** the command fails without touching the platter; an immediate
+          retry may succeed (a hung or flaky drive, not a media defect) *)
 
 type injector = {
   on_read : lba:int -> sectors:int -> read_fault option;

@@ -101,6 +101,7 @@ let plan ~scale name : plan =
         ^ render (Vlfs_bench.buffered_small_files ~scale ())
         ^ "\n"
         ^ render (Vlfs_bench.recovery_cost ~scale ()))
+  | "volume" -> table Volume_bench.run
   | "ablation-mode" -> table Ablations.eager_mode
   | "ablation-compact" -> table Ablations.compaction_policy
   | "ablation-blocksize" -> table Ablations.block_size
@@ -110,7 +111,7 @@ let plan ~scale name : plan =
 let names =
   [
     "table1"; "fig1"; "fig2"; "fig6"; "fig7"; "fig8"; "table2"; "fig10";
-    "fig11"; "apps"; "vlfs"; "ablation-mode"; "ablation-compact";
+    "fig11"; "apps"; "vlfs"; "volume"; "ablation-mode"; "ablation-compact";
     "ablation-blocksize"; "ablation-mapbatch";
   ]
 

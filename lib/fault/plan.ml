@@ -6,6 +6,10 @@ type kind =
   | Transient_read of int
   | Grown_defect
   | Power_cut
+  | Drive_death
+  | Drive_hang of float
+  | Drive_flaky of int
+  | Latent_sectors of int
 
 let kind_to_string = function
   | Torn_write -> "torn"
@@ -13,6 +17,10 @@ let kind_to_string = function
   | Transient_read n -> Printf.sprintf "transient:%d" n
   | Grown_defect -> "defect"
   | Power_cut -> "powercut"
+  | Drive_death -> "death"
+  | Drive_hang ms -> Printf.sprintf "hang:%g" ms
+  | Drive_flaky n -> Printf.sprintf "flaky:%d" n
+  | Latent_sectors n -> Printf.sprintf "latent:%d" n
 
 let kind_of_string s =
   match String.split_on_char ':' s with
@@ -25,10 +33,32 @@ let kind_of_string s =
     | _ -> Error (Printf.sprintf "bad transient retry count in %S" s))
   | [ "defect" ] -> Ok Grown_defect
   | [ "powercut" ] -> Ok Power_cut
+  | [ "death" ] -> Ok Drive_death
+  | [ "hang" ] -> Ok (Drive_hang 50.)
+  | [ "hang"; ms ] -> (
+    match float_of_string_opt ms with
+    | Some ms when ms > 0. -> Ok (Drive_hang ms)
+    | _ -> Error (Printf.sprintf "bad hang duration in %S" s))
+  | [ "flaky" ] -> Ok (Drive_flaky 3)
+  | [ "flaky"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Ok (Drive_flaky n)
+    | _ -> Error (Printf.sprintf "bad flaky burst length in %S" s))
+  | [ "latent" ] -> Ok (Latent_sectors 16)
+  | [ "latent"; n ] -> (
+    match int_of_string_opt n with
+    | Some n when n > 0 -> Ok (Latent_sectors n)
+    | _ -> Error (Printf.sprintf "bad latent range length in %S" s))
   | _ ->
     Error
-      (Printf.sprintf "unknown fault kind %S (torn|rot|transient[:n]|defect|powercut)"
+      (Printf.sprintf
+         "unknown fault kind %S \
+          (torn|rot|transient[:n]|defect|powercut|death|hang[:ms]|flaky[:n]|latent[:n])"
          s)
+
+let is_drive_kind = function
+  | Drive_death | Drive_hang _ | Drive_flaky _ | Latent_sectors _ -> true
+  | Torn_write | Bit_rot | Transient_read _ | Grown_defect | Power_cut -> false
 
 type t = {
   kind : kind;
@@ -43,6 +73,10 @@ type t = {
   mutable transient_left : int; (* failures still owed once armed *)
   defects : (int, unit) Hashtbl.t; (* grown-defect sectors, absolute lbas *)
   mutable damaged : int list;
+  mutable accesses_seen : int; (* drive kinds count reads + writes combined *)
+  mutable hang_until : float option; (* Drive_hang: absolute deadline, ms *)
+  mutable flaky_seen : int; (* accesses since a flaky drive fired *)
+  latent : (int, unit) Hashtbl.t; (* latent sectors awaiting discovery *)
 }
 
 let create kind ~trigger ~seed =
@@ -59,6 +93,10 @@ let create kind ~trigger ~seed =
     transient_left = 0;
     defects = Hashtbl.create 4;
     damaged = [];
+    accesses_seen = 0;
+    hang_until = None;
+    flaky_seen = 0;
+    latent = Hashtbl.create 4;
   }
 
 let fired t = t.fired
@@ -86,53 +124,135 @@ let defect_in t ~lba ~sectors =
   in
   if Hashtbl.length t.defects = 0 then None else go 0
 
-let on_write t ~lba ~sectors =
-  flush t;
-  match defect_in t ~lba ~sectors with
-  | Some bad -> Some (Disk.Disk_sim.Unwritable bad)
-  | None ->
-    let n = t.writes_seen in
-    t.writes_seen <- n + 1;
-    if t.fired || n <> t.trigger then None
-    else begin
+let latent_in t ~lba ~sectors =
+  let rec go i =
+    if i >= sectors then None
+    else if Hashtbl.mem t.latent (lba + i) then Some (lba + i)
+    else go (i + 1)
+  in
+  if Hashtbl.length t.latent = 0 then None else go 0
+
+let now t =
+  match t.disk with
+  | Some d -> Clock.now (Disk.Disk_sim.clock d)
+  | None -> 0.
+
+(* Whole-drive faults strike commands regardless of direction, so their
+   trigger counts every access.  Returns how the current command fares
+   before any sector-level plan logic runs. *)
+let drive_gate t =
+  match t.kind with
+  | Drive_death | Drive_hang _ | Drive_flaky _ ->
+    let n = t.accesses_seen in
+    t.accesses_seen <- n + 1;
+    if (not t.fired) && n = t.trigger then begin
       t.fired <- true;
       match t.kind with
-      | Power_cut -> raise Disk.Disk_sim.Power_cut
-      | Torn_write ->
-        let k = Prng.int t.prng sectors in
-        t.damaged <- List.init (sectors - k) (fun i -> lba + k + i) @ t.damaged;
-        Some (Disk.Disk_sim.Torn_write k)
-      | Grown_defect ->
-        let bad = lba + Prng.int t.prng sectors in
-        Hashtbl.replace t.defects bad ();
-        t.damaged <- bad :: t.damaged;
-        Some (Disk.Disk_sim.Unwritable bad)
-      | Bit_rot ->
-        t.pending_rot <- Some (lba + Prng.int t.prng sectors);
-        None
-      | Transient_read _ -> None
-    end
+      | Drive_hang ms -> t.hang_until <- Some (now t +. ms)
+      | _ -> ()
+    end;
+    if not t.fired then `Pass
+    else (
+      match t.kind with
+      | Drive_death -> `Permanent
+      | Drive_hang _ -> (
+        match t.hang_until with
+        | Some until when now t < until -> `Transient
+        | Some _ ->
+          t.hang_until <- None;
+          `Pass
+        | None -> `Pass)
+      | Drive_flaky burst ->
+        let k = t.flaky_seen in
+        t.flaky_seen <- k + 1;
+        if k / burst mod 2 = 0 then `Transient else `Pass
+      | _ -> `Pass)
+  | _ -> `Pass
+
+let on_write t ~lba ~sectors =
+  flush t;
+  match drive_gate t with
+  | `Permanent -> Some (Disk.Disk_sim.Unwritable lba)
+  | `Transient -> Some Disk.Disk_sim.Transient_write
+  | `Pass -> (
+    (* A latent sector heals when freshly written: the drive remaps it
+       internally and the new data sticks. *)
+    if Hashtbl.length t.latent > 0 then
+      for i = 0 to sectors - 1 do
+        Hashtbl.remove t.latent (lba + i)
+      done;
+    match defect_in t ~lba ~sectors with
+    | Some bad -> Some (Disk.Disk_sim.Unwritable bad)
+    | None ->
+      let n = t.writes_seen in
+      t.writes_seen <- n + 1;
+      if t.fired || n <> t.trigger then None
+      else begin
+        match t.kind with
+        | Drive_death | Drive_hang _ | Drive_flaky _ | Latent_sectors _ ->
+          (* drive kinds fire from their own counters, never here *)
+          None
+        | _ ->
+          t.fired <- true;
+          (match t.kind with
+          | Power_cut -> raise Disk.Disk_sim.Power_cut
+          | Torn_write ->
+            let k = Prng.int t.prng sectors in
+            t.damaged <- List.init (sectors - k) (fun i -> lba + k + i) @ t.damaged;
+            Some (Disk.Disk_sim.Torn_write k)
+          | Grown_defect ->
+            let bad = lba + Prng.int t.prng sectors in
+            Hashtbl.replace t.defects bad ();
+            t.damaged <- bad :: t.damaged;
+            Some (Disk.Disk_sim.Unwritable bad)
+          | Bit_rot ->
+            t.pending_rot <- Some (lba + Prng.int t.prng sectors);
+            None
+          | Transient_read _ | Drive_death | Drive_hang _ | Drive_flaky _
+          | Latent_sectors _ ->
+            None)
+      end)
 
 let on_read t ~lba ~sectors =
   flush t;
-  match defect_in t ~lba ~sectors with
-  | Some bad -> Some (Disk.Disk_sim.Unreadable bad)
-  | None -> (
-    let n = t.reads_seen in
-    t.reads_seen <- n + 1;
-    match t.kind with
-    | Transient_read fails ->
-      if (not t.armed) && (not t.fired) && n = t.trigger then begin
-        t.armed <- true;
-        t.fired <- true;
-        t.transient_left <- fails
-      end;
-      if t.armed && t.transient_left > 0 then begin
-        t.transient_left <- t.transient_left - 1;
-        Some Disk.Disk_sim.Transient_read
-      end
-      else None
-    | _ -> None)
+  match drive_gate t with
+  | `Permanent -> Some (Disk.Disk_sim.Unreadable lba)
+  | `Transient -> Some Disk.Disk_sim.Transient_read
+  | `Pass -> (
+    match defect_in t ~lba ~sectors with
+    | Some bad -> Some (Disk.Disk_sim.Unreadable bad)
+    | None -> (
+      match latent_in t ~lba ~sectors with
+      | Some bad -> Some (Disk.Disk_sim.Unreadable bad)
+      | None -> (
+        let n = t.reads_seen in
+        t.reads_seen <- n + 1;
+        match t.kind with
+        | Transient_read fails ->
+          if (not t.armed) && (not t.fired) && n = t.trigger then begin
+            t.armed <- true;
+            t.fired <- true;
+            t.transient_left <- fails
+          end;
+          if t.armed && t.transient_left > 0 then begin
+            t.transient_left <- t.transient_left - 1;
+            Some Disk.Disk_sim.Transient_read
+          end
+          else None
+        | Latent_sectors len ->
+          (* The trigger-th read discovers a latent range anchored where
+             the head happens to be: that read and every later read of the
+             range fail until the sectors are rewritten. *)
+          if (not t.fired) && n = t.trigger then begin
+            t.fired <- true;
+            for i = 0 to len - 1 do
+              Hashtbl.replace t.latent (lba + i) ()
+            done;
+            t.damaged <- List.init len (fun i -> lba + i) @ t.damaged;
+            Some (Disk.Disk_sim.Unreadable lba)
+          end
+          else None
+        | _ -> None)))
 
 let install t disk =
   t.disk <- Some disk;

@@ -30,12 +30,37 @@ type kind =
   | Power_cut
       (** power dies on the boundary just before the [trigger]-th write —
           the clean-cut case: no media damage, only lost volatile state *)
+  | Drive_death
+      (** the whole drive dies on its [trigger]-th access (reads and
+          writes counted together): that access and every later one fails
+          permanently.  Only a redundant volume survives this *)
+  | Drive_hang of float
+      (** the drive stops responding for this many simulated milliseconds
+          starting at its [trigger]-th access: every command in the window
+          fails transiently, then service resumes.  Models firmware
+          recovery stalls / controller resets *)
+  | Drive_flaky of int
+      (** from the [trigger]-th access on, the drive alternates bursts of
+          [n] failed commands with [n] served ones — an intermittent cable
+          or dying controller *)
+  | Latent_sectors of int
+      (** the [trigger]-th read discovers a latent range of [n] bad
+          sectors anchored at that read's position: reads of the range
+          fail permanently until the sectors are rewritten (the drive
+          remaps on write).  Models defects grown while the region sat
+          idle, found only on the next access *)
 
 val kind_to_string : kind -> string
 
 val kind_of_string : string -> (kind, string) result
 (** Inverse of {!kind_to_string}: accepts
-    [torn | rot | transient[:n] | defect | powercut]. *)
+    [torn | rot | transient[:n] | defect | powercut
+     | death | hang[:ms] | flaky[:n] | latent[:n]]. *)
+
+val is_drive_kind : kind -> bool
+(** Whether the kind models a whole-drive failure (death, hang, flaky,
+    latent range) rather than a single-sector event.  Drive kinds are
+    meant for volume legs: a lone drive has nowhere to fail over to. *)
 
 type t
 

@@ -121,6 +121,10 @@ let fresh_disk ?store c clock =
 let workload_time = function
   | Plan.Torn_write | Plan.Bit_rot | Plan.Grown_defect | Plan.Power_cut -> true
   | Plan.Transient_read _ -> false
+  | Plan.Drive_death | Plan.Drive_hang _ | Plan.Drive_flaky _
+  | Plan.Latent_sectors _ ->
+    (* drive kinds belong to volume legs, not this single-spindle sweep *)
+    true
 
 (* A map node holds at most this many entries, so damage to one node can
    regress at most this many logical blocks. *)

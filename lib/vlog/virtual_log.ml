@@ -189,25 +189,37 @@ let write_node t piece ~txn_id ~commit =
      freemap (the VLD's defect list) and eager-allocate another — the
      same node lands elsewhere, exactly like firmware remapping to a
      spare sector, except the spare pool is the whole free space. *)
-  let rec put attempts acc =
+  let rec put attempts held acc =
     let pba =
-      match Eager.choose t.eager with
-      | Some pba -> pba
-      | None -> failwith "Virtual_log.write_node: disk full (reserve exhausted)"
+      match held with
+      | Some pba -> pba (* transient failure: retry the same home *)
+      | None -> (
+        match Eager.choose t.eager with
+        | Some pba ->
+          Freemap.occupy t.freemap pba;
+          pba
+        | None -> failwith "Virtual_log.write_node: disk full (reserve exhausted)")
     in
-    Freemap.occupy t.freemap pba;
     match
       Disk.Disk_sim.write_checked ~scsi:false t.disk
         ~lba:(Freemap.lba_of_block t.freemap pba) buf
     with
     | Ok (), cost -> (pba, Breakdown.add acc cost)
+    | Error e, cost when e.Disk.Disk_sim.transient ->
+      (* A hung or flaky drive, not a defect: the media is fine, so the
+         block must not be retired to the bad list. *)
+      if attempts >= 8 then begin
+        Freemap.release t.freemap pba;
+        failwith "Virtual_log.write_node: persistent write failures (drive not responding)"
+      end
+      else put (attempts + 1) (Some pba) (Breakdown.add acc cost)
     | Error _, cost ->
       Freemap.mark_bad t.freemap pba;
       if attempts >= 8 then
         failwith "Virtual_log.write_node: persistent write failures (media worn out)"
-      else put (attempts + 1) (Breakdown.add acc cost)
+      else put (attempts + 1) None (Breakdown.add acc cost)
   in
-  let pba, bd = put 0 Breakdown.zero in
+  let pba, bd = put 0 None Breakdown.zero in
   Trace.exit (sink t) ~bd sp;
   let superseded = if piece.loc >= 0 then Some piece.loc else None in
   piece.loc <- pba;

@@ -1,0 +1,904 @@
+(* Multi-disk volume manager: N simulated spindles behind the one
+   [Device.t] record the file systems already run on.
+
+   A volume is k stripe groups of m mirror legs each ([Stripe] is k x 1,
+   [Mirror] is 1 x m, [Stripe_of_mirrors] is k x m).  Logical block [b]
+   lives at group [b mod k], group-block [b / k]; each leg is a complete
+   logical disk of its own — a [Regular_disk] or a [Vld], so eager
+   writing composes per-spindle, every leg keeping its own head-local
+   free pool.
+
+   Robustness model:
+   - reads fail over across mirror legs; writes that cannot reach a leg
+     record the block in that leg's dirty-region log (DRL) and succeed as
+     long as one leg took the data;
+   - a failing leg goes [Suspect] and is left alone for a backoff window;
+     a later access probes it — success drains its DRL from a peer and
+     revives it, [probes_to_kill] consecutive failures retire it;
+   - a per-operation time budget bounds how long a hung leg can stall
+     the volume: once one leg has the data, legs that would push the
+     operation past [timeout_ms] are skipped (and DRL'd) instead;
+   - a retired leg is resilvered onto a hot-spare drive in the background
+     ([Rebuilding] cursor sweep + DRL for writes landing behind it) while
+     foreground I/O continues;
+   - [recover] brings every leg back from its platters and then resyncs
+     mirror groups: writes go to legs in index order, so the lowest live
+     leg is always newest and the group converges to its content.
+
+   All legs share one simulated clock; leg operations are serviced
+   sequentially on it (a deliberate simplification — a real array issues
+   mirror writes in parallel). *)
+
+open Vlog_util
+
+type layout =
+  | Stripe of int
+  | Mirror of int
+  | Stripe_of_mirrors of int * int
+
+type leg_kind = Regular_leg | Vld_leg
+
+type policy = {
+  timeout_ms : float;  (** per-operation budget once one leg has the data *)
+  backoff_ms : float;  (** how long a [Suspect] leg is left alone *)
+  probes_to_kill : int;  (** consecutive probe failures that retire a leg *)
+}
+
+let default_policy = { timeout_ms = 50.; backoff_ms = 200.; probes_to_kill = 2 }
+
+let layout_shape = function
+  | Stripe k ->
+    if k < 1 then invalid_arg "Volume: stripe needs at least 1 leg";
+    (k, 1)
+  | Mirror m ->
+    if m < 2 then invalid_arg "Volume: mirror needs at least 2 legs";
+    (1, m)
+  | Stripe_of_mirrors (k, m) ->
+    if k < 1 || m < 2 then
+      invalid_arg "Volume: stripe of mirrors needs k >= 1 groups of m >= 2 legs";
+    (k, m)
+
+let n_legs layout =
+  let k, m = layout_shape layout in
+  k * m
+
+let layout_to_string = function
+  | Stripe k -> Printf.sprintf "stripe:%d" k
+  | Mirror m -> Printf.sprintf "mirror:%d" m
+  | Stripe_of_mirrors (k, m) -> Printf.sprintf "raid10:%dx%d" k m
+
+type leg_impl = Vld of Blockdev.Vld.t | Reg of Blockdev.Regular_disk.t
+
+type leg = {
+  mutable impl : leg_impl;
+  mutable disk : Disk.Disk_sim.t;
+  mutable state : [ `Healthy | `Suspect | `Dead | `Rebuilding ];
+  mutable cursor : int; (* rebuild sweep position, meaningful while `Rebuilding *)
+  drl : (int, unit) Hashtbl.t; (* group-blocks this leg does not have yet *)
+  mutable failed_probes : int;
+  mutable retry_after : float; (* Suspect: do not touch before this time *)
+}
+
+type t = {
+  layout : layout;
+  leg_kind : leg_kind;
+  policy : policy;
+  logical_blocks : int;
+  group_blocks : int;
+  block_bytes : int;
+  groups : leg array array;
+  clock : Clock.t;
+  trace : Trace.sink;
+  prng : Prng.t;
+  mutable spare : (unit -> Disk.Disk_sim.t) option;
+}
+
+let leg_spare_blocks = 8
+
+let format_leg ~leg_kind ~group_blocks ~prng disk =
+  match leg_kind with
+  | Vld_leg ->
+    Vld (Blockdev.Vld.create ~disk ~logical_blocks:group_blocks ~prng ())
+  | Regular_leg ->
+    Reg (Blockdev.Regular_disk.create ~disk ~spare_blocks:leg_spare_blocks ())
+
+let leg_block_bytes leg =
+  match leg.impl with
+  | Vld v -> Vlog.Virtual_log.block_bytes (Blockdev.Vld.vlog v)
+  | Reg r -> (Blockdev.Regular_disk.device r).Blockdev.Device.block_bytes
+
+(* ---- Leg primitives ---- *)
+
+let synth_err op gb = { Blockdev.Device.op; block = gb; error_lba = 0; retries = 0 }
+
+let leg_read leg gb =
+  match leg.impl with
+  | Vld v -> Blockdev.Vld.read_result v gb
+  | Reg r -> Blockdev.Regular_disk.read_result r gb
+
+(* A wedged VLD leg (allocation reserve exhausted, persistent map-write
+   failures) raises [Failure]; the volume degrades the leg instead of
+   crashing.  [Power_cut] still propagates — power is volume-wide. *)
+let leg_write leg gb buf =
+  match
+    match leg.impl with
+    | Vld v -> Blockdev.Vld.write_result v gb buf
+    | Reg r -> Blockdev.Regular_disk.write_result r gb buf
+  with
+  | r -> r
+  | exception Failure _ -> Error (synth_err `Write gb)
+
+let leg_trim leg gb =
+  match leg.impl with
+  | Reg _ -> ()
+  | Vld v -> (
+    let vl = Blockdev.Vld.vlog v in
+    match Vlog.Virtual_log.lookup vl gb with
+    | None -> ()
+    | Some _ -> (
+      try ignore (Vlog.Virtual_log.update vl [ (gb, None) ])
+      with Failure _ -> ()))
+
+(* Whether the leg provably holds nothing at [gb].  Only a VLD's answer
+   is persistent (the indirection map survives remount); a regular leg's
+   written bitmap is volatile, so it must never be used to skip blocks
+   after a crash — callers copy everything instead. *)
+let leg_skip_unmapped leg =
+  match leg.impl with Vld _ -> true | Reg _ -> false
+
+let leg_mapped leg gb =
+  match leg.impl with
+  | Vld v -> Vlog.Virtual_log.lookup (Blockdev.Vld.vlog v) gb <> None
+  | Reg r -> Blockdev.Regular_disk.written r gb
+
+let leg_utilization leg =
+  match leg.impl with
+  | Vld v -> Vlog.Freemap.utilization (Vlog.Virtual_log.freemap (Blockdev.Vld.vlog v))
+  | Reg r -> (Blockdev.Regular_disk.device r).Blockdev.Device.utilization ()
+
+(* A probe must touch the media (a VLD answers unmapped reads from its
+   in-memory map), so read one raw sector — lba 0 always exists. *)
+let probe_leg t leg =
+  Trace.incr t.trace "vol.probes";
+  match Disk.Disk_sim.read_checked ~scsi:true leg.disk ~lba:0 ~sectors:1 with
+  | Ok _, _ -> true
+  | Error _, _ -> false
+
+(* ---- Failure handling, revival, rebuild ---- *)
+
+let start_rebuild_on t leg disk =
+  leg.disk <- disk;
+  leg.impl <-
+    format_leg ~leg_kind:t.leg_kind ~group_blocks:t.group_blocks
+      ~prng:(Prng.split t.prng) disk;
+  Hashtbl.reset leg.drl;
+  leg.cursor <- 0;
+  leg.failed_probes <- 0;
+  leg.state <- `Rebuilding;
+  Trace.incr t.trace "vol.rebuilds_started"
+
+let kill_leg t leg =
+  leg.state <- `Dead;
+  Trace.incr t.trace "vol.leg_deaths";
+  match t.spare with
+  | None -> ()
+  | Some factory -> start_rebuild_on t leg (factory ())
+
+let note_failure t leg =
+  match leg.state with
+  | `Dead -> ()
+  | `Healthy ->
+    leg.state <- `Suspect;
+    leg.failed_probes <- 1;
+    leg.retry_after <- Clock.now t.clock +. t.policy.backoff_ms
+  | `Suspect ->
+    leg.failed_probes <- leg.failed_probes + 1;
+    leg.retry_after <- Clock.now t.clock +. t.policy.backoff_ms;
+    if leg.failed_probes > t.policy.probes_to_kill then kill_leg t leg
+  | `Rebuilding ->
+    (* the replacement itself is failing: retire it and pull another spare *)
+    kill_leg t leg
+
+(* Copy one group-block onto [to_] from the best surviving peer.  A
+   mapped source block's bytes are written; a provable source hole is
+   propagated as a trim, so a fresh VLD leg is not flooded with zeroes. *)
+let copy_block t group ~to_ ~counter gb =
+  let src =
+    Array.fold_left
+      (fun acc leg ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if leg != to_ && leg.state = `Healthy && not (Hashtbl.mem leg.drl gb)
+          then Some leg
+          else None)
+      None group
+  in
+  match src with
+  | None -> Error `No_source
+  | Some src ->
+    if leg_skip_unmapped src && not (leg_mapped src gb) then begin
+      leg_trim to_ gb;
+      Ok ()
+    end
+    else (
+      match leg_read src gb with
+      | Error _ -> Error `Unreadable
+      | Ok (data, _) -> (
+        match leg_write to_ gb data with
+        | Ok _ ->
+          Trace.incr t.trace counter;
+          Ok ()
+        | Error _ -> Error `Write_failed))
+
+let drain_drl t group leg =
+  let gbs = List.sort compare (Hashtbl.fold (fun gb () acc -> gb :: acc) leg.drl []) in
+  List.iter
+    (fun gb ->
+      match copy_block t group ~to_:leg ~counter:"vol.resync_copies" gb with
+      | Ok () -> Hashtbl.remove leg.drl gb
+      | Error _ -> () (* stays dirty; reads keep avoiding it *))
+    gbs
+
+(* A leg may only return to [`Healthy] with an empty DRL: a healthy leg
+   is trusted as a resync primary after a crash (the DRL itself is
+   volatile), so reviving one that still holds stale blocks could
+   resurrect old data.  If the drain cannot finish — the peer flaking,
+   say — the leg stays suspect and retries after another backoff. *)
+let revive t group leg =
+  drain_drl t group leg;
+  if Hashtbl.length leg.drl = 0 then begin
+    leg.failed_probes <- 0;
+    leg.state <- `Healthy;
+    Trace.incr t.trace "vol.revives"
+  end
+  else leg.retry_after <- Clock.now t.clock +. t.policy.backoff_ms
+
+(* One unit of rebuild work: advance the cursor sweep, then drain the
+   DRL, then flip the leg healthy. *)
+let rebuild_tick t group leg =
+  if leg.cursor < t.group_blocks then begin
+    let gb = leg.cursor in
+    match copy_block t group ~to_:leg ~counter:"vol.rebuild_copies" gb with
+    | Ok () ->
+      leg.cursor <- leg.cursor + 1;
+      `Progress
+    | Error `Unreadable ->
+      (* no surviving copy of this block: honest loss, keep resilvering *)
+      Trace.incr t.trace "vol.rebuild_lost";
+      leg.cursor <- leg.cursor + 1;
+      `Progress
+    | Error (`No_source | `Write_failed) -> `Blocked
+  end
+  else
+    match Hashtbl.fold (fun gb () _ -> Some gb) leg.drl None with
+    | None ->
+      leg.state <- `Healthy;
+      leg.failed_probes <- 0;
+      Trace.incr t.trace "vol.rebuilds_completed";
+      `Done
+    | Some gb -> (
+      match copy_block t group ~to_:leg ~counter:"vol.rebuild_copies" gb with
+      | Ok () ->
+        Hashtbl.remove leg.drl gb;
+        `Progress
+      | Error `Unreadable ->
+        Hashtbl.remove leg.drl gb;
+        Trace.incr t.trace "vol.rebuild_lost";
+        `Progress
+      | Error _ -> `Blocked)
+
+let iter_legs t f = Array.iter (fun group -> Array.iter (f group) group) t.groups
+
+let rebuild_active t =
+  let any = ref false in
+  iter_legs t (fun _ leg -> if leg.state = `Rebuilding then any := true);
+  !any
+
+(* Background resilvering during granted idle time: copy until the
+   deadline, leaving the rest for the next window. *)
+let rebuild_pump t ~deadline =
+  iter_legs t (fun group leg ->
+      let continue_ = ref (leg.state = `Rebuilding) in
+      while !continue_ && Clock.now t.clock < deadline do
+        match rebuild_tick t group leg with
+        | `Progress -> ()
+        | `Done | `Blocked -> continue_ := false
+      done)
+
+let probe_suspects t =
+  iter_legs t (fun group leg ->
+      if leg.state = `Suspect && Clock.now t.clock >= leg.retry_after then
+        if probe_leg t leg then revive t group leg else note_failure t leg)
+
+let rebuild_to_completion t =
+  let blocked = ref 0 in
+  let rec go () =
+    let progress = ref false and any = ref false in
+    iter_legs t (fun group leg ->
+        if leg.state = `Rebuilding then begin
+          any := true;
+          match rebuild_tick t group leg with
+          | `Progress | `Done -> progress := true
+          | `Blocked -> ()
+        end);
+    if !any then
+      if !progress then begin
+        blocked := 0;
+        go ()
+      end
+      else if !blocked < 64 then begin
+        (* no usable source right now: give hung peers a backoff window
+           to come back, then retry *)
+        incr blocked;
+        Clock.advance t.clock t.policy.backoff_ms;
+        probe_suspects t;
+        go ()
+      end
+  in
+  go ()
+
+(* Deterministic quiescence for harnesses: probe every suspect until it
+   revives or dies (advancing simulated time through the backoff
+   windows), run rebuilds to completion, and drain every DRL.  On
+   return each leg is either fully healthy with an empty DRL, or dead
+   (no spare available) — never a trusted leg holding stale blocks.  A
+   leg that refuses to settle within the round bound is retired: it
+   cannot be allowed to survive a crash as a resync primary. *)
+let settle t =
+  let unsettled () =
+    let any = ref false in
+    iter_legs t (fun _ leg ->
+        match leg.state with
+        | `Suspect | `Rebuilding -> any := true
+        | `Healthy -> if Hashtbl.length leg.drl > 0 then any := true
+        | `Dead -> ());
+    !any
+  in
+  let rec go n =
+    probe_suspects t;
+    rebuild_to_completion t;
+    iter_legs t (fun group leg ->
+        if leg.state = `Healthy && Hashtbl.length leg.drl > 0 then
+          drain_drl t group leg);
+    if unsettled () then
+      if n > 0 then begin
+        Clock.advance t.clock t.policy.backoff_ms;
+        go (n - 1)
+      end
+      else begin
+        iter_legs t (fun _ leg ->
+            if
+              leg.state = `Suspect
+              || (leg.state = `Healthy && Hashtbl.length leg.drl > 0)
+            then kill_leg t leg);
+        rebuild_to_completion t
+      end
+  in
+  go (4 * (t.policy.probes_to_kill + 2))
+
+(* ---- Group operations ---- *)
+
+let locate t b =
+  let k = Array.length t.groups in
+  (b mod k, b / k)
+
+(* Mirror write: every leg that can reasonably take the block gets it;
+   legs skipped for backoff, budget, or failure get the block in their
+   DRL instead.  The operation succeeds if at least one leg has the
+   data. *)
+let group_write t gi gb buf =
+  let group = t.groups.(gi) in
+  let start = Clock.now t.clock in
+  let bd = ref Breakdown.zero in
+  let wrote = ref 0 in
+  let degraded = ref false in
+  let last_err = ref None in
+  Array.iter
+    (fun leg ->
+      let dirty () =
+        Hashtbl.replace leg.drl gb ();
+        degraded := true
+      in
+      match leg.state with
+      | `Dead -> ()
+      | `Rebuilding ->
+        (* the cursor sweep will copy everything at or past it from a
+           peer; only the already-rebuilt region must be kept current *)
+        if gb < leg.cursor then (
+          match leg_write leg gb buf with
+          | Ok c ->
+            bd := Breakdown.add !bd c.Io.breakdown;
+            Hashtbl.remove leg.drl gb;
+            incr wrote
+          | Error e ->
+            last_err := Some e;
+            dirty ();
+            note_failure t leg)
+      | (`Suspect | `Healthy) as st ->
+        let now = Clock.now t.clock in
+        let in_backoff = st = `Suspect && now < leg.retry_after in
+        (* the budget bounds how long suspects may stall the op once the
+           data is safe somewhere; healthy legs are always written *)
+        let over_budget =
+          st = `Suspect && !wrote > 0 && now -. start > t.policy.timeout_ms
+        in
+        if in_backoff || over_budget then dirty ()
+        else (
+          match leg_write leg gb buf with
+          | Ok c ->
+            bd := Breakdown.add !bd c.Io.breakdown;
+            Hashtbl.remove leg.drl gb;
+            incr wrote;
+            if st = `Suspect then revive t group leg
+          | Error e ->
+            last_err := Some e;
+            dirty ();
+            note_failure t leg))
+    group;
+  if !degraded && !wrote > 0 then Trace.incr t.trace "vol.degraded_writes";
+  if !wrote > 0 then Ok !bd
+  else
+    Error
+      (match !last_err with
+      | Some e -> { e with Blockdev.Device.block = gb }
+      | None -> synth_err `Write gb)
+
+(* Mirror read with failover: healthy legs first, then the rebuilt
+   region of a rebuilding leg, then suspects past their backoff (the
+   read doubles as the probe).  Blocks in a leg's DRL are never read
+   from it.  Once one candidate has been tried, the per-op budget stops
+   further probing. *)
+let group_read t gi gb =
+  let group = t.groups.(gi) in
+  let start = Clock.now t.clock in
+  let now () = Clock.now t.clock in
+  let eligible leg =
+    (not (Hashtbl.mem leg.drl gb))
+    &&
+    match leg.state with
+    | `Healthy -> true
+    | `Rebuilding -> gb < leg.cursor
+    | `Suspect -> now () >= leg.retry_after
+    | `Dead -> false
+  in
+  let tier leg =
+    match leg.state with `Healthy -> 0 | `Rebuilding -> 1 | `Suspect -> 2 | `Dead -> 3
+  in
+  let candidates =
+    let all = Array.to_list group in
+    let first = List.filter eligible all in
+    if first <> [] then first
+    else
+      (* last resort: suspects still in backoff — better a slow answer
+         than none *)
+      List.filter
+        (fun leg -> leg.state = `Suspect && not (Hashtbl.mem leg.drl gb))
+        all
+  in
+  let candidates = List.stable_sort (fun a b -> compare (tier a) (tier b)) candidates in
+  let rec go tried = function
+    | [] ->
+      Error
+        (match tried with
+        | Some e -> { e with Blockdev.Device.block = gb }
+        | None -> synth_err `Read gb)
+    | leg :: rest ->
+      if
+        leg.state = `Suspect && tried <> None
+        && now () -. start > t.policy.timeout_ms
+      then
+        (* budget exhausted: no further probing of suspects (healthy
+           candidates sort first, so none is being skipped here) *)
+        go tried []
+      else (
+        match leg_read leg gb with
+        | Ok (data, c) ->
+          if leg.state = `Suspect then revive t group leg;
+          Ok (data, c.Io.breakdown)
+        | Error e ->
+          note_failure t leg;
+          if rest <> [] then Trace.incr t.trace "vol.failovers";
+          go (Some e) rest)
+  in
+  go None candidates
+
+let group_trim t gi gb =
+  Array.iter
+    (fun leg ->
+      match leg.state with
+      | `Dead -> ()
+      | `Rebuilding | `Suspect | `Healthy -> leg_trim leg gb)
+    t.groups.(gi)
+
+(* ---- Construction ---- *)
+
+let mk ?(policy = default_policy) ?spare ~layout ~leg_kind ~logical_blocks
+    ~(disks : Disk.Disk_sim.t array) ~prng ~mk_leg () =
+  let k, m = layout_shape layout in
+  if Array.length disks <> k * m then
+    invalid_arg
+      (Printf.sprintf "Volume: layout %s needs %d disks, got %d"
+         (layout_to_string layout) (k * m) (Array.length disks));
+  if logical_blocks < 1 then invalid_arg "Volume: need at least one logical block";
+  let group_blocks = (logical_blocks + k - 1) / k in
+  let groups =
+    Array.init k (fun gi -> Array.init m (fun li -> mk_leg ~group_blocks disks.((gi * m) + li) gi li))
+  in
+  let t =
+    {
+      layout;
+      leg_kind;
+      policy;
+      logical_blocks;
+      group_blocks;
+      block_bytes = leg_block_bytes groups.(0).(0);
+      groups;
+      clock = Disk.Disk_sim.clock disks.(0);
+      trace = Disk.Disk_sim.trace disks.(0);
+      prng;
+      spare;
+    }
+  in
+  t
+
+let fresh_leg ~leg_kind ~prng ~group_blocks disk _gi _li =
+  {
+    impl = format_leg ~leg_kind ~group_blocks ~prng:(Prng.split prng) disk;
+    disk;
+    state = `Healthy;
+    cursor = 0;
+    drl = Hashtbl.create 8;
+    failed_probes = 0;
+    retry_after = 0.;
+  }
+
+let create ?policy ?spare ~layout ~leg_kind ~logical_blocks ~disks ~prng () =
+  mk ?policy ?spare ~layout ~leg_kind ~logical_blocks ~disks ~prng
+    ~mk_leg:(fun ~group_blocks disk gi li ->
+      fresh_leg ~leg_kind ~prng ~group_blocks disk gi li)
+    ()
+
+(* ---- Recovery ---- *)
+
+type recovery_report = {
+  legs_recovered : int;
+  legs_lost : int;  (** legs whose platters did not recover; volume degraded *)
+  legs_used_tail : int;  (** VLD legs brought up via the landing-zone tail *)
+  resync_fixed : int;  (** group-blocks converged onto the primary's content *)
+  resync_lost : int;  (** group-blocks unreadable on every surviving leg *)
+}
+
+(* Converge every mirror group onto its lowest live leg: writes are
+   issued to legs in index order, so that leg is always the newest
+   surviving state, and per-leg recovery already rolled each leg back to
+   a self-consistent transaction boundary.  Healing writes also repair
+   single-leg media damage from the surviving copy. *)
+let resync t report =
+  let fixed = ref 0 and lost = ref 0 in
+  Array.iter
+    (fun group ->
+      if Array.length group > 1 then
+        for gb = 0 to t.group_blocks - 1 do
+          let live =
+            Array.to_list group |> List.filter (fun leg -> leg.state = `Healthy)
+          in
+          let skippable =
+            live <> []
+            && List.for_all
+                 (fun leg -> leg_skip_unmapped leg && not (leg_mapped leg gb))
+                 live
+          in
+          if (not skippable) && List.length live > 1 then begin
+            let reads = List.map (fun leg -> (leg, leg_read leg gb)) live in
+            match
+              List.find_opt (fun (_, r) -> Result.is_ok r) reads
+            with
+            | None -> incr lost
+            | Some (primary, pread) ->
+              let pdata = match pread with Ok (d, _) -> d | Error _ -> assert false in
+              let phole = leg_skip_unmapped primary && not (leg_mapped primary gb) in
+              let mend = ref false in
+              List.iter
+                (fun (leg, r) ->
+                  if leg != primary then
+                    let differs =
+                      match r with
+                      | Error _ -> true
+                      | Ok (d, _) -> not (Bytes.equal d pdata)
+                    in
+                    if differs then begin
+                      mend := true;
+                      if phole then leg_trim leg gb
+                      else
+                        match leg_write leg gb pdata with
+                        | Ok _ -> Trace.incr t.trace "vol.resync_copies"
+                        | Error _ -> Hashtbl.replace leg.drl gb ()
+                    end)
+                reads;
+              if !mend then incr fixed
+          end
+        done)
+    t.groups;
+  { report with resync_fixed = !fixed; resync_lost = !lost }
+
+let recover ?policy ?spare ~layout ~leg_kind ~logical_blocks ~disks ~prng () =
+  let recovered = ref 0 and lost = ref 0 and used_tail = ref 0 in
+  let t =
+    mk ?policy ?spare ~layout ~leg_kind ~logical_blocks ~disks ~prng
+      ~mk_leg:(fun ~group_blocks:_ disk _gi _li ->
+        let impl, state =
+          match leg_kind with
+          | Regular_leg ->
+            (* a regular leg has no volatile metadata to rebuild: wrapping
+               the platters is the whole recovery *)
+            incr recovered;
+            ( Reg
+                (Blockdev.Regular_disk.create ~disk
+                   ~spare_blocks:leg_spare_blocks ()),
+              `Healthy )
+          | Vld_leg -> (
+            match Blockdev.Vld.recover ~disk ~prng:(Prng.split prng) () with
+            | Ok (v, rep) ->
+              incr recovered;
+              if rep.Vlog.Virtual_log.used_tail then incr used_tail;
+              (Vld v, `Healthy)
+            | Error _ ->
+              (* platters unrecoverable: dead on arrival.  The placeholder
+                 impl never runs — `Dead gates every access — and wrapping
+                 a regular disk writes nothing to the media. *)
+              incr lost;
+              (Reg (Blockdev.Regular_disk.create ~disk ()), `Dead))
+        in
+        {
+          impl;
+          disk;
+          state;
+          cursor = 0;
+          drl = Hashtbl.create 8;
+          failed_probes = 0;
+          retry_after = 0.;
+        })
+      ()
+  in
+  let orphaned = ref [] in
+  Array.iteri
+    (fun gi group ->
+      if not (Array.exists (fun leg -> leg.state <> `Dead) group) then
+        orphaned := gi :: !orphaned)
+    t.groups;
+  match !orphaned with
+  | gi :: _ ->
+    Error
+      (Printf.sprintf
+         "data loss: group %d has no surviving leg (every mirror copy is gone)"
+         gi)
+  | [] ->
+    let report =
+      {
+        legs_recovered = !recovered;
+        legs_lost = !lost;
+        legs_used_tail = !used_tail;
+        resync_fixed = 0;
+        resync_lost = 0;
+      }
+    in
+    let report = resync t report in
+    (* a dead-on-arrival leg starts rebuilding immediately if a spare is
+       on hand *)
+    iter_legs t (fun _ leg ->
+        if leg.state = `Dead then
+          match t.spare with
+          | Some factory -> start_rebuild_on t leg (factory ())
+          | None -> ());
+    Ok (t, report)
+
+(* ---- The Device face ---- *)
+
+let check t block count =
+  if block < 0 || count <= 0 || block + count > t.logical_blocks then
+    invalid_arg "Volume: logical block range out of bounds"
+
+let dev_span t name block count =
+  if Trace.enabled t.trace then
+    Trace.enter t.trace
+      ~attrs:[ ("block", string_of_int block); ("count", string_of_int count) ]
+      name
+  else Io.no_span
+
+let read_result t block =
+  check t block 1;
+  let sp = dev_span t "vol.read" block 1 in
+  let gi, gb = locate t block in
+  match group_read t gi gb with
+  | Ok (data, bd) ->
+    Trace.exit t.trace ~bd sp;
+    Ok (data, Io.make ~span:sp bd)
+  | Error e ->
+    Trace.exit t.trace sp;
+    Error { e with Blockdev.Device.block }
+
+let write_result t block buf =
+  check t block 1;
+  if Bytes.length buf <> t.block_bytes then
+    invalid_arg "Volume.write: buffer must be exactly one block";
+  let sp = dev_span t "vol.write" block 1 in
+  let gi, gb = locate t block in
+  match group_write t gi gb buf with
+  | Ok bd ->
+    Trace.exit t.trace ~bd sp;
+    Ok (Io.make ~span:sp bd)
+  | Error e ->
+    Trace.exit t.trace sp;
+    Error { e with Blockdev.Device.block }
+
+let read_run_result t block count =
+  check t block count;
+  let sp = dev_span t "vol.read_run" block count in
+  let out = Bytes.create (count * t.block_bytes) in
+  let bd = ref Breakdown.zero in
+  let rec go i =
+    if i >= count then Ok ()
+    else
+      let gi, gb = locate t (block + i) in
+      match group_read t gi gb with
+      | Ok (data, cost) ->
+        Bytes.blit data 0 out (i * t.block_bytes) t.block_bytes;
+        bd := Breakdown.add !bd cost;
+        go (i + 1)
+      | Error e -> Error { e with Blockdev.Device.block = block + i }
+  in
+  match go 0 with
+  | Ok () ->
+    Trace.exit t.trace ~bd:!bd sp;
+    Ok (out, Io.make ~span:sp !bd)
+  | Error e ->
+    Trace.exit t.trace ~bd:!bd sp;
+    Error e
+
+let write_run_result t block buf =
+  if Bytes.length buf = 0 || Bytes.length buf mod t.block_bytes <> 0 then
+    invalid_arg "Volume.write_run: buffer must be whole blocks";
+  let count = Bytes.length buf / t.block_bytes in
+  check t block count;
+  let sp = dev_span t "vol.write_run" block count in
+  let bd = ref Breakdown.zero in
+  let rec go i =
+    if i >= count then Ok ()
+    else
+      let gi, gb = locate t (block + i) in
+      let piece = Bytes.sub buf (i * t.block_bytes) t.block_bytes in
+      match group_write t gi gb piece with
+      | Ok cost ->
+        bd := Breakdown.add !bd cost;
+        go (i + 1)
+      | Error e -> Error { e with Blockdev.Device.block = block + i }
+  in
+  match go 0 with
+  | Ok () ->
+    Trace.exit t.trace ~bd:!bd sp;
+    Ok (Io.make ~span:sp !bd)
+  | Error e ->
+    Trace.exit t.trace ~bd:!bd sp;
+    Error e
+
+let trim t block =
+  check t block 1;
+  let gi, gb = locate t block in
+  group_trim t gi gb
+
+let idle t dt =
+  if dt > 0. then begin
+    let deadline = Clock.now t.clock +. dt in
+    rebuild_pump t ~deadline;
+    iter_legs t (fun _ leg ->
+        match (leg.state, leg.impl) with
+        | (`Healthy | `Suspect), Vld v ->
+          if Clock.now t.clock < deadline then
+            ignore (Vlog.Compactor.run (Blockdev.Vld.compactor v) ~deadline)
+        | _ -> ())
+  end
+
+let utilization t =
+  let sum = ref 0. and n = ref 0 in
+  iter_legs t (fun _ leg ->
+      if leg.state <> `Dead then begin
+        sum := !sum +. leg_utilization leg;
+        incr n
+      end);
+  if !n = 0 then 1. else !sum /. float_of_int !n
+
+let device t =
+  {
+    Blockdev.Device.name = "volume:" ^ layout_to_string t.layout;
+    block_bytes = t.block_bytes;
+    n_blocks = t.logical_blocks;
+    trace = t.trace;
+    read = read_result t;
+    read_run = read_run_result t;
+    write = write_result t;
+    write_run = write_run_result t;
+    trim = trim t;
+    idle = idle t;
+    utilization = (fun () -> utilization t);
+  }
+
+(* ---- Introspection (CLI, checkers, tests) ---- *)
+
+let layout t = t.layout
+let policy t = t.policy
+let n_groups t = Array.length t.groups
+let legs_per_group t = Array.length t.groups.(0)
+let group_blocks t = t.group_blocks
+let logical_blocks t = t.logical_blocks
+let block_bytes t = t.block_bytes
+let clock t = t.clock
+
+let disks t =
+  Array.concat (Array.to_list (Array.map (Array.map (fun leg -> leg.disk)) t.groups))
+
+let state_of t ~group ~leg =
+  let l = t.groups.(group).(leg) in
+  match l.state with
+  | `Healthy -> `Healthy
+  | `Suspect -> `Suspect
+  | `Dead -> `Dead
+  | `Rebuilding -> `Rebuilding l.cursor
+
+let state_to_string = function
+  | `Healthy -> "healthy"
+  | `Suspect -> "suspect"
+  | `Dead -> "dead"
+  | `Rebuilding c -> Printf.sprintf "rebuilding@%d" c
+
+let drl_size t =
+  let n = ref 0 in
+  iter_legs t (fun _ leg -> n := !n + Hashtbl.length leg.drl);
+  !n
+
+let degraded t =
+  let d = ref false in
+  iter_legs t (fun _ leg -> if leg.state <> `Healthy then d := true);
+  !d
+
+let kill t ~group ~leg =
+  let l = t.groups.(group).(leg) in
+  if l.state <> `Dead then begin
+    l.state <- `Dead;
+    Trace.incr t.trace "vol.leg_deaths"
+  end
+
+let start_rebuild t ~group ~leg =
+  let l = t.groups.(group).(leg) in
+  if l.state <> `Dead then Error "leg is not dead"
+  else
+    match t.spare with
+    | None -> Error "no hot spare configured"
+    | Some factory ->
+      start_rebuild_on t l (factory ());
+      Ok ()
+
+let leg_read_raw t ~group ~leg gb = Result.map fst (leg_read t.groups.(group).(leg) gb)
+let leg_drl_size t ~group ~leg = Hashtbl.length t.groups.(group).(leg).drl
+let leg_dirty t ~group ~leg gb = Hashtbl.mem t.groups.(group).(leg).drl gb
+
+let group_has_data t ~group gb =
+  Array.exists
+    (fun leg ->
+      leg.state <> `Dead && ((not (leg_skip_unmapped leg)) || leg_mapped leg gb))
+    t.groups.(group)
+
+let pp_status ppf t =
+  let k = n_groups t and m = legs_per_group t in
+  Format.fprintf ppf "layout %s, %d logical blocks, %d per group@\n"
+    (layout_to_string t.layout) t.logical_blocks t.group_blocks;
+  for gi = 0 to k - 1 do
+    for li = 0 to m - 1 do
+      let l = t.groups.(gi).(li) in
+      Format.fprintf ppf "  group %d leg %d: %-14s drl=%d util=%.2f@\n" gi li
+        (state_to_string (state_of t ~group:gi ~leg:li))
+        (Hashtbl.length l.drl) (leg_utilization l)
+    done
+  done;
+  Format.fprintf ppf "  volume: %s@\n"
+    (if degraded t then "DEGRADED" else "healthy")

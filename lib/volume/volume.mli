@@ -1,0 +1,151 @@
+(** Multi-disk volume manager: N independent {!Disk.Disk_sim} drives
+    behind one {!Blockdev.Device.t}, with mirroring, whole-drive failure
+    tolerance, degraded-mode I/O, and online rebuild onto hot spares.
+
+    A volume is [k] groups of [m] mirror legs; each leg is a full
+    logical-disk stack ({!Blockdev.Vld} or {!Blockdev.Regular_disk})
+    formatted over its own drive.  Block [b] lives in group [b mod k] as
+    group block [b / k] on every leg of that group.
+
+    Failure model: a leg that fails an I/O turns [Suspect] (skipped
+    while in backoff, its missed writes logged in a volatile per-leg
+    dirty-region set); a suspect that keeps failing probes is retired to
+    [Dead] and, when a hot spare is configured, resilvered in the
+    background.  Reads fail over across legs; writes succeed as long as
+    one leg takes them.  A leg only returns to [Healthy] once its
+    dirty-region set has drained — the crash resync trusts healthy legs,
+    so a stale one must never wear the label. *)
+
+type layout =
+  | Stripe of int  (** [k] groups of one leg: capacity, no redundancy *)
+  | Mirror of int  (** one group of [m] legs *)
+  | Stripe_of_mirrors of int * int  (** [k] groups of [m] legs (RAID-10) *)
+
+type leg_kind = Regular_leg | Vld_leg
+
+type policy = {
+  timeout_ms : float;  (** per-operation budget once one leg has the data *)
+  backoff_ms : float;  (** how long a [Suspect] leg is left alone *)
+  probes_to_kill : int;  (** consecutive probe failures that retire a leg *)
+}
+
+val default_policy : policy
+(** 50 ms budget, 200 ms backoff, 2 probes. *)
+
+val n_legs : layout -> int
+(** Drives the layout needs.  Raises [Invalid_argument] on degenerate
+    shapes (stripe width < 1, mirror width < 2). *)
+
+val layout_to_string : layout -> string
+(** ["stripe:2"], ["mirror:2"], ["raid10:2x2"]. *)
+
+type t
+
+val create :
+  ?policy:policy ->
+  ?spare:(unit -> Disk.Disk_sim.t) ->
+  layout:layout ->
+  leg_kind:leg_kind ->
+  logical_blocks:int ->
+  disks:Disk.Disk_sim.t array ->
+  prng:Vlog_util.Prng.t ->
+  unit ->
+  t
+(** Format a fresh volume over exactly [n_legs layout] drives sharing
+    one clock.  [spare] supplies a blank drive whenever a leg dies, so
+    rebuilds start automatically; without it dead legs stay dead until
+    {!start_rebuild}. *)
+
+type recovery_report = {
+  legs_recovered : int;
+  legs_lost : int;  (** legs whose platters did not recover; volume degraded *)
+  legs_used_tail : int;  (** VLD legs brought up via the landing-zone tail *)
+  resync_fixed : int;  (** group-blocks converged onto the primary's content *)
+  resync_lost : int;  (** group-blocks unreadable on every surviving leg *)
+}
+
+val recover :
+  ?policy:policy ->
+  ?spare:(unit -> Disk.Disk_sim.t) ->
+  layout:layout ->
+  leg_kind:leg_kind ->
+  logical_blocks:int ->
+  disks:Disk.Disk_sim.t array ->
+  prng:Vlog_util.Prng.t ->
+  unit ->
+  (t * recovery_report, string) result
+(** Bring a volume back from [n_legs layout] post-crash drives: recover
+    each leg independently (an unrecoverable leg becomes [Dead], not an
+    error), resync every mirror group onto its first readable leg —
+    writes go to legs in index order, so that leg is the newest
+    surviving state — and start rebuilds for dead legs if [spare] is
+    given.  [Error] only when some group has no surviving leg at all:
+    honest data loss. *)
+
+val device : t -> Blockdev.Device.t
+(** The volume as a block device; [idle] pumps rebuilds first, then the
+    VLD legs' compactors. *)
+
+(** {1 Failure management} *)
+
+val kill : t -> group:int -> leg:int -> unit
+(** Administratively retire a leg (no spare swap, no probation). *)
+
+val start_rebuild : t -> group:int -> leg:int -> (unit, string) result
+(** Resilver a [Dead] leg onto a hot spare.  [Error] if the leg is not
+    dead or no spare is configured. *)
+
+val rebuild_active : t -> bool
+
+val rebuild_to_completion : t -> unit
+(** Drive every active rebuild to the end (foreground, simulated time
+    advances).  Gives up on legs whose source blocks stay unreadable. *)
+
+val settle : t -> unit
+(** Quiesce the failure machinery: probe suspects, finish rebuilds,
+    drain dirty-region sets — and retire any leg that will not drain
+    within a bounded number of rounds.  Afterwards every leg is either
+    fully [Healthy] with an empty dirty-region set, or [Dead]. *)
+
+(** {1 Introspection} *)
+
+val layout : t -> layout
+val policy : t -> policy
+val n_groups : t -> int
+val legs_per_group : t -> int
+val group_blocks : t -> int
+val logical_blocks : t -> int
+val block_bytes : t -> int
+val clock : t -> Vlog_util.Clock.t
+
+val disks : t -> Disk.Disk_sim.t array
+(** Current drive of every leg, group-major; spares appear in place of
+    the drives they replaced. *)
+
+val state_of :
+  t -> group:int -> leg:int -> [ `Healthy | `Suspect | `Dead | `Rebuilding of int ]
+(** [`Rebuilding c]: the resilver cursor has copied group blocks below [c]. *)
+
+val state_to_string :
+  [ `Healthy | `Suspect | `Dead | `Rebuilding of int ] -> string
+
+val degraded : t -> bool
+(** Some leg is not [`Healthy]. *)
+
+val drl_size : t -> int
+(** Total dirty-region entries across all legs. *)
+
+val leg_read_raw :
+  t -> group:int -> leg:int -> int -> (Bytes.t, Blockdev.Device.io_error) result
+(** Read one group block from one specific leg, bypassing failover —
+    how the volume checker cross-examines mirror copies. *)
+
+val leg_drl_size : t -> group:int -> leg:int -> int
+val leg_dirty : t -> group:int -> leg:int -> int -> bool
+
+val group_has_data : t -> group:int -> int -> bool
+(** Some live leg may hold real data for this group block (always true
+    for regular legs, whose write history is volatile). *)
+
+val pp_status : Format.formatter -> t -> unit
+(** The [vlsim volume status] leg map. *)

@@ -6,4 +6,4 @@ let () =
    @ Test_crash_sweep.suites
    @ Test_fault.suites @ Test_check.suites @ Test_par.suites
    @ Test_workload.suites
-   @ Test_experiments.suites @ Test_trace.suites)
+   @ Test_experiments.suites @ Test_trace.suites @ Test_volume.suites)

@@ -138,6 +138,46 @@ let test_vld_power_down_recover_end_to_end () =
     let got, _ = Device.read dev2 42 in
     Alcotest.(check bytes) "unwritten zero" (Bytes.make dev.Device.block_bytes '\000') got
 
+(* power_down is best-effort: when the landing zone has grown a defect
+   the tail record never lands, and the next recovery must take the
+   signature-scan fallback — used_tail=false — with no data lost.  The
+   test above is the control for this one (healthy zone, used_tail
+   stays true). *)
+let test_vld_power_down_defective_landing_zone () =
+  let clock = Clock.create () in
+  let disk =
+    Disk.Disk_sim.create ~buffer_policy:Disk.Track_buffer.Whole_track ~profile ~clock ()
+  in
+  let prng = Prng.create ~seed:23L in
+  let vld = Vld.create ~disk ~logical_blocks:500 ~prng () in
+  let dev = Vld.device vld in
+  let payload l = Bytes.init dev.Device.block_bytes (fun i -> Char.chr ((l + i) mod 256)) in
+  List.iter (fun l -> ignore (Device.write dev l (payload l))) [ 0; 7; 200; 499 ];
+  (* The only write left is the tail record; fail it at its own lba. *)
+  Disk.Disk_sim.set_injector disk
+    (Some
+       {
+         Disk.Disk_sim.on_read = (fun ~lba:_ ~sectors:_ -> None);
+         on_write = (fun ~lba ~sectors:_ -> Some (Disk.Disk_sim.Unwritable lba));
+       });
+  ignore (Vld.power_down vld);
+  Disk.Disk_sim.set_injector disk None;
+  match Vld.recover ~disk ~prng () with
+  | Error e -> Alcotest.fail e
+  | Ok (vld2, report) ->
+    Alcotest.(check bool) "fell back to scan" false
+      report.Vlog.Virtual_log.used_tail;
+    Alcotest.(check bool) "scan actually ran" true
+      (report.Vlog.Virtual_log.blocks_scanned > 0);
+    let dev2 = Vld.device vld2 in
+    List.iter
+      (fun l ->
+        let got, _ = Device.read dev2 l in
+        Alcotest.(check bytes) "payload survives scan path" (payload l) got)
+      [ 0; 7; 200; 499 ];
+    let got, _ = Device.read dev2 42 in
+    Alcotest.(check bytes) "unwritten zero" (Bytes.make dev.Device.block_bytes '\000') got
+
 let test_vld_idle_compacts () =
   let vld, dev, clock = make_vld ~logical_blocks:1800 () in
   (* Fragment the disk. *)
@@ -169,6 +209,21 @@ let test_utilization_reporting () =
 let qcheck_tests =
   let open QCheck in
   [
+    Test.make ~name:"io_error print/parse roundtrip" ~count:200
+      (quad bool (int_range 0 1_000_000) (int_range 0 10_000_000)
+         (int_range 0 64))
+      (fun (is_read, block, error_lba, retries) ->
+        let e =
+          {
+            Device.op = (if is_read then `Read else `Write);
+            block;
+            error_lba;
+            retries;
+          }
+        in
+        match Device.parse_io_error (Format.asprintf "%a" Device.pp_io_error e) with
+        | Some e' -> e' = e
+        | None -> false);
     Test.make ~name:"vld random write/read matches model" ~count:20
       (list_of_size Gen.(1 -- 60) (pair (int_range 0 199) (int_range 0 255)))
       (fun ops ->
@@ -203,6 +258,8 @@ let suites =
         Alcotest.test_case "overwrite detection" `Quick test_vld_overwrite_detection;
         Alcotest.test_case "write_run one txn" `Quick test_vld_write_run_atomic_txn;
         Alcotest.test_case "power-down recover" `Quick test_vld_power_down_recover_end_to_end;
+        Alcotest.test_case "power-down defective landing zone" `Quick
+          test_vld_power_down_defective_landing_zone;
         Alcotest.test_case "idle compacts" `Quick test_vld_idle_compacts;
         Alcotest.test_case "regular idle noop" `Quick test_regular_idle_noop;
         Alcotest.test_case "utilization" `Quick test_utilization_reporting;

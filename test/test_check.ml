@@ -27,8 +27,8 @@ let view_of_model ?(block_bytes = 4096) files =
           | Some (`Fill c) -> Ok (Bytes.make block_bytes c)))
   }
 
-let strict o view = Oracle.check o ~strict:true ~allow_io_errors:false view
-let lax o view = Oracle.check o ~strict:false ~allow_io_errors:true view
+let strict o view = Oracle.check o ~mode:Oracle.Strict view
+let lax o view = Oracle.check o ~mode:Oracle.Lax view
 
 let test_oracle_fabrication () =
   let o = Oracle.create ~sector_bytes in

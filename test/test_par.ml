@@ -153,7 +153,7 @@ let test_fault_sweep_jobs_invariant () =
 let test_fs_sweep_jobs_invariant () =
   let o1 = Check.Fs_sweep.run ~jobs:1 Check.Fs_sweep.smoke in
   let o4 = Check.Fs_sweep.run ~jobs:4 Check.Fs_sweep.smoke in
-  Alcotest.(check bool) "6 cells" true (o1.Check.Fs_sweep.scenarios = 6);
+  Alcotest.(check bool) "8 cells" true (o1.Check.Fs_sweep.scenarios = 8);
   Alcotest.(check bool) "jobs=4 = jobs=1" true (o1 = o4)
 
 (* Order-independent seeding (the property that justifies fanning out):

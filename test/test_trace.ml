@@ -242,6 +242,62 @@ let test_reset_stats_zeroes_everything () =
   Alcotest.(check int) "write_faults" 0 z.Disk.Disk_sim.write_faults;
   Alcotest.(check (float 0.)) "busy_ms" 0. z.Disk.Disk_sim.busy_ms
 
+(* --- failed I/O still accounts its retries ----------------------------- *)
+
+(* A read that exhausts its bounded retries must charge the attempts to
+   dev.failed_retries (dev.read_retries only counts retries that led to
+   a success). *)
+let test_failed_retries_counter () =
+  let clock = Clock.create () in
+  let trace = Trace.create ~clock () in
+  let disk =
+    Disk.Disk_sim.create ~buffer_policy:Disk.Track_buffer.Whole_track ~profile
+      ~clock ~trace ()
+  in
+  let dev =
+    Blockdev.Regular_disk.device (Blockdev.Regular_disk.create ~disk ())
+  in
+  let b = Bytes.make dev.Blockdev.Device.block_bytes 'f' in
+  (match dev.Blockdev.Device.write 0 b with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "healthy write failed");
+  Disk.Disk_sim.set_injector disk
+    (Some
+       {
+         Disk.Disk_sim.on_read =
+           (fun ~lba:_ ~sectors:_ -> Some Disk.Disk_sim.Transient_read);
+         on_write = (fun ~lba:_ ~sectors:_ -> None);
+       });
+  (match dev.Blockdev.Device.read 0 with
+  | Ok _ -> Alcotest.fail "read succeeded under a permanent transient fault"
+  | Error e ->
+    Alcotest.(check int) "error reports the retry count" 3
+      e.Blockdev.Device.retries);
+  Alcotest.(check int) "failed retries counted" 3
+    (Trace.counter trace "dev.failed_retries");
+  Alcotest.(check int) "no successful-retry count" 0
+    (Trace.counter trace "dev.read_retries");
+  (* A retry burst that eventually lands keeps charging read_retries,
+     not failed_retries. *)
+  let seen = ref 0 in
+  Disk.Disk_sim.set_injector disk
+    (Some
+       {
+         Disk.Disk_sim.on_read =
+           (fun ~lba:_ ~sectors:_ ->
+             incr seen;
+             if !seen <= 2 then Some Disk.Disk_sim.Transient_read else None);
+         on_write = (fun ~lba:_ ~sectors:_ -> None);
+       });
+  (match dev.Blockdev.Device.read 0 with
+  | Ok (data, _) ->
+    Alcotest.(check char) "data intact" 'f' (Bytes.get data 0)
+  | Error _ -> Alcotest.fail "read failed despite retries");
+  Alcotest.(check int) "successful retries counted" 2
+    (Trace.counter trace "dev.read_retries");
+  Alcotest.(check int) "failed count unchanged" 3
+    (Trace.counter trace "dev.failed_retries")
+
 let suites =
   [
     ( "trace",
@@ -254,6 +310,7 @@ let suites =
         Alcotest.test_case "histogram singleton" `Quick test_histogram_singleton;
         Alcotest.test_case "null sink inert" `Quick test_null_sink_inert;
         Alcotest.test_case "reset_stats zeroes everything" `Quick test_reset_stats_zeroes_everything;
+        Alcotest.test_case "failed retries counted" `Quick test_failed_retries_counter;
       ] );
     ( "trace:exactness",
       List.map

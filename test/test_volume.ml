@@ -1,0 +1,238 @@
+(* The multi-disk volume layer: read failover across mirror legs,
+   degraded writes with dirty-region tracking, bounded stalls under a
+   hung leg, online rebuild onto a hot spare, honest data-loss reporting
+   when redundancy is exhausted, and mirrored crash recovery converging
+   both legs to one legal state. *)
+
+open Vlog_util
+open Check
+
+let profile = Disk.Profile.with_cylinders Disk.Profile.st19101 3
+
+let mk_disk clock =
+  Disk.Disk_sim.create ~buffer_policy:Disk.Track_buffer.Whole_track ~profile
+    ~clock ()
+
+let logical_blocks = 64
+
+let mk_mirror ?(leg_kind = Volume.Vld_leg) ?spare clock =
+  let disks = Array.init 2 (fun _ -> mk_disk clock) in
+  let vol =
+    Volume.create ?spare ~layout:(Volume.Mirror 2) ~leg_kind ~logical_blocks
+      ~disks ~prng:(Prng.create ~seed:41L) ()
+  in
+  (vol, disks)
+
+let fill dev tag =
+  Bytes.make dev.Blockdev.Device.block_bytes tag
+
+let tag_of b = Char.chr (65 + b)
+
+let check_clean what vol =
+  let r = Volume_check.check vol in
+  if not (Check.Report.ok r) then
+    Alcotest.failf "%s: volume check dirty: %s" what
+      (Format.asprintf "%a" Check.Report.pp r)
+
+(* Kill one leg outright mid-life: reads must fail over to the survivor,
+   writes must keep succeeding (degraded), and settling must resilver
+   onto the hot spare and come back fully redundant. *)
+let test_death_failover_and_rebuild () =
+  let clock = Clock.create () in
+  let spare () = mk_disk clock in
+  let vol, disks = mk_mirror ~spare clock in
+  let dev = Volume.device vol in
+  for b = 0 to 9 do
+    ignore (Blockdev.Device.write dev b (fill dev (tag_of b)))
+  done;
+  let plan = Fault.Plan.create Fault.Plan.Drive_death ~trigger:0 ~seed:7L in
+  Fault.Plan.install plan disks.(1);
+  (* the next write hits the dead leg: the volume degrades, the op
+     succeeds *)
+  ignore (Blockdev.Device.write dev 10 (fill dev (tag_of 10)));
+  (* every read still answers, from the surviving leg *)
+  for b = 0 to 10 do
+    let data, _ = Blockdev.Device.read dev b in
+    Alcotest.(check char)
+      (Printf.sprintf "block %d content" b)
+      (tag_of b) (Bytes.get data 0)
+  done;
+  Volume.settle vol;
+  (match Volume.state_of vol ~group:0 ~leg:1 with
+  | `Healthy -> ()
+  | s -> Alcotest.failf "leg 1 not rebuilt: %s" (Volume.state_to_string s));
+  Alcotest.(check bool) "spare swapped in" true
+    ((Volume.disks vol).(1) != disks.(1));
+  Alcotest.(check bool) "volume no longer degraded" false (Volume.degraded vol);
+  check_clean "after rebuild" vol;
+  for b = 0 to 10 do
+    let data, _ = Blockdev.Device.read dev b in
+    Alcotest.(check char)
+      (Printf.sprintf "post-rebuild block %d" b)
+      (tag_of b) (Bytes.get data 0)
+  done
+
+(* A hung leg must not stall an operation indefinitely: the write
+   completes within a bounded amount of simulated time (retries ride out
+   the hang or the leg is skipped and dirtied), and the data stays
+   readable. *)
+let test_hung_leg_bounded_stall () =
+  let clock = Clock.create () in
+  let vol, disks = mk_mirror clock in
+  let dev = Volume.device vol in
+  ignore (Blockdev.Device.write dev 0 (fill dev 'a'));
+  let plan =
+    Fault.Plan.create (Fault.Plan.Drive_hang 40.) ~trigger:0 ~seed:7L
+  in
+  Fault.Plan.install plan disks.(1);
+  let t0 = Clock.now clock in
+  ignore (Blockdev.Device.write dev 1 (fill dev 'b'));
+  let stall = Clock.now clock -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "write stalled %.1f ms, wanted < 500" stall)
+    true (stall < 500.);
+  let data, _ = Blockdev.Device.read dev 1 in
+  Alcotest.(check char) "hung-leg write readable" 'b' (Bytes.get data 0);
+  Volume.settle vol;
+  Alcotest.(check bool) "volume settles healthy" false (Volume.degraded vol);
+  check_clean "after hang" vol
+
+(* Writes landing while a leg rebuilds go to the dirty-region log or the
+   already-swept region; either way the finished rebuild agrees with the
+   surviving leg byte for byte. *)
+let test_rebuild_catches_writes () =
+  let clock = Clock.create () in
+  let spare () = mk_disk clock in
+  let vol, _disks = mk_mirror ~spare clock in
+  let dev = Volume.device vol in
+  for b = 0 to 9 do
+    ignore (Blockdev.Device.write dev b (fill dev (tag_of b)))
+  done;
+  Volume.kill vol ~group:0 ~leg:1;
+  (* dead, not yet rebuilding: writes land on the survivor only *)
+  ignore (Blockdev.Device.write dev 3 (fill dev '!'));
+  (match Volume.start_rebuild vol ~group:0 ~leg:1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "start_rebuild: %s" e);
+  (* overlap the rebuild with fresh writes *)
+  ignore (Blockdev.Device.write dev 5 (fill dev '?'));
+  dev.Blockdev.Device.idle 2.0;
+  ignore (Blockdev.Device.write dev 7 (fill dev '*'));
+  Volume.rebuild_to_completion vol;
+  (match Volume.state_of vol ~group:0 ~leg:1 with
+  | `Healthy -> ()
+  | s -> Alcotest.failf "leg 1 not healthy: %s" (Volume.state_to_string s));
+  check_clean "after overlapped rebuild" vol;
+  List.iter
+    (fun (b, c) ->
+      match Volume.leg_read_raw vol ~group:0 ~leg:1 b with
+      | Error _ -> Alcotest.failf "rebuilt leg cannot read block %d" b
+      | Ok data ->
+        Alcotest.(check char)
+          (Printf.sprintf "rebuilt leg block %d" b)
+          c (Bytes.get data 0))
+    [ (3, '!'); (5, '?'); (7, '*'); (0, tag_of 0) ]
+
+(* Losing every leg of a group is data loss and must surface as an
+   error return, never a hang or fabricated bytes. *)
+let test_double_death_reports_loss () =
+  let clock = Clock.create () in
+  let vol, _disks = mk_mirror clock in
+  let dev = Volume.device vol in
+  ignore (Blockdev.Device.write dev 0 (fill dev 'a'));
+  Volume.kill vol ~group:0 ~leg:0;
+  Volume.kill vol ~group:0 ~leg:1;
+  (match dev.Blockdev.Device.read 0 with
+  | Ok _ -> Alcotest.fail "read succeeded with every leg dead"
+  | Error e -> Alcotest.(check int) "error names the block" 0 e.Blockdev.Device.block);
+  match dev.Blockdev.Device.write 1 (fill dev 'b') with
+  | Ok _ -> Alcotest.fail "write succeeded with every leg dead"
+  | Error _ -> ()
+
+(* A stripe has no redundancy: one dead leg loses that group's blocks
+   (honest errors) while the other group keeps answering. *)
+let test_stripe_partial_loss () =
+  let clock = Clock.create () in
+  let disks = Array.init 2 (fun _ -> mk_disk clock) in
+  let vol =
+    Volume.create ~layout:(Volume.Stripe 2) ~leg_kind:Volume.Vld_leg
+      ~logical_blocks ~disks ~prng:(Prng.create ~seed:42L) ()
+  in
+  let dev = Volume.device vol in
+  (* block b lives on group (b mod 2) *)
+  ignore (Blockdev.Device.write dev 0 (fill dev 'e'));
+  ignore (Blockdev.Device.write dev 1 (fill dev 'o'));
+  Volume.kill vol ~group:1 ~leg:0;
+  let data, _ = Blockdev.Device.read dev 0 in
+  Alcotest.(check char) "surviving group still serves" 'e' (Bytes.get data 0);
+  match dev.Blockdev.Device.read 1 with
+  | Ok _ -> Alcotest.fail "dead group served a read"
+  | Error _ -> ()
+
+(* Power cut mid-write on a mirrored pair: recovery brings both legs
+   back, resyncs them to one legal state, and the volume checker finds
+   them byte-identical. *)
+let test_mirror_powercut_converges () =
+  let clock = Clock.create () in
+  let vol, disks = mk_mirror clock in
+  let dev = Volume.device vol in
+  for b = 0 to 7 do
+    ignore (Blockdev.Device.write dev b (fill dev 'x'))
+  done;
+  let plan = Fault.Plan.create Fault.Plan.Power_cut ~trigger:5 ~seed:9L in
+  Fault.Plan.install plan disks.(1);
+  (try
+     for i = 0 to 30 do
+       ignore (Blockdev.Device.write dev (i mod 8) (fill dev 'y'))
+     done;
+     Alcotest.fail "power cut never fired"
+   with Disk.Disk_sim.Power_cut -> ());
+  let stores =
+    Array.map
+      (fun d -> Disk.Sector_store.snapshot (Disk.Disk_sim.store d))
+      disks
+  in
+  let clock2 = Clock.create () in
+  let disks2 =
+    Array.map
+      (fun store ->
+        Disk.Disk_sim.create ~buffer_policy:Disk.Track_buffer.Whole_track
+          ~store ~profile ~clock:clock2 ())
+      stores
+  in
+  match
+    Volume.recover ~layout:(Volume.Mirror 2) ~leg_kind:Volume.Vld_leg
+      ~logical_blocks ~disks:disks2 ~prng:(Prng.create ~seed:43L) ()
+  with
+  | Error e -> Alcotest.failf "recover: %s" e
+  | Ok (vol2, report) ->
+    Alcotest.(check int) "both legs recovered" 2
+      report.Volume.legs_recovered;
+    Alcotest.(check int) "no leg lost" 0 report.Volume.legs_lost;
+    check_clean "after power-cut recovery" vol2;
+    let dev2 = Volume.device vol2 in
+    for b = 0 to 7 do
+      let data, _ = Blockdev.Device.read dev2 b in
+      let c = Bytes.get data 0 in
+      if c <> 'x' && c <> 'y' then
+        Alcotest.failf "block %d recovered as %C, legal states are x/y" b c
+    done
+
+let suites =
+  [
+    ( "volume",
+      [
+        Alcotest.test_case "death: failover, degraded writes, rebuild" `Quick
+          test_death_failover_and_rebuild;
+        Alcotest.test_case "hung leg: bounded stall" `Quick
+          test_hung_leg_bounded_stall;
+        Alcotest.test_case "rebuild catches concurrent writes" `Quick
+          test_rebuild_catches_writes;
+        Alcotest.test_case "double death: honest loss, no hang" `Quick
+          test_double_death_reports_loss;
+        Alcotest.test_case "stripe: partial loss is honest" `Quick
+          test_stripe_partial_loss;
+        Alcotest.test_case "mirror power cut converges" `Quick
+          test_mirror_powercut_converges;
+      ] );
+  ]
