@@ -9,6 +9,8 @@
      dune exec bench/main.exe -- --jobs 4     # fan cells out to 4 workers
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
      dune exec bench/main.exe -- --json out.json fig8   # machine-readable timings
+     dune exec bench/main.exe -- qdepth       # latency-under-load curves
+                                              # (standalone: its own JSON schema)
 
    Experiments (and, for the big grids, their individual cells) run
    through the [Par] worker pool; [--jobs N] sets the pool width
@@ -145,35 +147,46 @@ let micro () =
   Notty_unix.eol img |> Notty_unix.output_image
 
 let () =
-  let jobs = ref (Par.default_jobs ()) in
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec strip_opts acc = function
-    | [] -> List.rev acc
-    | "--json" :: path :: rest ->
-      json_out := Some path;
-      strip_opts acc rest
-    | [ "--json" ] ->
-      prerr_endline "--json requires a file argument";
+  (* The cross-cutting flags come from the shared vocabulary, so bench
+     and vlsim accept identical spellings. *)
+  let get = function
+    | Ok v -> v
+    | Error msg ->
+      prerr_endline msg;
       exit 2
-    | "--jobs" :: n :: rest -> (
-      match int_of_string_opt n with
-      | Some j when j >= 1 ->
-        jobs := j;
-        strip_opts acc rest
-      | _ ->
-        prerr_endline "--jobs requires a positive integer";
-        exit 2)
-    | [ "--jobs" ] ->
-      prerr_endline "--jobs requires an integer argument";
-      exit 2
-    | a :: rest -> strip_opts (a :: acc) rest
   in
-  let args = strip_opts [] args in
+  let open Vlog_util in
+  let jobs_opt, args = get (Cli.extract_int Cli.jobs ~min:1 args) in
+  let jobs = ref (match jobs_opt with Some j -> j | None -> Par.default_jobs ()) in
+  let json_path, args = get (Cli.extract Cli.json args) in
+  json_out := json_path;
+  let seed_opt, args = get (Cli.extract_int Cli.seed ~min:0 args) in
   let quick = List.mem "--quick" args in
   if quick then scale := Rigs.Quick;
   let names = List.filter (fun a -> a <> "--quick") args in
   let want_micro = List.mem "micro" names in
   let names = List.filter (fun a -> a <> "micro") names in
+  let want_qdepth = List.mem "qdepth" names in
+  let names = List.filter (fun a -> a <> "qdepth") names in
+  if want_qdepth && (names <> [] || want_micro) then begin
+    prerr_endline
+      "qdepth writes its own per-cell JSON schema; run it without other \
+       experiments";
+    exit 2
+  end;
+  if want_qdepth then begin
+    let results = Qdepth.run ?seed:seed_opt ~jobs:!jobs ~scale:!scale () in
+    print_string (Table.render (Qdepth.table_of results));
+    print_newline ();
+    (match !json_out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Qdepth.to_json ~scale:!scale ~jobs:!jobs results);
+      close_out oc
+    | None -> ());
+    exit 0
+  end;
   let to_run =
     match names with
     | [] -> Suite.names

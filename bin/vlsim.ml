@@ -39,11 +39,19 @@ let host_arg =
 
 let quick_arg = Arg.(value & flag & info [ "quick" ] ~doc:"smoke-test sizes")
 
+(* The cross-cutting flags ([--jobs]/[-j], [--seed], [--json]) share one
+   vocabulary with bench/main.exe: the names and docv come from
+   [Vlog_util.Cli] so the two entry points can never drift apart in
+   spelling; only the doc string is command-specific. *)
+let cli_info ?(extra_names = []) ?doc (spec : Vlog_util.Cli.spec) =
+  let doc = match doc with Some d -> d | None -> spec.Vlog_util.Cli.doc in
+  Arg.info (spec.Vlog_util.Cli.names @ extra_names) ~docv:spec.Vlog_util.Cli.docv ~doc
+
 let jobs_arg =
   Arg.(
     value
     & opt int (Par.default_jobs ())
-    & info [ "jobs"; "j" ] ~docv:"N"
+    & cli_info Vlog_util.Cli.jobs
         ~doc:
           "worker processes to fan sweep cells out to (default: detected \
            cores, or \\$(b,VLSIM_JOBS)); results are merged in matrix order, \
@@ -186,7 +194,8 @@ let faults_cmd =
   let seed_arg =
     Arg.(
       value & opt int 7101
-      & info [ "fault-seed" ] ~docv:"SEED" ~doc:"master seed for the sweep")
+      & cli_info Vlog_util.Cli.seed ~extra_names:[ "fault-seed" ]
+          ~doc:"master seed for the sweep")
   in
   let triggers_arg =
     Arg.(
@@ -284,7 +293,7 @@ let fssweep_cmd =
   let seed_arg =
     Arg.(
       value & opt int 9203
-      & info [ "seed" ] ~docv:"SEED" ~doc:"master seed for the sweep")
+      & cli_info Vlog_util.Cli.seed ~doc:"master seed for the sweep")
   in
   let repro_arg =
     Arg.(

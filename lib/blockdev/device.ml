@@ -24,6 +24,35 @@ let parse_io_error s =
   | _ -> None
   | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
 
+(* The helpers every implementation's retry loop needs, hoisted here so
+   regular_disk / vld / volume stop duplicating them. *)
+
+let err ~op ~block ~(e : Disk.Disk_sim.media_error) ~retries =
+  { op; block; error_lba = e.Disk.Disk_sim.error_lba; retries }
+
+let retry_counters attempts =
+  if attempts > 0 then [ ("retries", attempts) ] else []
+
+let merge_counters a b =
+  List.fold_left
+    (fun acc (k, v) ->
+      match List.assoc_opt k acc with
+      | Some prev -> (k, prev + v) :: List.remove_assoc k acc
+      | None -> (k, v) :: acc)
+    a b
+
+type req =
+  | Read of int
+  | Read_run of int * int
+  | Write of int * Bytes.t
+  | Write_run of int * Bytes.t
+
+type reply =
+  | Data of Bytes.t * Vlog_util.Io.completion
+  | Done of Vlog_util.Io.completion
+
+type ack = (reply, io_error) result
+
 type t = {
   name : string;
   block_bytes : int;
@@ -33,25 +62,88 @@ type t = {
   read_run : int -> int -> (Bytes.t * Vlog_util.Io.completion, io_error) result;
   write : int -> Bytes.t -> (Vlog_util.Io.completion, io_error) result;
   write_run : int -> Bytes.t -> (Vlog_util.Io.completion, io_error) result;
+  submit : req -> int;
+  poll : unit -> (int * ack) list;
+  drain : unit -> (int * ack) list;
   trim : int -> unit;
   idle : float -> unit;
   utilization : unit -> float;
 }
 
+(* The host-side FIFO queue adapter every implementation's [device]
+   constructor uses: submissions accumulate, [drain] services them in
+   submission order through the synchronous closures, [poll] hands the
+   acks over exactly once.  Because service happens at the barrier in
+   FIFO order, submit-then-drain of a single request is byte-identical
+   to calling the synchronous closure directly — which is how the
+   raising wrappers below are derived.  Devices with a genuinely
+   reordering drive queue (the VLD) expose that separately. *)
+let sync_queue ~read ~read_run ~write ~write_run =
+  let next = ref 0 in
+  let backlog = ref [] (* newest first *) in
+  let acked = ref [] (* newest first *) in
+  let submit req =
+    let tag = !next in
+    incr next;
+    backlog := (tag, req) :: !backlog;
+    tag
+  in
+  let poll () =
+    let out = List.rev !acked in
+    acked := [];
+    out
+  in
+  let drain () =
+    let serve (tag, req) =
+      let ack =
+        match req with
+        | Read b -> Result.map (fun (d, c) -> Data (d, c)) (read b)
+        | Read_run (b, n) -> Result.map (fun (d, c) -> Data (d, c)) (read_run b n)
+        | Write (b, buf) -> Result.map (fun c -> Done c) (write b buf)
+        | Write_run (b, buf) -> Result.map (fun c -> Done c) (write_run b buf)
+      in
+      acked := (tag, ack) :: !acked
+    in
+    List.iter serve (List.rev !backlog);
+    backlog := [];
+    poll ()
+  in
+  (submit, poll, drain)
+
 let exn = function Ok v -> v | Error e -> raise (Io_error e)
 
-(* The raising breakdown-typed variants, derived once for all devices:
-   unmodified file systems fail stop rather than consume corrupt data. *)
-let read t block =
-  let data, c = exn (t.read block) in
-  (data, Vlog_util.Io.bd c)
+(* The raising breakdown-typed variants, derived once for all devices as
+   submit-then-drain through the device's queue: unmodified file systems
+   are depth-1 hosts of the async interface and fail stop rather than
+   consume corrupt data. *)
+module Exn = struct
+  let ack_of tag acks =
+    match List.assoc_opt tag acks with
+    | Some a -> a
+    | None -> invalid_arg "Device: drained tag has no completion"
 
-let read_run t block count =
-  let data, c = exn (t.read_run block count) in
-  (data, Vlog_util.Io.bd c)
+  let data = function
+    | Data (d, c) -> (d, Vlog_util.Io.bd c)
+    | Done _ -> invalid_arg "Device: read completed without data"
 
-let write t block buf = Vlog_util.Io.bd (exn (t.write block buf))
-let write_run t block buf = Vlog_util.Io.bd (exn (t.write_run block buf))
+  let done_ = function
+    | Done c -> Vlog_util.Io.bd c
+    | Data _ -> invalid_arg "Device: write completed with data"
+
+  let rw t req =
+    let tag = t.submit req in
+    exn (ack_of tag (t.drain ()))
+
+  let read t block = data (rw t (Read block))
+  let read_run t block count = data (rw t (Read_run (block, count)))
+  let write t block buf = done_ (rw t (Write (block, buf)))
+  let write_run t block buf = done_ (rw t (Write_run (block, buf)))
+end
+
+let read = Exn.read
+let read_run = Exn.read_run
+let write = Exn.write
+let write_run = Exn.write_run
 
 let advance_idle ~clock t dt =
   let until = Vlog_util.Clock.now clock +. dt in

@@ -9,9 +9,21 @@
     Every operation is result-typed and resolves to a
     {!Vlog_util.Io.completion} — the unified return of the I/O path:
     latency breakdown, covering trace span, and op-specific counter
-    deltas.  Exception-style wrappers are derived once from {!exn};
-    nothing in the device implementations duplicates
-    retry-then-raise boilerplate. *)
+    deltas.
+
+    {2 Submission/completion interface}
+
+    Alongside the synchronous closures, every device exposes an async
+    triple: [submit] enqueues a request and returns a tag, [poll]
+    collects finished (tag, ack) pairs, and [drain] is a barrier that
+    services everything outstanding.  The exception-style wrappers
+    ({!Exn}, re-exported at toplevel) are derived {e once} as
+    submit-then-drain over this interface, so a file system calling
+    {!read} is just a queue-depth-1 host of the async API.  Most devices
+    implement the triple with {!sync_queue} (host-side FIFO, service at
+    the barrier — byte-identical to calling the sync closures directly);
+    a device backed by a reordering drive queue ({!Disk.Disk_queue})
+    exposes its native batched front separately. *)
 
 type io_error = {
   op : [ `Read | `Write ];
@@ -37,6 +49,35 @@ val parse_io_error : string -> io_error option
     to the same [(op, block, error_lba, retries)], so error lines in
     sweep repro output stay machine-readable.  [None] on anything else. *)
 
+val err :
+  op:[ `Read | `Write ] ->
+  block:int ->
+  e:Disk.Disk_sim.media_error ->
+  retries:int ->
+  io_error
+(** Build an {!io_error} from the drive's {!Disk.Disk_sim.media_error} —
+    the one constructor every implementation's retry loop ends in. *)
+
+val retry_counters : int -> (string * int) list
+(** [["retries", n]] when [n > 0], else empty: the completion counters a
+    bounded-retry loop reports. *)
+
+val merge_counters : (string * int) list -> (string * int) list -> (string * int) list
+(** Pointwise sum of two counter deltas (multi-block operations fold
+    their per-block completions with this). *)
+
+type req =
+  | Read of int
+  | Read_run of int * int  (** block, count *)
+  | Write of int * Bytes.t
+  | Write_run of int * Bytes.t
+
+type reply =
+  | Data of Bytes.t * Vlog_util.Io.completion  (** a read's payload *)
+  | Done of Vlog_util.Io.completion  (** a write's completion *)
+
+type ack = (reply, io_error) result
+
 type t = {
   name : string;
   block_bytes : int;
@@ -59,6 +100,15 @@ type t = {
   write_run : int -> Bytes.t -> (Vlog_util.Io.completion, io_error) result;
       (** Multi-block synchronous write, atomic on a VLD (one
           transaction). *)
+  submit : req -> int;
+      (** Enqueue a request, returning its tag.  Nothing is serviced
+          until {!poll}'s producer runs — for a {!sync_queue} device
+          that is the next [drain]. *)
+  poll : unit -> (int * ack) list;
+      (** Finished requests since the last poll, each tag exactly
+          once. *)
+  drain : unit -> (int * ack) list;
+      (** Barrier: service every outstanding request, then [poll]. *)
   trim : int -> unit;
       (** Hint that a logical block's contents are dead.  Free on a VLD,
           a no-op on a regular disk.  The VLD also detects deletions by
@@ -73,16 +123,36 @@ type t = {
       (** Physically occupied fraction of the device. *)
 }
 
+val sync_queue :
+  read:(int -> (Bytes.t * Vlog_util.Io.completion, io_error) result) ->
+  read_run:(int -> int -> (Bytes.t * Vlog_util.Io.completion, io_error) result) ->
+  write:(int -> Bytes.t -> (Vlog_util.Io.completion, io_error) result) ->
+  write_run:(int -> Bytes.t -> (Vlog_util.Io.completion, io_error) result) ->
+  (req -> int) * (unit -> (int * ack) list) * (unit -> (int * ack) list)
+(** [(submit, poll, drain)] implemented as a host-side FIFO over the
+    given synchronous closures: submissions accumulate and are serviced
+    in submission order at the [drain] barrier.  Submit-then-drain of a
+    single request is byte-identical to the direct synchronous call. *)
+
 val exn : ('a, io_error) result -> 'a
 (** [exn r] is [v] when [r = Ok v]; raises {!Io_error} otherwise.  The
     single point all exception-style access is derived from. *)
+
+(** The raising breakdown-typed wrappers, derived once for all devices
+    as submit-then-drain over the queue interface. *)
+module Exn : sig
+  val read : t -> int -> Bytes.t * Vlog_util.Breakdown.t
+  val read_run : t -> int -> int -> Bytes.t * Vlog_util.Breakdown.t
+  val write : t -> int -> Bytes.t -> Vlog_util.Breakdown.t
+  val write_run : t -> int -> Bytes.t -> Vlog_util.Breakdown.t
+end
 
 val read : t -> int -> Bytes.t * Vlog_util.Breakdown.t
 val read_run : t -> int -> int -> Bytes.t * Vlog_util.Breakdown.t
 val write : t -> int -> Bytes.t -> Vlog_util.Breakdown.t
 val write_run : t -> int -> Bytes.t -> Vlog_util.Breakdown.t
-(** Raising breakdown-typed convenience wrappers over the record's
-    result-typed fields, via {!exn}. *)
+(** Aliases of {!Exn}'s wrappers, kept at toplevel for call-site
+    brevity. *)
 
 val advance_idle : clock:Vlog_util.Clock.t -> t -> float -> unit
 (** Grant [dt] ms of idle time and then advance the clock to the end of

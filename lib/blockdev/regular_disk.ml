@@ -62,10 +62,8 @@ let check t block count =
 let phys t block =
   match Hashtbl.find_opt t.remap block with Some s -> s | None -> block
 
-let err ~op ~block ~(e : Disk.Disk_sim.media_error) ~retries =
-  { Device.op; block; error_lba = e.Disk.Disk_sim.error_lba; retries }
-
-let retry_counters attempts = if attempts > 0 then [ ("retries", attempts) ] else []
+let err = Device.err
+let retry_counters = Device.retry_counters
 
 (* Bounded-retry read of one logical block at its current physical home. *)
 let read_result t block =
@@ -153,13 +151,7 @@ let run_remapped t block count =
   let rec go i = i < count && (Hashtbl.mem t.remap (block + i) || go (i + 1)) in
   go 0
 
-let merge_counters a b =
-  List.fold_left
-    (fun acc (k, v) ->
-      match List.assoc_opt k acc with
-      | Some prev -> (k, prev + v) :: List.remove_assoc k acc
-      | None -> (k, v) :: acc)
-    a b
+let merge_counters = Device.merge_counters
 
 (* Multi-block requests stream as one disk command when nothing in the
    range is remapped or faulty; otherwise fall back to per-block service
@@ -245,6 +237,10 @@ let write_run_result t block buf =
     | Error _ -> per_block bd
 
 let device t =
+  let submit, poll, drain =
+    Device.sync_queue ~read:(read_result t) ~read_run:(read_run_result t)
+      ~write:(write_result t) ~write_run:(write_run_result t)
+  in
   {
     Device.name = "regular";
     block_bytes = t.block_bytes;
@@ -254,6 +250,9 @@ let device t =
     read_run = read_run_result t;
     write = write_result t;
     write_run = write_run_result t;
+    submit;
+    poll;
+    drain;
     trim = (fun block -> check t block 1);
     idle = (fun _ -> ());
     utilization =

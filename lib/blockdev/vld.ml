@@ -74,7 +74,7 @@ let scsi_only t =
 let max_retries = 3
 let max_realloc = 8
 
-let retry_counters attempts = if attempts > 0 then [ ("retries", attempts) ] else []
+let retry_counters = Device.retry_counters
 
 let read_result t block =
   check t block 1;
@@ -105,13 +105,7 @@ let read_result t block =
         if attempts > 0 then
           Trace.incr (sink t) ~by:attempts "dev.failed_retries";
         Trace.exit (sink t) ~bd:!bd sp;
-        Error
-          {
-            Device.op = `Read;
-            block;
-            error_lba = e.Disk.Disk_sim.error_lba;
-            retries = attempts;
-          }
+        Error (Device.err ~op:`Read ~block ~e ~retries:attempts)
     in
     go 0
 
@@ -136,14 +130,7 @@ let read_run_result t block count =
     | Ok data ->
       Bytes.blit data 0 out (off * t.block_bytes) (Bytes.length data);
       Ok ()
-    | Error e ->
-      Error
-        {
-          Device.op = `Read;
-          block = block + off;
-          error_lba = e.Disk.Disk_sim.error_lba;
-          retries = 0;
-        }
+    | Error e -> Error (Device.err ~op:`Read ~block:(block + off) ~e ~retries:0)
   in
   let rec go i run_start run_pba run_len =
     let flush () =
@@ -241,8 +228,7 @@ let write_result t block buf =
   match put_data t ~scsi:true ~lead_time:(scsi_lead t) buf with
   | Error (e, retries, bd) ->
     Trace.exit (sink t) ~bd sp;
-    Error
-      { Device.op = `Write; block; error_lba = e.Disk.Disk_sim.error_lba; retries }
+    Error (Device.err ~op:`Write ~block ~e ~retries)
   | Ok (pba, reallocs, bd) ->
     let map_bd = Vlog.Virtual_log.update t.vlog [ (block, Some pba) ] in
     let total = Breakdown.add bd map_bd in
@@ -267,13 +253,7 @@ let write_run_result t block buf =
       with
       | Error (e, retries, cost) ->
         bd := Breakdown.add !bd cost;
-        Error
-          {
-            Device.op = `Write;
-            block = block + i;
-            error_lba = e.Disk.Disk_sim.error_lba;
-            retries;
-          }
+        Error (Device.err ~op:`Write ~block:(block + i) ~e ~retries)
       | Ok (pba, re, cost) ->
         bd := Breakdown.add !bd cost;
         reallocs := !reallocs + re;
@@ -305,6 +285,10 @@ let idle t dt =
   end
 
 let device t =
+  let submit, poll, drain =
+    Device.sync_queue ~read:(read_result t) ~read_run:(read_run_result t)
+      ~write:(write_result t) ~write_run:(write_run_result t)
+  in
   {
     Device.name = "vld";
     block_bytes = t.block_bytes;
@@ -314,8 +298,94 @@ let device t =
     read_run = read_run_result t;
     write = write_result t;
     write_run = write_run_result t;
+    submit;
+    poll;
+    drain;
     trim = trim t;
     idle = idle t;
     utilization =
       (fun () -> Vlog.Freemap.utilization (Vlog.Virtual_log.freemap t.vlog));
   }
+
+(* --- Native drive-side queue --------------------------------------------
+
+   Unlike the generic host-side FIFO in [device], this front hands the
+   commands to a reordering {!Disk.Disk_queue} inside the drive.  Writes
+   go down as [Placed_write]: the eager allocator binds them to a
+   physical block only at dispatch time — the later the binding, the
+   nearer the head the block can be, which is exactly what SATF exploits.
+   Map updates are batched and committed every [map_batch] completed
+   writes (and at [drain]), the lazy-checkpoint story of Section 3.2:
+   the data is on the platter when the tag completes, and the virtual
+   log's recovery scan covers the not-yet-checkpointed tail. *)
+
+module Queued = struct
+  type vld = t
+
+  type t = {
+    vld : vld;
+    dq : Disk.Disk_queue.t;
+    map_batch : int;
+    mutable map_backlog : (int * int option) list; (* newest first *)
+  }
+
+  let create ?(policy = Disk.Disk_queue.Satf) ?stall_probe ?(map_batch = 16) vld
+      =
+    {
+      vld;
+      dq = Disk.Disk_queue.create ~policy ?stall_probe ~disk:vld.disk ();
+      map_batch;
+      map_backlog = [];
+    }
+
+  let queue t = t.dq
+  let vld t = t.vld
+
+  let commit_map t =
+    match t.map_backlog with
+    | [] -> ()
+    | entries ->
+      t.map_backlog <- [];
+      ignore (Vlog.Virtual_log.update t.vld.vlog (List.rev entries))
+
+  let submit_read ?at t block =
+    check t.vld block 1;
+    match Vlog.Virtual_log.lookup t.vld.vlog block with
+    | None -> None
+    | Some pba ->
+      let lba = Vlog.Freemap.lba_of_block (Vlog.Virtual_log.freemap t.vld.vlog) pba in
+      Some
+        (Disk.Disk_queue.submit ?at t.dq
+           (Disk.Disk_queue.Read { lba; sectors = t.vld.sectors_per_block }))
+
+  let submit_write ?at t block buf =
+    check t.vld block 1;
+    if Bytes.length buf <> t.vld.block_bytes then
+      invalid_arg "Vld.Queued.submit_write: buffer must be exactly one block";
+    let v = t.vld in
+    let eager = Vlog.Virtual_log.eager v.vlog in
+    let estimate () =
+      match Vlog.Eager.choose ~lead_time:(scsi_lead v) eager with
+      | Some pba -> Some (Vlog.Eager.locate_cost eager pba)
+      | None -> None
+    in
+    let service () =
+      match put_data v ~scsi:true ~lead_time:(scsi_lead v) buf with
+      | Ok (pba, _reallocs, bd) ->
+        t.map_backlog <- (block, Some pba) :: t.map_backlog;
+        if List.length t.map_backlog >= t.map_batch then commit_map t;
+        (Ok pba, bd)
+      | Error (e, _retries, bd) -> (Error e, bd)
+    in
+    Disk.Disk_queue.submit ?at t.dq
+      (Disk.Disk_queue.Placed_write
+         { sectors = v.sectors_per_block; estimate; service })
+
+  let poll t = Disk.Disk_queue.poll t.dq
+  let step t = Disk.Disk_queue.step t.dq
+
+  let drain t =
+    let cs = Disk.Disk_queue.drain t.dq in
+    commit_map t;
+    cs
+end

@@ -66,3 +66,42 @@ val read_run_result :
 val write_run_result :
   t -> int -> Bytes.t -> (Vlog_util.Io.completion, Device.io_error) result
 (** Multi-block write committed by one map transaction (atomic). *)
+
+(** Native tagged-command-queue front: commands go to a reordering
+    {!Disk.Disk_queue} inside the drive rather than the host-side FIFO
+    behind {!device}.  Writes are submitted as placed writes — the eager
+    allocator binds them to a physical block only at dispatch time, so
+    SATF prices each queued write at the allocator's own best-candidate
+    cost.  Map updates are batched: committed every [map_batch]
+    completed writes and at {!Queued.drain} (lazy checkpointing; the
+    virtual log's recovery scan covers the uncommitted tail). *)
+module Queued : sig
+  type vld := t
+  type t
+
+  val create :
+    ?policy:Disk.Disk_queue.policy ->
+    ?stall_probe:(unit -> float option) ->
+    ?map_batch:int ->
+    vld ->
+    t
+  (** Defaults: [policy = Satf], [map_batch = 16]. *)
+
+  val queue : t -> Disk.Disk_queue.t
+  val vld : t -> vld
+
+  val submit_read : ?at:float -> t -> int -> int option
+  (** Queue a read of a logical block; [None] when the block is unmapped
+      (its contents are all zeroes — nothing to fetch). *)
+
+  val submit_write : ?at:float -> t -> int -> Bytes.t -> int
+  (** Queue an eager write of one logical block; returns its tag.  The
+      completed tag's [Wrote pba] reports the physical block chosen at
+      dispatch. *)
+
+  val step : t -> bool
+  val poll : t -> (int * Disk.Disk_queue.completion) list
+
+  val drain : t -> (int * Disk.Disk_queue.completion) list
+  (** Barrier: service everything, then commit the map backlog. *)
+end

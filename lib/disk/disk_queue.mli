@@ -1,0 +1,129 @@
+(** Tagged command queueing over {!Disk_sim}: the drive-side half of the
+    async disk core.
+
+    A queue holds many outstanding commands, each identified by a small
+    integer {e tag}.  Commands arrive with a timestamp (possibly in the
+    simulated future — an open-loop arrival process submits its whole
+    schedule up front), the drive picks the next one to service according
+    to its scheduling {!policy}, and the event loop advances the shared
+    {!Vlog_util.Clock.t} to the next arrival whenever the queue goes
+    idle.  Servicing itself reuses the synchronous {!Disk_sim} mechanics
+    unchanged — seek, rotation, transfer and fault injection are exactly
+    the depth-1 model — so a queue run at depth 1 is byte-identical to
+    calling {!Disk_sim.read}/{!Disk_sim.write} directly.
+
+    {2 Scheduling policies}
+
+    - [Fifo]: strict arrival order (ties broken by tag).
+    - [Elevator]: C-SCAN — serve the eligible command with the smallest
+      cylinder at or ahead of the head in the sweep direction, wrapping
+      to the lowest cylinder when the sweep runs out.
+    - [Satf]: shortest access time first — the in-drive scheduler the
+      paper's programmable disk enables.  Every eligible command is
+      priced with {!Disk_sim.estimate_access} (positioning + rotation +
+      transfer from the head's position {e now}) and the cheapest wins.
+      Placed writes price themselves through their [estimate] callback,
+      i.e. the eager allocator's own cost model.
+
+    {2 Tag lifecycle}
+
+    [submit] → pending → (dispatch, service) → completed → [poll].
+    Each tag completes exactly once; {!poll} hands completions to the
+    host in completion order and forgets them.  A command whose service
+    attempt fails transiently {e while the stall probe reports the drive
+    hanging} is re-queued with a [not_before] deadline instead of
+    completing, so one hung tag stalls only itself — other tags keep
+    dispatching around it. *)
+
+type policy = Fifo | Elevator | Satf
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> (policy, string) result
+
+type op =
+  | Read of { lba : int; sectors : int }
+  | Write of { lba : int; buf : Bytes.t }
+  | Placed_write of {
+      sectors : int;
+      estimate : unit -> float option;
+          (** pure preview of the mechanical cost the eager allocator
+              would pay if the write were dispatched now ([None] = no
+              free block); must not move the head or advance time *)
+      service : unit -> (int, Disk_sim.media_error) result * Vlog_util.Breakdown.t;
+          (** perform the placement and the media write(s) now, head
+              wherever the scheduler left it; returns the physical block
+              chosen.  Runs the device's own retry/remap policy. *)
+    }
+      (** A write whose location is chosen {e at dispatch time} — the
+          programmable-disk premise: the later the drive binds a write to
+          a sector, the nearer the head that sector can be. *)
+
+type outcome =
+  | Data of Bytes.t  (** read payload *)
+  | Wrote of int
+      (** write done; the lba ([Write]) or physical block
+          ([Placed_write]) it landed on *)
+  | Failed of Disk_sim.media_error
+
+type completion = {
+  tag : int;
+  outcome : outcome;
+  submitted : float;  (** arrival time (ms, simulated) *)
+  started : float;  (** dispatch time of the attempt that completed *)
+  finished : float;
+  queue_wait : float;  (** [started - submitted]: time spent queued *)
+  bd : Vlog_util.Breakdown.t;  (** mechanical cost of the final attempt *)
+}
+
+type t
+
+val create :
+  ?policy:policy ->
+  ?stall_probe:(unit -> float option) ->
+  ?max_stall_retries:int ->
+  disk:Disk_sim.t ->
+  unit ->
+  t
+(** [policy] defaults to [Fifo].  [stall_probe] reports the absolute
+    deadline until which the drive is hanging ([None] = not hanging);
+    a transiently-failed service attempt while hanging re-queues the tag
+    with [not_before] = that deadline instead of completing it.
+    [max_stall_retries] (default 64) bounds the re-queues of one tag
+    before it completes as [Failed].  The queue observes queue-wait and
+    depth through the disk's trace sink. *)
+
+val policy : t -> policy
+val disk : t -> Disk_sim.t
+
+val submit : ?at:float -> t -> op -> int
+(** Enqueue a command and return its tag.  [at] (default now) is the
+    arrival timestamp; it may lie in the simulated future (open-loop
+    arrivals) but not in the past. *)
+
+val pending : t -> int
+(** Commands submitted but not yet completed (queued or stalled). *)
+
+val depth : t -> int
+(** Commands whose arrival time has been reached but which have not yet
+    completed — the queue depth a host would observe now. *)
+
+val step : t -> bool
+(** Service exactly one command: if none is eligible now, first advance
+    the clock to the earliest arrival / stall deadline.  Returns [false]
+    when the queue is empty (nothing pending at any time). *)
+
+val poll : t -> (int * completion) list
+(** Completions since the last poll, in completion order.  Each tag is
+    reported exactly once. *)
+
+val drain : t -> (int * completion) list
+(** Barrier: {!step} until nothing is pending, then {!poll}. *)
+
+type stats = {
+  submitted : int;
+  completed : int;
+  stall_requeues : int;  (** service attempts re-queued by the stall probe *)
+  max_depth : int;  (** high-water mark of {!depth} at dispatch points *)
+}
+
+val stats : t -> stats

@@ -137,6 +137,11 @@ let now t =
   | Some d -> Clock.now (Disk.Disk_sim.clock d)
   | None -> 0.
 
+let stall_until t =
+  match t.hang_until with
+  | Some until when now t < until -> Some until
+  | _ -> None
+
 (* Whole-drive faults strike commands regardless of direction, so their
    trigger counts every access.  Returns how the current command fares
    before any sector-level plan logic runs. *)

@@ -79,6 +79,14 @@ val flush : t -> unit
 val fired : t -> bool
 (** Whether the planned fault has been injected yet. *)
 
+val stall_until : t -> float option
+(** The absolute deadline (simulated ms) until which a fired
+    [Drive_hang] is still refusing commands; [None] when the drive is
+    not currently hanging.  This is the stall probe a
+    {!Disk.Disk_queue} wants: a queued command that fails transiently
+    while the drive hangs is re-queued behind this deadline — stalling
+    just its own tag — instead of completing as failed. *)
+
 val kind : t -> kind
 val trigger : t -> int
 

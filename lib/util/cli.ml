@@ -1,0 +1,58 @@
+type spec = { names : string list; docv : string; doc : string }
+
+let jobs =
+  {
+    names = [ "jobs"; "j" ];
+    docv = "N";
+    doc =
+      "worker processes to fan independent cells out to (default: detected \
+       cores, or $VLSIM_JOBS); results are merged in input order, so the \
+       output is identical for every N";
+  }
+
+let json =
+  {
+    names = [ "json" ];
+    docv = "FILE";
+    doc = "write machine-readable results to FILE";
+  }
+
+let seed =
+  { names = [ "seed" ]; docv = "SEED"; doc = "master seed for the run" }
+
+let canonical spec = "--" ^ List.hd spec.names
+
+let forms spec =
+  List.map (fun n -> if String.length n = 1 then "-" ^ n else "--" ^ n) spec.names
+
+let extract spec args =
+  let fs = forms spec in
+  let eq_prefixes = List.map (fun f -> f ^ "=") fs in
+  let missing () =
+    Error (Printf.sprintf "%s requires a %s argument" (canonical spec) spec.docv)
+  in
+  let rec go value acc = function
+    | [] -> Ok (value, List.rev acc)
+    | a :: rest when List.mem a fs -> (
+      match rest with v :: rest -> go (Some v) acc rest | [] -> missing ())
+    | a :: rest
+      when List.exists (fun p -> String.starts_with ~prefix:p a) eq_prefixes ->
+      let p =
+        List.find (fun p -> String.starts_with ~prefix:p a) eq_prefixes
+      in
+      go (Some (String.sub a (String.length p) (String.length a - String.length p)))
+        acc rest
+    | a :: rest -> go value (a :: acc) rest
+  in
+  go None [] args
+
+let extract_int spec ~min args =
+  match extract spec args with
+  | Error _ as e -> e
+  | Ok (None, rest) -> Ok (None, rest)
+  | Ok (Some v, rest) -> (
+    match int_of_string_opt v with
+    | Some n when n >= min -> Ok (Some n, rest)
+    | _ ->
+      Error
+        (Printf.sprintf "%s requires an integer >= %d" (canonical spec) min))

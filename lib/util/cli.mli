@@ -1,0 +1,37 @@
+(** Shared command-line flag vocabulary.
+
+    Every entry point ([bench/main.exe], [bin/vlsim.exe]) accepts the
+    same spellings for the cross-cutting flags: [--jobs]/[-j], [--json],
+    [--seed].  The specs here are plain data so both parsing styles
+    derive from one definition — the hand-rolled argv scanners use
+    {!extract}/{!extract_int}, and cmdliner-based commands build their
+    [Arg.info] from {!spec.names}/{!spec.docv} (overriding [doc] with
+    command-specific text where useful). *)
+
+type spec = {
+  names : string list;  (** long name first; one-letter names render as [-x] *)
+  docv : string;
+  doc : string;
+}
+
+val jobs : spec
+(** [--jobs N] / [-j N]: worker-pool width. *)
+
+val json : spec
+(** [--json FILE]: machine-readable output. *)
+
+val seed : spec
+(** [--seed SEED]: master seed. *)
+
+val canonical : spec -> string
+(** The flag's primary rendering, e.g. ["--jobs"]. *)
+
+val extract : spec -> string list -> (string option * string list, string) result
+(** Scan an argv-style list for the flag (accepting [--name value],
+    [--name=value] and one-letter [-x value] forms), returning its value
+    (last occurrence wins) and the remaining arguments in order.
+    [Error] describes a flag given without a value. *)
+
+val extract_int :
+  spec -> min:int -> string list -> (int option * string list, string) result
+(** {!extract} plus integer validation against a lower bound. *)

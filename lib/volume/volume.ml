@@ -809,6 +809,11 @@ let utilization t =
   if !n = 0 then 1. else !sum /. float_of_int !n
 
 let device t =
+  let submit, poll, drain =
+    Blockdev.Device.sync_queue ~read:(read_result t)
+      ~read_run:(read_run_result t) ~write:(write_result t)
+      ~write_run:(write_run_result t)
+  in
   {
     Blockdev.Device.name = "volume:" ^ layout_to_string t.layout;
     block_bytes = t.block_bytes;
@@ -818,6 +823,9 @@ let device t =
     read_run = read_run_result t;
     write = write_result t;
     write_run = write_run_result t;
+    submit;
+    poll;
+    drain;
     trim = trim t;
     idle = idle t;
     utilization = (fun () -> utilization t);

@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "vlogfs"
-    (Test_util.suites @ Test_disk.suites @ Test_models.suites @ Test_vlog.suites
+    (Test_util.suites @ Test_disk.suites @ Test_queue.suites
+   @ Test_models.suites @ Test_vlog.suites
    @ Test_blockdev.suites @ Test_ufs.suites @ Test_lfs.suites
    @ Test_alloc_index.suites @ Test_vlog_extra.suites @ Test_vlfs.suites
    @ Test_crash_sweep.suites
