@@ -10,7 +10,8 @@
      dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
      dune exec bench/main.exe -- --json out.json fig8   # machine-readable timings
      dune exec bench/main.exe -- qdepth       # latency-under-load curves
-                                              # (standalone: its own JSON schema)
+     dune exec bench/main.exe -- array        # 16-spindle array study
+                                              # (standalone: own JSON schemas)
 
    Experiments (and, for the big grids, their individual cells) run
    through the [Par] worker pool; [--jobs N] sets the pool width
@@ -169,11 +170,28 @@ let () =
   let names = List.filter (fun a -> a <> "micro") names in
   let want_qdepth = List.mem "qdepth" names in
   let names = List.filter (fun a -> a <> "qdepth") names in
-  if want_qdepth && (names <> [] || want_micro) then begin
+  let want_array = List.mem "array" names in
+  let names = List.filter (fun a -> a <> "array") names in
+  if (want_qdepth || want_array) && (names <> [] || want_micro || (want_qdepth && want_array))
+  then begin
     prerr_endline
-      "qdepth writes its own per-cell JSON schema; run it without other \
-       experiments";
+      "qdepth and array write their own per-cell JSON schemas; run each \
+       without other experiments";
     exit 2
+  end;
+  if want_array then begin
+    let results =
+      Array_bench.run ?seed:seed_opt ~jobs:!jobs ~scale:!scale ()
+    in
+    print_string (Array_bench.render results);
+    print_newline ();
+    (match !json_out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Array_bench.to_json ~scale:!scale ~jobs:!jobs results);
+      close_out oc
+    | None -> ());
+    exit 0
   end;
   if want_qdepth then begin
     let results = Qdepth.run ?seed:seed_opt ~jobs:!jobs ~scale:!scale () in

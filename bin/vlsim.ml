@@ -606,9 +606,18 @@ let trace_cmd =
       & pos 0
           (some
              (enum
-                [ ("small-file", `Small); ("random-update", `Random); ("seq-read", `Seq) ]))
+                [
+                  ("small-file", `Small);
+                  ("random-update", `Random);
+                  ("seq-read", `Seq);
+                  ("tenant-mix", `Tenants);
+                ]))
           None
-      & info [] ~docv:"WORKLOAD" ~doc:"small-file, random-update or seq-read")
+      & info [] ~docv:"WORKLOAD"
+          ~doc:
+            "small-file, random-update, seq-read or tenant-mix (a sharded \
+             multi-tenant write mix on a mirrored volume; the metrics summary \
+             then includes the per-tenant fairness table)")
   in
   let fs_arg =
     Arg.(
@@ -647,22 +656,35 @@ let trace_cmd =
       | `Lfs -> Workload.Setup.LFS { buffer_blocks = 1561 }
       | `Vlfs -> Workload.Setup.VLFS { sync_writes = true }
     in
-    let rig = Workload.Setup.make ~trace:true ~profile ~host ~fs:fs_choice ~dev () in
-    (match workload with
-    | `Small -> ignore (Workload.Small_file.run ~files:ops rig)
-    | `Random ->
-      ignore (Workload.Random_update.run ~updates:ops ~warmup:0 ~file_mb:2. rig)
-    | `Seq ->
-      (* Write one [ops]-block file through the buffer, sync it out, drop
-         caches, and stream it back: a read-path trace with a cold cache. *)
-      let o = rig.Workload.Setup.ops in
-      let bs = rig.Workload.Setup.dev.Blockdev.Device.block_bytes in
-      ignore (o.Workload.Setup.create "seq");
-      ignore (o.Workload.Setup.write "seq" ~off:0 (Bytes.make (ops * bs) 's'));
-      ignore (o.Workload.Setup.sync ());
-      o.Workload.Setup.drop_caches ();
-      ignore (o.Workload.Setup.read "seq" ~off:0 ~len:(ops * bs)));
-    let sink = Workload.Setup.trace rig in
+    let sink =
+      match workload with
+      | `Tenants ->
+        (* One shard so every tenant's stream shares the spindles — the
+           interesting fairness case — with one live sink across them. *)
+        let cfg = { Tenant.default with Tenant.shards = 1; ops_per_tenant = ops } in
+        let schedule = Tenant.plan cfg in
+        let _, sink = Tenant.run_shard ~trace:true cfg ~shard:0 schedule.(0) in
+        sink
+      | (`Small | `Random | `Seq) as w ->
+        let rig =
+          Workload.Setup.make ~trace:true ~profile ~host ~fs:fs_choice ~dev ()
+        in
+        (match w with
+        | `Small -> ignore (Workload.Small_file.run ~files:ops rig)
+        | `Random ->
+          ignore (Workload.Random_update.run ~updates:ops ~warmup:0 ~file_mb:2. rig)
+        | `Seq ->
+          (* Write one [ops]-block file through the buffer, sync it out, drop
+             caches, and stream it back: a read-path trace with a cold cache. *)
+          let o = rig.Workload.Setup.ops in
+          let bs = rig.Workload.Setup.dev.Blockdev.Device.block_bytes in
+          ignore (o.Workload.Setup.create "seq");
+          ignore (o.Workload.Setup.write "seq" ~off:0 (Bytes.make (ops * bs) 's'));
+          ignore (o.Workload.Setup.sync ());
+          o.Workload.Setup.drop_caches ();
+          ignore (o.Workload.Setup.read "seq" ~off:0 ~len:(ops * bs)));
+        Workload.Setup.trace rig
+    in
     (match out with
     | Some file ->
       let oc = open_out file in

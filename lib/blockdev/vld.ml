@@ -344,9 +344,15 @@ module Queued = struct
   let commit_map t =
     match t.map_backlog with
     | [] -> ()
-    | entries ->
+    | entries -> (
       t.map_backlog <- [];
-      ignore (Vlog.Virtual_log.update t.vld.vlog (List.rev entries))
+      (* If the checkpoint write itself blows up, the backlog must
+         survive for the next commit attempt — clearing it first and
+         losing the entries would silently unmap acknowledged writes. *)
+      try ignore (Vlog.Virtual_log.update t.vld.vlog (List.rev entries))
+      with e ->
+        t.map_backlog <- entries;
+        raise e)
 
   let submit_read ?at t block =
     check t.vld block 1;
@@ -385,7 +391,15 @@ module Queued = struct
   let step t = Disk.Disk_queue.step t.dq
 
   let drain t =
-    let cs = Disk.Disk_queue.drain t.dq in
-    commit_map t;
-    cs
+    (* The barrier must flush pending map commits no matter how the
+       queue empties — including when the last completion is an error or
+       the drain itself raises: the data of every already-completed
+       write is on the platter, so its mapping must reach the map. *)
+    match Disk.Disk_queue.drain t.dq with
+    | cs ->
+      commit_map t;
+      cs
+    | exception e ->
+      commit_map t;
+      raise e
 end

@@ -13,6 +13,11 @@ let policy_of_string = function
   | "satf" -> Ok Satf
   | s -> Error (Printf.sprintf "unknown scheduling policy %S (fifo|elevator|satf)" s)
 
+type outcome =
+  | Data of Bytes.t
+  | Wrote of int
+  | Failed of Disk_sim.media_error
+
 type op =
   | Read of { lba : int; sectors : int }
   | Write of { lba : int; buf : Bytes.t }
@@ -21,11 +26,11 @@ type op =
       estimate : unit -> float option;
       service : unit -> (int, Disk_sim.media_error) result * Breakdown.t;
     }
-
-type outcome =
-  | Data of Bytes.t
-  | Wrote of int
-  | Failed of Disk_sim.media_error
+  | Hosted of {
+      cost : unit -> float;
+      cylinder : unit -> int;
+      service : unit -> outcome * Breakdown.t;
+    }
 
 type completion = {
   tag : int;
@@ -41,6 +46,10 @@ type cmd = {
   c_tag : int;
   c_op : op;
   c_submitted : float;
+  c_background : bool;
+      (* low-priority tag: dispatched only when no foreground command is
+         eligible (rebuild copies, scrubbing) *)
+  c_owner : string option;  (* tenant attribution for fairness counters *)
   mutable c_not_before : float;
       (* a stalled tag may not be re-dispatched before this instant *)
   mutable c_stalls : int;
@@ -88,7 +97,7 @@ let disk t = t.disk
 let clock t = Disk_sim.clock t.disk
 let now t = Clock.now (clock t)
 
-let submit ?at t op =
+let submit ?at ?(background = false) ?owner t op =
   let at = match at with Some a -> a | None -> now t in
   if at < now t -. 1e-9 then
     invalid_arg "Disk_queue.submit: arrival time is in the past";
@@ -97,7 +106,17 @@ let submit ?at t op =
   t.n_submitted <- t.n_submitted + 1;
   t.queue <-
     t.queue
-    @ [ { c_tag = tag; c_op = op; c_submitted = at; c_not_before = at; c_stalls = 0 } ];
+    @ [
+        {
+          c_tag = tag;
+          c_op = op;
+          c_submitted = at;
+          c_background = background;
+          c_owner = owner;
+          c_not_before = at;
+          c_stalls = 0;
+        };
+      ];
   tag
 
 let pending t = List.length t.queue
@@ -121,6 +140,7 @@ let cost t c =
   | Placed_write { estimate; _ } -> (
     (* A full disk still has to be dispatched to report its failure. *)
     match estimate () with Some cost -> cost | None -> 0.)
+  | Hosted { cost; _ } -> cost ()
 
 let cylinder_of t c =
   match c.c_op with
@@ -129,6 +149,7 @@ let cylinder_of t c =
   | Placed_write _ ->
     (* eager placement can land near the head wherever it is *)
     Disk_sim.current_cylinder t.disk
+  | Hosted { cylinder; _ } -> cylinder ()
 
 (* Earlier submission wins ties, then lower tag. *)
 let fifo_before a b =
@@ -140,6 +161,13 @@ let pick_min before = function
   | c :: cs -> List.fold_left (fun best c -> if before c best then c else best) c cs
 
 let pick t eligible =
+  (* Background tags yield: they are considered only when no foreground
+     command is eligible, so rebuild traffic never outranks a client. *)
+  let eligible =
+    match List.filter (fun c -> not c.c_background) eligible with
+    | [] -> eligible
+    | fg -> fg
+  in
   match t.pol with
   | Fifo -> pick_min fifo_before eligible
   | Satf ->
@@ -180,7 +208,15 @@ let finish t c outcome bd ~started =
   t.n_completed <- t.n_completed + 1;
   let sink = Disk_sim.trace t.disk in
   Trace.observe sink "queue.wait" comp.queue_wait;
-  Trace.incr sink "queue.completions"
+  Trace.incr sink "queue.completions";
+  if c.c_background then Trace.incr sink "queue.background_completions";
+  match c.c_owner with
+  | None -> ()
+  | Some o ->
+    (* tag → tenant attribution: per-tenant latency histograms and op
+       counters, rendered as a fairness table by [Trace.pp_summary] *)
+    Trace.observe sink ("tenant." ^ o ^ ".lat") (finished -. c.c_submitted);
+    Trace.incr sink ("tenant." ^ o ^ ".ops")
 
 (* A transient failure while the fault plan says the drive is hanging
    stalls just this tag: re-queue it behind the hang deadline so other
@@ -221,6 +257,11 @@ let service t c =
     match run () with
     | Ok pba, bd -> finish t c (Wrote pba) bd ~started
     | Error e, bd -> requeue_or_fail t c e bd ~started)
+  | Hosted { service = run; _ } ->
+    (* The host layer above (volume leg) runs its own retry/remap and
+       failure policy inside [run]; a [Failed] outcome is final. *)
+    let outcome, bd = run () in
+    finish t c outcome bd ~started
 
 let step t =
   match t.queue with

@@ -40,6 +40,13 @@ type policy = Fifo | Elevator | Satf
 val policy_to_string : policy -> string
 val policy_of_string : string -> (policy, string) result
 
+type outcome =
+  | Data of Bytes.t  (** read payload *)
+  | Wrote of int
+      (** write done; the lba ([Write]) or physical block
+          ([Placed_write]) it landed on *)
+  | Failed of Disk_sim.media_error
+
 type op =
   | Read of { lba : int; sectors : int }
   | Write of { lba : int; buf : Bytes.t }
@@ -57,13 +64,19 @@ type op =
       (** A write whose location is chosen {e at dispatch time} — the
           programmable-disk premise: the later the drive binds a write to
           a sector, the nearer the head that sector can be. *)
-
-type outcome =
-  | Data of Bytes.t  (** read payload *)
-  | Wrote of int
-      (** write done; the lba ([Write]) or physical block
-          ([Placed_write]) it landed on *)
-  | Failed of Disk_sim.media_error
+  | Hosted of {
+      cost : unit -> float;
+          (** pure preview of the mechanical cost if dispatched now — the
+              SATF comparator; must not move the head or advance time *)
+      cylinder : unit -> int;  (** target cylinder for the elevator *)
+      service : unit -> outcome * Vlog_util.Breakdown.t;
+          (** perform the command now, advancing the shared clock.  Runs
+              the host layer's own retry/remap/failure policy; a [Failed]
+              outcome is final (never stall-requeued). *)
+    }
+      (** A host-defined command: the full device-level logic of a volume
+          leg (VLD placement + map commit, regular-disk remap) runs as a
+          schedulable tagged command. *)
 
 type completion = {
   tag : int;
@@ -95,10 +108,15 @@ val create :
 val policy : t -> policy
 val disk : t -> Disk_sim.t
 
-val submit : ?at:float -> t -> op -> int
+val submit : ?at:float -> ?background:bool -> ?owner:string -> t -> op -> int
 (** Enqueue a command and return its tag.  [at] (default now) is the
     arrival timestamp; it may lie in the simulated future (open-loop
-    arrivals) but not in the past. *)
+    arrivals) but not in the past.  [background] (default false) marks a
+    low-priority tag: it dispatches only when no foreground command is
+    eligible (rebuild copies, scrubbing).  [owner] attributes the tag to
+    a tenant — each completion then feeds the [tenant.<owner>.lat]
+    histogram and [tenant.<owner>.ops] counter of the disk's trace sink,
+    the raw material for per-tenant fairness reporting. *)
 
 val pending : t -> int
 (** Commands submitted but not yet completed (queued or stalled). *)

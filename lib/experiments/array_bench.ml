@@ -1,0 +1,431 @@
+open Vlog_util
+
+type rig = Svld | Sreg | Raid10
+
+let rig_to_string = function
+  | Svld -> "svld"
+  | Sreg -> "sreg"
+  | Raid10 -> "raid10"
+
+type cell = { rig : rig; spindles : int; depth : int }
+
+let cell_label c =
+  Printf.sprintf "%s/n%d/d%d" (rig_to_string c.rig) c.spindles c.depth
+
+let spindle_counts = [ 1; 2; 4; 8; 16 ]
+let depths = [ 1; 4; 16 ]
+
+let cells ~scale =
+  let sps, dps =
+    match scale with
+    | Rigs.Quick -> ([ 1; 2; 4 ], [ 1; 4 ])
+    | Rigs.Full -> (spindle_counts, depths)
+  in
+  List.concat_map
+    (fun rig ->
+      List.concat_map
+        (fun spindles ->
+          if rig = Raid10 && (spindles < 2 || spindles mod 2 <> 0) then []
+          else List.map (fun depth -> { rig; spindles; depth }) dps)
+        sps)
+    [ Svld; Sreg; Raid10 ]
+
+type cell_result = {
+  c_cell : cell;
+  c_iops : float;
+  c_n : int;
+  c_mean_ms : float;
+  c_p50_ms : float;
+  c_p99_ms : float;
+  c_max_ms : float;
+}
+
+type rebuild_row = {
+  rb_mode : string;  (** healthy | throttled | blocking *)
+  rb_n : int;
+  rb_mean_ms : float;
+  rb_p99_ms : float;
+  rb_progress : int;
+  rb_completed : bool;
+}
+
+type result = {
+  r_cells : cell_result list;
+  r_rebuild : rebuild_row list;
+  r_budget : float;
+  r_within_budget : bool;
+  r_fairness : Tenant.result;
+  r_scale_x : float;
+      (** widest striped-VLD aggregate IOPS over single-spindle, deepest queue *)
+}
+
+let profile = Disk.Profile.with_cylinders Disk.Profile.st19101 4
+let blocks_per_group = 128
+
+let layout_of c =
+  match c.rig with
+  | Svld | Sreg -> Volume.Stripe c.spindles
+  | Raid10 -> Volume.Stripe_of_mirrors (c.spindles / 2, 2)
+
+let leg_kind_of c =
+  match c.rig with Sreg -> Volume.Regular_leg | Svld | Raid10 -> Volume.Vld_leg
+
+let groups_of c =
+  match layout_of c with
+  | Volume.Stripe k -> k
+  | Volume.Stripe_of_mirrors (k, _) -> k
+  | Volume.Mirror _ -> 1
+
+let rounds ~scale = match scale with Rigs.Quick -> 8 | Rigs.Full -> 32
+
+(* Closed-loop driver: each round scatters one batch of random
+   single-block writes — [depth] per group, so every spindle sees the
+   cell's queue depth — arriving at the previous batch's completion
+   instant.  The legs' queues reorder within each window (SATF on VLD
+   legs), and the batch completes at the slowest spindle. *)
+let run_cell ?(seed = 0) ~scale c =
+  let clock = Clock.create () in
+  let sink = Trace.create ~clock () in
+  let mk_disk _ =
+    Disk.Disk_sim.create ~buffer_policy:Disk.Track_buffer.Whole_track ~trace:sink
+      ~profile ~clock ()
+  in
+  let layout = layout_of c in
+  let disks = Array.init (Volume.n_legs layout) mk_disk in
+  let logical_blocks = blocks_per_group * groups_of c in
+  let prng =
+    Prng.create
+      ~seed:
+        (Int64.of_int
+           (0x5eed + (seed * 7919) + (c.spindles * 131) + c.depth
+           + match c.rig with Svld -> 1 | Sreg -> 2 | Raid10 -> 3))
+  in
+  let vol =
+    Volume.create ~layout ~leg_kind:(leg_kind_of c) ~logical_blocks ~disks ~prng
+      ()
+  in
+  let bs = Volume.block_bytes vol in
+  let k = groups_of c in
+  let batch = c.depth * k in
+  let total = ref 0 in
+  let t0 = Clock.now clock in
+  (* Each round scatters exactly [depth] distinct random blocks per
+     group (logical block b lives at group b mod k), so every spindle's
+     queue holds a full window and the round's completion barrier is
+     over balanced legs — purely random block picks would bottleneck
+     each round on the multinomial max. *)
+  let pick_round () =
+    List.concat
+      (List.init k (fun g ->
+           let seen = Hashtbl.create c.depth in
+           List.init c.depth (fun i ->
+               let rec fresh () =
+                 let j = Prng.int prng blocks_per_group in
+                 if Hashtbl.mem seen j then fresh ()
+                 else begin
+                   Hashtbl.add seen j ();
+                   j
+                 end
+               in
+               (g + (k * fresh ()), Bytes.make bs (Char.chr (33 + (i mod 93)))))))
+  in
+  for _ = 1 to rounds ~scale do
+    let items = pick_round () in
+    let at = Clock.now clock in
+    (match Volume.write_batch vol ~owner:"fg" ~at items with
+    | Ok _ -> ()
+    | Error e ->
+      failwith
+        (Format.asprintf "array cell %s: write failed: %a" (cell_label c)
+           Blockdev.Device.pp_io_error e));
+    total := !total + batch
+  done;
+  let elapsed = Clock.now clock -. t0 in
+  let h =
+    match Trace.histogram sink "tenant.fg.lat" with
+    | Some h -> h
+    | None -> failwith "array: no per-command latency histogram"
+  in
+  let open Trace.Histogram in
+  {
+    c_cell = c;
+    c_iops =
+      (if elapsed > 0. then float_of_int !total /. elapsed *. 1000. else 0.);
+    c_n = !total;
+    c_mean_ms = (if count h > 0 then sum h /. float_of_int (count h) else 0.);
+    c_p50_ms = percentile h 50.;
+    c_p99_ms = percentile h 99.;
+    c_max_ms = max_value h;
+  }
+
+(* --- degraded / rebuilding foreground interference --- *)
+
+let rebuild_budget = 3.0
+
+(* Foreground open-loop single writes at a fixed spacing over a 2-way
+   VLD mirror, under three rebuild regimes: no rebuild at all; the
+   queued background rebuild throttled to [policy.rebuild_util] of the
+   idle windows between arrivals; and the pre-queue blocking cursor
+   sweep run in foreground chunks.  The claim under test: throttling
+   holds the foreground p99 within [rebuild_budget] × the healthy p99,
+   while the blocking sweep does not. *)
+let run_rebuild ?(seed = 0) ~scale mode =
+  let clock = Clock.create () in
+  let mk_disk _ =
+    Disk.Disk_sim.create ~buffer_policy:Disk.Track_buffer.Whole_track ~profile
+      ~clock ()
+  in
+  let disks = Array.init 2 mk_disk in
+  let prng = Prng.create ~seed:(Int64.of_int (0xb1d + seed)) in
+  let blocks = 192 in
+  let vol =
+    Volume.create
+      ~spare:(fun () -> mk_disk ())
+      ~layout:(Volume.Mirror 2) ~leg_kind:Volume.Vld_leg ~logical_blocks:blocks
+      ~disks ~prng ()
+  in
+  let bs = Volume.block_bytes vol in
+  (* Prefill so the resilver has real content to copy. *)
+  for b = 0 to blocks - 1 do
+    match
+      Volume.write_result_at vol ~at:(Clock.now clock) b
+        (Bytes.make bs (Char.chr (65 + (b mod 26))))
+    with
+    | Ok _ -> ()
+    | Error _ -> failwith "array rebuild: prefill failed"
+  done;
+  if mode <> `Healthy then begin
+    Volume.kill vol ~group:0 ~leg:1;
+    match Volume.start_rebuild vol ~group:0 ~leg:1 with
+    | Ok () -> ()
+    | Error e -> failwith ("array rebuild: " ^ e)
+  end;
+  let n_ops = match scale with Rigs.Quick -> 60 | Rigs.Full -> 300 in
+  (* ~100 foreground IOPS: windows wide enough that a throttled copy
+     (service plus duty-cycle idle) fits between arrivals *)
+  let gap_ms = 10. in
+  let t0 = Clock.now clock in
+  let lats = ref [] in
+  for i = 0 to n_ops - 1 do
+    let at = t0 +. (float_of_int i *. gap_ms) in
+    let b = Prng.int prng blocks in
+    (match Volume.write_result_at vol ~at b (Bytes.make bs 'f') with
+    | Ok _ -> lats := (Clock.now clock -. at) :: !lats
+    | Error _ -> failwith "array rebuild: foreground write failed");
+    match mode with
+    | `Healthy -> ()
+    | `Throttled ->
+      (* grant the time to the next arrival as idle: the pump runs
+         throttled background copies in the legs' windows *)
+      let next = t0 +. (float_of_int (i + 1) *. gap_ms) in
+      let dt = next -. Clock.now clock in
+      if dt > 0. then Volume.idle vol dt
+    | `Blocking -> if i mod 10 = 9 then Volume.rebuild_step vol ~copies:16
+  done;
+  let progress, completed =
+    match Volume.state_of vol ~group:0 ~leg:1 with
+    | `Rebuilding c -> (c, false)
+    | `Healthy -> (blocks, mode <> `Healthy)
+    | `Suspect | `Dead -> (0, false)
+  in
+  let lats = List.rev !lats in
+  {
+    rb_mode =
+      (match mode with
+      | `Healthy -> "healthy"
+      | `Throttled -> "throttled"
+      | `Blocking -> "blocking");
+    rb_n = List.length lats;
+    rb_mean_ms = Stats.mean lats;
+    rb_p99_ms = Stats.percentile 0.99 lats;
+    rb_progress = progress;
+    rb_completed = completed;
+  }
+
+let fairness_config ~scale =
+  match scale with
+  | Rigs.Quick -> { Tenant.default with Tenant.shards = 2; ops_per_tenant = 60 }
+  | Rigs.Full -> { Tenant.default with Tenant.shards = 4; ops_per_tenant = 250 }
+
+let scalability results =
+  let iops rig spindles =
+    List.fold_left
+      (fun acc r ->
+        if r.c_cell.rig = rig && r.c_cell.spindles = spindles then
+          Float.max acc r.c_iops
+        else acc)
+      0. results
+  in
+  let widest =
+    List.fold_left
+      (fun acc r -> if r.c_cell.rig = Svld then max acc r.c_cell.spindles else acc)
+      1 results
+  in
+  let base = iops Svld 1 in
+  if base > 0. then iops Svld widest /. base else 0.
+
+let run ?(seed = 0) ~jobs ~scale () =
+  let cs = cells ~scale in
+  let cell_results =
+    List.map2
+      (fun c -> function
+        | Ok r -> r
+        | Error (e : Par.error) ->
+          failwith
+            (Printf.sprintf "array cell %s: %s" (cell_label c)
+               (Par.reason_to_string e.Par.reason)))
+      cs
+      (Par.map ~jobs ~timeout_s:3600. (fun c -> run_cell ~seed ~scale c) cs)
+  in
+  let modes = [ `Healthy; `Throttled; `Blocking ] in
+  let rebuild =
+    List.map2
+      (fun m -> function
+        | Ok r -> r
+        | Error (e : Par.error) ->
+          failwith
+            (Printf.sprintf "array rebuild %s: %s"
+               (match m with
+               | `Healthy -> "healthy"
+               | `Throttled -> "throttled"
+               | `Blocking -> "blocking")
+               (Par.reason_to_string e.Par.reason)))
+      modes
+      (Par.map ~jobs ~timeout_s:3600. (fun m -> run_rebuild ~seed ~scale m) modes)
+  in
+  let healthy_p99 =
+    List.fold_left
+      (fun a r -> if r.rb_mode = "healthy" then r.rb_p99_ms else a)
+      0. rebuild
+  in
+  let throttled_p99 =
+    List.fold_left
+      (fun a r -> if r.rb_mode = "throttled" then r.rb_p99_ms else a)
+      0. rebuild
+  in
+  {
+    r_cells = cell_results;
+    r_rebuild = rebuild;
+    r_budget = rebuild_budget;
+    r_within_budget =
+      healthy_p99 > 0. && throttled_p99 <= rebuild_budget *. healthy_p99;
+    r_fairness = Tenant.run ~jobs (fairness_config ~scale);
+    r_scale_x = scalability cell_results;
+  }
+
+(* --- rendering --- *)
+
+let table_of r =
+  let t =
+    Table.create ~title:"array: aggregate small-write IOPS (closed loop)"
+      ~columns:[ "rig"; "spindles"; "depth"; "iops"; "p50 ms"; "p99 ms" ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row t
+        [
+          rig_to_string c.c_cell.rig;
+          string_of_int c.c_cell.spindles;
+          string_of_int c.c_cell.depth;
+          Table.cell_f ~decimals:0 c.c_iops;
+          Table.cell_ms c.c_p50_ms;
+          Table.cell_ms c.c_p99_ms;
+        ])
+    r.r_cells;
+  t
+
+let render r =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b (Table.render (table_of r));
+  Buffer.add_string b
+    (Printf.sprintf "\nscalability: widest striped-VLD = %.1fx single spindle\n"
+       r.r_scale_x);
+  Buffer.add_string b
+    "\nrebuild interference (2-way VLD mirror, foreground p99):\n";
+  List.iter
+    (fun rb ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-10s p99 %s  mean %s  progress %d%s\n" rb.rb_mode
+           (Table.cell_ms rb.rb_p99_ms)
+           (Table.cell_ms rb.rb_mean_ms)
+           rb.rb_progress
+           (if rb.rb_completed then " (rebuilt)" else "")))
+    r.r_rebuild;
+  Buffer.add_string b
+    (Printf.sprintf "  throttled within budget (%.1fx healthy p99): %b\n"
+       r.r_budget r.r_within_budget);
+  let f = r.r_fairness in
+  Buffer.add_string b
+    (Printf.sprintf
+       "\ntenants: %d ops across %d tenants, %.0f IOPS aggregate, fairness p99 \
+        max/min %.2f, tput max/min %.2f\n"
+       f.Tenant.total_ops
+       (List.length f.Tenant.per_tenant)
+       f.Tenant.agg_iops f.Tenant.fairness.Tenant.p99_ratio
+       f.Tenant.fairness.Tenant.tput_ratio);
+  Buffer.contents b
+
+let to_json ~scale ~jobs r =
+  let b = Buffer.create 4096 in
+  let scale_s = match scale with Rigs.Quick -> "quick" | Rigs.Full -> "full" in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"experiment\": \"array\", \"scale\": %S, \"jobs\": %d,\n"
+       scale_s jobs);
+  Buffer.add_string b "  \"cells\": [\n";
+  let n = List.length r.r_cells in
+  List.iteri
+    (fun i c ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"rig\": %S, \"spindles\": %d, \"depth\": %d, \"iops\": %.3f, \
+            \"n\": %d, \"mean_ms\": %.6f, \"p50_ms\": %.6f, \"p99_ms\": %.6f, \
+            \"max_ms\": %.6f}%s\n"
+           (rig_to_string c.c_cell.rig)
+           c.c_cell.spindles c.c_cell.depth c.c_iops c.c_n c.c_mean_ms c.c_p50_ms
+           c.c_p99_ms c.c_max_ms
+           (if i = n - 1 then "" else ",")))
+    r.r_cells;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"scalability\": {\"svld_widest_over_single\": %.3f, \
+        \"criterion_8x\": %b},\n"
+       r.r_scale_x (r.r_scale_x >= 8.));
+  Buffer.add_string b
+    (Printf.sprintf "  \"rebuild\": {\"budget_x_healthy_p99\": %.1f, \
+                     \"within_budget\": %b, \"modes\": [\n"
+       r.r_budget r.r_within_budget);
+  let nr = List.length r.r_rebuild in
+  List.iteri
+    (fun i rb ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"mode\": %S, \"n\": %d, \"mean_ms\": %.6f, \"p99_ms\": %.6f, \
+            \"progress\": %d, \"completed\": %b}%s\n"
+           rb.rb_mode rb.rb_n rb.rb_mean_ms rb.rb_p99_ms rb.rb_progress
+           rb.rb_completed
+           (if i = nr - 1 then "" else ",")))
+    r.r_rebuild;
+  Buffer.add_string b "  ]},\n";
+  let f = r.r_fairness in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"fairness\": {\"tenants\": %d, \"total_ops\": %d, \"agg_iops\": \
+        %.3f, \"p99_ratio\": %.4f, \"tput_ratio\": %.4f, \"per_tenant\": [\n"
+       (List.length f.Tenant.per_tenant)
+       f.Tenant.total_ops f.Tenant.agg_iops f.Tenant.fairness.Tenant.p99_ratio
+       f.Tenant.fairness.Tenant.tput_ratio);
+  let nt = List.length f.Tenant.per_tenant in
+  List.iteri
+    (fun i (s : Tenant.tenant_stats) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"tenant\": %d, \"ops\": %d, \"mean_ms\": %.6f, \"p50_ms\": \
+            %.6f, \"p99_ms\": %.6f, \"tput_iops\": %.3f}%s\n"
+           s.Tenant.tenant s.Tenant.ops s.Tenant.mean_ms s.Tenant.p50_ms
+           s.Tenant.p99_ms s.Tenant.tput_iops
+           (if i = nt - 1 then "" else ",")))
+    f.Tenant.per_tenant;
+  Buffer.add_string b "  ]}\n}\n";
+  Buffer.contents b

@@ -1,0 +1,71 @@
+(** The 16-spindle array study ([bench -- array]).
+
+    Aggregate small-write IOPS for three array organisations —
+    striped-VLD ([svld]), striped regular legs ([sreg]) and
+    striped-mirrors over VLD legs ([raid10]) — across spindle counts
+    {1,2,4,8,16} and per-spindle queue depths {1,4,16}, driven closed
+    loop: every round scatters [depth] random single-block writes per
+    group arriving at the previous round's completion, so each leg's
+    tagged queue holds a full window for its policy (SATF on VLD legs)
+    to reorder.
+
+    Two companion studies ride along: foreground p99 under rebuild
+    (healthy vs. throttled background resilver vs. the blocking cursor
+    sweep, with a stated p99 budget), and the sharded multi-tenant
+    fairness run ({!Tenant.run}). *)
+
+type rig = Svld | Sreg | Raid10
+
+val rig_to_string : rig -> string
+
+type cell = { rig : rig; spindles : int; depth : int }
+
+val cell_label : cell -> string
+
+val cells : scale:Rigs.scale -> cell list
+(** The study grid.  [Quick] shrinks it to spindles {1,2,4} × depths
+    {1,4}; [raid10] rows exist only for even spindle counts. *)
+
+type cell_result = {
+  c_cell : cell;
+  c_iops : float;  (** aggregate small-write IOPS over the whole run *)
+  c_n : int;  (** logical writes completed *)
+  c_mean_ms : float;
+  c_p50_ms : float;
+  c_p99_ms : float;
+  c_max_ms : float;  (** per-command latencies from the legs' queues *)
+}
+
+type rebuild_row = {
+  rb_mode : string;  (** ["healthy"] | ["throttled"] | ["blocking"] *)
+  rb_n : int;
+  rb_mean_ms : float;
+  rb_p99_ms : float;
+  rb_progress : int;  (** resilver cursor at the end of the run *)
+  rb_completed : bool;
+}
+
+type result = {
+  r_cells : cell_result list;
+  r_rebuild : rebuild_row list;
+  r_budget : float;  (** foreground p99 budget, × the healthy p99 *)
+  r_within_budget : bool;  (** throttled p99 ≤ budget × healthy p99 *)
+  r_fairness : Tenant.result;
+  r_scale_x : float;
+      (** widest striped-VLD aggregate IOPS over single-spindle *)
+}
+
+val rebuild_budget : float
+(** 3.0: throttled rebuild must hold foreground p99 within 3× healthy. *)
+
+val run_cell : ?seed:int -> scale:Rigs.scale -> cell -> cell_result
+val run : ?seed:int -> jobs:int -> scale:Rigs.scale -> unit -> result
+
+val table_of : result -> Vlog_util.Table.t
+val render : result -> string
+(** IOPS table plus the scalability, rebuild and fairness summaries. *)
+
+val to_json : scale:Rigs.scale -> jobs:int -> result -> string
+(** One JSON object: [cells] records, [scalability] (with the ≥8×
+    criterion), [rebuild] modes + budget verdict, and [fairness] with
+    per-tenant rows and the spread ratios. *)

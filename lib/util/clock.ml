@@ -19,4 +19,6 @@ let advance_to t when_ =
     total := !total +. (when_ -. t.now);
     t.now <- when_
   end
+
+let warp t when_ = t.now <- when_
 let reset t = t.now <- 0.

@@ -17,6 +17,16 @@ val advance_to : t -> float -> unit
 (** [advance_to t when_] moves time forward to [when_] if it is in the
     future; a [when_] in the past is a no-op (the event already fits). *)
 
+val warp : t -> float -> unit
+(** [warp t when_] repositions the clock at [when_], possibly in the
+    past.  Unlike [advance]/[advance_to] a warp does not add to
+    [advanced_total]: it repositions the timeline rather than consuming
+    simulated time.  Meant for engines that simulate independently-timed
+    devices (e.g. the spindles of a disk array) on one shared clock:
+    park the clock at a device's dispatch instant, let the device
+    advance it while servicing, record the finish, and warp to the next
+    device's window. *)
+
 val reset : t -> unit
 
 val advanced_total : unit -> float

@@ -25,9 +25,19 @@
      mirror groups: writes go to legs in index order, so the lowest live
      leg is always newest and the group converges to its content.
 
-   All legs share one simulated clock; leg operations are serviced
-   sequentially on it (a deliberate simplification — a real array issues
-   mirror writes in parallel). *)
+   Data path: each leg owns a tagged command queue ([Disk.Disk_queue],
+   SATF by default for VLD legs) and a local timeline cursor
+   [busy_until].  A volume operation scatters commands to its legs at an
+   arrival instant and services each leg inside its own time window —
+   the shared clock is warped to [max at busy_until], the leg's queue
+   drains, and the finish becomes the leg's new [busy_until].  Windows
+   of different legs overlap in simulated time (spindles are
+   independent), so a mirror write completes at the slowest leg's ack
+   (max, not sum) and a stripe fans reads and writes across spindles
+   concurrently.  Rebuild copies ride the same queues as low-priority
+   background tags, throttled to [rebuild_util] of a spindle's time.
+   Admin paths (probe, resync, settle) stay sequential on the shared
+   clock. *)
 
 open Vlog_util
 
@@ -42,9 +52,13 @@ type policy = {
   timeout_ms : float;  (** per-operation budget once one leg has the data *)
   backoff_ms : float;  (** how long a [Suspect] leg is left alone *)
   probes_to_kill : int;  (** consecutive probe failures that retire a leg *)
+  rebuild_util : float;
+      (** fraction of a spindle's time background rebuild may hold
+          (duty cycle); 1.0 = unthrottled *)
 }
 
-let default_policy = { timeout_ms = 50.; backoff_ms = 200.; probes_to_kill = 2 }
+let default_policy =
+  { timeout_ms = 50.; backoff_ms = 200.; probes_to_kill = 2; rebuild_util = 0.5 }
 
 let layout_shape = function
   | Stripe k ->
@@ -70,19 +84,36 @@ let layout_to_string = function
 type leg_impl = Vld of Blockdev.Vld.t | Reg of Blockdev.Regular_disk.t
 
 type leg = {
+  uid : int;  (* process-unique; keys per-batch completion tables *)
   mutable impl : leg_impl;
   mutable disk : Disk.Disk_sim.t;
+  mutable q : Disk.Disk_queue.t;  (* the leg's tagged command queue *)
+  mutable busy_until : float;  (* local timeline: end of the last window *)
+  mutable gen : int;  (* bumped when the leg is killed or swapped *)
   mutable state : [ `Healthy | `Suspect | `Dead | `Rebuilding ];
   mutable cursor : int; (* rebuild sweep position, meaningful while `Rebuilding *)
+  mutable copy_cost : float;
+  (* last observed full cost of one background rebuild copy (service +
+     throttle idle); the pump's estimate for not overrunning a window *)
   drl : (int, unit) Hashtbl.t; (* group-blocks this leg does not have yet *)
   mutable failed_probes : int;
   mutable retry_after : float; (* Suspect: do not touch before this time *)
+}
+
+let leg_uid_counter = ref 0
+
+type host_req = {
+  hr_tag : int;
+  hr_at : float;
+  hr_owner : string option;
+  hr_req : Blockdev.Device.req;
 }
 
 type t = {
   layout : layout;
   leg_kind : leg_kind;
   policy : policy;
+  queue_policy : Disk.Disk_queue.policy;
   logical_blocks : int;
   group_blocks : int;
   block_bytes : int;
@@ -91,7 +122,14 @@ type t = {
   trace : Trace.sink;
   prng : Prng.t;
   mutable spare : (unit -> Disk.Disk_sim.t) option;
+  mutable host_next : int;  (* next host-level request tag *)
+  mutable host_q : host_req list;  (* pending host requests, reversed *)
+  mutable host_done : (int * Blockdev.Device.ack) list;  (* reversed *)
 }
+
+let default_queue_policy = function
+  | Vld_leg -> Disk.Disk_queue.Satf
+  | Regular_leg -> Disk.Disk_queue.Fifo
 
 let leg_spare_blocks = 8
 
@@ -164,6 +202,132 @@ let probe_leg t leg =
   | Ok _, _ -> true
   | Error _, _ -> false
 
+(* ---- Concurrent leg engine ----
+
+   The shared clock is one timeline, but the spindles are independent:
+   to overlap them, every leg keeps [busy_until] — the end of the last
+   window in which it serviced commands.  [run_leg] warps the clock to
+   [max at busy_until], drains the leg's queue there (the drive
+   mechanics advance the clock as usual), and records the finish.  The
+   caller gathers completions and warps the clock to the operation's
+   completion instant — the latest awaited leg. *)
+
+let run_leg t leg ~at =
+  Clock.warp t.clock (Float.max at leg.busy_until);
+  let cs = Disk.Disk_queue.drain leg.q in
+  leg.busy_until <- Clock.now t.clock;
+  cs
+
+(* (leg uid, tag) -> completion, for one scatter/gather batch *)
+type ctbl = (int * int, Disk.Disk_queue.completion) Hashtbl.t
+
+let run_legs t legs ~at : ctbl =
+  let tbl : ctbl = Hashtbl.create 16 in
+  List.iter
+    (fun leg ->
+      List.iter
+        (fun (tag, c) -> Hashtbl.replace tbl (leg.uid, tag) c)
+        (run_leg t leg ~at))
+    legs;
+  tbl
+
+let dedup_legs legs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun leg ->
+      if Hashtbl.mem seen leg.uid then false
+      else begin
+        Hashtbl.add seen leg.uid ();
+        true
+      end)
+    legs
+
+(* Pure mechanical previews for the leg queue's scheduler (SATF cost,
+   elevator cylinder).  A VLD read prices the mapped physical location;
+   a VLD write is eager — it lands near the head wherever that is. *)
+
+let leg_spb t leg =
+  t.block_bytes / (Disk.Disk_sim.geometry leg.disk).Disk.Geometry.sector_bytes
+
+let read_lba t leg gb =
+  let spb = leg_spb t leg in
+  match leg.impl with
+  | Vld v -> (
+    match Vlog.Virtual_log.lookup (Blockdev.Vld.vlog v) gb with
+    | Some pba -> Some (pba * spb)
+    | None -> None (* unmapped: answered from the in-memory map, no seek *))
+  | Reg _ -> Some (gb * spb) (* remaps are rare; near enough to price *)
+
+let read_estimate t leg gb =
+  match read_lba t leg gb with
+  | None -> 0.
+  | Some lba -> Disk.Disk_sim.estimate_access leg.disk ~lba ~sectors:(leg_spb t leg)
+
+let read_cylinder t leg gb =
+  match read_lba t leg gb with
+  | None -> Disk.Disk_sim.current_cylinder leg.disk
+  | Some lba ->
+    (Disk.Geometry.addr_of_lba (Disk.Disk_sim.geometry leg.disk) lba)
+      .Disk.Geometry.cyl
+
+let write_estimate t leg gb =
+  let spb = leg_spb t leg in
+  match leg.impl with
+  | Vld _ -> 0.
+  | Reg _ -> Disk.Disk_sim.estimate_access leg.disk ~lba:(gb * spb) ~sectors:spb
+
+let write_cylinder t leg gb =
+  match leg.impl with
+  | Vld _ -> Disk.Disk_sim.current_cylinder leg.disk
+  | Reg _ ->
+    (Disk.Geometry.addr_of_lba
+       (Disk.Disk_sim.geometry leg.disk)
+       (gb * leg_spb t leg))
+      .Disk.Geometry.cyl
+
+let media_err (e : Blockdev.Device.io_error) =
+  { Disk.Disk_sim.error_lba = e.Blockdev.Device.error_lba; transient = false }
+
+(* Submit one leg command; the full device-level logic (VLD placement +
+   map commit, regular-disk remap) runs as the command's service.  The
+   structured io_error is smuggled out through a per-command ref. *)
+
+let submit_leg_write t leg ~at ?owner gb buf =
+  let err = ref None in
+  let op =
+    Disk.Disk_queue.Hosted
+      {
+        cost = (fun () -> write_estimate t leg gb);
+        cylinder = (fun () -> write_cylinder t leg gb);
+        service =
+          (fun () ->
+            match leg_write leg gb buf with
+            | Ok c -> (Disk.Disk_queue.Wrote gb, c.Io.breakdown)
+            | Error e ->
+              err := Some e;
+              (Disk.Disk_queue.Failed (media_err e), Breakdown.zero));
+      }
+  in
+  (Disk.Disk_queue.submit ~at ?owner leg.q op, err)
+
+let submit_leg_read t leg ~at ?owner gb =
+  let err = ref None in
+  let op =
+    Disk.Disk_queue.Hosted
+      {
+        cost = (fun () -> read_estimate t leg gb);
+        cylinder = (fun () -> read_cylinder t leg gb);
+        service =
+          (fun () ->
+            match leg_read leg gb with
+            | Ok (data, c) -> (Disk.Disk_queue.Data data, c.Io.breakdown)
+            | Error e ->
+              err := Some e;
+              (Disk.Disk_queue.Failed (media_err e), Breakdown.zero));
+      }
+  in
+  (Disk.Disk_queue.submit ~at ?owner leg.q op, err)
+
 (* ---- Failure handling, revival, rebuild ---- *)
 
 let start_rebuild_on t leg disk =
@@ -171,14 +335,22 @@ let start_rebuild_on t leg disk =
   leg.impl <-
     format_leg ~leg_kind:t.leg_kind ~group_blocks:t.group_blocks
       ~prng:(Prng.split t.prng) disk;
+  (* the replacement spindle gets a fresh queue and starts its timeline
+     now; in-flight commands against the old drive are orphaned (their
+     generation no longer matches) *)
+  leg.q <- Disk.Disk_queue.create ~policy:t.queue_policy ~disk ();
+  leg.busy_until <- Clock.now t.clock;
+  leg.gen <- leg.gen + 1;
   Hashtbl.reset leg.drl;
   leg.cursor <- 0;
+  leg.copy_cost <- 0.;
   leg.failed_probes <- 0;
   leg.state <- `Rebuilding;
   Trace.incr t.trace "vol.rebuilds_started"
 
 let kill_leg t leg =
   leg.state <- `Dead;
+  leg.gen <- leg.gen + 1;
   Trace.incr t.trace "vol.leg_deaths";
   match t.spare with
   | None -> ()
@@ -255,20 +427,22 @@ let revive t group leg =
   else leg.retry_after <- Clock.now t.clock +. t.policy.backoff_ms
 
 (* One unit of rebuild work: advance the cursor sweep, then drain the
-   DRL, then flip the leg healthy. *)
-let rebuild_tick t group leg =
+   DRL, then flip the leg healthy.  [copy] performs one block copy —
+   either synchronously on the shared clock (admin paths) or as a
+   queued background tag in the leg's own window (the online pump). *)
+let rebuild_tick_with t leg ~copy =
   if leg.cursor < t.group_blocks then begin
     let gb = leg.cursor in
-    match copy_block t group ~to_:leg ~counter:"vol.rebuild_copies" gb with
-    | Ok () ->
+    match copy gb with
+    | `Copied ->
       leg.cursor <- leg.cursor + 1;
       `Progress
-    | Error `Unreadable ->
+    | `Unreadable ->
       (* no surviving copy of this block: honest loss, keep resilvering *)
       Trace.incr t.trace "vol.rebuild_lost";
       leg.cursor <- leg.cursor + 1;
       `Progress
-    | Error (`No_source | `Write_failed) -> `Blocked
+    | `Blocked -> `Blocked
   end
   else
     match Hashtbl.fold (fun gb () _ -> Some gb) leg.drl None with
@@ -278,15 +452,56 @@ let rebuild_tick t group leg =
       Trace.incr t.trace "vol.rebuilds_completed";
       `Done
     | Some gb -> (
-      match copy_block t group ~to_:leg ~counter:"vol.rebuild_copies" gb with
-      | Ok () ->
+      match copy gb with
+      | `Copied ->
         Hashtbl.remove leg.drl gb;
         `Progress
-      | Error `Unreadable ->
+      | `Unreadable ->
         Hashtbl.remove leg.drl gb;
         Trace.incr t.trace "vol.rebuild_lost";
         `Progress
-      | Error _ -> `Blocked)
+      | `Blocked -> `Blocked)
+
+let sync_copy t group ~to_ gb =
+  match copy_block t group ~to_ ~counter:"vol.rebuild_copies" gb with
+  | Ok () -> `Copied
+  | Error `Unreadable -> `Unreadable
+  | Error (`No_source | `Write_failed) -> `Blocked
+
+(* Blocking (foreground) rebuild unit — the admin path. *)
+let rebuild_tick t group leg =
+  rebuild_tick_with t leg ~copy:(sync_copy t group ~to_:leg)
+
+(* One copy as a low-priority background tag on the target leg,
+   serviced in the leg's own window starting at [at].  The source read
+   runs inside that window too (a copy occupies both spindles; we
+   charge the target — the throttled one).  The [rebuild_util] duty
+   cycle is enforced by {!rebuild_pump}'s per-window budget, not here:
+   a foreground arrival must never wait through synthetic throttle
+   idle, only through real copy service. *)
+let queued_copy t group ~to_ ~at gb =
+  let res = ref `Blocked in
+  let op =
+    Disk.Disk_queue.Hosted
+      {
+        cost = (fun () -> 0.);
+        cylinder = (fun () -> Disk.Disk_sim.current_cylinder to_.disk);
+        service =
+          (fun () ->
+            (match copy_block t group ~to_ ~counter:"vol.rebuild_copies" gb with
+            | Ok () -> res := `Copied
+            | Error `Unreadable -> res := `Unreadable
+            | Error (`No_source | `Write_failed) -> res := `Blocked);
+            ( (match !res with
+              | `Blocked ->
+                Disk.Disk_queue.Failed { Disk.Disk_sim.error_lba = 0; transient = false }
+              | `Copied | `Unreadable -> Disk.Disk_queue.Wrote gb),
+              Breakdown.zero ));
+      }
+  in
+  ignore (Disk.Disk_queue.submit ~at ~background:true to_.q op);
+  ignore (run_leg t to_ ~at);
+  !res
 
 let iter_legs t f = Array.iter (fun group -> Array.iter (f group) group) t.groups
 
@@ -295,16 +510,70 @@ let rebuild_active t =
   iter_legs t (fun _ leg -> if leg.state = `Rebuilding then any := true);
   !any
 
-(* Background resilvering during granted idle time: copy until the
-   deadline, leaving the rest for the next window. *)
-let rebuild_pump t ~deadline =
+(* Background resilvering during granted idle time: queued copies in
+   each rebuilding leg's own window, [from] to [deadline], leaving the
+   rest for the next window.  [rebuild_util] is a per-window duty
+   cycle: copies may consume at most that fraction of the granted
+   window.  A copy is started only when the leg's last observed copy
+   cost fits both the duty budget and the deadline, so a foreground
+   arrival at the deadline does not queue behind an overrunning
+   background copy (a fresh resilver has no estimate yet and may
+   overrun once).  A window skipped on the estimate halves it: one
+   pathologically slow copy (cold cache, full-stroke seek) must not
+   freeze the resilver when later cursor-sequential copies would be
+   cheap — the decayed estimate retries within a few windows and the
+   next real copy re-prices it. *)
+let rebuild_pump t ~from ~deadline =
+  let u = Float.min 1. (Float.max 0. t.policy.rebuild_util) in
+  if u > 0. then
+    iter_legs t (fun group leg ->
+        let start = Float.max from leg.busy_until in
+        let allow = (deadline -. start) *. u in
+        let used = ref 0. in
+        let copied = ref false in
+        let continue_ = ref true in
+        while !continue_ && leg.state = `Rebuilding do
+          let at = Float.max from leg.busy_until in
+          if at +. leg.copy_cost >= deadline || !used +. leg.copy_cost > allow
+          then continue_ := false
+          else
+            match
+              rebuild_tick_with t leg ~copy:(fun gb ->
+                  let r = queued_copy t group ~to_:leg ~at gb in
+                  let cost = Float.max 0. (leg.busy_until -. at) in
+                  used := !used +. cost;
+                  leg.copy_cost <- cost;
+                  copied := true;
+                  r)
+            with
+            | `Progress -> ()
+            | `Done | `Blocked -> continue_ := false
+        done;
+        if (not !copied) && leg.state = `Rebuilding && start < deadline then
+          leg.copy_cost <- leg.copy_cost /. 2.)
+
+(* Run up to [copies] blocking rebuild copies right now on the shared
+   clock — the old-style cursor sweep, foreground I/O stalls behind it.
+   Kept as the unthrottled comparison point for the array bench.  The
+   sweep occupies the whole group (source reads + target writes), so
+   every leg's window is pushed to the end of the sweep: foreground
+   arrivals during it queue behind it. *)
+let rebuild_step t ~copies =
+  let left = ref copies in
   iter_legs t (fun group leg ->
-      let continue_ = ref (leg.state = `Rebuilding) in
-      while !continue_ && Clock.now t.clock < deadline do
+      let continue_ = ref true in
+      let swept = ref false in
+      while !continue_ && leg.state = `Rebuilding && !left > 0 do
+        swept := true;
         match rebuild_tick t group leg with
-        | `Progress -> ()
-        | `Done | `Blocked -> continue_ := false
-      done)
+        | `Progress -> decr left
+        | `Done -> ()
+        | `Blocked -> continue_ := false
+      done;
+      if !swept then
+        Array.iter
+          (fun l -> l.busy_until <- Float.max l.busy_until (Clock.now t.clock))
+          group)
 
 let probe_suspects t =
   iter_legs t (fun group leg ->
@@ -383,83 +652,150 @@ let locate t b =
   let k = Array.length t.groups in
   (b mod k, b / k)
 
-(* Mirror write: every leg that can reasonably take the block gets it;
-   legs skipped for backoff, budget, or failure get the block in their
-   DRL instead.  The operation succeeds if at least one leg has the
-   data. *)
-let group_write t gi gb buf =
+(* One submitted leg command within a scatter. *)
+type sub = {
+  s_leg : leg;
+  s_gen : int;  (* leg generation at submit; a swap orphans the sub *)
+  s_suspect : bool;  (* leg was [`Suspect] at dispatch *)
+  s_tag : int;
+  s_err : Blockdev.Device.io_error option ref;
+}
+
+(* The write scatter of one group block. *)
+type wtx = {
+  wt_block : int;  (* logical block, for error reporting *)
+  wt_gi : int;
+  wt_gb : int;
+  wt_subs : sub list;
+  wt_degraded : bool;  (* some leg was skipped (and DRL'd) at dispatch *)
+}
+
+(* Mirror write scatter: every leg that can reasonably take the block
+   gets a command at the arrival instant; legs skipped for backoff get
+   the block in their DRL.  Nothing is serviced yet. *)
+let submit_group_write t ~at ?owner gi gb ~block buf =
   let group = t.groups.(gi) in
-  let start = Clock.now t.clock in
-  let bd = ref Breakdown.zero in
-  let wrote = ref 0 in
+  let subs = ref [] in
   let degraded = ref false in
-  let last_err = ref None in
   Array.iter
     (fun leg ->
-      let dirty () =
-        Hashtbl.replace leg.drl gb ();
-        degraded := true
+      let dispatch suspect =
+        let tag, err = submit_leg_write t leg ~at ?owner gb buf in
+        subs :=
+          { s_leg = leg; s_gen = leg.gen; s_suspect = suspect; s_tag = tag; s_err = err }
+          :: !subs
       in
       match leg.state with
       | `Dead -> ()
       | `Rebuilding ->
         (* the cursor sweep will copy everything at or past it from a
            peer; only the already-rebuilt region must be kept current *)
-        if gb < leg.cursor then (
-          match leg_write leg gb buf with
-          | Ok c ->
-            bd := Breakdown.add !bd c.Io.breakdown;
-            Hashtbl.remove leg.drl gb;
-            incr wrote
-          | Error e ->
-            last_err := Some e;
-            dirty ();
-            note_failure t leg)
-      | (`Suspect | `Healthy) as st ->
-        let now = Clock.now t.clock in
-        let in_backoff = st = `Suspect && now < leg.retry_after in
-        (* the budget bounds how long suspects may stall the op once the
-           data is safe somewhere; healthy legs are always written *)
-        let over_budget =
-          st = `Suspect && !wrote > 0 && now -. start > t.policy.timeout_ms
-        in
-        if in_backoff || over_budget then dirty ()
-        else (
-          match leg_write leg gb buf with
-          | Ok c ->
-            bd := Breakdown.add !bd c.Io.breakdown;
-            Hashtbl.remove leg.drl gb;
-            incr wrote;
-            if st = `Suspect then revive t group leg
-          | Error e ->
-            last_err := Some e;
-            dirty ();
-            note_failure t leg))
+        if gb < leg.cursor then dispatch false
+      | `Healthy -> dispatch false
+      | `Suspect ->
+        if at < leg.retry_after then begin
+          (* in backoff: leave it alone, log the miss *)
+          Hashtbl.replace leg.drl gb ();
+          degraded := true
+        end
+        else dispatch true)
     group;
-  if !degraded && !wrote > 0 then Trace.incr t.trace "vol.degraded_writes";
-  if !wrote > 0 then Ok !bd
-  else
-    Error
-      (match !last_err with
-      | Some e -> { e with Blockdev.Device.block = gb }
-      | None -> synth_err `Write gb)
+  {
+    wt_block = block;
+    wt_gi = gi;
+    wt_gb = gb;
+    wt_subs = List.rev !subs;
+    wt_degraded = !degraded;
+  }
 
-(* Mirror read with failover: healthy legs first, then the rebuilt
-   region of a rebuilding leg, then suspects past their backoff (the
-   read doubles as the probe).  Blocks in a leg's DRL are never read
-   from it.  Once one candidate has been tried, the per-op budget stops
-   further probing. *)
-let group_read t gi gb =
+(* Gather one write scatter.  Completion rule: healthy legs are always
+   awaited; a suspect whose service ran past the per-op budget is not
+   awaited once the data is safe on an awaited leg — its write still
+   lands (or fails into the DRL) on its own timeline, but it no longer
+   stalls the operation.  Returns the result and the completion
+   instant; leaves the clock parked there. *)
+let gather_group_write t (ctbl : ctbl) ~at wtx =
+  let find s = Hashtbl.find ctbl (s.s_leg.uid, s.s_tag) in
+  let ok s =
+    match (find s).Disk.Disk_queue.outcome with
+    | Disk.Disk_queue.Wrote _ -> true
+    | _ -> false
+  in
+  let in_budget s =
+    (not s.s_suspect)
+    || (find s).Disk.Disk_queue.finished -. at <= t.policy.timeout_ms
+  in
+  let safe = List.exists (fun s -> in_budget s && ok s) wtx.wt_subs in
+  let awaited s = (not safe) || in_budget s in
+  let completion =
+    List.fold_left
+      (fun acc s ->
+        if awaited s then Float.max acc (find s).Disk.Disk_queue.finished else acc)
+      at wtx.wt_subs
+  in
+  Clock.warp t.clock completion;
+  let bd = ref Breakdown.zero in
+  let wrote = ref 0 in
+  let degraded = ref wtx.wt_degraded in
+  let last_err = ref None in
+  List.iter
+    (fun s ->
+      let leg = s.s_leg in
+      if s.s_gen = leg.gen then begin
+        let c = find s in
+        match c.Disk.Disk_queue.outcome with
+        | Disk.Disk_queue.Wrote _ ->
+          bd := Breakdown.add !bd c.Disk.Disk_queue.bd;
+          Hashtbl.remove leg.drl wtx.wt_gb;
+          incr wrote;
+          if s.s_suspect && leg.state = `Suspect then begin
+            revive t t.groups.(wtx.wt_gi) leg;
+            leg.busy_until <- Float.max leg.busy_until (Clock.now t.clock)
+          end
+        | Disk.Disk_queue.Failed _ | Disk.Disk_queue.Data _ ->
+          (match !(s.s_err) with Some e -> last_err := Some e | None -> ());
+          Hashtbl.replace leg.drl wtx.wt_gb ();
+          degraded := true;
+          (* one escalation per backoff window, matching the cadence of
+             the sequential path (a batch is one op per leg) *)
+          if not (leg.state = `Suspect && Clock.now t.clock < leg.retry_after)
+          then note_failure t leg
+      end)
+    wtx.wt_subs;
+  if !degraded && !wrote > 0 then Trace.incr t.trace "vol.degraded_writes";
+  let res =
+    if !wrote > 0 then Ok !bd
+    else
+      Error
+        (match !last_err with
+        | Some e -> { e with Blockdev.Device.block = wtx.wt_block }
+        | None -> synth_err `Write wtx.wt_block)
+  in
+  (res, completion)
+
+(* The read scatter of one group block: the first candidate is
+   submitted into the batch; the rest fail over sequentially at gather
+   time (failover is the rare path). *)
+type rtx = {
+  rt_block : int;
+  rt_gi : int;
+  rt_gb : int;
+  rt_first : sub option;
+  rt_rest : leg list;
+}
+
+(* Candidate order: healthy legs first, then the rebuilt region of a
+   rebuilding leg, then suspects past their backoff (the read doubles
+   as the probe).  Blocks in a leg's DRL are never read from it. *)
+let submit_group_read t ~at ?owner gi gb ~block =
   let group = t.groups.(gi) in
-  let start = Clock.now t.clock in
-  let now () = Clock.now t.clock in
   let eligible leg =
     (not (Hashtbl.mem leg.drl gb))
     &&
     match leg.state with
     | `Healthy -> true
     | `Rebuilding -> gb < leg.cursor
-    | `Suspect -> now () >= leg.retry_after
+    | `Suspect -> at >= leg.retry_after
     | `Dead -> false
   in
   let tier leg =
@@ -476,32 +812,152 @@ let group_read t gi gb =
         (fun leg -> leg.state = `Suspect && not (Hashtbl.mem leg.drl gb))
         all
   in
-  let candidates = List.stable_sort (fun a b -> compare (tier a) (tier b)) candidates in
-  let rec go tried = function
-    | [] ->
-      Error
-        (match tried with
-        | Some e -> { e with Blockdev.Device.block = gb }
-        | None -> synth_err `Read gb)
+  let candidates =
+    List.stable_sort (fun a b -> compare (tier a) (tier b)) candidates
+  in
+  match candidates with
+  | [] -> { rt_block = block; rt_gi = gi; rt_gb = gb; rt_first = None; rt_rest = [] }
+  | leg :: rest ->
+    let tag, err = submit_leg_read t leg ~at ?owner gb in
+    {
+      rt_block = block;
+      rt_gi = gi;
+      rt_gb = gb;
+      rt_first =
+        Some
+          {
+            s_leg = leg;
+            s_gen = leg.gen;
+            s_suspect = leg.state = `Suspect;
+            s_tag = tag;
+            s_err = err;
+          };
+      rt_rest = rest;
+    }
+
+(* Gather one read scatter, failing over through the remaining
+   candidates in their own windows.  Once one candidate has been tried,
+   the per-op budget stops further probing of suspects. *)
+let gather_group_read t (ctbl : ctbl) ~at ?owner rtx =
+  let err_of tried =
+    match tried with
+    | Some e -> { e with Blockdev.Device.block = rtx.rt_block }
+    | None -> synth_err `Read rtx.rt_block
+  in
+  let book_failure s =
+    let leg = s.s_leg in
+    if s.s_gen = leg.gen then
+      if not (leg.state = `Suspect && Clock.now t.clock < leg.retry_after) then
+        note_failure t leg
+  in
+  let rec attempt tried s (c : Disk.Disk_queue.completion) rest =
+    Clock.warp t.clock c.Disk.Disk_queue.finished;
+    match c.Disk.Disk_queue.outcome with
+    | Disk.Disk_queue.Data data ->
+      let leg = s.s_leg in
+      if s.s_suspect && s.s_gen = leg.gen && leg.state = `Suspect then begin
+        revive t t.groups.(rtx.rt_gi) leg;
+        leg.busy_until <- Float.max leg.busy_until (Clock.now t.clock)
+      end;
+      (Ok (data, c.Disk.Disk_queue.bd), c.Disk.Disk_queue.finished)
+    | Disk.Disk_queue.Failed _ | Disk.Disk_queue.Wrote _ ->
+      book_failure s;
+      let tried =
+        match !(s.s_err) with Some e -> Some e | None -> tried
+      in
+      if rest <> [] then Trace.incr t.trace "vol.failovers";
+      failover tried c.Disk.Disk_queue.finished rest
+  and failover tried start = function
+    | [] -> (Error (err_of tried), start)
     | leg :: rest ->
-      if
-        leg.state = `Suspect && tried <> None
-        && now () -. start > t.policy.timeout_ms
-      then
+      if leg.state = `Dead then failover tried start rest
+      else if leg.state = `Suspect && start -. at > t.policy.timeout_ms then
         (* budget exhausted: no further probing of suspects (healthy
            candidates sort first, so none is being skipped here) *)
-        go tried []
-      else (
-        match leg_read leg gb with
-        | Ok (data, c) ->
-          if leg.state = `Suspect then revive t group leg;
-          Ok (data, c.Io.breakdown)
-        | Error e ->
-          note_failure t leg;
-          if rest <> [] then Trace.incr t.trace "vol.failovers";
-          go (Some e) rest)
+        (Error (err_of tried), start)
+      else begin
+        Clock.warp t.clock start;
+        let tag, err = submit_leg_read t leg ~at:start ?owner rtx.rt_gb in
+        let s =
+          {
+            s_leg = leg;
+            s_gen = leg.gen;
+            s_suspect = leg.state = `Suspect;
+            s_tag = tag;
+            s_err = err;
+          }
+        in
+        let cs = run_leg t leg ~at:start in
+        attempt tried s (List.assoc tag cs) rest
+      end
   in
-  go None candidates
+  match rtx.rt_first with
+  | None -> (Error (err_of None), at)
+  | Some s -> attempt None s (Hashtbl.find ctbl (s.s_leg.uid, s.s_tag)) rtx.rt_rest
+
+(* ---- Scatter/gather execution of host requests ---- *)
+
+(* Service the write scatter of one host request: all group blocks'
+   commands are submitted at the arrival instant, every involved leg is
+   serviced once in its own window (the leg's queue policy reorders
+   within the window), and the gathers run in block order.  The
+   operation completes at the latest awaited leg across all blocks. *)
+let exec_writes t ~at ?owner items =
+  Clock.warp t.clock at;
+  let txs =
+    List.map
+      (fun (b, buf) ->
+        let gi, gb = locate t b in
+        submit_group_write t ~at ?owner gi gb ~block:b buf)
+      items
+  in
+  let legs =
+    dedup_legs (List.concat_map (fun tx -> List.map (fun s -> s.s_leg) tx.wt_subs) txs)
+  in
+  let ctbl = run_legs t legs ~at in
+  let completion = ref at in
+  let result = ref (Ok Breakdown.zero) in
+  List.iter
+    (fun tx ->
+      let r, fin = gather_group_write t ctbl ~at tx in
+      completion := Float.max !completion fin;
+      match (!result, r) with
+      | Ok acc, Ok bd -> result := Ok (Breakdown.add acc bd)
+      | Ok _, Error e -> result := Error e
+      | Error _, _ -> ())
+    txs;
+  Clock.warp t.clock !completion;
+  !result
+
+(* Read scatter: the first candidate of every block is submitted at the
+   arrival instant; failover rounds run per block at gather time. *)
+let exec_reads t ~at ?owner blocks =
+  Clock.warp t.clock at;
+  let txs =
+    List.map
+      (fun b ->
+        let gi, gb = locate t b in
+        submit_group_read t ~at ?owner gi gb ~block:b)
+      blocks
+  in
+  let legs =
+    dedup_legs
+      (List.filter_map (fun tx -> Option.map (fun s -> s.s_leg) tx.rt_first) txs)
+  in
+  let ctbl = run_legs t legs ~at in
+  let completion = ref at in
+  let result = ref (Ok []) in
+  List.iter
+    (fun tx ->
+      let r, fin = gather_group_read t ctbl ~at ?owner tx in
+      completion := Float.max !completion fin;
+      match (!result, r) with
+      | Ok acc, Ok (data, bd) -> result := Ok ((data, bd) :: acc)
+      | Ok _, Error e -> result := Error e
+      | Error _, _ -> ())
+    txs;
+  Clock.warp t.clock !completion;
+  Result.map List.rev !result
 
 let group_trim t gi gb =
   Array.iter
@@ -513,23 +969,47 @@ let group_trim t gi gb =
 
 (* ---- Construction ---- *)
 
-let mk ?(policy = default_policy) ?spare ~layout ~leg_kind ~logical_blocks
-    ~(disks : Disk.Disk_sim.t array) ~prng ~mk_leg () =
+let mk_leg_record ~queue_policy ~disk ~impl ~state =
+  let uid = !leg_uid_counter in
+  incr leg_uid_counter;
+  {
+    uid;
+    impl;
+    disk;
+    q = Disk.Disk_queue.create ~policy:queue_policy ~disk ();
+    busy_until = Clock.now (Disk.Disk_sim.clock disk);
+    gen = 0;
+    state;
+    cursor = 0;
+    copy_cost = 0.;
+    drl = Hashtbl.create 8;
+    failed_probes = 0;
+    retry_after = 0.;
+  }
+
+let mk ?(policy = default_policy) ?queue_policy ?spare ~layout ~leg_kind
+    ~logical_blocks ~(disks : Disk.Disk_sim.t array) ~prng ~mk_leg () =
   let k, m = layout_shape layout in
   if Array.length disks <> k * m then
     invalid_arg
       (Printf.sprintf "Volume: layout %s needs %d disks, got %d"
          (layout_to_string layout) (k * m) (Array.length disks));
   if logical_blocks < 1 then invalid_arg "Volume: need at least one logical block";
+  let queue_policy =
+    match queue_policy with Some p -> p | None -> default_queue_policy leg_kind
+  in
   let group_blocks = (logical_blocks + k - 1) / k in
   let groups =
-    Array.init k (fun gi -> Array.init m (fun li -> mk_leg ~group_blocks disks.((gi * m) + li) gi li))
+    Array.init k (fun gi ->
+        Array.init m (fun li ->
+            mk_leg ~queue_policy ~group_blocks disks.((gi * m) + li) gi li))
   in
   let t =
     {
       layout;
       leg_kind;
       policy;
+      queue_policy;
       logical_blocks;
       group_blocks;
       block_bytes = leg_block_bytes groups.(0).(0);
@@ -538,25 +1018,20 @@ let mk ?(policy = default_policy) ?spare ~layout ~leg_kind ~logical_blocks
       trace = Disk.Disk_sim.trace disks.(0);
       prng;
       spare;
+      host_next = 0;
+      host_q = [];
+      host_done = [];
     }
   in
   t
 
-let fresh_leg ~leg_kind ~prng ~group_blocks disk _gi _li =
-  {
-    impl = format_leg ~leg_kind ~group_blocks ~prng:(Prng.split prng) disk;
-    disk;
-    state = `Healthy;
-    cursor = 0;
-    drl = Hashtbl.create 8;
-    failed_probes = 0;
-    retry_after = 0.;
-  }
-
-let create ?policy ?spare ~layout ~leg_kind ~logical_blocks ~disks ~prng () =
-  mk ?policy ?spare ~layout ~leg_kind ~logical_blocks ~disks ~prng
-    ~mk_leg:(fun ~group_blocks disk gi li ->
-      fresh_leg ~leg_kind ~prng ~group_blocks disk gi li)
+let create ?policy ?queue_policy ?spare ~layout ~leg_kind ~logical_blocks ~disks
+    ~prng () =
+  mk ?policy ?queue_policy ?spare ~layout ~leg_kind ~logical_blocks ~disks ~prng
+    ~mk_leg:(fun ~queue_policy ~group_blocks disk _gi _li ->
+      mk_leg_record ~queue_policy ~disk
+        ~impl:(format_leg ~leg_kind ~group_blocks ~prng:(Prng.split prng) disk)
+        ~state:`Healthy)
     ()
 
 (* ---- Recovery ---- *)
@@ -622,11 +1097,12 @@ let resync t report =
     t.groups;
   { report with resync_fixed = !fixed; resync_lost = !lost }
 
-let recover ?policy ?spare ~layout ~leg_kind ~logical_blocks ~disks ~prng () =
+let recover ?policy ?queue_policy ?spare ~layout ~leg_kind ~logical_blocks ~disks
+    ~prng () =
   let recovered = ref 0 and lost = ref 0 and used_tail = ref 0 in
   let t =
-    mk ?policy ?spare ~layout ~leg_kind ~logical_blocks ~disks ~prng
-      ~mk_leg:(fun ~group_blocks:_ disk _gi _li ->
+    mk ?policy ?queue_policy ?spare ~layout ~leg_kind ~logical_blocks ~disks ~prng
+      ~mk_leg:(fun ~queue_policy ~group_blocks:_ disk _gi _li ->
         let impl, state =
           match leg_kind with
           | Regular_leg ->
@@ -650,15 +1126,7 @@ let recover ?policy ?spare ~layout ~leg_kind ~logical_blocks ~disks ~prng () =
               incr lost;
               (Reg (Blockdev.Regular_disk.create ~disk ()), `Dead))
         in
-        {
-          impl;
-          disk;
-          state;
-          cursor = 0;
-          drl = Hashtbl.create 8;
-          failed_probes = 0;
-          retry_after = 0.;
-        })
+        mk_leg_record ~queue_policy ~disk ~impl ~state)
       ()
   in
   let orphaned = ref [] in
@@ -706,97 +1174,171 @@ let dev_span t name block count =
       name
   else Io.no_span
 
-let read_result t block =
+let read_result_at t ?owner ~at block =
   check t block 1;
+  Clock.warp t.clock at;
   let sp = dev_span t "vol.read" block 1 in
-  let gi, gb = locate t block in
-  match group_read t gi gb with
-  | Ok (data, bd) ->
+  match exec_reads t ~at ?owner [ block ] with
+  | Ok [ (data, bd) ] ->
     Trace.exit t.trace ~bd sp;
     Ok (data, Io.make ~span:sp bd)
+  | Ok _ -> assert false
   | Error e ->
     Trace.exit t.trace sp;
-    Error { e with Blockdev.Device.block }
+    Error e
 
-let write_result t block buf =
+let write_result_at t ?owner ~at block buf =
   check t block 1;
   if Bytes.length buf <> t.block_bytes then
     invalid_arg "Volume.write: buffer must be exactly one block";
+  Clock.warp t.clock at;
   let sp = dev_span t "vol.write" block 1 in
-  let gi, gb = locate t block in
-  match group_write t gi gb buf with
+  match exec_writes t ~at ?owner [ (block, buf) ] with
   | Ok bd ->
     Trace.exit t.trace ~bd sp;
     Ok (Io.make ~span:sp bd)
   | Error e ->
     Trace.exit t.trace sp;
-    Error { e with Blockdev.Device.block }
+    Error e
 
-let read_run_result t block count =
+let read_run_result_at t ?owner ~at block count =
   check t block count;
+  Clock.warp t.clock at;
   let sp = dev_span t "vol.read_run" block count in
-  let out = Bytes.create (count * t.block_bytes) in
-  let bd = ref Breakdown.zero in
-  let rec go i =
-    if i >= count then Ok ()
-    else
-      let gi, gb = locate t (block + i) in
-      match group_read t gi gb with
-      | Ok (data, cost) ->
+  let blocks = List.init count (fun i -> block + i) in
+  match exec_reads t ~at ?owner blocks with
+  | Ok pieces ->
+    let out = Bytes.create (count * t.block_bytes) in
+    let bd = ref Breakdown.zero in
+    List.iteri
+      (fun i (data, cost) ->
         Bytes.blit data 0 out (i * t.block_bytes) t.block_bytes;
-        bd := Breakdown.add !bd cost;
-        go (i + 1)
-      | Error e -> Error { e with Blockdev.Device.block = block + i }
-  in
-  match go 0 with
-  | Ok () ->
+        bd := Breakdown.add !bd cost)
+      pieces;
     Trace.exit t.trace ~bd:!bd sp;
     Ok (out, Io.make ~span:sp !bd)
   | Error e ->
-    Trace.exit t.trace ~bd:!bd sp;
+    Trace.exit t.trace sp;
     Error e
 
-let write_run_result t block buf =
+let write_run_result_at t ?owner ~at block buf =
   if Bytes.length buf = 0 || Bytes.length buf mod t.block_bytes <> 0 then
     invalid_arg "Volume.write_run: buffer must be whole blocks";
   let count = Bytes.length buf / t.block_bytes in
   check t block count;
+  Clock.warp t.clock at;
   let sp = dev_span t "vol.write_run" block count in
-  let bd = ref Breakdown.zero in
-  let rec go i =
-    if i >= count then Ok ()
-    else
-      let gi, gb = locate t (block + i) in
-      let piece = Bytes.sub buf (i * t.block_bytes) t.block_bytes in
-      match group_write t gi gb piece with
-      | Ok cost ->
-        bd := Breakdown.add !bd cost;
-        go (i + 1)
-      | Error e -> Error { e with Blockdev.Device.block = block + i }
+  let items =
+    List.init count (fun i ->
+        (block + i, Bytes.sub buf (i * t.block_bytes) t.block_bytes))
   in
-  match go 0 with
-  | Ok () ->
-    Trace.exit t.trace ~bd:!bd sp;
-    Ok (Io.make ~span:sp !bd)
+  match exec_writes t ~at ?owner items with
+  | Ok bd ->
+    Trace.exit t.trace ~bd sp;
+    Ok (Io.make ~span:sp bd)
   | Error e ->
-    Trace.exit t.trace ~bd:!bd sp;
+    Trace.exit t.trace sp;
     Error e
+
+let write_batch t ?owner ~at items =
+  Clock.warp t.clock at;
+  exec_writes t ~at ?owner items
+
+let read_batch t ?owner ~at blocks =
+  Clock.warp t.clock at;
+  exec_reads t ~at ?owner blocks
+
+let read_result t block = read_result_at t ~at:(Clock.now t.clock) block
+let write_result t block buf = write_result_at t ~at:(Clock.now t.clock) block buf
+
+let read_run_result t block count =
+  read_run_result_at t ~at:(Clock.now t.clock) block count
+
+let write_run_result t block buf =
+  write_run_result_at t ~at:(Clock.now t.clock) block buf
+
+(* ---- Native host queue ----
+
+   Unlike the [sync_queue] host FIFO the volume used to wrap, the
+   native front keeps per-request arrival timestamps: requests drain in
+   submission order, each starting at its own arrival on whatever legs
+   it touches, so requests on disjoint spindles overlap and requests on
+   the same spindle pipeline through [busy_until].  Arrivals may lie
+   anywhere on the timeline (a closed-loop driver submits the
+   replacement op at the completion instant of its predecessor, which
+   can precede the clock after a barrier). *)
+
+let submit_req ?at ?owner t req =
+  let at = match at with Some a -> a | None -> Clock.now t.clock in
+  let tag = t.host_next in
+  t.host_next <- tag + 1;
+  t.host_q <- { hr_tag = tag; hr_at = at; hr_owner = owner; hr_req = req } :: t.host_q;
+  tag
+
+let exec_req t ~at ?owner : Blockdev.Device.req -> Blockdev.Device.ack = function
+  | Blockdev.Device.Read b -> (
+    match read_result_at t ?owner ~at b with
+    | Ok (d, c) -> Ok (Blockdev.Device.Data (d, c))
+    | Error e -> Error e)
+  | Blockdev.Device.Read_run (b, n) -> (
+    match read_run_result_at t ?owner ~at b n with
+    | Ok (d, c) -> Ok (Blockdev.Device.Data (d, c))
+    | Error e -> Error e)
+  | Blockdev.Device.Write (b, buf) -> (
+    match write_result_at t ?owner ~at b buf with
+    | Ok c -> Ok (Blockdev.Device.Done c)
+    | Error e -> Error e)
+  | Blockdev.Device.Write_run (b, buf) -> (
+    match write_run_result_at t ?owner ~at b buf with
+    | Ok c -> Ok (Blockdev.Device.Done c)
+    | Error e -> Error e)
+
+let poll_reqs t =
+  let acks = List.rev t.host_done in
+  t.host_done <- [];
+  acks
+
+let drain_reqs t =
+  let reqs = List.rev t.host_q in
+  t.host_q <- [];
+  let end_ = ref (Clock.now t.clock) in
+  List.iter
+    (fun hr ->
+      let ack = exec_req t ~at:hr.hr_at ?owner:hr.hr_owner hr.hr_req in
+      end_ := Float.max !end_ (Clock.now t.clock);
+      t.host_done <- (hr.hr_tag, ack) :: t.host_done)
+    reqs;
+  Clock.warp t.clock !end_;
+  poll_reqs t
 
 let trim t block =
   check t block 1;
   let gi, gb = locate t block in
   group_trim t gi gb
 
+(* Idle time is granted per spindle: rebuilds pump throttled background
+   copies in each rebuilding leg's own window, then each VLD leg's
+   compactor runs in its window.  The clock ends at the end of the used
+   window, never past the deadline. *)
 let idle t dt =
   if dt > 0. then begin
-    let deadline = Clock.now t.clock +. dt in
-    rebuild_pump t ~deadline;
+    let from = Clock.now t.clock in
+    let deadline = from +. dt in
+    rebuild_pump t ~from ~deadline;
     iter_legs t (fun _ leg ->
         match (leg.state, leg.impl) with
         | (`Healthy | `Suspect), Vld v ->
-          if Clock.now t.clock < deadline then
-            ignore (Vlog.Compactor.run (Blockdev.Vld.compactor v) ~deadline)
-        | _ -> ())
+          let at = Float.max from leg.busy_until in
+          if at < deadline then begin
+            Clock.warp t.clock at;
+            ignore (Vlog.Compactor.run (Blockdev.Vld.compactor v) ~deadline);
+            leg.busy_until <- Float.max leg.busy_until (Clock.now t.clock)
+          end
+        | _ -> ());
+    let end_ = ref from in
+    iter_legs t (fun _ leg ->
+        end_ := Float.max !end_ (Float.min leg.busy_until deadline));
+    Clock.warp t.clock !end_
   end
 
 let utilization t =
@@ -809,11 +1351,6 @@ let utilization t =
   if !n = 0 then 1. else !sum /. float_of_int !n
 
 let device t =
-  let submit, poll, drain =
-    Blockdev.Device.sync_queue ~read:(read_result t)
-      ~read_run:(read_run_result t) ~write:(write_result t)
-      ~write_run:(write_run_result t)
-  in
   {
     Blockdev.Device.name = "volume:" ^ layout_to_string t.layout;
     block_bytes = t.block_bytes;
@@ -823,9 +1360,9 @@ let device t =
     read_run = read_run_result t;
     write = write_result t;
     write_run = write_run_result t;
-    submit;
-    poll;
-    drain;
+    submit = (fun req -> submit_req t req);
+    poll = (fun () -> poll_reqs t);
+    drain = (fun () -> drain_reqs t);
     trim = trim t;
     idle = idle t;
     utilization = (fun () -> utilization t);
@@ -835,6 +1372,8 @@ let device t =
 
 let layout t = t.layout
 let policy t = t.policy
+let queue_policy t = t.queue_policy
+let leg_busy_until t ~group ~leg = t.groups.(group).(leg).busy_until
 let n_groups t = Array.length t.groups
 let legs_per_group t = Array.length t.groups.(0)
 let group_blocks t = t.group_blocks
@@ -873,6 +1412,7 @@ let kill t ~group ~leg =
   let l = t.groups.(group).(leg) in
   if l.state <> `Dead then begin
     l.state <- `Dead;
+    l.gen <- l.gen + 1;
     Trace.incr t.trace "vol.leg_deaths"
   end
 

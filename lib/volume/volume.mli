@@ -14,7 +14,21 @@
     background.  Reads fail over across legs; writes succeed as long as
     one leg takes them.  A leg only returns to [Healthy] once its
     dirty-region set has drained — the crash resync trusts healthy legs,
-    so a stale one must never wear the label. *)
+    so a stale one must never wear the label.
+
+    Data path: each leg owns a tagged {!Disk.Disk_queue.t} (SATF by
+    default for VLD legs, FIFO for regular legs) and a private
+    [busy_until] timeline on the shared clock.  A volume operation
+    scatters per-leg commands, runs each leg's queue in its own window
+    — warping the shared clock to each leg's dispatch instant — and
+    gathers completions; a mirror write therefore completes at the
+    {e max} of the legs' service times, not their sum, and striped
+    operations fan out across spindles concurrently.  Rebuild copies
+    ride the target leg's queue as low-priority background tags with a
+    duty-cycle throttle ({!policy.rebuild_util}), so resilvering steals
+    bounded bandwidth from foreground I/O instead of blocking it.
+    Administrative paths (probe, resync, settle, {!rebuild_to_completion})
+    stay sequential on the shared clock. *)
 
 type layout =
   | Stripe of int  (** [k] groups of one leg: capacity, no redundancy *)
@@ -27,10 +41,13 @@ type policy = {
   timeout_ms : float;  (** per-operation budget once one leg has the data *)
   backoff_ms : float;  (** how long a [Suspect] leg is left alone *)
   probes_to_kill : int;  (** consecutive probe failures that retire a leg *)
+  rebuild_util : float;
+      (** fraction of a rebuilding leg's time background copies may use
+          (duty-cycle throttle); [1.] = unthrottled *)
 }
 
 val default_policy : policy
-(** 50 ms budget, 200 ms backoff, 2 probes. *)
+(** 50 ms budget, 200 ms backoff, 2 probes, rebuild duty cycle 0.5. *)
 
 val n_legs : layout -> int
 (** Drives the layout needs.  Raises [Invalid_argument] on degenerate
@@ -41,8 +58,13 @@ val layout_to_string : layout -> string
 
 type t
 
+val default_queue_policy : leg_kind -> Disk.Disk_queue.policy
+(** [Satf] for VLD legs (eager placement prices itself near the head),
+    [Fifo] for regular legs. *)
+
 val create :
   ?policy:policy ->
+  ?queue_policy:Disk.Disk_queue.policy ->
   ?spare:(unit -> Disk.Disk_sim.t) ->
   layout:layout ->
   leg_kind:leg_kind ->
@@ -52,9 +74,10 @@ val create :
   unit ->
   t
 (** Format a fresh volume over exactly [n_legs layout] drives sharing
-    one clock.  [spare] supplies a blank drive whenever a leg dies, so
-    rebuilds start automatically; without it dead legs stay dead until
-    {!start_rebuild}. *)
+    one clock.  [queue_policy] (default {!default_queue_policy}) is the
+    per-leg tagged-queue scheduling policy.  [spare] supplies a blank
+    drive whenever a leg dies, so rebuilds start automatically; without
+    it dead legs stay dead until {!start_rebuild}. *)
 
 type recovery_report = {
   legs_recovered : int;
@@ -66,6 +89,7 @@ type recovery_report = {
 
 val recover :
   ?policy:policy ->
+  ?queue_policy:Disk.Disk_queue.policy ->
   ?spare:(unit -> Disk.Disk_sim.t) ->
   layout:layout ->
   leg_kind:leg_kind ->
@@ -83,8 +107,68 @@ val recover :
     honest data loss. *)
 
 val device : t -> Blockdev.Device.t
-(** The volume as a block device; [idle] pumps rebuilds first, then the
-    VLD legs' compactors. *)
+(** The volume as a block device.  [submit]/[poll]/[drain] are native:
+    requests drain in submission order, each starting at its own arrival
+    timestamp on whatever legs it touches, so requests on disjoint
+    spindles overlap in simulated time.  [idle] pumps rebuild background
+    copies and the VLD legs' compactors, each in its leg's own window. *)
+
+(** {1 Native host queue}
+
+    The same submit/poll/drain the device record wraps, with arrival
+    timestamps and tenant attribution exposed.  [submit_req ?at ?owner]
+    enqueues a request arriving at [at] (default now; may lie anywhere
+    on the timeline — a closed-loop driver submits each replacement op
+    at its predecessor's completion instant).  [owner] tags every disk
+    command the request scatters, feeding per-tenant latency histograms
+    in the legs' trace sinks. *)
+
+val submit_req : ?at:float -> ?owner:string -> t -> Blockdev.Device.req -> int
+val poll_reqs : t -> (int * Blockdev.Device.ack) list
+val drain_reqs : t -> (int * Blockdev.Device.ack) list
+
+(** {1 Timestamped operations}
+
+    The engine underneath the host queue, for drivers that need exact
+    per-operation completion instants: each call executes one operation
+    arriving at [at] and leaves the clock {e at that operation's
+    completion}, so [Clock.now - at] is the operation's wall latency.
+    The batch forms scatter a whole set of blocks at one arrival — every
+    involved leg services its commands in one window (its queue policy
+    reorders within), which is how a host drives the legs' queues to
+    depth > 1. *)
+
+val read_result_at :
+  t ->
+  ?owner:string ->
+  at:float ->
+  int ->
+  (Bytes.t * Vlog_util.Io.completion, Blockdev.Device.io_error) result
+
+val write_result_at :
+  t ->
+  ?owner:string ->
+  at:float ->
+  int ->
+  Bytes.t ->
+  (Vlog_util.Io.completion, Blockdev.Device.io_error) result
+
+val write_batch :
+  t ->
+  ?owner:string ->
+  at:float ->
+  (int * Bytes.t) list ->
+  (Vlog_util.Breakdown.t, Blockdev.Device.io_error) result
+(** All writes arrive at [at]; the result breakdown is the sum of the
+    mechanical work of every successful leg command, while the clock
+    ends at the batch completion (the latest awaited leg). *)
+
+val read_batch :
+  t ->
+  ?owner:string ->
+  at:float ->
+  int list ->
+  ((Bytes.t * Vlog_util.Breakdown.t) list, Blockdev.Device.io_error) result
 
 (** {1 Failure management} *)
 
@@ -101,6 +185,18 @@ val rebuild_to_completion : t -> unit
 (** Drive every active rebuild to the end (foreground, simulated time
     advances).  Gives up on legs whose source blocks stay unreadable. *)
 
+val rebuild_step : t -> copies:int -> unit
+(** Foreground-blocking rebuild: copy up to [copies] group blocks of
+    every rebuilding leg {e now}, sequentially on the shared clock — the
+    pre-queue cursor-sweep behaviour, kept as the baseline the array
+    bench compares throttled background rebuild against. *)
+
+val idle : t -> float -> unit
+(** Grant [dt] ms of idle time starting now: pump throttled background
+    rebuild copies and the VLD legs' compactors, each in its own leg's
+    window, never past the deadline.  The clock ends at the last
+    background activity (at most [now + dt]). *)
+
 val settle : t -> unit
 (** Quiesce the failure machinery: probe suspects, finish rebuilds,
     drain dirty-region sets — and retire any leg that will not drain
@@ -111,6 +207,13 @@ val settle : t -> unit
 
 val layout : t -> layout
 val policy : t -> policy
+
+val queue_policy : t -> Disk.Disk_queue.policy
+(** The scheduling policy every leg's tagged queue runs. *)
+
+val leg_busy_until : t -> group:int -> leg:int -> float
+(** End of the leg's last service window on its private timeline. *)
+
 val n_groups : t -> int
 val legs_per_group : t -> int
 val group_blocks : t -> int

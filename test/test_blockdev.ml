@@ -244,6 +244,67 @@ let qcheck_tests =
           model true);
   ]
 
+(* Batched map commits: the lazy checkpoint may hold mappings of
+   completed writes in a backlog, but a [drain] barrier must flush them
+   no matter how the queue empties — in particular when the last
+   completion is an error.  Data that reached the platter must reach the
+   map. *)
+let test_queued_drain_commits_after_error () =
+  let clock = Clock.create () in
+  let disk =
+    Disk.Disk_sim.create ~buffer_policy:Disk.Track_buffer.Whole_track ~profile ~clock ()
+  in
+  let prng = Prng.create ~seed:33L in
+  let vld = Vld.create ~disk ~logical_blocks:300 ~prng () in
+  let q = Vld.Queued.create ~policy:Disk.Disk_queue.Fifo ~map_batch:64 vld in
+  let payload c = Bytes.make (Vld.device vld).Device.block_bytes c in
+  (* A block committed up front, for the failing read at the end. *)
+  ignore (Vld.Queued.submit_write q 50 (payload 'z'));
+  ignore (Vld.Queued.drain q);
+  let goods = [ (3, 'a'); (7, 'b'); (11, 'c') ] in
+  List.iter (fun (b, c) -> ignore (Vld.Queued.submit_write q b (payload c))) goods;
+  (* Service the good writes without the drain barrier: their data is on
+     the platter, their mappings only in the backlog. *)
+  while Vld.Queued.step q do
+    ()
+  done;
+  List.iter
+    (fun (b, _) ->
+      Alcotest.(check bool)
+        "mapping still in backlog, not in the map" true
+        (Vld.Queued.submit_read q b = None))
+    goods;
+  (* Every read now hits a permanent defect: the next tag's completion —
+     the last one the drain sees — is an error. *)
+  Disk.Disk_sim.set_injector disk
+    (Some
+       {
+         Disk.Disk_sim.on_read = (fun ~lba ~sectors:_ -> Some (Disk.Disk_sim.Unreadable lba));
+         on_write = (fun ~lba:_ ~sectors:_ -> None);
+       });
+  (match Vld.Queued.submit_read q 50 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "block 50 should be mapped");
+  let cs = Vld.Queued.drain q in
+  (match List.rev cs with
+  | (_, last) :: _ -> (
+    match last.Disk.Disk_queue.outcome with
+    | Disk.Disk_queue.Failed _ -> ()
+    | _ -> Alcotest.fail "expected the last completion to be an error")
+  | [] -> Alcotest.fail "drain returned no completions");
+  Disk.Disk_sim.set_injector disk None;
+  (* The barrier must have committed the backlog despite the error. *)
+  List.iter
+    (fun (b, c) ->
+      match Vld.Queued.submit_read q b with
+      | None -> Alcotest.failf "block %d unmapped after drain: backlog lost" b
+      | Some tag -> (
+        match List.assoc tag (Vld.Queued.drain q) with
+        | { Disk.Disk_queue.outcome = Disk.Disk_queue.Data got; _ } ->
+          Alcotest.(check bytes) "committed data" (payload c) got
+        | _ -> Alcotest.fail "read failed after commit"))
+    goods
+
 let suites =
   [
     ( "blockdev",
@@ -263,6 +324,8 @@ let suites =
         Alcotest.test_case "idle compacts" `Quick test_vld_idle_compacts;
         Alcotest.test_case "regular idle noop" `Quick test_regular_idle_noop;
         Alcotest.test_case "utilization" `Quick test_utilization_reporting;
+        Alcotest.test_case "queued drain commits after error" `Quick
+          test_queued_drain_commits_after_error;
       ] );
     ("blockdev:properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
   ]

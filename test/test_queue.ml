@@ -227,6 +227,72 @@ let test_future_submit () =
       ignore
         (Disk_queue.submit ~at:1. dq (Disk_queue.Read { lba = 0; sectors = 1 })))
 
+(* ---- background tags yield to foreground ---- *)
+
+(* A background tag submitted first must not be picked while a
+   foreground command is runnable: the rebuild pump's copies ride in
+   the same queue as foreground I/O and give way to it. *)
+let test_background_yields () =
+  let disk = make_disk () in
+  let dq = Disk_queue.create ~policy:Disk_queue.Fifo ~disk () in
+  let bg =
+    Disk_queue.submit ~background:true dq
+      (Disk_queue.Write { lba = lba_of_index disk 10; buf = payload disk (lba_of_index disk 10) })
+  in
+  let fg =
+    Disk_queue.submit dq
+      (Disk_queue.Write { lba = lba_of_index disk 90; buf = payload disk (lba_of_index disk 90) })
+  in
+  let cs = Disk_queue.drain dq in
+  Alcotest.(check int) "both complete" 2 (List.length cs);
+  let started tag = (List.assoc tag cs).Disk_queue.started in
+  Alcotest.(check bool)
+    "foreground starts before the earlier-submitted background tag" true
+    (started fg < started bg)
+
+(* ---- hosted commands ---- *)
+
+(* A Hosted op runs its service closure inside the leg's window: the
+   clock it sees is the command's start time, its outcome is reported
+   verbatim, and [owner] attribution lands in the disk's trace sink as
+   a [tenant.<o>.lat] histogram observation. *)
+let test_hosted_op () =
+  let clock = Clock.create () in
+  let sink = Trace.create ~clock () in
+  let disk = Disk_sim.create ~profile ~trace:sink ~clock () in
+  let dq = Disk_queue.create ~disk () in
+  let service_started = ref nan in
+  let op =
+    Disk_queue.Hosted
+      {
+        cost = (fun () -> 0.);
+        cylinder = (fun () -> Disk_sim.current_cylinder disk);
+        service =
+          (fun () ->
+            service_started := Clock.now clock;
+            Clock.advance clock 2.5;
+            (Disk_queue.Wrote 7, Breakdown.zero));
+      }
+  in
+  let at = 50. in
+  let tag = Disk_queue.submit ~at ~owner:"bob" dq op in
+  (match Disk_queue.drain dq with
+  | [ (t, c) ] ->
+    Alcotest.(check int) "tag" tag t;
+    (match c.Disk_queue.outcome with
+    | Disk_queue.Wrote 7 -> ()
+    | _ -> Alcotest.fail "hosted outcome not reported verbatim");
+    Alcotest.(check bool) "service ran at the command's start" true
+      (!service_started >= at);
+    Alcotest.(check (float 1e-9))
+      "completion covers the service time" (!service_started +. 2.5)
+      c.Disk_queue.finished
+  | cs -> Alcotest.failf "expected 1 completion, got %d" (List.length cs));
+  match Trace.histogram sink "tenant.bob.lat" with
+  | Some h ->
+    Alcotest.(check int) "one attributed command" 1 (Trace.Histogram.count h)
+  | None -> Alcotest.fail "owner attribution missing from the trace sink"
+
 (* ---- scheduler properties ---- *)
 
 (* Run the same batch-at-zero workload (tag = submission index) under a
@@ -327,6 +393,9 @@ let suites =
         Alcotest.test_case "plan hang recovers" `Quick test_plan_hang_recovers;
         Alcotest.test_case "stall bounded" `Quick test_stall_bounded;
         Alcotest.test_case "future submit" `Quick test_future_submit;
+        Alcotest.test_case "background yields to foreground" `Quick
+          test_background_yields;
+        Alcotest.test_case "hosted op" `Quick test_hosted_op;
         Alcotest.test_case "satf beats fifo on average" `Quick
           test_satf_beats_fifo_on_average;
       ] );

@@ -218,6 +218,74 @@ let test_mirror_powercut_converges () =
         Alcotest.failf "block %d recovered as %C, legal states are x/y" b c
     done
 
+(* The queued data path's headline claim: a mirror write scatters to
+   both legs' tagged queues and each leg services it in its own window
+   on the shared clock, so the operation completes at the max of the leg
+   service times — not their sum, which is what the old sequential loop
+   charged.  Identical fresh drives make the two legs' costs equal, so
+   wall time of the mirrored write must equal the single-spindle wall
+   time, and the legs' windows must end at (nearly) the same instant. *)
+let test_mirror_write_completes_at_max_of_legs () =
+  let run layout n_disks =
+    let clock = Clock.create () in
+    let disks = Array.init n_disks (fun _ -> mk_disk clock) in
+    let vol =
+      Volume.create ~layout ~leg_kind:Volume.Regular_leg ~logical_blocks ~disks
+        ~prng:(Prng.create ~seed:41L) ()
+    in
+    let dev = Volume.device vol in
+    let t0 = Clock.now clock in
+    for b = 0 to 7 do
+      ignore (Blockdev.Device.write dev b (fill dev (tag_of b)))
+    done;
+    (vol, Clock.now clock -. t0)
+  in
+  let _, single_ms = run (Volume.Stripe 1) 1 in
+  let vol, mirror_ms = run (Volume.Mirror 2) 2 in
+  Alcotest.(check (float 1e-6))
+    "mirror write wall time = one leg's service time, not the sum"
+    single_ms mirror_ms;
+  Alcotest.(check (float 1e-6))
+    "both legs' windows end together"
+    (Volume.leg_busy_until vol ~group:0 ~leg:0)
+    (Volume.leg_busy_until vol ~group:0 ~leg:1)
+
+(* Striped reads fan across spindles: a run over k stripes costs about
+   what the single busiest spindle pays, not the serial sum. *)
+let test_stripe_fans_out () =
+  let mk k =
+    let clock = Clock.create () in
+    let disks = Array.init k (fun _ -> mk_disk clock) in
+    let vol =
+      Volume.create ~layout:(Volume.Stripe k) ~leg_kind:Volume.Regular_leg
+        ~logical_blocks ~disks ~prng:(Prng.create ~seed:42L) ()
+    in
+    (Volume.device vol, clock)
+  in
+  let dev1, clock1 = mk 1 in
+  let dev4, clock4 = mk 4 in
+  let n = 8 in
+  let buf dev =
+    Bytes.init (n * dev.Blockdev.Device.block_bytes) (fun i -> Char.chr (i mod 256))
+  in
+  ignore (Blockdev.Device.write_run dev1 0 (buf dev1));
+  ignore (Blockdev.Device.write_run dev4 0 (buf dev4));
+  let t1 = Clock.now clock1 and t4 = Clock.now clock4 in
+  let r1 = Clock.now clock1 in
+  ignore (Blockdev.Device.read_run dev1 0 n);
+  let read1 = Clock.now clock1 -. r1 in
+  let r4 = Clock.now clock4 in
+  let got, _ = Result.get_ok (dev4.Blockdev.Device.read_run 0 n) in
+  let read4 = Clock.now clock4 -. r4 in
+  Alcotest.(check bytes) "striped data intact" (buf dev4) got;
+  Alcotest.(check bool)
+    (Printf.sprintf "4-wide stripe writes the run faster (1: %.3f, 4: %.3f)" t1 t4)
+    true (t4 < t1);
+  Alcotest.(check bool)
+    (Printf.sprintf "4-wide stripe reads the run faster (1: %.3f, 4: %.3f)" read1
+       read4)
+    true (read4 < read1)
+
 let suites =
   [
     ( "volume",
@@ -234,5 +302,8 @@ let suites =
           test_stripe_partial_loss;
         Alcotest.test_case "mirror power cut converges" `Quick
           test_mirror_powercut_converges;
+        Alcotest.test_case "mirror write = max of legs" `Quick
+          test_mirror_write_completes_at_max_of_legs;
+        Alcotest.test_case "stripe fans out" `Quick test_stripe_fans_out;
       ] );
   ]

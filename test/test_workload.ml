@@ -123,6 +123,63 @@ let test_burst_idle_not_counted () =
   (* On a regular disk idle time changes nothing; latencies match. *)
   Alcotest.(check (float 0.2)) "idle excluded" no_idle big_idle
 
+(* ---- open-loop arrival processes ---- *)
+
+let rec sorted = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> a <= b && sorted rest
+
+let arrival_gen =
+  QCheck.(
+    triple (int_range 0 0xFFFF) (* seed *)
+      (int_range 1 400) (* n *)
+      (pair
+         (int_range 1 2000) (* rate per second *)
+         (oneofl
+            [
+              Workload.Open_loop.Poisson;
+              Workload.Open_loop.Bursty { burst = 4; spread_ms = 2. };
+              Workload.Open_loop.Bursty { burst = 8; spread_ms = 0.5 };
+            ])))
+
+let open_loop_qcheck =
+  let open QCheck in
+  [
+    Test.make ~name:"open-loop schedules are sorted and start on time" ~count:100
+      arrival_gen
+      (fun (seed, n, (rate, process)) ->
+        let prng = Prng.create ~seed:(Int64.of_int seed) in
+        let start = 5. in
+        let ts =
+          Workload.Open_loop.arrivals ~prng ~process ~rate_per_s:(float_of_int rate)
+            ~start n
+        in
+        List.length ts = n && sorted ts && List.for_all (fun t -> t >= start) ts);
+    Test.make
+      ~name:"poisson interarrival mean tracks 1/rate for large n" ~count:20
+      (pair (int_range 0 0xFFFF) (int_range 50 1000))
+      (fun (seed, rate) ->
+        let n = 2000 in
+        let prng = Prng.create ~seed:(Int64.of_int seed) in
+        let ts =
+          Workload.Open_loop.arrivals ~prng ~process:Workload.Open_loop.Poisson
+            ~rate_per_s:(float_of_int rate) ~start:0. n
+        in
+        match ts with
+        | [] -> false
+        | first :: _ ->
+          let last = List.nth ts (n - 1) in
+          (* n arrivals span (n-1) interarrival gaps plus the one before
+             [first]; the sample mean of n gaps is last/n. *)
+          ignore first;
+          let mean_ms = last /. float_of_int n in
+          let expect_ms = 1000. /. float_of_int rate in
+          (* sample mean of n exponentials: sd = mean/sqrt(n); 5 sigma
+             keeps the test deterministic-by-seed yet tight *)
+          Float.abs (mean_ms -. expect_ms)
+          <= 5. *. expect_ms /. Float.sqrt (float_of_int n));
+  ]
+
 let suites =
   [
     ( "workload:setup",
@@ -145,4 +202,6 @@ let suites =
         Alcotest.test_case "burst" `Quick test_burst_driver;
         Alcotest.test_case "burst idle excluded" `Quick test_burst_idle_not_counted;
       ] );
+    ( "workload:open-loop",
+      List.map QCheck_alcotest.to_alcotest open_loop_qcheck );
   ]
