@@ -172,6 +172,12 @@ let () =
   let names = List.filter (fun a -> a <> "qdepth") names in
   let want_array = List.mem "array" names in
   let names = List.filter (fun a -> a <> "array") names in
+  let want_faults = List.mem "--faults" names in
+  let names = List.filter (fun a -> a <> "--faults") names in
+  if want_faults && not want_array then begin
+    prerr_endline "--faults only applies to the array experiment";
+    exit 2
+  end;
   if (want_qdepth || want_array) && (names <> [] || want_micro || (want_qdepth && want_array))
   then begin
     prerr_endline
@@ -181,7 +187,8 @@ let () =
   end;
   if want_array then begin
     let results =
-      Array_bench.run ?seed:seed_opt ~jobs:!jobs ~scale:!scale ()
+      Array_bench.run ?seed:seed_opt ~faults:want_faults ~jobs:!jobs
+        ~scale:!scale ()
     in
     print_string (Array_bench.render results);
     print_newline ();

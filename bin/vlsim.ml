@@ -346,6 +346,85 @@ let fssweep_cmd =
   Cmd.v (Cmd.info "fssweep" ~doc)
     Term.(const run $ seed_arg $ quick_arg $ jobs_arg $ repro_arg)
 
+(* --- arraysweep --- *)
+
+let arraysweep_cmd =
+  let doc =
+    "whole-drive fault sweep over the queued array data path: drive each \
+     volume shape with windows of outstanding commands while a drive-fault \
+     plan (death, hang, flaky, latent, double-death) fires mid-batch, \
+     mid-drain, or mid-rebuild, then judge with the volume checker, the \
+     durability oracle, and a crash/remount — honest data loss is required \
+     where redundancy cannot cover the fault"
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 9203
+      & cli_info Vlog_util.Cli.seed ~doc:"master seed for the sweep")
+  in
+  let repro_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro" ] ~docv:"SPEC"
+          ~doc:
+            "rerun exactly one cell, as printed by a failure: \
+             array=raid10,seed=9203,fault=death,depth=4,phase=rebuild,case=37")
+  in
+  let verdicts_arg =
+    Arg.(
+      value & flag
+      & info [ "verdicts" ]
+          ~doc:"print one verdict line per cell (the CI determinism probe)")
+  in
+  let report ~verdicts o =
+    if verdicts then
+      List.iter
+        (fun (c, v) -> Printf.printf "cell %s: %s\n" c v)
+        o.Check.Array_sweep.verdicts;
+    Printf.printf
+      "%d cells (%d faults injected): %d honest data losses, %d recoveries, \
+       %d oracle checks\n"
+      o.Check.Array_sweep.cells o.Check.Array_sweep.injected
+      o.Check.Array_sweep.data_loss o.Check.Array_sweep.recovered
+      o.Check.Array_sweep.oracle_checks;
+    if o.Check.Array_sweep.failures = [] then
+      print_endline "every cell reported a verdict and no fault was masked"
+    else begin
+      List.iter
+        (fun fl -> Format.printf "FAILED %a@." Check.Array_sweep.pp_failure fl)
+        o.Check.Array_sweep.failures;
+      exit 1
+    end
+  in
+  let run seed quick jobs repro verdicts =
+    match repro with
+    | Some spec -> (
+      match Check.Array_sweep.parse_repro spec with
+      | Error e ->
+        Printf.eprintf "vlsim: %s\n" e;
+        exit 2
+      | Ok (array, seed_override, fault, depth, phase, case) ->
+        let cfg =
+          {
+            Check.Array_sweep.default with
+            Check.Array_sweep.seed =
+              Option.value seed_override ~default:(Int64.of_int seed);
+          }
+        in
+        report ~verdicts
+          (Check.Array_sweep.run_cell cfg ~array ~fault ~depth ~phase ~case))
+    | None ->
+      let cfg =
+        if quick then Check.Array_sweep.smoke else Check.Array_sweep.default
+      in
+      report ~verdicts
+        (Check.Array_sweep.run ~jobs
+           { cfg with Check.Array_sweep.seed = Int64.of_int seed })
+  in
+  Cmd.v (Cmd.info "arraysweep" ~doc)
+    Term.(const run $ seed_arg $ quick_arg $ jobs_arg $ repro_arg $ verdicts_arg)
+
 (* --- volume --- *)
 
 let volume_layout_of_string s =
@@ -411,7 +490,17 @@ let volume_cmd =
       & info [ "kill" ] ~docv:"LEG"
           ~doc:"flat leg index to kill during the fail action (repeatable)")
   in
-  let run actions layout_s leg_kind blocks kills profile =
+  let fault_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "fault" ] ~docv:"KIND[@LEG]"
+          ~doc:
+            "whole-drive fault plan to arm on a leg during the fail action \
+             (repeatable): death, hang[:ms], flaky[:n] or latent[:n], \
+             optionally pinned to a flat leg index as in hang:80@2 \
+             (default leg 0)")
+  in
+  let run actions layout_s leg_kind blocks kills fault_specs profile =
     match volume_layout_of_string layout_s with
     | Error e ->
       Printf.eprintf "vlsim: %s\n" e;
@@ -456,12 +545,33 @@ let volume_cmd =
               Printf.printf "killed leg %d (group %d, mirror copy %d)\n" i
                 (i / m) (i mod m))
             kills;
+          List.iter
+            (fun spec ->
+              match Fault.Plan.leg_spec_of_string spec with
+              | Error e ->
+                Printf.eprintf "vlsim: %s\n" e;
+                exit 2
+              | Ok { Fault.Plan.ls_kind; ls_leg } ->
+                let i = Option.value ls_leg ~default:0 in
+                if i < 0 || i >= n then begin
+                  Printf.eprintf "vlsim: no leg %d (volume has %d legs)\n" i n;
+                  exit 2
+                end;
+                let p =
+                  Fault.Plan.create ls_kind ~trigger:1 ~seed:4243L
+                in
+                Fault.Plan.install p (Volume.disks vol).(i);
+                Printf.printf "armed %s on leg %d (group %d, mirror copy %d)\n"
+                  (Fault.Plan.kind_to_string ls_kind)
+                  i (i / m) (i mod m))
+            fault_specs;
           let lost = ref 0 in
           for b = 0 to blocks - 1 do
             match dev.Blockdev.Device.read b with
             | Ok (data, _) when Bytes.get data 0 = tag b -> ()
             | Ok _ | Error _ -> incr lost
           done;
+          Volume.settle vol;
           if !lost > 0 then begin
             Printf.printf
               "DATA LOSS: %d of %d blocks unreadable — every mirror copy is \
@@ -499,7 +609,7 @@ let volume_cmd =
   Cmd.v (Cmd.info "volume" ~doc)
     Term.(
       const run $ actions_arg $ layout_arg $ legs_arg $ blocks_arg $ kill_arg
-      $ disk_arg)
+      $ fault_arg $ disk_arg)
 
 (* --- mkimage --- *)
 
@@ -710,4 +820,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; model_cmd; latency_cmd; faults_cmd; fssweep_cmd;
-            volume_cmd; mkimage_cmd; fsck_cmd; trace_cmd ]))
+            arraysweep_cmd; volume_cmd; mkimage_cmd; fsck_cmd; trace_cmd ]))

@@ -59,6 +59,7 @@ type stats = {
   submitted : int;
   completed : int;
   stall_requeues : int;
+  retry_requeues : int;
   max_depth : int;
 }
 
@@ -67,28 +68,37 @@ type t = {
   pol : policy;
   stall_probe : unit -> float option;
   max_stall_retries : int;
+  retry_backoff : float option;
+  retry_jitter : Prng.t option;
+  stall_budget_ms : float option;
   mutable next_tag : int;
   mutable queue : cmd list;  (* submission order *)
   mutable done_rev : (int * completion) list;
   mutable n_submitted : int;
   mutable n_completed : int;
   mutable n_stall_requeues : int;
+  mutable n_retry_requeues : int;
   mutable hw_depth : int;
 }
 
 let create ?(policy = Fifo) ?(stall_probe = fun () -> None)
-    ?(max_stall_retries = 64) ~disk () =
+    ?(max_stall_retries = 64) ?retry_backoff ?retry_jitter ?stall_budget_ms
+    ~disk () =
   {
     disk;
     pol = policy;
     stall_probe;
     max_stall_retries;
+    retry_backoff;
+    retry_jitter;
+    stall_budget_ms;
     next_tag = 0;
     queue = [];
     done_rev = [];
     n_submitted = 0;
     n_completed = 0;
     n_stall_requeues = 0;
+    n_retry_requeues = 0;
     hw_depth = 0;
   }
 
@@ -218,26 +228,54 @@ let finish t c outcome bd ~started =
     Trace.observe sink ("tenant." ^ o ^ ".lat") (finished -. c.c_submitted);
     Trace.incr sink ("tenant." ^ o ^ ".ops")
 
-(* A transient failure while the fault plan says the drive is hanging
-   stalls just this tag: re-queue it behind the hang deadline so other
-   tags dispatch meanwhile.  Any other failure completes the tag — retry
-   policy for ordinary transients lives in the device layer above. *)
+(* In-flight failure policy for a transiently failed tag.  A hang (the
+   stall probe yields a deadline) stalls just this tag behind the
+   deadline so other tags dispatch meanwhile; a flaky drive (no
+   deadline) retries with seeded exponential backoff when the queue was
+   created with [retry_backoff].  Both are bounded twice over: at most
+   [max_stall_retries] requeues per tag, and — when [stall_budget_ms]
+   is set — the tag may never be pushed past its submission time plus
+   the budget.  Exhausting either bound, or a non-transient error,
+   completes the tag as [Failed]: escalation (suspect legs, failover)
+   lives in the device layer above. *)
 let requeue_or_fail t c (e : Disk_sim.media_error) bd ~started =
-  let stalled =
-    e.transient
-    &&
-    match t.stall_probe () with
-    | Some until ->
-      c.c_not_before <- Float.max until (now t);
-      true
-    | None -> false
+  let n = now t in
+  let target =
+    if not e.transient then None
+    else
+      match t.stall_probe () with
+      | Some until -> Some (Float.max until n, `Stall)
+      | None -> (
+        match t.retry_backoff with
+        | None -> None
+        | Some base ->
+          let mult = float_of_int (1 lsl min c.c_stalls 6) in
+          let jitter =
+            match t.retry_jitter with
+            | None -> 1.
+            | Some prng -> 0.75 +. Prng.float prng 0.5
+          in
+          Some (n +. (base *. mult *. jitter), `Retry))
   in
-  if stalled && c.c_stalls < t.max_stall_retries then begin
+  let within_budget nb =
+    match t.stall_budget_ms with
+    | None -> true
+    | Some budget -> nb -. c.c_submitted <= budget
+  in
+  match target with
+  | Some (nb, counter) when c.c_stalls < t.max_stall_retries && within_budget nb
+    ->
+    c.c_not_before <- nb;
     c.c_stalls <- c.c_stalls + 1;
-    t.n_stall_requeues <- t.n_stall_requeues + 1;
-    Trace.incr (Disk_sim.trace t.disk) "queue.stall_requeues"
-  end
-  else finish t c (Failed e) bd ~started
+    let sink = Disk_sim.trace t.disk in
+    (match counter with
+    | `Stall ->
+      t.n_stall_requeues <- t.n_stall_requeues + 1;
+      Trace.incr sink "queue.stall_requeues"
+    | `Retry ->
+      t.n_retry_requeues <- t.n_retry_requeues + 1;
+      Trace.incr sink "queue.retry_requeues")
+  | _ -> finish t c (Failed e) bd ~started
 
 let service t c =
   let started = now t in
@@ -257,11 +295,15 @@ let service t c =
     match run () with
     | Ok pba, bd -> finish t c (Wrote pba) bd ~started
     | Error e, bd -> requeue_or_fail t c e bd ~started)
-  | Hosted { service = run; _ } ->
+  | Hosted { service = run; _ } -> (
     (* The host layer above (volume leg) runs its own retry/remap and
-       failure policy inside [run]; a [Failed] outcome is final. *)
-    let outcome, bd = run () in
-    finish t c outcome bd ~started
+       failure policy inside [run]; a non-transient [Failed] outcome is
+       final.  A {e transient} failure goes through the same
+       stall/backoff machinery as native commands — the service closure
+       runs again when the tag is re-dispatched. *)
+    match run () with
+    | Failed e, bd when e.transient -> requeue_or_fail t c e bd ~started
+    | outcome, bd -> finish t c outcome bd ~started)
 
 let step t =
   match t.queue with
@@ -299,5 +341,6 @@ let stats t =
     submitted = t.n_submitted;
     completed = t.n_completed;
     stall_requeues = t.n_stall_requeues;
+    retry_requeues = t.n_retry_requeues;
     max_depth = t.hw_depth;
   }

@@ -71,8 +71,11 @@ type op =
       cylinder : unit -> int;  (** target cylinder for the elevator *)
       service : unit -> outcome * Vlog_util.Breakdown.t;
           (** perform the command now, advancing the shared clock.  Runs
-              the host layer's own retry/remap/failure policy; a [Failed]
-              outcome is final (never stall-requeued). *)
+              the host layer's own retry/remap/failure policy; a
+              non-transient [Failed] outcome is final, while a transient
+              one goes through the queue's stall/backoff machinery like
+              any native command (the closure runs again on
+              re-dispatch). *)
     }
       (** A host-defined command: the full device-level logic of a volume
           leg (VLD placement + map commit, regular-disk remap) runs as a
@@ -94,6 +97,9 @@ val create :
   ?policy:policy ->
   ?stall_probe:(unit -> float option) ->
   ?max_stall_retries:int ->
+  ?retry_backoff:float ->
+  ?retry_jitter:Vlog_util.Prng.t ->
+  ?stall_budget_ms:float ->
   disk:Disk_sim.t ->
   unit ->
   t
@@ -102,7 +108,17 @@ val create :
     a transiently-failed service attempt while hanging re-queues the tag
     with [not_before] = that deadline instead of completing it.
     [max_stall_retries] (default 64) bounds the re-queues of one tag
-    before it completes as [Failed].  The queue observes queue-wait and
+    before it completes as [Failed].
+
+    [retry_backoff] (off by default) arms seeded retry-with-backoff for
+    transient failures the stall probe does {e not} claim (a flaky
+    drive, not a hanging one): the tag is re-queued [base * 2^attempt]
+    ms out, the exponent capped at 6, multiplied by a deterministic
+    jitter factor in [0.75, 1.25) drawn from [retry_jitter] when given.
+    [stall_budget_ms] is the per-op stall budget: a requeue (stall or
+    retry) that would push the tag past [submitted + budget] instead
+    completes it as [Failed], so no tag can be parked unboundedly even
+    while the drive keeps hanging.  The queue observes queue-wait and
     depth through the disk's trace sink. *)
 
 val policy : t -> policy
@@ -141,6 +157,9 @@ type stats = {
   submitted : int;
   completed : int;
   stall_requeues : int;  (** service attempts re-queued by the stall probe *)
+  retry_requeues : int;
+      (** service attempts re-queued by [retry_backoff] (flaky-drive
+          retries, as opposed to hang stalls) *)
   max_depth : int;  (** high-water mark of {!depth} at dispatch points *)
 }
 

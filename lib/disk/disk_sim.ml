@@ -34,6 +34,8 @@ type injector = {
   on_write : lba:int -> sectors:int -> write_fault option;
 }
 
+type drive_health = Ok_drive | Hung of float | Flaky_drive | Dead_drive
+
 exception Power_cut
 
 type media_error = { error_lba : int; transient : bool }
@@ -49,6 +51,7 @@ type t = {
   mutable cyl : int;
   mutable head : int;
   mutable injector : injector option;
+  mutable health_probe : (unit -> drive_health) option;
   st : counters;
 }
 
@@ -71,6 +74,7 @@ let create ?(buffer_policy = Track_buffer.Forward_discard) ?store ?(trace = Trac
     cyl = 0;
     head = 0;
     injector = None;
+    health_probe = None;
     st =
       {
         c_reads = 0;
@@ -85,6 +89,10 @@ let create ?(buffer_policy = Track_buffer.Forward_discard) ?store ?(trace = Trac
   }
 
 let set_injector t injector = t.injector <- injector
+let set_health_probe t probe = t.health_probe <- probe
+
+let health t =
+  match t.health_probe with None -> Ok_drive | Some probe -> probe ()
 
 let profile t = t.profile
 let geometry t = t.profile.Profile.geometry

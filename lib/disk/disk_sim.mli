@@ -94,6 +94,25 @@ exception Media_failure of media_error
 
 val set_injector : t -> injector option -> unit
 
+type drive_health =
+  | Ok_drive  (** no whole-drive condition in effect *)
+  | Hung of float
+      (** the drive is stalled until the given simulated time (ms);
+          commands submitted before then fail transiently *)
+  | Flaky_drive  (** intermittent transient failures; retries may succeed *)
+  | Dead_drive  (** the drive is gone for good; every command fails *)
+(** Whole-drive condition, as distinct from per-sector faults.  Layers
+    holding in-flight commands (the command queue, the volume manager)
+    consult this to decide between stalling a tag, retrying with backoff,
+    and aborting outright. *)
+
+val set_health_probe : t -> (unit -> drive_health) option -> unit
+(** Install a whole-drive health probe (a fault plan registers one in
+    [Fault.Plan.install]).  [None] (the default) reads as {!Ok_drive}. *)
+
+val health : t -> drive_health
+(** Current whole-drive condition; {!Ok_drive} when no probe is set. *)
+
 val read_checked :
   ?scsi:bool -> t -> lba:int -> sectors:int ->
   (Bytes.t, media_error) result * Vlog_util.Breakdown.t

@@ -49,6 +49,18 @@ type rebuild_row = {
   rb_completed : bool;
 }
 
+type fault_row = {
+  fr_mode : string;  (** healthy | one-dead | rebuild-flaky *)
+  fr_n : int;  (** logical writes completed *)
+  fr_failed : int;  (** writes that reported a structured per-tag error *)
+  fr_iops : float;
+  fr_mean_ms : float;
+  fr_p50_ms : float;
+  fr_p99_ms : float;
+  fr_max_ms : float;
+  fr_rebuilt : bool;  (** rebuild-flaky: resilver finished during the run *)
+}
+
 type result = {
   r_cells : cell_result list;
   r_rebuild : rebuild_row list;
@@ -57,6 +69,7 @@ type result = {
   r_fairness : Tenant.result;
   r_scale_x : float;
       (** widest striped-VLD aggregate IOPS over single-spindle, deepest queue *)
+  r_faults : fault_row list;  (** [] unless the fault study was requested *)
 }
 
 let profile = Disk.Profile.with_cylinders Disk.Profile.st19101 4
@@ -242,6 +255,117 @@ let run_rebuild ?(seed = 0) ~scale mode =
     rb_completed = completed;
   }
 
+(* --- fault-under-load: degraded-mode throughput and latency --- *)
+
+(* Closed-loop small writes on a 4-spindle raid10 (2 mirror groups of
+   2 VLD legs) under three service states: every leg healthy; one leg
+   dead with no spare, so group-0 writes run degraded and reads fail
+   over; and a resilver onto a hot spare pumped in idle windows while
+   the surviving source drops commands in flaky bursts — the worst
+   supported state short of data loss.  Same closed-loop driver as the
+   IOPS grid, so the three rows are directly comparable. *)
+
+let fault_depth = 4
+
+let fault_mode_label = function
+  | `Healthy -> "healthy"
+  | `One_dead -> "one-dead"
+  | `Rebuild_flaky -> "rebuild-flaky"
+
+let run_fault_mode ?(seed = 0) ~scale mode =
+  let clock = Clock.create () in
+  let sink = Trace.create ~clock () in
+  let mk_disk () =
+    Disk.Disk_sim.create ~buffer_policy:Disk.Track_buffer.Whole_track
+      ~trace:sink ~profile ~clock ()
+  in
+  let disks = Array.init 4 (fun _ -> mk_disk ()) in
+  let mode_ix =
+    match mode with `Healthy -> 1 | `One_dead -> 2 | `Rebuild_flaky -> 3
+  in
+  let prng = Prng.create ~seed:(Int64.of_int (0xfa17 + (seed * 7919) + mode_ix)) in
+  let k = 2 in
+  let logical_blocks = blocks_per_group * k in
+  let spare = match mode with `Rebuild_flaky -> Some mk_disk | _ -> None in
+  let vol =
+    Volume.create ?spare
+      ~layout:(Volume.Stripe_of_mirrors (k, 2))
+      ~leg_kind:Volume.Vld_leg ~logical_blocks ~disks ~prng ()
+  in
+  let bs = Volume.block_bytes vol in
+  (* prefill so the resilver copies real content and reads have data *)
+  (match
+     Volume.write_batch vol ~at:(Clock.now clock)
+       (List.init logical_blocks (fun b -> (b, Bytes.make bs 'A')))
+   with
+  | Ok _ -> ()
+  | Error _ -> failwith "array faults: prefill failed");
+  (match mode with
+  | `Healthy -> ()
+  | `One_dead -> Volume.kill vol ~group:0 ~leg:1
+  | `Rebuild_flaky ->
+    Volume.kill vol ~group:0 ~leg:1;
+    (match Volume.start_rebuild vol ~group:0 ~leg:1 with
+    | Ok () -> ()
+    | Error e -> failwith ("array faults: " ^ e));
+    let p =
+      Fault.Plan.create (Fault.Plan.Drive_flaky 3) ~trigger:6
+        ~seed:(Int64.of_int (0xf1a + seed))
+    in
+    Fault.Plan.install p disks.(0));
+  let depth = fault_depth in
+  let pick_round () =
+    List.concat
+      (List.init k (fun g ->
+           let seen = Hashtbl.create depth in
+           List.init depth (fun i ->
+               let rec fresh () =
+                 let j = Prng.int prng blocks_per_group in
+                 if Hashtbl.mem seen j then fresh ()
+                 else begin
+                   Hashtbl.add seen j ();
+                   j
+                 end
+               in
+               (g + (k * fresh ()), Bytes.make bs (Char.chr (33 + (i mod 93)))))))
+  in
+  let done_ = ref 0 and failed = ref 0 in
+  let t0 = Clock.now clock in
+  for _ = 1 to rounds ~scale do
+    let items = pick_round () in
+    let rep = Volume.write_batch_report vol ~owner:"fg" ~at:(Clock.now clock) items in
+    done_ := !done_ + List.length rep.Volume.wr_written;
+    failed := !failed + List.length rep.Volume.wr_failed;
+    (* a granted idle window after each round: the pump runs throttled
+       resilver copies in it (a no-op for the other modes) *)
+    if mode = `Rebuild_flaky then Volume.idle vol 12.
+  done;
+  let elapsed = Clock.now clock -. t0 in
+  let h =
+    match Trace.histogram sink "tenant.fg.lat" with
+    | Some h -> h
+    | None -> failwith "array faults: no per-command latency histogram"
+  in
+  let rebuilt =
+    mode = `Rebuild_flaky
+    && (match Volume.state_of vol ~group:0 ~leg:1 with
+       | `Healthy -> true
+       | `Suspect | `Dead | `Rebuilding _ -> false)
+  in
+  let open Trace.Histogram in
+  {
+    fr_mode = fault_mode_label mode;
+    fr_n = !done_;
+    fr_failed = !failed;
+    fr_iops =
+      (if elapsed > 0. then float_of_int !done_ /. elapsed *. 1000. else 0.);
+    fr_mean_ms = (if count h > 0 then sum h /. float_of_int (count h) else 0.);
+    fr_p50_ms = percentile h 50.;
+    fr_p99_ms = percentile h 99.;
+    fr_max_ms = max_value h;
+    fr_rebuilt = rebuilt;
+  }
+
 let fairness_config ~scale =
   match scale with
   | Rigs.Quick -> { Tenant.default with Tenant.shards = 2; ops_per_tenant = 60 }
@@ -264,7 +388,7 @@ let scalability results =
   let base = iops Svld 1 in
   if base > 0. then iops Svld widest /. base else 0.
 
-let run ?(seed = 0) ~jobs ~scale () =
+let run ?(seed = 0) ?(faults = false) ~jobs ~scale () =
   let cs = cells ~scale in
   let cell_results =
     List.map2
@@ -303,6 +427,22 @@ let run ?(seed = 0) ~jobs ~scale () =
       (fun a r -> if r.rb_mode = "throttled" then r.rb_p99_ms else a)
       0. rebuild
   in
+  let fault_rows =
+    if not faults then []
+    else
+      let fmodes = [ `Healthy; `One_dead; `Rebuild_flaky ] in
+      List.map2
+        (fun m -> function
+          | Ok r -> r
+          | Error (e : Par.error) ->
+            failwith
+              (Printf.sprintf "array faults %s: %s" (fault_mode_label m)
+                 (Par.reason_to_string e.Par.reason)))
+        fmodes
+        (Par.map ~jobs ~timeout_s:3600.
+           (fun m -> run_fault_mode ~seed ~scale m)
+           fmodes)
+  in
   {
     r_cells = cell_results;
     r_rebuild = rebuild;
@@ -311,6 +451,7 @@ let run ?(seed = 0) ~jobs ~scale () =
       healthy_p99 > 0. && throttled_p99 <= rebuild_budget *. healthy_p99;
     r_fairness = Tenant.run ~jobs (fairness_config ~scale);
     r_scale_x = scalability cell_results;
+    r_faults = fault_rows;
   }
 
 (* --- rendering --- *)
@@ -354,6 +495,24 @@ let render r =
   Buffer.add_string b
     (Printf.sprintf "  throttled within budget (%.1fx healthy p99): %b\n"
        r.r_budget r.r_within_budget);
+  if r.r_faults <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf
+         "\nfault-under-load (raid10 2x2 VLD, closed loop, depth %d):\n"
+         fault_depth);
+    List.iter
+      (fun fr ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "  %-14s %6.0f iops  p50 %s  p99 %s  max %s  (%d ok, %d failed%s)\n"
+             fr.fr_mode fr.fr_iops
+             (Table.cell_ms fr.fr_p50_ms)
+             (Table.cell_ms fr.fr_p99_ms)
+             (Table.cell_ms fr.fr_max_ms)
+             fr.fr_n fr.fr_failed
+             (if fr.fr_rebuilt then ", rebuilt" else "")))
+      r.r_faults
+  end;
   let f = r.r_fairness in
   Buffer.add_string b
     (Printf.sprintf
@@ -407,6 +566,22 @@ let to_json ~scale ~jobs r =
            rb.rb_completed
            (if i = nr - 1 then "" else ",")))
     r.r_rebuild;
+  Buffer.add_string b "  ]},\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"faults\": {\"ran\": %b, \"depth\": %d, \"modes\": [\n"
+       (r.r_faults <> []) fault_depth);
+  let nf = List.length r.r_faults in
+  List.iteri
+    (fun i fr ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"mode\": %S, \"n\": %d, \"failed\": %d, \"iops\": %.3f, \
+            \"mean_ms\": %.6f, \"p50_ms\": %.6f, \"p99_ms\": %.6f, \
+            \"max_ms\": %.6f, \"rebuilt\": %b}%s\n"
+           fr.fr_mode fr.fr_n fr.fr_failed fr.fr_iops fr.fr_mean_ms fr.fr_p50_ms
+           fr.fr_p99_ms fr.fr_max_ms fr.fr_rebuilt
+           (if i = nf - 1 then "" else ",")))
+    r.r_faults;
   Buffer.add_string b "  ]},\n";
   let f = r.r_fairness in
   Buffer.add_string b

@@ -45,6 +45,18 @@ type rebuild_row = {
   rb_completed : bool;
 }
 
+type fault_row = {
+  fr_mode : string;  (** ["healthy"] | ["one-dead"] | ["rebuild-flaky"] *)
+  fr_n : int;  (** logical writes completed *)
+  fr_failed : int;  (** writes that reported a structured per-tag error *)
+  fr_iops : float;
+  fr_mean_ms : float;
+  fr_p50_ms : float;
+  fr_p99_ms : float;
+  fr_max_ms : float;
+  fr_rebuilt : bool;  (** rebuild-flaky: resilver finished during the run *)
+}
+
 type result = {
   r_cells : cell_result list;
   r_rebuild : rebuild_row list;
@@ -53,13 +65,28 @@ type result = {
   r_fairness : Tenant.result;
   r_scale_x : float;
       (** widest striped-VLD aggregate IOPS over single-spindle *)
+  r_faults : fault_row list;
+      (** degraded-mode curves; [] unless [~faults:true] was passed *)
 }
 
 val rebuild_budget : float
 (** 3.0: throttled rebuild must hold foreground p99 within 3× healthy. *)
 
 val run_cell : ?seed:int -> scale:Rigs.scale -> cell -> cell_result
-val run : ?seed:int -> jobs:int -> scale:Rigs.scale -> unit -> result
+
+val run_fault_mode :
+  ?seed:int ->
+  scale:Rigs.scale ->
+  [ `Healthy | `One_dead | `Rebuild_flaky ] ->
+  fault_row
+(** One degraded-mode service state of the fault-under-load study
+    ([bench -- array --faults]): closed-loop small writes on a
+    4-spindle raid10 with every leg healthy, one leg dead with no
+    spare, or a resilver pumped in idle windows while the surviving
+    source runs flaky bursts. *)
+
+val run :
+  ?seed:int -> ?faults:bool -> jobs:int -> scale:Rigs.scale -> unit -> result
 
 val table_of : result -> Vlog_util.Table.t
 val render : result -> string

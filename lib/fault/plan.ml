@@ -142,6 +142,16 @@ let stall_until t =
   | Some until when now t < until -> Some until
   | _ -> None
 
+let health t : Disk.Disk_sim.drive_health =
+  if not t.fired then Ok_drive
+  else
+    match t.kind with
+    | Drive_death -> Dead_drive
+    | Drive_hang _ -> (
+      match stall_until t with Some until -> Hung until | None -> Ok_drive)
+    | Drive_flaky _ -> Flaky_drive
+    | _ -> Ok_drive
+
 (* Whole-drive faults strike commands regardless of direction, so their
    trigger counts every access.  Returns how the current command fares
    before any sector-level plan logic runs. *)
@@ -266,4 +276,35 @@ let install t disk =
        {
          Disk.Disk_sim.on_read = (fun ~lba ~sectors -> on_read t ~lba ~sectors);
          on_write = (fun ~lba ~sectors -> on_write t ~lba ~sectors);
-       })
+       });
+  Disk.Disk_sim.set_health_probe disk (Some (fun () -> health t))
+
+(* A whole-drive fault aimed at one leg of an array: "death@2" installs
+   a death plan on leg 2, a bare "hang:80" on the victim the caller
+   picks.  Only drive kinds make sense per-leg. *)
+type leg_spec = { ls_kind : kind; ls_leg : int option }
+
+let leg_spec_to_string { ls_kind; ls_leg } =
+  match ls_leg with
+  | None -> kind_to_string ls_kind
+  | Some l -> Printf.sprintf "%s@%d" (kind_to_string ls_kind) l
+
+let leg_spec_of_string s =
+  let kind_part, leg_part =
+    match String.index_opt s '@' with
+    | None -> (s, None)
+    | Some i ->
+      (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+  in
+  match kind_of_string kind_part with
+  | Error _ as e -> e
+  | Ok k when not (is_drive_kind k) ->
+    Error
+      (Printf.sprintf "fault %S is not a whole-drive kind (death|hang[:ms]|flaky[:n]|latent[:n])" s)
+  | Ok k -> (
+    match leg_part with
+    | None -> Ok { ls_kind = k; ls_leg = None }
+    | Some l -> (
+      match int_of_string_opt l with
+      | Some n when n >= 0 -> Ok { ls_kind = k; ls_leg = Some n }
+      | _ -> Error (Printf.sprintf "bad leg index in %S" s)))

@@ -67,9 +67,10 @@ type t
 val create : kind -> trigger:int -> seed:int64 -> t
 
 val install : t -> Disk.Disk_sim.t -> unit
-(** Interpose the plan on every media access of [disk].  Install after
-    formatting: the trigger counts only accesses made once the plan is in
-    place. *)
+(** Interpose the plan on every media access of [disk] and register a
+    whole-drive {!Disk.Disk_sim.set_health_probe} reporting {!health}.
+    Install after formatting: the trigger counts only accesses made once
+    the plan is in place. *)
 
 val flush : t -> unit
 (** Apply any scheduled-but-unapplied damage (pending bit rot) to the
@@ -87,8 +88,30 @@ val stall_until : t -> float option
     while the drive hangs is re-queued behind this deadline — stalling
     just its own tag — instead of completing as failed. *)
 
+val health : t -> Disk.Disk_sim.drive_health
+(** Whole-drive condition implied by the plan's current state:
+    [Dead_drive] once a [Drive_death] fires, [Hung until] while a fired
+    [Drive_hang] is inside its window, [Flaky_drive] once a
+    [Drive_flaky] fires, [Ok_drive] otherwise (sector-level kinds never
+    report a drive condition).  {!install} registers this as the disk's
+    health probe so the command queue and the volume manager can
+    distinguish "stall the tag", "retry with backoff", and "abort —
+    the drive is gone" without knowing about fault plans. *)
+
 val kind : t -> kind
 val trigger : t -> int
+
+type leg_spec = { ls_kind : kind; ls_leg : int option }
+(** A whole-drive fault aimed at a specific array leg: [ls_leg] is the
+    flat leg index ([None] = the caller's default victim). *)
+
+val leg_spec_to_string : leg_spec -> string
+(** [death@2], or bare [hang:80] when no leg is pinned. *)
+
+val leg_spec_of_string : string -> (leg_spec, string) result
+(** Inverse of {!leg_spec_to_string}; accepts [KIND] or [KIND@LEG] where
+    KIND must satisfy {!is_drive_kind}.  This is the parser behind
+    [vlsim volume fail --fault]. *)
 
 val damaged_lbas : t -> int list
 (** Absolute sectors whose contents this plan damaged or withheld: the

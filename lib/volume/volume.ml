@@ -285,8 +285,33 @@ let write_cylinder t leg gb =
        (gb * leg_spb t leg))
       .Disk.Geometry.cyl
 
-let media_err (e : Blockdev.Device.io_error) =
-  { Disk.Disk_sim.error_lba = e.Blockdev.Device.error_lba; transient = false }
+(* Classify a leg failure for the queue's in-flight policy: while the
+   drive reports itself hanging or flaky the error is transient — the
+   queue stalls or retries the tag within its budget — whereas a dead
+   drive (or plain media damage) fails the tag at once so the gather can
+   fail over.  The health probe is the fault plan's, installed by
+   [Fault.Plan.install]; an unprobed disk always reads [Ok_drive]. *)
+let media_err leg (e : Blockdev.Device.io_error) =
+  let transient =
+    match Disk.Disk_sim.health leg.disk with
+    | Disk.Disk_sim.Hung _ | Disk.Disk_sim.Flaky_drive -> true
+    | Disk.Disk_sim.Ok_drive | Disk.Disk_sim.Dead_drive -> false
+  in
+  { Disk.Disk_sim.error_lba = e.Blockdev.Device.error_lba; transient }
+
+(* Every leg queue gets the same in-flight failure machinery: the stall
+   probe follows the drive's health (one hung tag parks behind the hang
+   deadline instead of completing failed), flaky-drive transients retry
+   with seeded backoff, and both are capped by the volume's per-op
+   budget so no tag outlives [timeout_ms] of stalling. *)
+let leg_queue ~vol_policy ~queue_policy ~prng disk =
+  Disk.Disk_queue.create ~policy:queue_policy
+    ~stall_probe:(fun () ->
+      match Disk.Disk_sim.health disk with
+      | Disk.Disk_sim.Hung until -> Some until
+      | _ -> None)
+    ~retry_backoff:(vol_policy.timeout_ms /. 8.)
+    ~retry_jitter:prng ~stall_budget_ms:vol_policy.timeout_ms ~disk ()
 
 (* Submit one leg command; the full device-level logic (VLD placement +
    map commit, regular-disk remap) runs as the command's service.  The
@@ -305,7 +330,7 @@ let submit_leg_write t leg ~at ?owner gb buf =
             | Ok c -> (Disk.Disk_queue.Wrote gb, c.Io.breakdown)
             | Error e ->
               err := Some e;
-              (Disk.Disk_queue.Failed (media_err e), Breakdown.zero));
+              (Disk.Disk_queue.Failed (media_err leg e), Breakdown.zero));
       }
   in
   (Disk.Disk_queue.submit ~at ?owner leg.q op, err)
@@ -323,7 +348,7 @@ let submit_leg_read t leg ~at ?owner gb =
             | Ok (data, c) -> (Disk.Disk_queue.Data data, c.Io.breakdown)
             | Error e ->
               err := Some e;
-              (Disk.Disk_queue.Failed (media_err e), Breakdown.zero));
+              (Disk.Disk_queue.Failed (media_err leg e), Breakdown.zero));
       }
   in
   (Disk.Disk_queue.submit ~at ?owner leg.q op, err)
@@ -338,7 +363,9 @@ let start_rebuild_on t leg disk =
   (* the replacement spindle gets a fresh queue and starts its timeline
      now; in-flight commands against the old drive are orphaned (their
      generation no longer matches) *)
-  leg.q <- Disk.Disk_queue.create ~policy:t.queue_policy ~disk ();
+  leg.q <-
+    leg_queue ~vol_policy:t.policy ~queue_policy:t.queue_policy
+      ~prng:(Prng.split t.prng) disk;
   leg.busy_until <- Clock.now t.clock;
   leg.gen <- leg.gen + 1;
   Hashtbl.reset leg.drl;
@@ -348,25 +375,72 @@ let start_rebuild_on t leg disk =
   leg.state <- `Rebuilding;
   Trace.incr t.trace "vol.rebuilds_started"
 
+let group_of t leg =
+  let found = ref t.groups.(0) in
+  Array.iter
+    (fun group -> if Array.exists (fun l -> l == leg) group then found := group)
+    t.groups;
+  !found
+
+(* A retired resilver target must not survive a crash looking like a
+   replica: its platters hold a half-built copy with no on-media record
+   of which blocks are missing, so per-leg recovery would bring it up
+   healthy — and a resync that picks it as primary would overwrite the
+   real survivor with the husk's holes.  Real arrays invalidate the
+   evicted member's superblock; the simulated equivalent is decaying the
+   media so every later read of it fails ECC. *)
+let evict_leg t leg =
+  let store = Disk.Disk_sim.store leg.disk in
+  let g = Disk.Sector_store.geometry store in
+  Disk.Sector_store.rot store ~lba:0
+    ~sectors:(Disk.Geometry.total_sectors g)
+    t.prng;
+  Trace.incr t.trace "vol.legs_evicted"
+
 let kill_leg t leg =
+  let was_rebuilding = leg.state = `Rebuilding in
   leg.state <- `Dead;
   leg.gen <- leg.gen + 1;
   Trace.incr t.trace "vol.leg_deaths";
+  if was_rebuilding then evict_leg t leg;
+  (* a spare can only help while some other leg of the group still holds
+     a full copy to resilver from: a peer that is itself mid-resilver
+     cannot seed one, and when this death leaves no complete peer,
+     pulling a spare would park it in [`Rebuilding] forever *)
+  let peers_alive =
+    Array.exists
+      (fun l -> l != leg && (l.state = `Healthy || l.state = `Suspect))
+      (group_of t leg)
+  in
   match t.spare with
   | None -> ()
-  | Some factory -> start_rebuild_on t leg (factory ())
+  | Some factory ->
+    if peers_alive then start_rebuild_on t leg (factory ())
+    else Trace.incr t.trace "vol.rebuild_abandoned"
 
 let note_failure t leg =
+  let drive_dead () =
+    Disk.Disk_sim.health leg.disk = Disk.Disk_sim.Dead_drive
+  in
   match leg.state with
   | `Dead -> ()
   | `Healthy ->
-    leg.state <- `Suspect;
-    leg.failed_probes <- 1;
-    leg.retry_after <- Clock.now t.clock +. t.policy.backoff_ms
+    (* the drive telling us it is gone for good skips probation: every
+       probe would fail anyway, and in-flight commands against it have
+       already been aborted with structured errors *)
+    if drive_dead () then kill_leg t leg
+    else begin
+      leg.state <- `Suspect;
+      leg.failed_probes <- 1;
+      leg.retry_after <- Clock.now t.clock +. t.policy.backoff_ms
+    end
   | `Suspect ->
-    leg.failed_probes <- leg.failed_probes + 1;
-    leg.retry_after <- Clock.now t.clock +. t.policy.backoff_ms;
-    if leg.failed_probes > t.policy.probes_to_kill then kill_leg t leg
+    if drive_dead () then kill_leg t leg
+    else begin
+      leg.failed_probes <- leg.failed_probes + 1;
+      leg.retry_after <- Clock.now t.clock +. t.policy.backoff_ms;
+      if leg.failed_probes > t.policy.probes_to_kill then kill_leg t leg
+    end
   | `Rebuilding ->
     (* the replacement itself is failing: retire it and pull another spare *)
     kill_leg t leg
@@ -394,14 +468,33 @@ let copy_block t group ~to_ ~counter gb =
       Ok ()
     end
     else (
-      match leg_read src gb with
-      | Error _ -> Error `Unreadable
-      | Ok (data, _) -> (
+      let write_out data =
         match leg_write to_ gb data with
         | Ok _ ->
           Trace.incr t.trace counter;
           Ok ()
-        | Error _ -> Error `Write_failed))
+        | Error _ -> Error `Write_failed
+      in
+      match leg_read src gb with
+      | Error _ -> (
+        (* only a source that is genuinely gone loses the block: a hung
+           or flaky source parks the copy for a later attempt, and a
+           dead drive is retired now so the next attempt reconsiders
+           its sources *)
+        match Disk.Disk_sim.health src.disk with
+        | Disk.Disk_sim.Dead_drive ->
+          kill_leg t src;
+          Error `Unreadable
+        | Disk.Disk_sim.Hung _ | Disk.Disk_sim.Flaky_drive -> Error `Source_busy
+        | Disk.Disk_sim.Ok_drive -> (
+          (* the failure may be the tail of a hang/flaky window that
+             closed while the command was in flight — the drive claims
+             to be fine NOW, so one immediate retry separates that
+             boundary race from a genuinely unreadable block *)
+          match leg_read src gb with
+          | Ok (data, _) -> write_out data
+          | Error _ -> Error `Unreadable))
+      | Ok (data, _) -> write_out data)
 
 let drain_drl t group leg =
   let gbs = List.sort compare (Hashtbl.fold (fun gb () acc -> gb :: acc) leg.drl []) in
@@ -426,6 +519,17 @@ let revive t group leg =
   end
   else leg.retry_after <- Clock.now t.clock +. t.policy.backoff_ms
 
+(* A copy attempt that could not run: distinguish "the resilver target
+   itself died mid-copy" — retire it now (a fresh spare is pulled when a
+   source survives) — from "no usable source right now" (hung peer,
+   flaky burst), which parks the copy for a later window. *)
+let rebuild_blocked t leg =
+  if Disk.Disk_sim.health leg.disk = Disk.Disk_sim.Dead_drive then begin
+    kill_leg t leg;
+    `Progress (* the state changed; the caller re-evaluates the leg *)
+  end
+  else `Blocked
+
 (* One unit of rebuild work: advance the cursor sweep, then drain the
    DRL, then flip the leg healthy.  [copy] performs one block copy —
    either synchronously on the shared clock (admin paths) or as a
@@ -438,11 +542,18 @@ let rebuild_tick_with t leg ~copy =
       leg.cursor <- leg.cursor + 1;
       `Progress
     | `Unreadable ->
-      (* no surviving copy of this block: honest loss, keep resilvering *)
+      (* no surviving copy of this block right now.  The target must
+         not pass for a full replica: park the block in its DRL (reads
+         keep avoiding the target and fail over to whatever the source
+         honestly says) and keep sweeping — a later foreground write or
+         a healed source repairs it, and a resilver whose DRL never
+         drains is abandoned by the caller's bound rather than
+         completed with fabricated content *)
       Trace.incr t.trace "vol.rebuild_lost";
+      Hashtbl.replace leg.drl gb ();
       leg.cursor <- leg.cursor + 1;
       `Progress
-    | `Blocked -> `Blocked
+    | `Blocked -> rebuild_blocked t leg
   end
   else
     match Hashtbl.fold (fun gb () _ -> Some gb) leg.drl None with
@@ -456,17 +567,18 @@ let rebuild_tick_with t leg ~copy =
       | `Copied ->
         Hashtbl.remove leg.drl gb;
         `Progress
-      | `Unreadable ->
-        Hashtbl.remove leg.drl gb;
-        Trace.incr t.trace "vol.rebuild_lost";
-        `Progress
-      | `Blocked -> `Blocked)
+      | `Unreadable | `Blocked ->
+        (* still no copy to be had: the rebuild cannot finish honestly.
+           Parking here (instead of dropping the entry) leaves the
+           decision to the caller's progress bound — a source that
+           comes back drains it, one that never does retires the leg *)
+        rebuild_blocked t leg)
 
 let sync_copy t group ~to_ gb =
   match copy_block t group ~to_ ~counter:"vol.rebuild_copies" gb with
   | Ok () -> `Copied
   | Error `Unreadable -> `Unreadable
-  | Error (`No_source | `Write_failed) -> `Blocked
+  | Error (`No_source | `Write_failed | `Source_busy) -> `Blocked
 
 (* Blocking (foreground) rebuild unit — the admin path. *)
 let rebuild_tick t group leg =
@@ -491,7 +603,7 @@ let queued_copy t group ~to_ ~at gb =
             (match copy_block t group ~to_ ~counter:"vol.rebuild_copies" gb with
             | Ok () -> res := `Copied
             | Error `Unreadable -> res := `Unreadable
-            | Error (`No_source | `Write_failed) -> res := `Blocked);
+            | Error (`No_source | `Write_failed | `Source_busy) -> res := `Blocked);
             ( (match !res with
               | `Blocked ->
                 Disk.Disk_queue.Failed { Disk.Disk_sim.error_lba = 0; transient = false }
@@ -527,13 +639,20 @@ let rebuild_pump t ~from ~deadline =
   let u = Float.min 1. (Float.max 0. t.policy.rebuild_util) in
   if u > 0. then
     iter_legs t (fun group leg ->
-        let start = Float.max from leg.busy_until in
+        (* clamp to the clock as well as the window: an earlier leg's
+           copies advance the shared clock, and a copy may retire a
+           source and pull a fresh spare whose timeline starts behind
+           "now" — a queued copy must never arrive in the past *)
+        let floor_at () =
+          Float.max (Clock.now t.clock) (Float.max from leg.busy_until)
+        in
+        let start = floor_at () in
         let allow = (deadline -. start) *. u in
         let used = ref 0. in
         let copied = ref false in
         let continue_ = ref true in
         while !continue_ && leg.state = `Rebuilding do
-          let at = Float.max from leg.busy_until in
+          let at = floor_at () in
           if at +. leg.copy_cost >= deadline || !used +. leg.copy_cost > allow
           then continue_ := false
           else
@@ -604,6 +723,19 @@ let rebuild_to_completion t =
         probe_suspects t;
         go ()
       end
+      else
+        (* 64 backoff windows without a usable source anywhere: the data
+           these resilver targets still need is not coming back.  Retire
+           them honestly — a leg parked in [`Rebuilding] forever would
+           survive a crash as a trusted-looking husk. *)
+        iter_legs t (fun _ leg ->
+            if leg.state = `Rebuilding then begin
+              leg.state <- `Dead;
+              leg.gen <- leg.gen + 1;
+              Trace.incr t.trace "vol.leg_deaths";
+              Trace.incr t.trace "vol.rebuild_abandoned";
+              evict_leg t leg
+            end)
   in
   go ()
 
@@ -694,8 +826,12 @@ let submit_group_write t ~at ?owner gi gb ~block buf =
       | `Healthy -> dispatch false
       | `Suspect ->
         if at < leg.retry_after then begin
-          (* in backoff: leave it alone, log the miss *)
-          Hashtbl.replace leg.drl gb ();
+          (* in backoff: leave it alone, log the miss.  A DRL entry
+             means "a peer holds newer data than this leg"; with no
+             peer (single-leg group) the op will simply fail and the
+             old block stays valid — marking it dirty would wrongly
+             block reads of content the platter still has. *)
+          if Array.length group > 1 then Hashtbl.replace leg.drl gb ();
           degraded := true
         end
         else dispatch true)
@@ -754,7 +890,11 @@ let gather_group_write t (ctbl : ctbl) ~at wtx =
           end
         | Disk.Disk_queue.Failed _ | Disk.Disk_queue.Data _ ->
           (match !(s.s_err) with Some e -> last_err := Some e | None -> ());
-          Hashtbl.replace leg.drl wtx.wt_gb ();
+          (* single-leg group: the write failed outright and the old
+             block content is still the logical content — no peer holds
+             anything newer to owe this leg (see the scatter path) *)
+          if Array.length t.groups.(wtx.wt_gi) > 1 then
+            Hashtbl.replace leg.drl wtx.wt_gb ();
           degraded := true;
           (* one escalation per backoff window, matching the cadence of
              the sequential path (a batch is one op per leg) *)
@@ -771,7 +911,7 @@ let gather_group_write t (ctbl : ctbl) ~at wtx =
         | Some e -> { e with Blockdev.Device.block = wtx.wt_block }
         | None -> synth_err `Write wtx.wt_block)
   in
-  (res, completion)
+  (res, completion, !degraded)
 
 (* The read scatter of one group block: the first candidate is
    submitted into the batch; the rest fail over sequentially at gather
@@ -850,11 +990,27 @@ let gather_group_read t (ctbl : ctbl) ~at ?owner rtx =
       if not (leg.state = `Suspect && Clock.now t.clock < leg.retry_after) then
         note_failure t leg
   in
-  let rec attempt tried s (c : Disk.Disk_queue.completion) rest =
+  (* Read-repair: a leg whose read failed while a later candidate
+     supplied the block holds a provably bad (or stale) copy — park the
+     block in its DRL so the next drain rewrites it from the good peer.
+     Rewriting is what heals latent sectors.  Only a *successful*
+     failover parks: when every copy fails there is no known-good peer,
+     and DRL'ing all legs would starve [copy_block] of sources. *)
+  let repair failed =
+    List.iter
+      (fun (fl, fgen) ->
+        if fgen = fl.gen && fl.state <> `Dead then begin
+          Hashtbl.replace fl.drl rtx.rt_gb ();
+          Trace.incr t.trace "vol.read_repairs"
+        end)
+      failed
+  in
+  let rec attempt tried failed s (c : Disk.Disk_queue.completion) rest =
     Clock.warp t.clock c.Disk.Disk_queue.finished;
     match c.Disk.Disk_queue.outcome with
     | Disk.Disk_queue.Data data ->
       let leg = s.s_leg in
+      repair failed;
       if s.s_suspect && s.s_gen = leg.gen && leg.state = `Suspect then begin
         revive t t.groups.(rtx.rt_gi) leg;
         leg.busy_until <- Float.max leg.busy_until (Clock.now t.clock)
@@ -865,12 +1021,13 @@ let gather_group_read t (ctbl : ctbl) ~at ?owner rtx =
       let tried =
         match !(s.s_err) with Some e -> Some e | None -> tried
       in
+      let failed = (s.s_leg, s.s_gen) :: failed in
       if rest <> [] then Trace.incr t.trace "vol.failovers";
-      failover tried c.Disk.Disk_queue.finished rest
-  and failover tried start = function
+      failover tried failed c.Disk.Disk_queue.finished rest
+  and failover tried failed start = function
     | [] -> (Error (err_of tried), start)
     | leg :: rest ->
-      if leg.state = `Dead then failover tried start rest
+      if leg.state = `Dead then failover tried failed start rest
       else if leg.state = `Suspect && start -. at > t.policy.timeout_ms then
         (* budget exhausted: no further probing of suspects (healthy
            candidates sort first, so none is being skipped here) *)
@@ -888,21 +1045,42 @@ let gather_group_read t (ctbl : ctbl) ~at ?owner rtx =
           }
         in
         let cs = run_leg t leg ~at:start in
-        attempt tried s (List.assoc tag cs) rest
+        attempt tried failed s (List.assoc tag cs) rest
       end
   in
   match rtx.rt_first with
   | None -> (Error (err_of None), at)
-  | Some s -> attempt None s (Hashtbl.find ctbl (s.s_leg.uid, s.s_tag)) rtx.rt_rest
+  | Some s ->
+    attempt None [] s (Hashtbl.find ctbl (s.s_leg.uid, s.s_tag)) rtx.rt_rest
 
 (* ---- Scatter/gather execution of host requests ---- *)
+
+(* Structured per-block outcome of one batch window.  A mid-window leg
+   fault forces a partial gather: some blocks land (possibly degraded,
+   their missed copies DRL'd), others fail outright.  The report names
+   exactly which, so a degraded-mode retry re-submits only [*_failed] —
+   never a command that already completed. *)
+
+type block_error = { be_block : int; be_error : Blockdev.Device.io_error }
+
+type write_report = {
+  wr_written : int list;
+  wr_failed : block_error list;
+  wr_degraded : bool;
+  wr_bd : Breakdown.t;
+}
+
+type read_report = {
+  rr_data : (int * Bytes.t * Breakdown.t) list;
+  rr_failed : block_error list;
+}
 
 (* Service the write scatter of one host request: all group blocks'
    commands are submitted at the arrival instant, every involved leg is
    serviced once in its own window (the leg's queue policy reorders
    within the window), and the gathers run in block order.  The
    operation completes at the latest awaited leg across all blocks. *)
-let exec_writes t ~at ?owner items =
+let exec_writes_report t ~at ?owner items =
   Clock.warp t.clock at;
   let txs =
     List.map
@@ -916,22 +1094,37 @@ let exec_writes t ~at ?owner items =
   in
   let ctbl = run_legs t legs ~at in
   let completion = ref at in
-  let result = ref (Ok Breakdown.zero) in
+  let written = ref [] and failed = ref [] in
+  let degraded = ref false in
+  let bd = ref Breakdown.zero in
   List.iter
     (fun tx ->
-      let r, fin = gather_group_write t ctbl ~at tx in
+      let r, fin, deg = gather_group_write t ctbl ~at tx in
       completion := Float.max !completion fin;
-      match (!result, r) with
-      | Ok acc, Ok bd -> result := Ok (Breakdown.add acc bd)
-      | Ok _, Error e -> result := Error e
-      | Error _, _ -> ())
+      if deg then degraded := true;
+      match r with
+      | Ok b ->
+        bd := Breakdown.add !bd b;
+        written := tx.wt_block :: !written
+      | Error e -> failed := { be_block = tx.wt_block; be_error = e } :: !failed)
     txs;
   Clock.warp t.clock !completion;
-  !result
+  {
+    wr_written = List.rev !written;
+    wr_failed = List.rev !failed;
+    wr_degraded = !degraded;
+    wr_bd = !bd;
+  }
+
+let exec_writes t ~at ?owner items =
+  let r = exec_writes_report t ~at ?owner items in
+  match r.wr_failed with
+  | [] -> Ok r.wr_bd
+  | f :: _ -> Error f.be_error
 
 (* Read scatter: the first candidate of every block is submitted at the
    arrival instant; failover rounds run per block at gather time. *)
-let exec_reads t ~at ?owner blocks =
+let exec_reads_report t ~at ?owner blocks =
   Clock.warp t.clock at;
   let txs =
     List.map
@@ -946,18 +1139,23 @@ let exec_reads t ~at ?owner blocks =
   in
   let ctbl = run_legs t legs ~at in
   let completion = ref at in
-  let result = ref (Ok []) in
+  let data = ref [] and failed = ref [] in
   List.iter
     (fun tx ->
       let r, fin = gather_group_read t ctbl ~at ?owner tx in
       completion := Float.max !completion fin;
-      match (!result, r) with
-      | Ok acc, Ok (data, bd) -> result := Ok ((data, bd) :: acc)
-      | Ok _, Error e -> result := Error e
-      | Error _, _ -> ())
+      match r with
+      | Ok (d, bd) -> data := (tx.rt_block, d, bd) :: !data
+      | Error e -> failed := { be_block = tx.rt_block; be_error = e } :: !failed)
     txs;
   Clock.warp t.clock !completion;
-  Result.map List.rev !result
+  { rr_data = List.rev !data; rr_failed = List.rev !failed }
+
+let exec_reads t ~at ?owner blocks =
+  let r = exec_reads_report t ~at ?owner blocks in
+  match r.rr_failed with
+  | [] -> Ok (List.map (fun (_, d, bd) -> (d, bd)) r.rr_data)
+  | f :: _ -> Error f.be_error
 
 let group_trim t gi gb =
   Array.iter
@@ -969,14 +1167,14 @@ let group_trim t gi gb =
 
 (* ---- Construction ---- *)
 
-let mk_leg_record ~queue_policy ~disk ~impl ~state =
+let mk_leg_record ~vol_policy ~queue_policy ~prng ~disk ~impl ~state =
   let uid = !leg_uid_counter in
   incr leg_uid_counter;
   {
     uid;
     impl;
     disk;
-    q = Disk.Disk_queue.create ~policy:queue_policy ~disk ();
+    q = leg_queue ~vol_policy ~queue_policy ~prng disk;
     busy_until = Clock.now (Disk.Disk_sim.clock disk);
     gen = 0;
     state;
@@ -1002,7 +1200,8 @@ let mk ?(policy = default_policy) ?queue_policy ?spare ~layout ~leg_kind
   let groups =
     Array.init k (fun gi ->
         Array.init m (fun li ->
-            mk_leg ~queue_policy ~group_blocks disks.((gi * m) + li) gi li))
+            mk_leg ~vol_policy:policy ~queue_policy ~group_blocks
+              disks.((gi * m) + li) gi li))
   in
   let t =
     {
@@ -1028,8 +1227,8 @@ let mk ?(policy = default_policy) ?queue_policy ?spare ~layout ~leg_kind
 let create ?policy ?queue_policy ?spare ~layout ~leg_kind ~logical_blocks ~disks
     ~prng () =
   mk ?policy ?queue_policy ?spare ~layout ~leg_kind ~logical_blocks ~disks ~prng
-    ~mk_leg:(fun ~queue_policy ~group_blocks disk _gi _li ->
-      mk_leg_record ~queue_policy ~disk
+    ~mk_leg:(fun ~vol_policy ~queue_policy ~group_blocks disk _gi _li ->
+      mk_leg_record ~vol_policy ~queue_policy ~prng:(Prng.split prng) ~disk
         ~impl:(format_leg ~leg_kind ~group_blocks ~prng:(Prng.split prng) disk)
         ~state:`Healthy)
     ()
@@ -1102,7 +1301,7 @@ let recover ?policy ?queue_policy ?spare ~layout ~leg_kind ~logical_blocks ~disk
   let recovered = ref 0 and lost = ref 0 and used_tail = ref 0 in
   let t =
     mk ?policy ?queue_policy ?spare ~layout ~leg_kind ~logical_blocks ~disks ~prng
-      ~mk_leg:(fun ~queue_policy ~group_blocks:_ disk _gi _li ->
+      ~mk_leg:(fun ~vol_policy ~queue_policy ~group_blocks:_ disk _gi _li ->
         let impl, state =
           match leg_kind with
           | Regular_leg ->
@@ -1126,7 +1325,8 @@ let recover ?policy ?queue_policy ?spare ~layout ~leg_kind ~logical_blocks ~disk
               incr lost;
               (Reg (Blockdev.Regular_disk.create ~disk ()), `Dead))
         in
-        mk_leg_record ~queue_policy ~disk ~impl ~state)
+        mk_leg_record ~vol_policy ~queue_policy ~prng:(Prng.split prng) ~disk
+          ~impl ~state)
       ()
   in
   let orphaned = ref [] in
@@ -1247,6 +1447,14 @@ let write_batch t ?owner ~at items =
 let read_batch t ?owner ~at blocks =
   Clock.warp t.clock at;
   exec_reads t ~at ?owner blocks
+
+let write_batch_report t ?owner ~at items =
+  Clock.warp t.clock at;
+  exec_writes_report t ~at ?owner items
+
+let read_batch_report t ?owner ~at blocks =
+  Clock.warp t.clock at;
+  exec_reads_report t ~at ?owner blocks
 
 let read_result t block = read_result_at t ~at:(Clock.now t.clock) block
 let write_result t block buf = write_result_at t ~at:(Clock.now t.clock) block buf

@@ -170,6 +170,38 @@ val read_batch :
   int list ->
   ((Bytes.t * Vlog_util.Breakdown.t) list, Blockdev.Device.io_error) result
 
+(** {2 Structured batch reports}
+
+    [write_batch]/[read_batch] report only the first failing block.
+    When a leg faults {e mid-window} the batch gathers partially — some
+    blocks land (possibly degraded), others fail — and a degraded-mode
+    retry must know exactly which, or it will re-submit commands that
+    already completed.  The [_report] variants return the full
+    per-block outcome instead of first-error-wins. *)
+
+type block_error = { be_block : int; be_error : Blockdev.Device.io_error }
+
+type write_report = {
+  wr_written : int list;  (** blocks durably on ≥ 1 leg, in request order *)
+  wr_failed : block_error list;
+      (** blocks no leg took, in request order — the only ones a retry
+          may re-submit *)
+  wr_degraded : bool;
+      (** some copy was skipped or failed and is owed via a DRL *)
+  wr_bd : Vlog_util.Breakdown.t;
+}
+
+type read_report = {
+  rr_data : (int * Bytes.t * Vlog_util.Breakdown.t) list;
+      (** blocks read (block, payload, mechanical cost), request order *)
+  rr_failed : block_error list;
+}
+
+val write_batch_report :
+  t -> ?owner:string -> at:float -> (int * Bytes.t) list -> write_report
+
+val read_batch_report : t -> ?owner:string -> at:float -> int list -> read_report
+
 (** {1 Failure management} *)
 
 val kill : t -> group:int -> leg:int -> unit

@@ -7,4 +7,5 @@ let () =
    @ Test_crash_sweep.suites
    @ Test_fault.suites @ Test_check.suites @ Test_par.suites
    @ Test_workload.suites
-   @ Test_experiments.suites @ Test_trace.suites @ Test_volume.suites)
+   @ Test_experiments.suites @ Test_trace.suites @ Test_volume.suites
+   @ Test_volume_faults.suites)

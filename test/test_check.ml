@@ -269,6 +269,63 @@ let test_vlfs_recover_idempotent () =
       Alcotest.(check bool) "second recovery clean" true
         (Report.ok (Vlfs_check.check t3)))
 
+(* ---- the queued-array fault sweep ---- *)
+
+(* Every coordinate in the default matrix must survive the repro
+   spec print/parse cycle: a cell whose spec does not roundtrip cannot
+   be reproduced from a CI failure line. *)
+let test_array_repro_roundtrip () =
+  let c = Array_sweep.default in
+  List.iter
+    (fun (array, fault, depth, phase, case) ->
+      let f =
+        {
+          Array_sweep.f_array = Array_sweep.array_to_string array;
+          f_seed = c.Array_sweep.seed;
+          f_fault = fault;
+          f_depth = depth;
+          f_phase = phase;
+          f_case = case;
+          message = "";
+        }
+      in
+      let spec = Array_sweep.repro_of_failure f in
+      match Array_sweep.parse_repro spec with
+      | Ok (a', s', f', d', p', c') ->
+        if
+          a' <> array || s' <> Some c.Array_sweep.seed || f' <> fault
+          || d' <> depth || p' <> phase || c' <> case
+        then Alcotest.failf "repro %S did not roundtrip" spec
+      | Error e -> Alcotest.failf "repro %S did not parse: %s" spec e)
+    (Array_sweep.cells c)
+
+(* One queued-array cell per judging regime, end to end: a raid10 cell
+   that must mask a mid-batch leg death, and a double-death cell that
+   must see honest loss.  Both must return a verdict and no failure. *)
+let array_cell array fault phase ~want_loss () =
+  let c = { Array_sweep.smoke with Array_sweep.rounds = 6 } in
+  let case =
+    match
+      List.find_opt
+        (fun (a, f, _, p, _) -> a = array && f = fault && p = phase)
+        (Array_sweep.cells c)
+    with
+    | Some (_, _, _, _, n) -> n
+    | None -> Alcotest.fail "cell not in the smoke matrix"
+  in
+  let o = Array_sweep.run_cell c ~array ~fault ~depth:4 ~phase ~case in
+  Alcotest.(check int) "one cell" 1 o.Array_sweep.cells;
+  (match o.Array_sweep.failures with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "cell failed: %s" (Format.asprintf "%a" Array_sweep.pp_failure f));
+  match o.Array_sweep.verdicts with
+  | [ (_, v) ] ->
+    Alcotest.(check string) "verdict"
+      (if want_loss then "data-loss" else "ok")
+      v
+  | vs -> Alcotest.failf "expected one verdict, got %d" (List.length vs)
+
 let suites =
   let tc = Alcotest.test_case in
   [
@@ -293,6 +350,18 @@ let suites =
         tc "full matrix: >= 150 scenarios, zero violations" `Quick
           test_full_sweep;
         tc "repro spec roundtrip" `Quick test_repro_roundtrip;
+      ] );
+    ( "check:array-sweep",
+      [
+        tc "repro spec roundtrip over the full matrix" `Quick
+          test_array_repro_roundtrip;
+        tc "raid10 masks a mid-batch leg death" `Quick
+          (array_cell Array_sweep.A_raid10
+             (Array_sweep.F_drive Fault.Plan.Drive_death)
+             Array_sweep.P_batch ~want_loss:false);
+        tc "double death is honest loss" `Quick
+          (array_cell Array_sweep.A_raid10 Array_sweep.F_double_death
+             Array_sweep.P_batch ~want_loss:true);
       ] );
     ( "check:degraded",
       [

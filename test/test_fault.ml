@@ -237,6 +237,69 @@ let test_fault_sweep () =
   Alcotest.(check bool) "degraded recoveries exercised" true
     (o.Fault.Sweep.degraded > 0)
 
+(* ---- fault-spec parse/print roundtrips ---- *)
+
+(* The printed spelling of every fault kind must parse back to the same
+   kind: these strings are the [vlsim volume fail --fault] and sweep
+   [--repro] vocabulary, so a kind that prints unparseably (a hang
+   duration mangled by [%g], say) silently breaks every repro.  Hang
+   durations are drawn in halves so the generator covers fractional
+   milliseconds that still survive [%g] printing exactly. *)
+let kind_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Fault.Plan.Torn_write;
+        return Fault.Plan.Bit_rot;
+        map (fun n -> Fault.Plan.Transient_read n) (int_range 1 9);
+        return Fault.Plan.Grown_defect;
+        return Fault.Plan.Power_cut;
+        return Fault.Plan.Drive_death;
+        map
+          (fun n -> Fault.Plan.Drive_hang (float_of_int n /. 2.))
+          (int_range 1 2000);
+        map (fun n -> Fault.Plan.Drive_flaky n) (int_range 1 32);
+        map (fun n -> Fault.Plan.Latent_sectors n) (int_range 1 128);
+      ])
+
+let kind_arb =
+  QCheck.make ~print:Fault.Plan.kind_to_string kind_gen
+
+let prop_kind_roundtrip =
+  QCheck.Test.make ~name:"fault kind print/parse roundtrip" ~count:500 kind_arb
+    (fun k ->
+      match Fault.Plan.kind_of_string (Fault.Plan.kind_to_string k) with
+      | Ok k' -> k' = k
+      | Error e -> QCheck.Test.fail_reportf "did not parse back: %s" e)
+
+let drive_kind_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Fault.Plan.Drive_death;
+        map
+          (fun n -> Fault.Plan.Drive_hang (float_of_int n /. 2.))
+          (int_range 1 2000);
+        map (fun n -> Fault.Plan.Drive_flaky n) (int_range 1 32);
+        map (fun n -> Fault.Plan.Latent_sectors n) (int_range 1 128);
+      ])
+
+let leg_spec_arb =
+  QCheck.make
+    ~print:(fun s -> Fault.Plan.leg_spec_to_string s)
+    QCheck.Gen.(
+      map2
+        (fun k leg -> { Fault.Plan.ls_kind = k; ls_leg = leg })
+        drive_kind_gen
+        (option (int_range 0 15)))
+
+let prop_leg_spec_roundtrip =
+  QCheck.Test.make ~name:"volume-fail leg spec roundtrip" ~count:500
+    leg_spec_arb (fun s ->
+      match Fault.Plan.leg_spec_of_string (Fault.Plan.leg_spec_to_string s) with
+      | Ok s' -> s' = s
+      | Error e -> QCheck.Test.fail_reportf "did not parse back: %s" e)
+
 let suites =
   [
     ( "fault-codec",
@@ -268,4 +331,7 @@ let suites =
       ] );
     ( "fault-sweep",
       [ Alcotest.test_case "220-scenario invariant sweep" `Quick test_fault_sweep ] );
+    ( "fault-spec-codec",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_kind_roundtrip; prop_leg_spec_roundtrip ] );
   ]

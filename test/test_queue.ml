@@ -203,6 +203,79 @@ let test_stall_bounded () =
   Alcotest.(check int) "retries bounded" 3
     (Disk_queue.stats dq).Disk_queue.stall_requeues
 
+(* ---- retry-with-backoff for flaky (non-hanging) drives ---- *)
+
+(* A flaky burst fails a few service attempts transiently while the
+   stall probe stays silent: with [retry_backoff] armed the queue
+   re-queues the tag with exponential spacing instead of completing it
+   Failed, and the op lands once the burst passes. *)
+let test_retry_backoff_rides_out_flaky () =
+  let disk = make_disk () in
+  let left = ref 3 in
+  Disk_sim.set_injector disk
+    (Some
+       {
+         Disk_sim.on_read = (fun ~lba:_ ~sectors:_ -> None);
+         on_write =
+           (fun ~lba:_ ~sectors:_ ->
+             if !left > 0 then begin
+               decr left;
+               Some Disk_sim.Transient_write
+             end
+             else None);
+       });
+  let dq =
+    Disk_queue.create ~retry_backoff:2. ~retry_jitter:(Prng.create ~seed:5L)
+      ~disk ()
+  in
+  ignore (Disk_queue.submit dq (Disk_queue.Write { lba = 0; buf = payload disk 0 }));
+  (match Disk_queue.drain dq with
+  | [ (_, c) ] -> (
+    match c.Disk_queue.outcome with
+    | Disk_queue.Wrote _ ->
+      Alcotest.(check bool) "retries were spaced out, not immediate" true
+        (c.Disk_queue.started > c.Disk_queue.submitted)
+    | _ -> Alcotest.fail "a flaky burst must be ridden out, not Failed")
+  | cs -> Alcotest.failf "expected 1 completion, got %d" (List.length cs));
+  Alcotest.(check int) "one requeue per failed attempt" 3
+    (Disk_queue.stats dq).Disk_queue.retry_requeues
+
+(* A drive that never stops failing transiently: the per-op stall
+   budget, not the (huge) retry cap, ends the op — it completes Failed
+   with only a handful of attempts spent. *)
+let test_stall_budget_bounds_op () =
+  let disk = make_disk () in
+  Disk_sim.set_injector disk
+    (Some
+       {
+         Disk_sim.on_read = (fun ~lba:_ ~sectors:_ -> None);
+         on_write = (fun ~lba:_ ~sectors:_ -> Some Disk_sim.Transient_write);
+       });
+  let dq =
+    Disk_queue.create ~retry_backoff:1. ~stall_budget_ms:12.
+      ~max_stall_retries:1000 ~disk ()
+  in
+  ignore (Disk_queue.submit dq (Disk_queue.Write { lba = 0; buf = payload disk 0 }));
+  match Disk_queue.drain dq with
+  | [ (_, c) ] ->
+    (match c.Disk_queue.outcome with
+    | Disk_queue.Failed _ -> ()
+    | _ -> Alcotest.fail "budget exhaustion must complete as Failed");
+    let spent =
+      (Disk_queue.stats dq).Disk_queue.retry_requeues
+      + (Disk_queue.stats dq).Disk_queue.stall_requeues
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "budget cut the op after a few attempts (%d)" spent)
+      true
+      (spent > 0 && spent < 16);
+    Alcotest.(check bool)
+      (Printf.sprintf "failed promptly (%.3f ms after arrival)"
+         (c.Disk_queue.finished -. c.Disk_queue.submitted))
+      true
+      (c.Disk_queue.finished -. c.Disk_queue.submitted < 100.)
+  | cs -> Alcotest.failf "expected 1 completion, got %d" (List.length cs)
+
 (* ---- open-loop arrivals ---- *)
 
 let test_future_submit () =
@@ -392,6 +465,10 @@ let suites =
         Alcotest.test_case "hang stalls single tag" `Quick test_hang_stalls_single_tag;
         Alcotest.test_case "plan hang recovers" `Quick test_plan_hang_recovers;
         Alcotest.test_case "stall bounded" `Quick test_stall_bounded;
+        Alcotest.test_case "retry backoff rides out flaky" `Quick
+          test_retry_backoff_rides_out_flaky;
+        Alcotest.test_case "stall budget bounds the op" `Quick
+          test_stall_budget_bounds_op;
         Alcotest.test_case "future submit" `Quick test_future_submit;
         Alcotest.test_case "background yields to foreground" `Quick
           test_background_yields;
