@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- --json out.json fig8   # machine-readable timings
      dune exec bench/main.exe -- qdepth       # latency-under-load curves
      dune exec bench/main.exe -- array        # 16-spindle array study
+     dune exec bench/main.exe -- nvm          # NVM staging-tier study
                                               # (standalone: own JSON schemas)
 
    Experiments (and, for the big grids, their individual cells) run
@@ -41,11 +42,29 @@ let write_json path jobs (timings : Suite.timing list) =
   output_string oc "[\n";
   List.iteri
     (fun i (t : Suite.timing) ->
+      (* Experiments that report per-cell percentiles (fig8) add a
+         [cells] array; the scalar fields stay exactly as before. *)
+      let cells =
+        match t.Suite.t_cells with
+        | [] -> ""
+        | cs ->
+          let m = List.length cs in
+          ", \"cells\": ["
+          ^ String.concat ""
+              (List.mapi
+                 (fun j (label, p50, p99) ->
+                   Printf.sprintf
+                     "{\"label\": %S, \"p50_ms\": %.6f, \"p99_ms\": %.6f}%s"
+                     label p50 p99
+                     (if j = m - 1 then "" else ", "))
+                 cs)
+          ^ "]"
+      in
       Printf.fprintf oc
         "  {\"name\": %S, \"wall_s\": %.6f, \"elapsed_s\": %.6f, \"sim_ms\": \
-         %.3f, \"scale\": %S, \"jobs\": %d}%s\n"
+         %.3f, \"scale\": %S, \"jobs\": %d%s}%s\n"
         t.Suite.t_name t.Suite.t_wall_s t.Suite.t_elapsed_s t.Suite.t_sim_ms
-        scale_s jobs
+        scale_s jobs cells
         (if i = n - 1 then "" else ","))
     timings;
   output_string oc "]\n";
@@ -172,17 +191,23 @@ let () =
   let names = List.filter (fun a -> a <> "qdepth") names in
   let want_array = List.mem "array" names in
   let names = List.filter (fun a -> a <> "array") names in
+  let want_nvm = List.mem "nvm" names in
+  let names = List.filter (fun a -> a <> "nvm") names in
   let want_faults = List.mem "--faults" names in
   let names = List.filter (fun a -> a <> "--faults") names in
   if want_faults && not want_array then begin
     prerr_endline "--faults only applies to the array experiment";
     exit 2
   end;
-  if (want_qdepth || want_array) && (names <> [] || want_micro || (want_qdepth && want_array))
-  then begin
+  let standalones =
+    (if want_qdepth then 1 else 0)
+    + (if want_array then 1 else 0)
+    + (if want_nvm then 1 else 0)
+  in
+  if standalones > 0 && (names <> [] || want_micro || standalones > 1) then begin
     prerr_endline
-      "qdepth and array write their own per-cell JSON schemas; run each \
-       without other experiments";
+      "qdepth, array and nvm write their own per-cell JSON schemas; run \
+       each without other experiments";
     exit 2
   end;
   if want_array then begin
@@ -196,6 +221,25 @@ let () =
     | Some path ->
       let oc = open_out path in
       output_string oc (Array_bench.to_json ~scale:!scale ~jobs:!jobs results);
+      close_out oc
+    | None -> ());
+    exit 0
+  end;
+  if want_nvm then begin
+    let results = Nvm_bench.run ?seed:seed_opt ~jobs:!jobs ~scale:!scale () in
+    print_string (Table.render (Nvm_bench.table_of results));
+    print_newline ();
+    Printf.printf
+      "criteria: latency_ratio %.1fx (>=10: %s), overload_ratio %.2fx \
+       (<=1.25: %s)\n"
+      results.Nvm_bench.criteria.Nvm_bench.latency_ratio
+      (if results.Nvm_bench.criteria.Nvm_bench.latency_ok then "ok" else "FAIL")
+      results.Nvm_bench.criteria.Nvm_bench.overload_ratio
+      (if results.Nvm_bench.criteria.Nvm_bench.overload_ok then "ok" else "FAIL");
+    (match !json_out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Nvm_bench.to_json ~scale:!scale ~jobs:!jobs results);
       close_out oc
     | None -> ());
     exit 0

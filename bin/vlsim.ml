@@ -266,6 +266,18 @@ let faults_cmd =
               (Fault.Plan.kind_to_string k))
           drive;
         exit 2);
+      (match List.filter Fault.Plan.is_nvm_kind kinds with
+      | [] -> ()
+      | nvm ->
+        List.iter
+          (fun k ->
+            Printf.eprintf
+              "vlsim: %s strikes an NVM staging tier; this single-spindle \
+               sweep has none — use vlsim fssweep, whose nvm rigs judge the \
+               staged persistence boundary\n"
+              (Fault.Plan.kind_to_string k))
+          nvm;
+        exit 2);
       let cfg =
         {
           Fault.Sweep.default with
@@ -611,6 +623,129 @@ let volume_cmd =
       const run $ actions_arg $ layout_arg $ legs_arg $ blocks_arg $ kill_arg
       $ fault_arg $ disk_arg)
 
+(* --- nvm --- *)
+
+let nvm_cmd =
+  let doc =
+    "build an NVM write-ahead staging tier over a logical disk and poke it: \
+     mk stages a tagged synchronous workload in the NVM log, status prints \
+     the log occupancy and destage progress, drain destages everything and \
+     verifies each block reads back from the backing device"
+  in
+  let actions_arg =
+    Arg.(
+      value
+      & pos_all (enum [ ("mk", `Mk); ("status", `Status); ("drain", `Drain) ])
+          [ `Mk; `Status ]
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "mk, status, drain — applied in order to one in-memory staged \
+             stack (default: mk status)")
+  in
+  let backing_arg =
+    Arg.(
+      value
+      & opt (enum [ ("vld", `Vld); ("regular", `Regular) ]) `Vld
+      & info [ "backing" ] ~doc:"device behind the staging tier: vld or regular")
+  in
+  let blocks_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "blocks" ] ~doc:"blocks the staged workload writes")
+  in
+  let log_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "log-bytes" ] ~docv:"N"
+          ~doc:
+            "cap the NVM log region at $(docv) bytes (default: the whole 8 \
+             MiB region); tiny caps show the backpressure path")
+  in
+  let run actions backing blocks log_bytes profile =
+    let clock = Vlog_util.Clock.create () in
+    let disk =
+      Disk.Disk_sim.create ~buffer_policy:Disk.Track_buffer.Whole_track ~profile
+        ~clock ()
+    in
+    let prng = Vlog_util.Prng.create ~seed:4242L in
+    let inner =
+      match backing with
+      | `Vld ->
+        Blockdev.Vld.device
+          (Blockdev.Vld.create ~disk ~logical_blocks:(max 64 (blocks * 2)) ~prng
+             ())
+      | `Regular ->
+        Blockdev.Regular_disk.device
+          (Blockdev.Regular_disk.create ~disk ~spare_blocks:8 ())
+    in
+    let nvm = Nvm.Nvm_sim.create ~clock () in
+    let config = { Nvm.Nvm_wal.default_config with Nvm.Nvm_wal.log_bytes } in
+    let wal = Nvm.Nvm_wal.create ~config ~nvm ~inner () in
+    let dev = Nvm.Nvm_wal.device wal in
+    let bb = dev.Blockdev.Device.block_bytes in
+    let tag b = Char.chr (33 + (b mod 90)) in
+    let act = function
+      | `Mk ->
+        let staged = ref 0 in
+        for b = 0 to blocks - 1 do
+          match dev.Blockdev.Device.write b (Bytes.make bb (tag b)) with
+          | Ok _ -> incr staged
+          | Error e ->
+            Format.eprintf "vlsim: nvm: write %d failed: %a@." b
+              Blockdev.Device.pp_io_error e;
+            exit 1
+        done;
+        Printf.printf "staged %d synchronous writes over %s backing (%s)\n"
+          !staged
+          (match backing with `Vld -> "vld" | `Regular -> "regular")
+          dev.Blockdev.Device.name
+      | `Status ->
+        let s = Nvm.Nvm_wal.status wal in
+        let st = Nvm.Nvm_sim.stats nvm in
+        Printf.printf
+          "log: %d entries staged (%d already destaged), %d/%d bytes used\n"
+          s.Nvm.Nvm_wal.st_entries s.Nvm.Nvm_wal.st_destaged
+          s.Nvm.Nvm_wal.st_log_used s.Nvm.Nvm_wal.st_log_capacity;
+        Printf.printf "seq: base %Ld, next %Ld\n" s.Nvm.Nvm_wal.st_base_seq
+          s.Nvm.Nvm_wal.st_next_seq;
+        Printf.printf
+          "nvm: %d stores / %d loads, %d persist barriers, %d auto-drains, %d \
+           bytes pending in the volatile front\n"
+          st.Nvm.Nvm_sim.nvm_writes st.Nvm.Nvm_sim.nvm_reads
+          st.Nvm.Nvm_sim.persists st.Nvm.Nvm_sim.auto_drains
+          (Nvm.Nvm_sim.pending_bytes nvm)
+      | `Drain -> (
+        match Nvm.Nvm_wal.drain wal with
+        | Error e ->
+          Format.eprintf "vlsim: nvm: drain failed: %a@."
+            Blockdev.Device.pp_io_error e;
+          exit 1
+        | Ok () ->
+          let lost = ref 0 in
+          for b = 0 to blocks - 1 do
+            match inner.Blockdev.Device.read b with
+            | Ok (data, _) when Bytes.get data 0 = tag b -> ()
+            | Ok _ | Error _ -> incr lost
+          done;
+          if !lost > 0 then begin
+            Printf.printf
+              "DATA LOSS: %d of %d blocks wrong or unreadable on the backing \
+               device after drain\n"
+              !lost blocks;
+            exit 1
+          end
+          else
+            Printf.printf
+              "drained: all %d blocks verified on the backing device\n" blocks)
+    in
+    List.iter act actions
+  in
+  Cmd.v (Cmd.info "nvm" ~doc)
+    Term.(
+      const run $ actions_arg $ backing_arg $ blocks_arg $ log_bytes_arg
+      $ disk_arg)
+
 (* --- mkimage --- *)
 
 let fs_kind_arg =
@@ -820,4 +955,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; model_cmd; latency_cmd; faults_cmd; fssweep_cmd;
-            arraysweep_cmd; volume_cmd; mkimage_cmd; fsck_cmd; trace_cmd ]))
+            arraysweep_cmd; volume_cmd; nvm_cmd; mkimage_cmd; fsck_cmd;
+            trace_cmd ]))

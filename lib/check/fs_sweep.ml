@@ -31,11 +31,16 @@ type fs_kind = F_ufs | F_lfs | F_vlfs
 type vol_layout = V_stripe | V_mirror | V_raid10
 type vol_leg = VL_regular | VL_vld
 
+(* NVM-WAL rigs put an [Nvm_wal] staging tier in front of the logical
+   disk; the backing name says what the destager drains into. *)
+type wal_backing = W_regular | W_vld
+
 type dev_kind =
   | D_vld
   | D_regular
   | D_direct
   | D_volume of vol_layout * vol_leg
+  | D_nvm of wal_backing
 
 type rig = { fs : fs_kind; on : dev_kind }
 
@@ -48,11 +53,14 @@ let vol_layout_name = function
 
 let vol_leg_name = function VL_regular -> "regular" | VL_vld -> "vld"
 
+let wal_backing_name = function W_regular -> "regular" | W_vld -> "vld"
+
 let dev_name = function
   | D_vld -> "vld"
   | D_regular -> "regular"
   | D_direct -> "direct"
   | D_volume (l, k) -> vol_layout_name l ^ "-" ^ vol_leg_name k
+  | D_nvm b -> "nvm-" ^ wal_backing_name b
 
 let rig_name r = fs_name r.fs ^ "/" ^ dev_name r.on
 
@@ -71,6 +79,8 @@ let rig_of_string s =
       | "vld" -> Some D_vld
       | "regular" -> Some D_regular
       | "direct" -> Some D_direct
+      | "nvm-regular" -> Some (D_nvm W_regular)
+      | "nvm-vld" -> Some (D_nvm W_vld)
       | _ -> (
         match String.split_on_char '-' on with
         | [ l; k ] -> (
@@ -95,6 +105,8 @@ let rig_of_string s =
     match (fsk, onk) with
     | Some F_vlfs, Some (D_volume _) ->
       Error "vlfs runs directly on the platters; it has no volume rig"
+    | Some F_vlfs, Some (D_nvm _) ->
+      Error "vlfs runs directly on the platters; it has no nvm rig"
     | Some fs, Some on -> Ok { fs; on }
     | _ -> Error (Printf.sprintf "unknown rig %S" s))
   | _ -> Error (Printf.sprintf "unknown rig %S (want fs/dev)" s)
@@ -123,6 +135,11 @@ type config = {
           trigger) product, since whole-drive faults only make sense
           against a multi-drive volume and need fewer triggers to cover
           the interesting phases *)
+  wal_triggers : int list;
+  wal_kinds : Fault.Plan.kind list;
+  wal_rigs : rig list;
+      (** the NVM-WAL slice: staged rigs whose durability point is the
+          NVM persist barrier, struck by the [Nvm_*] kinds *)
 }
 
 let default_vol_rigs =
@@ -161,6 +178,16 @@ let default =
         Fault.Plan.Latent_sectors 16;
       ];
     vol_rigs = default_vol_rigs;
+    wal_triggers = [ 0; 2; 5; 9 ];
+    wal_kinds =
+      [
+        Fault.Plan.Nvm_cut;
+        Fault.Plan.Nvm_torn;
+        Fault.Plan.Nvm_destage_cut;
+        Fault.Plan.Nvm_full;
+      ];
+    wal_rigs =
+      [ { fs = F_ufs; on = D_nvm W_vld }; { fs = F_ufs; on = D_nvm W_regular } ];
   }
 
 (* CI smoke: one damaging kind, two triggers, one rig per file system,
@@ -179,6 +206,9 @@ let smoke =
     vol_triggers = [ 2; 9 ];
     vol_kinds = [ Fault.Plan.Drive_death ];
     vol_rigs = [ { fs = F_ufs; on = D_volume (V_mirror, VL_vld) } ];
+    wal_triggers = [ 2; 9 ];
+    wal_kinds = [ Fault.Plan.Nvm_torn; Fault.Plan.Nvm_destage_cut ];
+    wal_rigs = [ { fs = F_ufs; on = D_nvm W_vld } ];
   }
 
 type failure = {
@@ -277,8 +307,10 @@ let sector_bytes c =
 let make_disk ?store c rig clock =
   let buffer_policy =
     match rig.on with
-    | D_regular | D_volume (_, VL_regular) -> Disk.Track_buffer.Forward_discard
-    | D_vld | D_direct | D_volume (_, VL_vld) -> Disk.Track_buffer.Whole_track
+    | D_regular | D_volume (_, VL_regular) | D_nvm W_regular ->
+      Disk.Track_buffer.Forward_discard
+    | D_vld | D_direct | D_volume (_, VL_vld) | D_nvm W_vld ->
+      Disk.Track_buffer.Whole_track
   in
   Disk.Disk_sim.create ~buffer_policy ?store ~profile:(profile c) ~clock ()
 
@@ -382,6 +414,7 @@ let fresh_dev c rig ~disk ~prng =
       (Blockdev.Regular_disk.create ~disk ~spare_blocks ())
   | D_direct -> invalid_arg "direct rigs have no logical-disk layer"
   | D_volume _ -> invalid_arg "volume rigs build their device in run_volume_cell"
+  | D_nvm _ -> invalid_arg "nvm rigs build their device in run_wal_cell"
 
 let fresh_fs c rig ~disk ~clock ~prng =
   match rig.fs with
@@ -415,6 +448,7 @@ let mount_fs rig ~disk ~clock ~prng : (ops * (string * int) list, string) result
       | Error e -> Error ("vld: " ^ e))
     | D_volume _ ->
       Error "volume rigs recover all their legs in run_volume_cell"
+    | D_nvm _ -> Error "nvm rigs replay their log in run_wal_cell"
   in
   match (rig.fs, dev) with
   | F_vlfs, None -> (
@@ -465,6 +499,11 @@ let workload_time = function
   | Fault.Plan.Drive_death | Fault.Plan.Drive_hang _ | Fault.Plan.Drive_flaky _
   | Fault.Plan.Latent_sectors _ ->
     true
+  (* NVM kinds cut the power while the staged workload runs, whether the
+     strike lands on the persist barrier or on a destage write *)
+  | Fault.Plan.Nvm_cut | Fault.Plan.Nvm_torn | Fault.Plan.Nvm_destage_cut
+  | Fault.Plan.Nvm_full ->
+    true
   | Fault.Plan.Transient_read _ -> false
 
 (* A regular disk's grown-defect remap table is volatile here: after a
@@ -475,10 +514,16 @@ let workload_time = function
    anything, so single-spindle rigs skip them. *)
 let excluded rig kind =
   match rig.on with
-  | D_regular -> kind = Fault.Plan.Grown_defect
-  | D_vld | D_direct -> Fault.Plan.is_drive_kind kind
-  | D_volume (_, VL_regular) -> kind = Fault.Plan.Grown_defect
-  | D_volume (_, VL_vld) -> false
+  | D_regular ->
+    kind = Fault.Plan.Grown_defect || Fault.Plan.is_nvm_kind kind
+  | D_vld | D_direct ->
+    Fault.Plan.is_drive_kind kind || Fault.Plan.is_nvm_kind kind
+  | D_volume (_, VL_regular) ->
+    kind = Fault.Plan.Grown_defect || Fault.Plan.is_nvm_kind kind
+  | D_volume (_, VL_vld) -> Fault.Plan.is_nvm_kind kind
+  (* the WAL slice is about the staging tier's persistence boundary;
+     media and drive kinds stay with the plain and volume slices *)
+  | D_nvm _ -> not (Fault.Plan.is_nvm_kind kind)
 
 let view_of fso =
   {
@@ -639,7 +684,8 @@ let run_plain_cell (c : config) ~rig ~kind ~trigger ~case =
       match kind with
       | Fault.Plan.Power_cut | Fault.Plan.Torn_write
       | Fault.Plan.Transient_read _ | Fault.Plan.Drive_hang _
-      | Fault.Plan.Drive_flaky _ ->
+      | Fault.Plan.Drive_flaky _ | Fault.Plan.Nvm_cut | Fault.Plan.Nvm_torn
+      | Fault.Plan.Nvm_destage_cut | Fault.Plan.Nvm_full ->
         Oracle.Strict
       | Fault.Plan.Bit_rot | Fault.Plan.Grown_defect | Fault.Plan.Drive_death
       | Fault.Plan.Latent_sectors _ ->
@@ -820,7 +866,8 @@ let run_volume_cell (c : config) ~rig ~layout ~leg ~kind ~trigger ~case =
         match kind with
         | Fault.Plan.Power_cut | Fault.Plan.Torn_write
         | Fault.Plan.Transient_read _ | Fault.Plan.Drive_hang _
-        | Fault.Plan.Drive_flaky _ ->
+        | Fault.Plan.Drive_flaky _ | Fault.Plan.Nvm_cut | Fault.Plan.Nvm_torn
+        | Fault.Plan.Nvm_destage_cut | Fault.Plan.Nvm_full ->
           Oracle.Strict
         | Fault.Plan.Bit_rot | Fault.Plan.Grown_defect
         | Fault.Plan.Drive_death | Fault.Plan.Latent_sectors _ ->
@@ -854,10 +901,201 @@ let run_volume_cell (c : config) ~rig ~layout ~leg ~kind ~trigger ~case =
     failures = List.rev !fails;
   }
 
+(* NVM-WAL rig parameters.  The log is deliberately small so destaging
+   happens inline (backpressure) during the short sweep workload —
+   otherwise the crash-mid-destage cells would find no backing-disk
+   writes to strike.  [Nvm_full] cells shrink it to a handful of records
+   so nearly every append pays the drain. *)
+let wal_log_bytes = 64 * 1024
+let wal_tiny_log_bytes = 20 * 1024
+
+(* A WAL cell: the same workload and judging protocol as a plain cell,
+   but the file system's device is an [Nvm_wal] staging tier over the
+   logical disk, and the fault plan watches the tier's own counters —
+   NVM persist barriers for [Nvm_cut]/[Nvm_torn], backing-disk writes
+   for [Nvm_destage_cut]/[Nvm_full].  The freeze captures both failure
+   domains (the platters and the NVM's persisted image); the remount
+   replays the NVM log over the disk before the FS's own recovery runs.
+   Every NVM kind is a power-cut flavor — no media damage — so the
+   oracle runs in [Strict] mode: a write that returned [Ok] crossed the
+   persist barrier and must survive, while volatile-front residue
+   belongs to operations that never returned. *)
+let run_wal_cell (c : config) ~rig ~backing ~kind ~trigger ~case =
+  let scenario_seed = Int64.add c.seed (Int64.of_int (case * 6029)) in
+  let wal_config =
+    {
+      Nvm.Nvm_wal.default_config with
+      Nvm.Nvm_wal.log_bytes =
+        Some
+          (match kind with
+          | Fault.Plan.Nvm_full -> wal_tiny_log_bytes
+          | _ -> wal_log_bytes);
+    }
+  in
+  let make_inner ~disk ~fresh =
+    match backing with
+    | W_vld ->
+      if fresh then
+        Ok
+          (Blockdev.Vld.device
+             (Blockdev.Vld.create ~disk ~logical_blocks:c.logical_blocks
+                ~prng:(Prng.create ~seed:scenario_seed) ()))
+      else (
+        match
+          Blockdev.Vld.recover ~disk ~prng:(Prng.create ~seed:scenario_seed) ()
+        with
+        | Ok (vld, _) -> Ok (Blockdev.Vld.device vld)
+        | Error e -> Error ("vld: " ^ e))
+    | W_regular ->
+      Ok
+        (Blockdev.Regular_disk.device
+           (Blockdev.Regular_disk.create ~disk ~spare_blocks ()))
+  in
+  let fs_fresh ~dev ~clock =
+    match rig.fs with
+    | F_ufs -> wrap_ufs (Ufs.format ~dev ~host:Host.free ~clock ufs_cfg)
+    | F_lfs -> wrap_lfs (Lfs.format ~dev ~host:Host.free ~clock lfs_cfg)
+    | F_vlfs -> invalid_arg "vlfs has no nvm rig"
+  in
+  let fs_mount ~dev ~clock =
+    match rig.fs with
+    | F_ufs -> (
+      match Ufs.mount ~dev ~host:Host.free ~clock ufs_cfg with
+      | Error e -> Error ("ufs: " ^ e)
+      | Ok (t, _) -> Ok (wrap_ufs t))
+    | F_lfs -> (
+      match Lfs.recover ~dev ~host:Host.free ~clock lfs_cfg with
+      | Error e -> Error ("lfs: " ^ e)
+      | Ok (t, _) -> Ok (wrap_lfs t))
+    | F_vlfs -> Error "vlfs has no nvm rig"
+  in
+  let clock = Clock.create () in
+  let disk = make_disk c rig clock in
+  let prng = Prng.create ~seed:scenario_seed in
+  let nvm = Nvm.Nvm_sim.create ~clock () in
+  let fails = ref [] in
+  let failf fmt =
+    Printf.ksprintf
+      (fun message ->
+        fails :=
+          {
+            f_rig = rig_name rig;
+            f_seed = c.seed;
+            f_kind = kind;
+            f_trigger = trigger;
+            f_case = case;
+            message;
+          }
+          :: !fails)
+      fmt
+  in
+  match make_inner ~disk ~fresh:true with
+  | Error e ->
+    failf "format aborted: %s" e;
+    { zero with scenarios = 1; failures = List.rev !fails }
+  | Ok inner ->
+    let wal = Nvm.Nvm_wal.create ~config:wal_config ~nvm ~inner () in
+    let fso = fs_fresh ~dev:(Nvm.Nvm_wal.device wal) ~clock in
+    let plan =
+      Fault.Plan.create kind ~trigger ~seed:(Int64.add scenario_seed 1L)
+    in
+    (* One plan, both failure domains: whichever counter the kind
+       watches decides where it strikes. *)
+    Fault.Plan.install plan disk;
+    Fault.Plan.install_nvm plan nvm;
+    let oracle = Oracle.create ~sector_bytes:(sector_bytes c) in
+    let cut = ref false in
+    run_workload c fso oracle ~wprng:(Prng.split prng) ~cut;
+    Fault.Plan.flush plan;
+    (* A clean shutdown parks the staging tier too: everything staged
+       destages and the log resets.  A power cut freezes both domains
+       mid-flight. *)
+    if not !cut then (
+      match Nvm.Nvm_wal.drain wal with
+      | Ok () -> ()
+      | Error e ->
+        failf "clean-shutdown drain failed: %s"
+          (Format.asprintf "%a" Blockdev.Device.pp_io_error e));
+    let frozen = (Disk.Sector_store.snapshot (Disk.Disk_sim.store disk),
+                  Nvm.Nvm_sim.snapshot nvm)
+    in
+    let degraded = ref false in
+    let oracle_checks = ref 0 in
+    let mount_from (dstore, nimg) =
+      let clock2 = Clock.create () in
+      let disk2 = make_disk ~store:dstore c rig clock2 in
+      match make_inner ~disk:disk2 ~fresh:false with
+      | Error e ->
+        failf "mount aborted: %s" e;
+        None
+      | Ok inner2 -> (
+        let nvm2 = Nvm.Nvm_sim.create ~image:nimg ~clock:clock2 () in
+        match Nvm.Nvm_wal.recover ~config:wal_config ~nvm:nvm2 ~inner:inner2 ()
+        with
+        | Error e ->
+          failf "wal replay aborted: %s"
+            (Format.asprintf "%a" Blockdev.Device.pp_io_error e);
+          None
+        | Ok (wal2, _report) -> (
+          match fs_mount ~dev:(Nvm.Nvm_wal.device wal2) ~clock:clock2 with
+          | Error e ->
+            failf "mount aborted: %s" e;
+            None
+          | Ok fso2 -> Some (fso2, disk2, nvm2)))
+    in
+    (match mount_from frozen with
+    | None -> ()
+    | Some (fso2, disk2, nvm2) ->
+      (match fso2.o_mode () with
+      | `Degraded _ -> degraded := true
+      | `Rw -> ());
+      (* NVM kinds never damage media, so fsck owes a clean bill beyond
+         the usual informational [Unflushed]. *)
+      let allowed = [ Report.Unflushed ] in
+      List.iter
+        (fun (f : Report.finding) ->
+          if not (List.mem f.Report.category allowed) then
+            failf "fsck: [%s] %s"
+              (Report.category_to_string f.Report.category)
+              f.Report.detail)
+        (fso2.o_check ()).Report.findings;
+      let mode = Oracle.Strict in
+      incr oracle_checks;
+      List.iter
+        (fun m -> failf "oracle: %s" m)
+        (Oracle.check oracle ~mode (view_of fso2));
+      (* Recovery idempotence, staged edition: freezing both domains of
+         the recovered pair and replaying again changes nothing — the
+         second replay rewrites what the first already destaged. *)
+      let again = (Disk.Sector_store.snapshot (Disk.Disk_sim.store disk2),
+                   Nvm.Nvm_sim.snapshot nvm2)
+      in
+      match mount_from again with
+      | None -> ()
+      | Some (fso3, _, _) ->
+        let signature f =
+          List.map
+            (fun n -> (n, match f.o_size n with Ok s -> s | Error _ -> -1))
+            (List.sort compare (f.o_files ()))
+        in
+        if signature fso2 <> signature fso3 then
+          failf "remount is not idempotent (namespace or sizes changed)";
+        let deg f = match f.o_mode () with `Degraded _ -> true | `Rw -> false in
+        if deg fso2 <> deg fso3 then failf "degraded mode is not idempotent");
+    {
+      scenarios = 1;
+      injected = (if Fault.Plan.fired plan then 1 else 0);
+      cut = (if !cut then 1 else 0);
+      degraded_mounts = (if !degraded then 1 else 0);
+      oracle_checks = !oracle_checks;
+      failures = List.rev !fails;
+    }
+
 let run_cell (c : config) ~rig ~kind ~trigger ~case =
   match rig.on with
   | D_volume (layout, leg) ->
     run_volume_cell c ~rig ~layout ~leg ~kind ~trigger ~case
+  | D_nvm backing -> run_wal_cell c ~rig ~backing ~kind ~trigger ~case
   | D_vld | D_regular | D_direct -> run_plain_cell c ~rig ~kind ~trigger ~case
 
 (* The matrix in canonical order.  [case] counts only the cells actually
@@ -886,6 +1124,7 @@ let cells (c : config) =
   in
   add c.rigs c.kinds c.triggers;
   add c.vol_rigs c.vol_kinds c.vol_triggers;
+  add c.wal_rigs c.wal_kinds c.wal_triggers;
   List.rev !cells
 
 (* A worker that died (crash, wedge, exception) degrades to a per-cell
@@ -1252,8 +1491,10 @@ let fsck_image (h : Image.header) store : (fsck_result, string) result =
   let clock = Clock.create () in
   let buffer_policy =
     match rig.on with
-    | D_regular | D_volume (_, VL_regular) -> Disk.Track_buffer.Forward_discard
-    | D_vld | D_direct | D_volume (_, VL_vld) -> Disk.Track_buffer.Whole_track
+    | D_regular | D_volume (_, VL_regular) | D_nvm W_regular ->
+      Disk.Track_buffer.Forward_discard
+    | D_vld | D_direct | D_volume (_, VL_vld) | D_nvm W_vld ->
+      Disk.Track_buffer.Whole_track
   in
   let disk = Disk.Disk_sim.create ~buffer_policy ~store ~profile ~clock () in
   let* fso, notes =

@@ -13,17 +13,24 @@ type vol_layout = V_stripe | V_mirror | V_raid10
 
 type vol_leg = VL_regular | VL_vld
 
+type wal_backing = W_regular | W_vld
+(** What an NVM-WAL rig's destager drains into. *)
+
 type dev_kind =
   | D_vld
   | D_regular
   | D_direct
   | D_volume of vol_layout * vol_leg
       (** the file system runs on a {!Volume} over several drives *)
+  | D_nvm of wal_backing
+      (** an {!Nvm.Nvm_wal} staging tier fronts the logical disk: writes
+          commit at the NVM persist barrier, a destager drains them to
+          the backing device, and remount replays the NVM log first *)
 
 type rig = { fs : fs_kind; on : dev_kind }
 
 val rig_name : rig -> string
-(** ["ufs/vld"], ["vlfs/direct"], ["ufs/mirror-vld"], ... *)
+(** ["ufs/vld"], ["vlfs/direct"], ["ufs/mirror-vld"], ["ufs/nvm-vld"], ... *)
 
 val rig_of_string : string -> (rig, string) result
 
@@ -45,17 +52,26 @@ type config = {
       (** the volume slice of the matrix: its own (rig x kind x trigger)
           product, where the plan lands on one victim leg and whole-drive
           kinds ([death], [hang], [flaky], [latent]) become meaningful *)
+  wal_triggers : int list;
+  wal_kinds : Fault.Plan.kind list;
+  wal_rigs : rig list;
+      (** the NVM-WAL slice: staged rigs judged at the staging tier's
+          persistence boundary by the [Nvm_*] kinds (cut before the
+          persist barrier, torn NVM record, crash mid-destage, power cut
+          under NVM-full backpressure) *)
 }
 
 val default : config
 (** The full matrix: 161 single-spindle scenarios (5 rigs x 5 kinds x 7
     triggers, minus the regular-disk grown-defect cells, whose remap
     table is volatile and so have nothing to assert) plus 84 volume
-    scenarios (4 mirrored rigs x 7 kinds x 3 triggers). *)
+    scenarios (4 mirrored rigs x 7 kinds x 3 triggers) plus 32 NVM-WAL
+    scenarios (2 staged rigs x 4 NVM kinds x 4 triggers). *)
 
 val smoke : config
 (** CI-sized: torn writes only, two triggers, one rig per file system,
-    plus two mirrored-volume drive-death cells. *)
+    plus two mirrored-volume drive-death cells and four NVM-WAL cells
+    (torn NVM record and crash mid-destage on the staged-VLD rig). *)
 
 type failure = {
   f_rig : string;

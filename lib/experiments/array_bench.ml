@@ -529,8 +529,10 @@ let to_json ~scale ~jobs r =
   let scale_s = match scale with Rigs.Quick -> "quick" | Rigs.Full -> "full" in
   Buffer.add_string b "{\n";
   Buffer.add_string b
-    (Printf.sprintf "  \"experiment\": \"array\", \"scale\": %S, \"jobs\": %d,\n"
-       scale_s jobs);
+    (Printf.sprintf
+       "  \"experiment\": \"array\", \"scale\": %S, \"jobs\": %d, \"cores\": \
+        %d,\n"
+       scale_s jobs (Par.detected_cores ()));
   Buffer.add_string b "  \"cells\": [\n";
   let n = List.length r.r_cells in
   List.iteri

@@ -93,6 +93,8 @@ val render : result -> string
 (** IOPS table plus the scalability, rebuild and fairness summaries. *)
 
 val to_json : scale:Rigs.scale -> jobs:int -> result -> string
-(** One JSON object: [cells] records, [scalability] (with the ≥8×
-    criterion), [rebuild] modes + budget verdict, and [fairness] with
-    per-tenant rows and the spread ratios. *)
+(** One JSON object: top-level [experiment], [scale], [jobs], [cores]
+    (the host's detected core count), then [cells] records,
+    [scalability] (with the ≥8× criterion), [rebuild] modes + budget
+    verdict, and [fairness] with per-tenant rows and the spread
+    ratios. *)

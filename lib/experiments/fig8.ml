@@ -1,6 +1,12 @@
 open Vlog_util
 
-type point = { file_mb : float; utilization : float; latency_ms : float }
+type point = {
+  file_mb : float;
+  utilization : float;
+  latency_ms : float;
+  p50_ms : float;
+  p99_ms : float;
+}
 type series = { label : string; points : point list }
 
 type cell = { c_system : int; c_file_mb : float }
@@ -47,6 +53,8 @@ let run_cell ~scale c =
         file_mb = c.c_file_mb;
         utilization = r.Workload.Random_update.utilization;
         latency_ms = r.Workload.Random_update.mean_latency_ms;
+        p50_ms = r.Workload.Random_update.p50_ms;
+        p99_ms = r.Workload.Random_update.p99_ms;
       }
   | exception Failure _ -> None
 
@@ -71,7 +79,7 @@ let table_of all =
       ~title:
         "Figure 8: random 4 KB synchronous update latency vs disk utilization"
       ~columns:
-        [ "File MB"; "System"; "Utilization"; "Latency/4KB" ]
+        [ "File MB"; "System"; "Utilization"; "Latency/4KB"; "p50"; "p99" ]
   in
   List.iter
     (fun s ->
@@ -83,6 +91,8 @@ let table_of all =
               s.label;
               Table.cell_pct p.utilization;
               Table.cell_ms p.latency_ms;
+              Table.cell_ms p.p50_ms;
+              Table.cell_ms p.p99_ms;
             ])
         s.points)
     all;

@@ -7,6 +7,8 @@ type point = {
   file_mb : float;
   utilization : float;
   latency_ms : float;
+  p50_ms : float;  (** per-update wall-latency percentiles, observed in a *)
+  p99_ms : float;  (** log-scale {!Trace.Histogram} during the measurement *)
 }
 
 type series = { label : string; points : point list }

@@ -305,12 +305,14 @@ let to_json ~scale ~jobs results =
             \"rate_ops_s\": %.3f, \"throughput_ops_s\": %.3f, \"n\": %d, \
             \"mean_ms\": %.6f, \"p50_ms\": %.6f, \"p99_ms\": %.6f, \
             \"p999_ms\": %.6f, \"max_ms\": %.6f, \"base_ops_s\": %.3f, \
-            \"sat_ops_s\": %.3f, \"scale\": %S, \"jobs\": %d}%s\n"
+            \"sat_ops_s\": %.3f, \"scale\": %S, \"jobs\": %d, \
+            \"cores\": %d}%s\n"
            (fs_to_string r.r_cell.fs)
            (Disk.Disk_queue.policy_to_string r.r_cell.policy)
            r.r_cell.depth row.load row.rate_ops_s row.throughput_ops_s row.n
            row.mean_ms row.p50_ms row.p99_ms row.p999_ms row.max_ms
            r.base_ops_s r.sat_ops_s scale_s jobs
+           (Par.detected_cores ())
            (if i = n - 1 then "" else ",")))
     rows;
   Buffer.add_string b "]\n";

@@ -59,4 +59,5 @@ val to_json : scale:Rigs.scale -> jobs:int -> result list -> string
 (** One JSON array with a record per (cell × row): keys [fs], [depth],
     [policy], [load], [rate_ops_s], [throughput_ops_s], [n], [mean_ms],
     [p50_ms], [p99_ms], [p999_ms], [max_ms], [base_ops_s], [sat_ops_s],
-    [scale], [jobs]. *)
+    [scale], [jobs], [cores] (the host's detected core count, so a
+    recorded run says what hardware produced its [jobs] choice). *)

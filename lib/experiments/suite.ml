@@ -19,17 +19,23 @@ type timing = {
   t_wall_s : float;
   t_elapsed_s : float;
   t_sim_ms : float;
+  t_cells : (string * float * float) list;
   t_failures : string list;
 }
 
 (* A plan is either one job or a fan-out with a typed merge.  ['r] is
    existential: it never crosses the module boundary, only the wire
    (where it is marshalled, so it must be closure-free data). *)
+(* [cells] (optional) distills per-cell latency percentiles out of the
+   sub-results for the machine-readable side channel ([bench --json]):
+   (label, p50 ms, p99 ms) triples, to ride next to the rendered
+   output. *)
 type plan =
   | Single of (unit -> string)
   | Split : {
       subs : (string * (unit -> 'r)) list;
       merge : 'r list -> string;
+      cells : ('r list -> (string * float * float) list) option;
     }
       -> plan
 
@@ -57,6 +63,16 @@ let plan ~scale name : plan =
         merge =
           (fun points ->
             render (Fig8.table_of (Fig8.collate (List.combine cells points))));
+        cells =
+          Some
+            (fun points ->
+              List.filter_map
+                (fun (c, p) ->
+                  Option.map
+                    (fun (p : Fig8.point) ->
+                      (Fig8.cell_label c, p.Fig8.p50_ms, p.Fig8.p99_ms))
+                    p)
+                (List.combine cells points));
       }
   | "table2" ->
     (* One measurement feeds both Table 2 and Figure 9. *)
@@ -78,6 +94,7 @@ let plan ~scale name : plan =
             render
               (Fig10.table_of ~title:"Figure 10: LFS (with NVRAM) latency vs idle interval"
                  (Fig10.collate (List.combine cells points))));
+        cells = None;
       }
   | "fig11" ->
     let cells = Fig11.cells ~scale in
@@ -91,6 +108,7 @@ let plan ~scale name : plan =
         merge =
           (fun points ->
             render (Fig11.table_of (Fig11.collate (List.combine cells points))));
+        cells = None;
       }
   | "apps" -> table Apps.run
   | "vlfs" ->
@@ -122,17 +140,28 @@ type erased = {
   e_name : string;
   e_subs : (string * (unit -> string)) list;
   e_merge : string list -> string;
+  e_cells : string list -> (string * float * float) list;
 }
 
 let erase e_name = function
-  | Single f -> { e_name; e_subs = [ (e_name, f) ]; e_merge = String.concat "" }
-  | Split { subs; merge } ->
+  | Single f ->
+    {
+      e_name;
+      e_subs = [ (e_name, f) ];
+      e_merge = String.concat "";
+      e_cells = (fun _ -> []);
+    }
+  | Split { subs; merge; cells } ->
+    let unmarshal frags = List.map (fun s -> Marshal.from_string s 0) frags in
     {
       e_name;
       e_subs =
         List.map (fun (lbl, f) -> (lbl, fun () -> Marshal.to_string (f ()) [])) subs;
-      e_merge =
-        (fun frags -> merge (List.map (fun s -> Marshal.from_string s 0) frags));
+      e_merge = (fun frags -> merge (unmarshal frags));
+      e_cells =
+        (match cells with
+        | None -> fun _ -> []
+        | Some f -> fun frags -> f (unmarshal frags));
     }
 
 (* What one job ships back: payload plus its own compute and simulated
@@ -208,6 +237,10 @@ let run ?(jobs = 1) ?timeout_s ?(progress = fun ~completed:_ ~total:_ ~label:_ -
         t_wall_s = span;
         t_elapsed_s = sum (fun j -> j.jo_elapsed_s);
         t_sim_ms = sum (fun j -> j.jo_sim_ms);
+        t_cells =
+          (if failures = [] then
+             e.e_cells (List.map (fun j -> j.jo_payload) oks)
+           else []);
         t_failures = failures;
       })
     plans

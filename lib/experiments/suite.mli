@@ -14,6 +14,11 @@ type timing = {
       (** parent-side span: first of its jobs dispatched → last finished *)
   t_elapsed_s : float;  (** summed in-worker compute seconds of its jobs *)
   t_sim_ms : float;  (** summed simulated-clock delta of its jobs *)
+  t_cells : (string * float * float) list;
+      (** per-cell (label, p50 ms, p99 ms) wall-latency percentiles for
+          experiments that report them (fig8's update sweep); empty
+          elsewhere.  [bench --json] emits them as the record's [cells]
+          array, next to the schema's scalar fields. *)
   t_failures : string list;
       (** worker crash/timeout/exception messages with job labels; empty
           on success.  When non-empty, [t_output] is a placeholder. *)

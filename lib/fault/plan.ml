@@ -10,6 +10,10 @@ type kind =
   | Drive_hang of float
   | Drive_flaky of int
   | Latent_sectors of int
+  | Nvm_cut
+  | Nvm_torn
+  | Nvm_destage_cut
+  | Nvm_full
 
 let kind_to_string = function
   | Torn_write -> "torn"
@@ -21,6 +25,10 @@ let kind_to_string = function
   | Drive_hang ms -> Printf.sprintf "hang:%g" ms
   | Drive_flaky n -> Printf.sprintf "flaky:%d" n
   | Latent_sectors n -> Printf.sprintf "latent:%d" n
+  | Nvm_cut -> "nvmcut"
+  | Nvm_torn -> "nvmtorn"
+  | Nvm_destage_cut -> "destagecut"
+  | Nvm_full -> "nvmfull"
 
 let kind_of_string s =
   match String.split_on_char ':' s with
@@ -49,16 +57,29 @@ let kind_of_string s =
     match int_of_string_opt n with
     | Some n when n > 0 -> Ok (Latent_sectors n)
     | _ -> Error (Printf.sprintf "bad latent range length in %S" s))
+  | [ "nvmcut" ] -> Ok Nvm_cut
+  | [ "nvmtorn" ] -> Ok Nvm_torn
+  | [ "destagecut" ] -> Ok Nvm_destage_cut
+  | [ "nvmfull" ] -> Ok Nvm_full
   | _ ->
     Error
       (Printf.sprintf
          "unknown fault kind %S \
-          (torn|rot|transient[:n]|defect|powercut|death|hang[:ms]|flaky[:n]|latent[:n])"
+          (torn|rot|transient[:n]|defect|powercut|death|hang[:ms]|flaky[:n]|latent[:n]\
+          |nvmcut|nvmtorn|destagecut|nvmfull)"
          s)
 
 let is_drive_kind = function
   | Drive_death | Drive_hang _ | Drive_flaky _ | Latent_sectors _ -> true
-  | Torn_write | Bit_rot | Transient_read _ | Grown_defect | Power_cut -> false
+  | Torn_write | Bit_rot | Transient_read _ | Grown_defect | Power_cut
+  | Nvm_cut | Nvm_torn | Nvm_destage_cut | Nvm_full ->
+    false
+
+let is_nvm_kind = function
+  | Nvm_cut | Nvm_torn | Nvm_destage_cut | Nvm_full -> true
+  | Torn_write | Bit_rot | Transient_read _ | Grown_defect | Power_cut
+  | Drive_death | Drive_hang _ | Drive_flaky _ | Latent_sectors _ ->
+    false
 
 type t = {
   kind : kind;
@@ -77,6 +98,7 @@ type t = {
   mutable hang_until : float option; (* Drive_hang: absolute deadline, ms *)
   mutable flaky_seen : int; (* accesses since a flaky drive fired *)
   latent : (int, unit) Hashtbl.t; (* latent sectors awaiting discovery *)
+  mutable persists_seen : int; (* NVM persist barriers observed *)
 }
 
 let create kind ~trigger ~seed =
@@ -97,6 +119,7 @@ let create kind ~trigger ~seed =
     hang_until = None;
     flaky_seen = 0;
     latent = Hashtbl.create 4;
+    persists_seen = 0;
   }
 
 let fired t = t.fired
@@ -204,13 +227,20 @@ let on_write t ~lba ~sectors =
       if t.fired || n <> t.trigger then None
       else begin
         match t.kind with
-        | Drive_death | Drive_hang _ | Drive_flaky _ | Latent_sectors _ ->
-          (* drive kinds fire from their own counters, never here *)
+        | Drive_death | Drive_hang _ | Drive_flaky _ | Latent_sectors _
+        | Nvm_cut | Nvm_torn ->
+          (* drive kinds fire from their own counters, NVM-barrier kinds
+             from the persist counter — never here *)
           None
         | _ ->
           t.fired <- true;
           (match t.kind with
           | Power_cut -> raise Disk.Disk_sim.Power_cut
+          | Nvm_destage_cut | Nvm_full ->
+            (* in a staged rig the backing disk sees only destage writes
+               (and drained bypasses), so the trigger-th one is a crash
+               mid-destage *)
+            raise Disk.Disk_sim.Power_cut
           | Torn_write ->
             let k = Prng.int t.prng sectors in
             t.damaged <- List.init (sectors - k) (fun i -> lba + k + i) @ t.damaged;
@@ -224,7 +254,7 @@ let on_write t ~lba ~sectors =
             t.pending_rot <- Some (lba + Prng.int t.prng sectors);
             None
           | Transient_read _ | Drive_death | Drive_hang _ | Drive_flaky _
-          | Latent_sectors _ ->
+          | Latent_sectors _ | Nvm_cut | Nvm_torn ->
             None)
       end)
 
@@ -268,6 +298,29 @@ let on_read t ~lba ~sectors =
           end
           else None
         | _ -> None)))
+
+(* NVM-barrier kinds fire on the persist counter: the trigger-th commit
+   barrier is the one the power cut strikes.  The torn variant persists
+   a seeded strict prefix of the volatile front, so at least the last
+   byte — and with it the tail record's CRC — is lost. *)
+let on_persist t ~pending_bytes =
+  match t.kind with
+  | Nvm_cut | Nvm_torn ->
+    let n = t.persists_seen in
+    t.persists_seen <- n + 1;
+    if t.fired || n <> t.trigger then None
+    else begin
+      t.fired <- true;
+      match t.kind with
+      | Nvm_cut -> Some Nvm.Nvm_sim.Cut_before_persist
+      | _ -> Some (Nvm.Nvm_sim.Torn_persist (Prng.int t.prng (max 1 pending_bytes)))
+    end
+  | _ -> None
+
+let install_nvm t nvm =
+  Nvm.Nvm_sim.set_injector nvm
+    (Some
+       { Nvm.Nvm_sim.on_persist = (fun ~pending_bytes -> on_persist t ~pending_bytes) })
 
 let install t disk =
   t.disk <- Some disk;

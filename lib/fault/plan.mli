@@ -49,18 +49,41 @@ type kind =
           fail permanently until the sectors are rewritten (the drive
           remaps on write).  Models defects grown while the region sat
           idle, found only on the next access *)
+  | Nvm_cut
+      (** power dies on the boundary just before the [trigger]-th NVM
+          persist barrier: the volatile front is lost whole — a cut
+          mid-append, before the write's commit point *)
+  | Nvm_torn
+      (** the [trigger]-th NVM persist barrier tears: a seeded strict
+          byte prefix of the volatile front reaches the persisted
+          domain, the tail record's seal is lost, and
+          {!Disk.Disk_sim.Power_cut} is raised *)
+  | Nvm_destage_cut
+      (** power dies just before the [trigger]-th write on the backing
+          disk — in a staged rig, a crash mid-destage: the NVM log
+          survives and must replay *)
+  | Nvm_full
+      (** the backpressure cell: meant for a rig whose WAL log is
+          capped tiny, so appends destage inline; power dies just
+          before the [trigger]-th backing-disk write, mid-backpressure *)
 
 val kind_to_string : kind -> string
 
 val kind_of_string : string -> (kind, string) result
 (** Inverse of {!kind_to_string}: accepts
     [torn | rot | transient[:n] | defect | powercut
-     | death | hang[:ms] | flaky[:n] | latent[:n]]. *)
+     | death | hang[:ms] | flaky[:n] | latent[:n]
+     | nvmcut | nvmtorn | destagecut | nvmfull]. *)
 
 val is_drive_kind : kind -> bool
 (** Whether the kind models a whole-drive failure (death, hang, flaky,
     latent range) rather than a single-sector event.  Drive kinds are
     meant for volume legs: a lone drive has nowhere to fail over to. *)
+
+val is_nvm_kind : kind -> bool
+(** Whether the kind targets the NVM staging tier's persistence
+    boundary.  NVM kinds only make sense on a rig with an {!Nvm_wal}
+    in front of the disk; the plain sweeps reject them. *)
 
 type t
 
@@ -71,6 +94,13 @@ val install : t -> Disk.Disk_sim.t -> unit
     whole-drive {!Disk.Disk_sim.set_health_probe} reporting {!health}.
     Install after formatting: the trigger counts only accesses made once
     the plan is in place. *)
+
+val install_nvm : t -> Nvm.Nvm_sim.t -> unit
+(** Interpose the plan on every persist barrier of [nvm].  Only the NVM
+    kinds ({!is_nvm_kind}) ever fire there; installing any other kind
+    is a no-op on the NVM side.  A staged rig installs the same plan on
+    both the NVM ([install_nvm]) and the backing disk ({!install}), and
+    whichever counter the kind watches decides where it strikes. *)
 
 val flush : t -> unit
 (** Apply any scheduled-but-unapplied damage (pending bit rot) to the

@@ -125,6 +125,9 @@ let workload_time = function
   | Plan.Latent_sectors _ ->
     (* drive kinds belong to volume legs, not this single-spindle sweep *)
     true
+  | Plan.Nvm_cut | Plan.Nvm_torn | Plan.Nvm_destage_cut | Plan.Nvm_full ->
+    (* NVM kinds belong to staged rigs; this sweep has no staging tier *)
+    true
 
 (* A map node holds at most this many entries, so damage to one node can
    regress at most this many logical blocks. *)

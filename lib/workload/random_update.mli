@@ -8,6 +8,8 @@
 
 type result = {
   mean_latency_ms : float;
+  p50_ms : float;  (** per-update wall-latency median, from a {!Trace.Histogram} *)
+  p99_ms : float;  (** per-update wall-latency 99th percentile *)
   breakdown : Vlog_util.Breakdown.t;  (** mean per-update breakdown (Fig. 9) *)
   utilization : float;                (** the [df] number at measurement time *)
   updates : int;

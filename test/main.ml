@@ -8,4 +8,4 @@ let () =
    @ Test_fault.suites @ Test_check.suites @ Test_par.suites
    @ Test_workload.suites
    @ Test_experiments.suites @ Test_trace.suites @ Test_volume.suites
-   @ Test_volume_faults.suites)
+   @ Test_volume_faults.suites @ Test_nvm.suites)

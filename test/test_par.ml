@@ -153,7 +153,8 @@ let test_fault_sweep_jobs_invariant () =
 let test_fs_sweep_jobs_invariant () =
   let o1 = Check.Fs_sweep.run ~jobs:1 Check.Fs_sweep.smoke in
   let o4 = Check.Fs_sweep.run ~jobs:4 Check.Fs_sweep.smoke in
-  Alcotest.(check bool) "8 cells" true (o1.Check.Fs_sweep.scenarios = 8);
+  (* 8 single-spindle/volume cells + 4 NVM-WAL cells *)
+  Alcotest.(check bool) "12 cells" true (o1.Check.Fs_sweep.scenarios = 12);
   Alcotest.(check bool) "jobs=4 = jobs=1" true (o1 = o4)
 
 (* Order-independent seeding (the property that justifies fanning out):
